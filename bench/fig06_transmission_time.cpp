@@ -1,0 +1,61 @@
+// Reproduces Fig. 6: message transmission time of the five communication
+// implementations on 768 nodes (65K and 1.7M hydrogen atoms), excluding
+// data-packing time, plus the naive MPI-p2p that motivates uTofu.
+//
+// Paper result: uTofu-p2p cuts transmission time 79% vs MPI-3-stage, and
+// naive MPI-p2p is *slower* than MPI-3-stage.
+
+#include "bench/bench_common.h"
+#include "perf/stepmodel.h"
+
+using namespace lmp;
+
+int main() {
+  bench::banner("Fig. 6 — transmission time per ghost exchange, 768 nodes",
+                "uTofu-p2p reduces time by 79% vs MPI-3-stage; "
+                "MPI-p2p is slower than MPI-3-stage");
+
+  const perf::StepModel model(perf::default_calibration());
+
+  struct Variant {
+    const char* name;
+    perf::CommConfig cfg;
+  };
+  const Variant variants[] = {
+      {"mpi-3stage (ref)", perf::CommConfig::ref_mpi()},
+      {"mpi-p2p (naive)", perf::CommConfig::mpi_p2p()},
+      {"utofu-3stage", perf::CommConfig::utofu_3stage()},
+      {"utofu-p2p-4tni", perf::CommConfig::p2p_4tni()},
+      {"utofu-p2p-6tni", perf::CommConfig::p2p_6tni()},
+      {"utofu-p2p-parallel", perf::CommConfig::p2p_parallel()},
+  };
+
+  for (const double natoms : {65536.0, 1.7e6}) {
+    const perf::Workload w = perf::Workload::lj(natoms, 768);
+    std::printf("\nsystem: %.0f atoms on 768 nodes (%.1f atoms/rank, "
+                "largest p2p message %.0f B)\n",
+                natoms, w.atoms_per_rank(),
+                w.sub_box_side() * w.sub_box_side() * (w.cutoff + w.skin) *
+                    w.density * 24.0);
+
+    const double baseline =
+        model.exchange_once(w, perf::CommConfig::ref_mpi(), 24.0);
+    bench::TablePrinter t(
+        {"implementation", "exchange(us)", "vs mpi-3stage", "reduction(%)"});
+    for (const Variant& v : variants) {
+      const double time = model.exchange_once(w, v.cfg, 24.0);
+      t.add_row({v.name, bench::us(time),
+                 bench::TablePrinter::fmt(time / baseline, 2) + "x",
+                 bench::pct(1.0 - time / baseline)});
+    }
+    t.print();
+  }
+
+  const perf::Workload w65 = perf::Workload::lj(65536, 768);
+  const double red =
+      1.0 - model.exchange_once(w65, perf::CommConfig::p2p_parallel(), 24.0) /
+                model.exchange_once(w65, perf::CommConfig::ref_mpi(), 24.0);
+  std::printf("\nheadline: modeled reduction (p2p-parallel vs mpi-3stage, 65K) "
+              "= %s%% (paper: 79%%)\n", bench::pct(red).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Fig. 8: message rate and bandwidth of one node versus
+// message size, for single-thread/4-TNI, single-thread/6-TNI, and the
+// 6-thread/6-TNI parallel configuration.
+//
+// Paper result: below ~512 B the parallel method has the highest message
+// rate (>= 50% over single-4TNI); single-6TNI trails due to per-TNI
+// contention; at large sizes bandwidth saturates the links.
+
+#include "bench/bench_common.h"
+#include "perf/netmodel.h"
+
+using namespace lmp;
+
+int main() {
+  bench::banner("Fig. 8 — message rate and bandwidth vs message size",
+                "parallel wins below 512 B (>= 1.5x single-4TNI); "
+                "single-6TNI < single-4TNI for small messages");
+
+  const perf::NetModel net(perf::default_calibration());
+
+  bench::TablePrinter t({"bytes", "single-4TNI (Mmsg/s)", "single-6TNI (Mmsg/s)",
+                         "parallel (Mmsg/s)", "par BW (GB/s)", "par/4TNI"});
+  bool crossover_printed = false;
+  for (double bytes = 8; bytes <= (1 << 20); bytes *= 2) {
+    const double s4 = net.message_rate(perf::Api::kUtofu, bytes, 1, 1, 4);
+    const double s6 = net.message_rate(perf::Api::kUtofu, bytes, 1, 6, 4);
+    const double par = net.message_rate(perf::Api::kUtofu, bytes, 6, 6, 4);
+    t.add_row({bench::TablePrinter::fmt(bytes, 0),
+               bench::TablePrinter::fmt(s4 / 1e6, 2),
+               bench::TablePrinter::fmt(s6 / 1e6, 2),
+               bench::TablePrinter::fmt(par / 1e6, 2),
+               bench::TablePrinter::fmt(par * bytes / 1e9, 2),
+               bench::TablePrinter::fmt(par / s4, 2) + "x"});
+    if (!crossover_printed && s6 > s4) {
+      crossover_printed = true;
+    }
+  }
+  t.print();
+
+  const double b = 528.0;  // the paper's 22-atom forward message
+  std::printf("\nat the paper's 528 B forward message: parallel/single-4TNI = "
+              "%.2fx (paper: 'boost ... by at least 50%%')\n",
+              net.message_rate(perf::Api::kUtofu, b, 6, 6, 4) /
+                  net.message_rate(perf::Api::kUtofu, b, 1, 1, 4));
+  return 0;
+}

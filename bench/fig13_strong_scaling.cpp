@@ -1,0 +1,81 @@
+// Reproduces Fig. 13: strong scaling from 768 to 36,864 nodes with
+// 4,194,304 (LJ) and 3,456,000 (EAM) particles.
+//
+// Paper results at the last point: 2.9x (LJ) and 2.2x (EAM) over the
+// original code; 8.77M tau/day and 2.87 us/day; the optimized pair stage
+// drops 40%/57% vs origin.
+
+#include "bench/bench_common.h"
+#include "perf/scaling.h"
+
+using namespace lmp;
+
+int main() {
+  bench::banner("Fig. 13 — strong scaling, 768 -> 36,864 nodes",
+                "2.9x (LJ) / 2.2x (EAM) at 36,864 nodes; performance in "
+                "simulated time per day keeps rising for the optimized code");
+
+  const perf::ScalingModel model(perf::default_calibration());
+  const long nodes[] = {768, 2160, 6144, 18432, 36864};
+
+  struct System {
+    const char* name;
+    perf::PotKind pot;
+    double natoms;
+    const char* perf_unit;
+    double unit_scale;  // dt-units -> reported unit
+    double paper_speedup;
+  };
+  // LJ dt is in tau; EAM dt 0.005 ps -> report microseconds/day.
+  const System systems[] = {
+      {"LJ", perf::PotKind::kLj, 4194304, "tau/day", 1.0, 2.9},
+      {"EAM", perf::PotKind::kEam, 3456000, "us/day", 1e-6, 2.2},
+  };
+
+  for (const System& s : systems) {
+    const auto pts = model.strong_scaling(s.pot, s.natoms, nodes);
+    std::printf("\n%s — %.0f particles (%.1f atoms/core at the last point)\n",
+                s.name, s.natoms,
+                s.natoms / (static_cast<double>(nodes[4]) * 48.0));
+    bench::TablePrinter t({"nodes", "origin(us/step)", "opt(us/step)", "speedup",
+                           (std::string("opt perf (") + s.perf_unit + ")").c_str(),
+                           "opt eff(%)", "origin eff(%)"});
+    for (const auto& p : pts) {
+      const double unit = s.pot == perf::PotKind::kEam ? 1e-12 : 1.0;  // ps->s? no:
+      (void)unit;
+      // perf_per_day returns dt-units/day; EAM dt is ps so convert via
+      // unit_scale (ps -> us = 1e-6 of a second... ps * 1e-6 = us).
+      const double perf = p.perf_opt * (s.pot == perf::PotKind::kEam ? 1e-6 : 1.0);
+      t.add_row({std::to_string(p.nodes), bench::us(p.origin.total()),
+                 bench::us(p.opt.total()),
+                 bench::TablePrinter::fmt(p.speedup, 2) + "x",
+                 bench::TablePrinter::fmt_si(perf, 2),
+                 bench::pct(p.efficiency_opt), bench::pct(p.efficiency_origin)});
+    }
+    t.print();
+
+    // Fig. 13(b): pair and communication stage times along the sweep.
+    bench::TablePrinter stages({"nodes", "origin pair(us)", "opt pair(us)",
+                                "origin comm(us)", "opt comm(us)"});
+    for (const auto& p : pts) {
+      stages.add_row({std::to_string(p.nodes), bench::us(p.origin.pair),
+                      bench::us(p.opt.pair), bench::us(p.origin.comm),
+                      bench::us(p.opt.comm)});
+    }
+    std::printf("\nFig. 13(b) stage times:\n");
+    stages.print();
+
+    const auto& last = pts.back();
+    std::printf("last point: model speedup %.2fx (paper %.1fx); pair-stage "
+                "cut %s%% (paper %s)\n",
+                last.speedup, s.paper_speedup,
+                bench::pct(1.0 - last.opt.pair / last.origin.pair).c_str(),
+                s.pot == perf::PotKind::kLj ? "40%" : "57%");
+  }
+
+  std::printf("\n(Absolute us/step values come from the calibrated TofuD "
+              "model; the paper's\nshape to match is: who wins, how the gap "
+              "grows with node count, and the\nefficiency ordering "
+              "opt > origin.)\n");
+  return 0;
+}

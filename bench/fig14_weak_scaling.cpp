@@ -1,0 +1,56 @@
+// Reproduces Fig. 14: weak scaling from 768 to 20,736 nodes with 100K
+// (LJ) and 72K (EAM) particles per core — 99 and 72 billion particles at
+// the last point.
+//
+// Paper result: "nearly linear scaling can be achieved."
+
+#include "bench/bench_common.h"
+#include "perf/scaling.h"
+#include "util/stats.h"
+
+using namespace lmp;
+
+int main() {
+  bench::banner("Fig. 14 — weak scaling, 768 -> 20,736 nodes",
+                "100K/72K particles per core; throughput grows almost "
+                "linearly up to 99/72 billion particles");
+
+  const perf::ScalingModel model(perf::default_calibration());
+  const long nodes[] = {768, 2160, 6144, 20736};
+
+  struct System {
+    const char* name;
+    perf::PotKind pot;
+    double per_core;
+  };
+  const System systems[] = {{"LJ", perf::PotKind::kLj, 100000.0},
+                            {"EAM", perf::PotKind::kEam, 72000.0}};
+
+  for (const System& s : systems) {
+    const auto pts = model.weak_scaling(s.pot, s.per_core, nodes);
+    std::printf("\n%s — %.0fK particles per core:\n", s.name, s.per_core / 1e3);
+    bench::TablePrinter t({"nodes", "particles", "step(ms)",
+                           "atom-steps/s", "linearity(%)"});
+    const double per_node = pts.front().atom_steps_per_sec /
+                            static_cast<double>(pts.front().nodes);
+    for (const auto& p : pts) {
+      t.add_row({std::to_string(p.nodes), bench::TablePrinter::fmt_si(p.natoms, 1),
+                 bench::TablePrinter::fmt(p.opt.total() * 1e3, 3),
+                 bench::TablePrinter::fmt_si(p.atom_steps_per_sec, 2),
+                 bench::pct(p.atom_steps_per_sec /
+                            (per_node * static_cast<double>(p.nodes)))});
+    }
+    t.print();
+
+    std::vector<double> x, y;
+    for (const auto& p : pts) {
+      x.push_back(static_cast<double>(p.nodes));
+      y.push_back(p.atom_steps_per_sec);
+    }
+    const double slope = util::regression_slope(x, y);
+    std::printf("regression slope: %.3g atom-steps/s per node "
+                "(first-point rate: %.3g) -> %s%% of ideal linear growth\n",
+                slope, per_node, bench::pct(slope / per_node).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table 3: the per-stage breakdown of the strong-scaling last
+// point (36,864 nodes) for origin and optimized code, both potentials —
+// 99-step elapsed times (the paper reports units of 0.01 s) and stage
+// percentage shares.
+//
+// Paper shares to compare against (origin-LJ / opt-LJ / origin-EAM /
+// opt-EAM): Comm 64.85 / 43.67 / 33.50 / 20.02 %, Pair 15.3 / 26.71 /
+// 43.44 / 40.85 %, Other 8.99 / 15.68 / 16.91 / 31.84 %.
+
+#include "bench/bench_common.h"
+#include "perf/stepmodel.h"
+
+using namespace lmp;
+
+int main() {
+  bench::banner("Table 3 — stage breakdown at 36,864 nodes (99 steps)",
+                "origin is comm-bound (LJ: 64.85%); the optimized run cuts "
+                "Comm below Pair+Other; EAM's Other (allreduce) exceeds its "
+                "Comm after optimization");
+
+  const perf::StepModel model(perf::default_calibration());
+  constexpr int kSteps = 99;
+
+  struct Row {
+    const char* name;
+    perf::PotKind pot;
+    double natoms;
+    perf::CommConfig cfg;
+  };
+  const Row rows[] = {
+      {"Origin-L-J", perf::PotKind::kLj, 4194304, perf::CommConfig::ref_mpi()},
+      {"Opt-L-J", perf::PotKind::kLj, 4194304, perf::CommConfig::p2p_parallel()},
+      {"Origin-EAM", perf::PotKind::kEam, 3456000, perf::CommConfig::ref_mpi()},
+      {"Opt-EAM", perf::PotKind::kEam, 3456000, perf::CommConfig::p2p_parallel()},
+  };
+
+  bench::TablePrinter t({"potential", "Pair", "Neigh", "Comm", "Modify",
+                         "Other", "total"});
+  bench::TablePrinter pctt({"potential", "Pair%", "Neigh%", "Comm%", "Modify%",
+                            "Other%"});
+  for (const Row& r : rows) {
+    const perf::Workload w = r.pot == perf::PotKind::kLj
+                                 ? perf::Workload::lj(r.natoms, 36864)
+                                 : perf::Workload::eam(r.natoms, 36864);
+    const perf::StepBreakdown b = model.step_time(w, r.cfg);
+    // Elapsed over 99 steps in units of 0.01 s, matching the table.
+    const double scale = kSteps / 0.01;
+    t.add_row({r.name, bench::TablePrinter::fmt(b.pair * scale, 4),
+               bench::TablePrinter::fmt(b.neigh * scale, 4),
+               bench::TablePrinter::fmt(b.comm * scale, 4),
+               bench::TablePrinter::fmt(b.modify * scale, 4),
+               bench::TablePrinter::fmt(b.other * scale, 4),
+               bench::TablePrinter::fmt(b.total() * scale, 4)});
+    pctt.add_row({r.name, bench::pct(b.pair / b.total(), 2),
+                  bench::pct(b.neigh / b.total(), 2),
+                  bench::pct(b.comm / b.total(), 2),
+                  bench::pct(b.modify / b.total(), 2),
+                  bench::pct(b.other / b.total(), 2)});
+  }
+  std::printf("\nelapsed for 99 steps, unit 0.01 s (Table 3 layout):\n");
+  t.print();
+  std::printf("\nstage shares:\n");
+  pctt.print();
+  std::printf("\npaper shares for reference — Comm: 64.85/43.67/33.50/20.02%%, "
+              "Pair: 15.3/26.71/43.44/40.85%%, Other: 8.99/15.68/16.91/31.84%%\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// EAM copper (the paper's second workload): generates the Cu-like funcfl
+// table, writes it to disk, reads it back exactly as LAMMPS reads
+// Cu_u3.eam, and integrates an fcc crystal under NVE, printing the
+// pressure trace and the mid-pair-stage communication counters that make
+// EAM's communication profile different from L-J's.
+//
+//   ./eam_cu [cells] [steps]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "md/eam_table.h"
+#include "sim/simulation.h"
+#include "util/table_printer.h"
+
+using namespace lmp;
+
+int main(int argc, char** argv) {
+  const int cells = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 100;
+
+  // Show the funcfl round trip explicitly (the simulation does the same
+  // internally).
+  const md::EamTable table = md::make_cu_like_table(2000, 2000, 4.95);
+  {
+    std::ofstream out("/tmp/Cu_like.eam");
+    out << md::to_funcfl(table);
+  }
+  std::stringstream buf;
+  buf << std::ifstream("/tmp/Cu_like.eam").rdbuf();
+  const md::EamTable reread = md::parse_funcfl(buf.str());
+  std::printf("funcfl table: nr=%d dr=%.5f A, nrho=%d, cutoff=%.2f A "
+              "(wrote + reread /tmp/Cu_like.eam)\n",
+              reread.nr, reread.dr, reread.nrho, reread.cutoff);
+
+  sim::SimOptions options;
+  options.config = md::SimConfig::eam_copper();
+  options.cells = {cells, cells, cells};
+  options.rank_grid = {2, 1, 1};
+  options.comm = sim::CommVariant::kP2pParallel;
+  options.thermo_every = std::max(1, steps / 10);
+
+  std::printf("\nEAM copper: %d atoms at a0 = 3.615 A, T0 = %.0f K, "
+              "%d steps, dt = %.3f ps\n\n",
+              4 * cells * cells * cells, options.config.t_init, steps,
+              options.config.dt);
+
+  const sim::JobResult r = sim::run_simulation(options, steps);
+
+  util::TablePrinter t({"Step", "Temp(K)", "Press(bar)", "TotEng(eV)"});
+  for (const auto& s : r.thermo) {
+    t.add_row({std::to_string(s.step),
+               util::TablePrinter::fmt(s.state.temperature, 2),
+               util::TablePrinter::fmt(s.state.pressure, 1),
+               util::TablePrinter::fmt(s.state.total(), 5)});
+  }
+  t.print();
+
+  std::uint64_t scalar = 0;
+  for (const auto& rank : r.ranks) scalar += rank.comm.scalar_msgs;
+  std::printf("\nEAM mid-pair-stage communication: %llu scalar messages "
+              "(rho reverse-add + fp forward,\nthe 'two additional "
+              "communications during the pair stage' of Sec. 4) across "
+              "%zu ranks.\n",
+              static_cast<unsigned long long>(scalar), r.ranks.size());
+  std::printf("neigh_modify every 5 check yes: the displacement allreduce "
+              "ran every 5 steps.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+# Scaled-down analogue of the artifact's in.threadpool.eam
+# (Cu_u3.eam is replaced by the generated Cu-like funcfl table)
+
+units           metal
+lattice         fcc 3.615
+region          box block 0 5 0 5 0 5
+create_box      1 box
+create_atoms    1 box
+mass            1 63.550
+
+velocity        all create 800.0 376847
+
+pair_style      eam
+pair_coeff      * * Cu_u3.eam
+
+neighbor        1.0 bin
+neigh_modify    every 5 check yes
+newton          on
+
+fix             1 all nve
+
+timestep        0.005
+thermo          10
+processors      2 1 1
+comm_variant    opt
+
+run             50

@@ -1,0 +1,60 @@
+// Quickstart: run the LAMMPS melt benchmark on 8 simulated ranks with
+// the paper's optimized communication (fine-grained p2p over uTofu) and
+// print a LAMMPS-style thermo log plus the stage breakdown.
+//
+//   ./quickstart
+
+#include <cstdio>
+
+#include "sim/simulation.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace lmp;
+
+  sim::SimOptions options;
+  options.config = md::SimConfig::lj_melt();  // Table 2, L-J column
+  options.cells = {6, 6, 6};                  // 864 atoms
+  options.rank_grid = {2, 2, 2};              // 8 MPI ranks (threads here)
+  options.comm = sim::CommVariant::kP2pParallel;  // the paper's `opt`
+  options.thermo_every = 20;
+
+  std::printf("mini-LAMMPS quickstart: %s, %d ranks, comm=%s\n",
+              options.config.name.c_str(),
+              options.rank_grid.x * options.rank_grid.y * options.rank_grid.z,
+              sim::variant_name(options.comm));
+
+  const sim::JobResult result = sim::run_simulation(options, 100);
+
+  util::TablePrinter thermo({"Step", "Temp", "Press", "KinEng", "PotEng",
+                             "TotEng"});
+  for (const auto& s : result.thermo) {
+    thermo.add_row({std::to_string(s.step),
+                    util::TablePrinter::fmt(s.state.temperature, 6),
+                    util::TablePrinter::fmt(s.state.pressure, 6),
+                    util::TablePrinter::fmt(s.state.kinetic, 4),
+                    util::TablePrinter::fmt(s.state.potential, 4),
+                    util::TablePrinter::fmt(s.state.total(), 4)});
+  }
+  thermo.print();
+
+  // LAMMPS-style "MPI task timing breakdown".
+  const util::StageTimer stages = result.total_stages();
+  std::printf("\nMPI task timing breakdown (summed over ranks):\n");
+  util::TablePrinter t({"Section", "time(s)", "%total"});
+  for (const auto stage :
+       {util::Stage::kPair, util::Stage::kNeigh, util::Stage::kComm,
+        util::Stage::kModify, util::Stage::kOther}) {
+    t.add_row({std::string(util::stage_name(stage)),
+               util::TablePrinter::fmt(stages.get(stage), 4),
+               util::TablePrinter::fmt(stages.percent(stage), 1)});
+  }
+  t.print();
+
+  std::printf("\n%ld atoms, energy drift %.2e relative — NVE holds.\n",
+              result.natoms,
+              (result.thermo.back().state.total() -
+               result.thermo.front().state.total()) /
+                  std::abs(result.thermo.front().state.total()));
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "comm/directions.h"
+#include "tofu/network.h"
+
+namespace lmp::comm {
+
+/// Number of round-robin receive buffers per neighbor direction. The
+/// paper (Sec. 3.4, Fig. 10) determined that four buffers suffice for no
+/// two in-flight stages to collide on one buffer.
+inline constexpr int kRingSlots = 4;
+
+/// Everything one rank publishes about itself during the setup stage
+/// (paper Fig. 10: "all the registered addresses of receive buffers and
+/// atom position arrays are sent to neighbors"): STADDs of the position
+/// and force arrays, its VCQ ids per TNI, and the ring-buffer STADDs per
+/// incoming direction.
+struct RankAddresses {
+  tofu::Stadd x_stadd = 0;
+  tofu::Stadd f_stadd = 0;
+  std::array<tofu::VcqId, 6> vcq{tofu::kInvalidVcq, tofu::kInvalidVcq,
+                                 tofu::kInvalidVcq, tofu::kInvalidVcq,
+                                 tofu::kInvalidVcq, tofu::kInvalidVcq};
+  std::array<std::array<tofu::Stadd, kRingSlots>, kNumDirs> ring{};
+  std::size_t ring_bytes = 0;
+};
+
+/// Shared, rank-indexed address directory. Every rank fills `mine()`
+/// during setup; a collective barrier then makes `of()` safe to read.
+/// (In the real system this exchange is a set of small bootstrap
+/// messages; the shared structure models its result.)
+class AddressBook {
+ public:
+  explicit AddressBook(int nranks) : entries_(static_cast<std::size_t>(nranks)) {}
+
+  RankAddresses& mine(int rank) { return entries_[static_cast<std::size_t>(rank)]; }
+  const RankAddresses& of(int rank) const {
+    return entries_[static_cast<std::size_t>(rank)];
+  }
+  int nranks() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  std::vector<RankAddresses> entries_;
+};
+
+}  // namespace lmp::comm

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geom/box.h"
+#include "geom/decomposition.h"
+#include "md/atoms.h"
+#include "md/potential.h"
+
+namespace lmp::comm {
+
+/// Everything a communication implementation needs to know about its
+/// rank's place in the world. Owned by the per-rank Simulation.
+struct CommContext {
+  const geom::Decomposition* decomp = nullptr;
+  int rank = 0;
+  md::Atoms* atoms = nullptr;
+  geom::Box sub;           ///< this rank's sub-box
+  geom::Box global;        ///< full periodic box
+  double ghost_cutoff = 0; ///< cutoff + skin
+  bool newton = true;
+  double density = 0;      ///< number density, for buffer upper bounds
+};
+
+/// Per-run communication counters (tests + ablation benches).
+struct CommCounters {
+  std::uint64_t border_msgs = 0;
+  std::uint64_t forward_msgs = 0;
+  std::uint64_t reverse_msgs = 0;
+  std::uint64_t scalar_msgs = 0;
+  std::uint64_t exchange_msgs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Abstract ghost-region communication — one implementation per paper
+/// variant (Ref MPI 3-stage, uTofu 3-stage, coarse p2p, fine-grained
+/// parallel p2p). The Simulation calls these in the LAMMPS verlet order:
+///
+///   rebuild step:  exchange() -> borders() -> neighbor build
+///   other steps:   forward_positions()
+///   after force:   reverse_forces()            (Newton only)
+///   mid-EAM:       reverse_add() / forward()   (GhostDataComm)
+class Comm : public md::GhostDataComm {
+ public:
+  explicit Comm(const CommContext& ctx) : ctx_(ctx) {}
+
+  /// Collective setup: size and register buffers, publish addresses.
+  /// Must be called once on every rank before any other operation.
+  virtual void setup() = 0;
+
+  /// Migrate owned atoms that left the sub-box to their new owners.
+  /// Pre-condition: no ghosts present.
+  virtual void exchange() = 0;
+
+  /// Rebuild ghost atoms and the send lists (border stage).
+  virtual void borders() = 0;
+
+  /// Push updated owner positions into all ghost copies.
+  virtual void forward_positions() = 0;
+
+  /// Send forces accumulated on ghosts back to their owners and add them.
+  virtual void reverse_forces() = 0;
+
+  const CommCounters& counters() const { return counters_; }
+  const CommContext& context() const { return ctx_; }
+
+ protected:
+  CommContext ctx_;
+  CommCounters counters_;
+};
+
+}  // namespace lmp::comm

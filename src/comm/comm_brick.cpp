@@ -1,0 +1,350 @@
+#include "comm/comm_brick.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace lmp::comm {
+
+// ---------------------------------------------------------------------
+// MpiBrickTransport
+// ---------------------------------------------------------------------
+
+void MpiBrickTransport::setup(const CommContext& ctx, std::size_t) {
+  rank_ = ctx.rank;
+}
+
+std::vector<double> MpiBrickTransport::sendrecv(MsgKind kind, int channel,
+                                                int dst, int src,
+                                                std::span<const double> payload) {
+  const int tag = static_cast<int>(kind) * 8 + channel;
+  const auto bytes = std::as_bytes(payload);
+  const std::vector<std::byte> raw = world_->sendrecv(rank_, dst, src, tag, bytes);
+  std::vector<double> out(raw.size() / sizeof(double));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// UtofuBrickTransport
+// ---------------------------------------------------------------------
+
+UtofuBrickTransport::UtofuBrickTransport(tofu::Network& net, AddressBook& book,
+                                         int tni)
+    : net_(&net), book_(&book), tni_(tni) {}
+
+void UtofuBrickTransport::setup(const CommContext& ctx,
+                                std::size_t max_channel_doubles) {
+  rank_ = ctx.rank;
+  ring_doubles_ = max_channel_doubles + 1;  // +1 for the length prefix
+  utofu_ = std::make_unique<tofu::UtofuContext>(*net_, rank_);
+
+  // Coarse-grained layout (Sec. 3.2): one VCQ on one TNI per rank.
+  const tofu::VcqId vcq = utofu_->create_vcq(tni_, /*cq=*/0);
+  dispatcher_ = NoticeDispatcher(net_, vcq);
+
+  RankAddresses& mine = book_->mine(rank_);
+  mine.vcq[0] = vcq;
+  mine.ring_bytes = ring_doubles_ * sizeof(double);
+
+  send_buf_ = utofu_->make_buffer(mine.ring_bytes);
+  for (int c = 0; c < 6; ++c) {
+    for (int s = 0; s < kRingSlots; ++s) {
+      rings_[c][static_cast<std::size_t>(s)] = utofu_->make_buffer(mine.ring_bytes);
+      // Brick uses only 6 channels; store them in the first 6 ring rows.
+      mine.ring[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)] =
+          rings_[c][static_cast<std::size_t>(s)].stadd();
+    }
+  }
+}
+
+std::vector<double> UtofuBrickTransport::sendrecv(
+    MsgKind kind, int channel, int dst, int src,
+    std::span<const double> payload) {
+  (void)src;  // the incoming channel id identifies the partner
+  if (payload.size() + 1 > ring_doubles_) {
+    throw std::length_error("brick payload exceeds pre-registered ring size");
+  }
+
+  // Message combine (Sec. 3.5.1): first double carries the length, so the
+  // receiver never needs a separate size message.
+  double* out = send_buf_.as_doubles();
+  out[0] = static_cast<double>(payload.size());
+  std::copy(payload.begin(), payload.end(), out + 1);
+
+  const int slot = ring_next_[static_cast<std::size_t>(channel)]++ % kRingSlots;
+  const RankAddresses& peer = book_->of(dst);
+  const Edata ed{kind, channel, slot, static_cast<std::uint32_t>(payload.size())};
+  net_->put(dispatcher_.vcq(), peer.vcq[0], send_buf_.stadd(), 0,
+            peer.ring[static_cast<std::size_t>(channel)][static_cast<std::size_t>(slot)],
+            0, (payload.size() + 1) * sizeof(double), ed.encode());
+  dispatcher_.drain_tcq();
+
+  const Edata in = dispatcher_.wait(kind, channel);
+  const double* ring =
+      rings_[channel][static_cast<std::size_t>(in.slot)].as_doubles();
+  const auto count = static_cast<std::size_t>(ring[0]);
+  if (count != in.value) {
+    throw std::logic_error("length prefix disagrees with descriptor");
+  }
+  return {ring + 1, ring + 1 + count};
+}
+
+// ---------------------------------------------------------------------
+// CommBrick
+// ---------------------------------------------------------------------
+
+CommBrick::CommBrick(const CommContext& ctx,
+                     std::unique_ptr<BrickTransport> transport)
+    : Comm(ctx), transport_(std::move(transport)) {}
+
+void CommBrick::setup() {
+  const auto& decomp = *ctx_.decomp;
+  const util::Int3 me = decomp.coord_of(ctx_.rank);
+  const util::Vec3 extent = ctx_.global.extent();
+
+  for (int c = 0; c < 6; ++c) {
+    const int d = dim_of(c);
+    const int step = side_of(c) == 0 ? -1 : +1;
+    util::Int3 to = me;
+    to[static_cast<std::size_t>(d)] += step;
+    util::Int3 from = me;
+    from[static_cast<std::size_t>(d)] -= step;
+    send_to_[static_cast<std::size_t>(c)] = decomp.rank_of(to);
+    recv_from_[static_cast<std::size_t>(c)] = decomp.rank_of(from);
+    util::Vec3 shift;
+    const int dest_coord = me[static_cast<std::size_t>(d)] + step;
+    if (dest_coord < 0) {
+      shift[static_cast<std::size_t>(d)] = extent[static_cast<std::size_t>(d)];
+    } else if (dest_coord >= decomp.grid()[static_cast<std::size_t>(d)]) {
+      shift[static_cast<std::size_t>(d)] = -extent[static_cast<std::size_t>(d)];
+    }
+    shift_[static_cast<std::size_t>(c)] = shift;
+  }
+
+  const util::Vec3 sub = ctx_.sub.extent();
+  for (int d = 0; d < 3; ++d) {
+    if (sub[static_cast<std::size_t>(d)] < ctx_.ghost_cutoff) {
+      throw std::invalid_argument(
+          "sub-box thinner than the ghost cutoff: single-shell 3-stage comm "
+          "cannot cover the stencil");
+    }
+  }
+
+  // Upper bound for one channel: the widest slab is the z stage, which
+  // carries the x- and y-ghosts too: (ex+2rc)(ey+2rc)*rc atoms' worth.
+  const double rc = ctx_.ghost_cutoff;
+  const double slab = (sub.x + 2 * rc) * (sub.y + 2 * rc) * rc;
+  const auto max_atoms =
+      static_cast<std::size_t>(slab * ctx_.density * 2.0) + 64;
+  max_channel_doubles_ = max_atoms * 8;
+  transport_->setup(ctx_, max_channel_doubles_);
+}
+
+void CommBrick::borders() {
+  md::Atoms& atoms = *ctx_.atoms;
+  atoms.clear_ghosts();
+  const double rc = ctx_.ghost_cutoff;
+
+  int scan_end = 0;
+  for (int c = 0; c < 6; ++c) {
+    // Both swaps of a dimension scan the atom set present before that
+    // dimension's first swap (LAMMPS nlast discipline): the -side ghosts
+    // must not bounce straight back on the +side swap.
+    if (side_of(c) == 0) scan_end = atoms.ntotal();
+
+    const int d = dim_of(c);
+    auto& list = sendlist_[static_cast<std::size_t>(c)];
+    list.clear();
+    const double* x = atoms.x();
+    if (side_of(c) == 0) {
+      const double bound = ctx_.sub.lo[static_cast<std::size_t>(d)] + rc;
+      for (int i = 0; i < scan_end; ++i) {
+        if (x[3 * i + d] < bound) list.push_back(i);
+      }
+    } else {
+      const double bound = ctx_.sub.hi[static_cast<std::size_t>(d)] - rc;
+      for (int i = 0; i < scan_end; ++i) {
+        if (x[3 * i + d] > bound) list.push_back(i);
+      }
+    }
+
+    // Pack: shifted position + tag, 4 doubles per atom.
+    std::vector<double> payload;
+    payload.reserve(list.size() * 4);
+    const util::Vec3& sh = shift_[static_cast<std::size_t>(c)];
+    for (const int i : list) {
+      payload.push_back(x[3 * i] + sh.x);
+      payload.push_back(x[3 * i + 1] + sh.y);
+      payload.push_back(x[3 * i + 2] + sh.z);
+      payload.push_back(tag_to_double(atoms.tag(i)));
+    }
+
+    const std::vector<double> in = transport_->sendrecv(
+        MsgKind::kBorder, c, send_to_[static_cast<std::size_t>(c)],
+        recv_from_[static_cast<std::size_t>(c)], payload);
+    counters_.border_msgs += 1;
+    counters_.bytes += payload.size() * sizeof(double);
+
+    first_ghost_[static_cast<std::size_t>(c)] = atoms.ntotal();
+    const int n = static_cast<int>(in.size() / 4);
+    for (int k = 0; k < n; ++k) {
+      atoms.add_ghost({in[4 * k], in[4 * k + 1], in[4 * k + 2]},
+                      double_to_tag(in[4 * k + 3]));
+    }
+    nrecv_[static_cast<std::size_t>(c)] = n;
+  }
+}
+
+void CommBrick::forward_positions() {
+  md::Atoms& atoms = *ctx_.atoms;
+  double* x = atoms.x();
+  for (int c = 0; c < 6; ++c) {
+    const auto& list = sendlist_[static_cast<std::size_t>(c)];
+    const util::Vec3& sh = shift_[static_cast<std::size_t>(c)];
+    std::vector<double> payload;
+    payload.reserve(list.size() * 3);
+    for (const int i : list) {
+      payload.push_back(x[3 * i] + sh.x);
+      payload.push_back(x[3 * i + 1] + sh.y);
+      payload.push_back(x[3 * i + 2] + sh.z);
+    }
+    const std::vector<double> in = transport_->sendrecv(
+        MsgKind::kForward, c, send_to_[static_cast<std::size_t>(c)],
+        recv_from_[static_cast<std::size_t>(c)], payload);
+    counters_.forward_msgs += 1;
+    counters_.bytes += payload.size() * sizeof(double);
+    const int base = first_ghost_[static_cast<std::size_t>(c)];
+    const int n = static_cast<int>(in.size() / 3);
+    if (n != nrecv_[static_cast<std::size_t>(c)]) {
+      throw std::logic_error("forward ghost count changed since borders()");
+    }
+    std::memcpy(x + 3 * base, in.data(), in.size() * sizeof(double));
+  }
+}
+
+void CommBrick::reverse_forces() {
+  md::Atoms& atoms = *ctx_.atoms;
+  double* f = atoms.f();
+  // Walk the stages backwards so edge/corner contributions cascade home.
+  for (int c = 5; c >= 0; --c) {
+    const int base = first_ghost_[static_cast<std::size_t>(c)];
+    const int n = nrecv_[static_cast<std::size_t>(c)];
+    // Roles swap in reverse: I send my ghost forces to the rank I
+    // *received* ghosts from.
+    const std::span<const double> payload(f + 3 * base,
+                                          static_cast<std::size_t>(3) * n);
+    const std::vector<double> in = transport_->sendrecv(
+        MsgKind::kReverse, c, recv_from_[static_cast<std::size_t>(c)],
+        send_to_[static_cast<std::size_t>(c)], payload);
+    counters_.reverse_msgs += 1;
+    counters_.bytes += payload.size() * sizeof(double);
+    const auto& list = sendlist_[static_cast<std::size_t>(c)];
+    if (in.size() != list.size() * 3) {
+      throw std::logic_error("reverse payload does not match send list");
+    }
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      const int i = list[k];
+      f[3 * i] += in[3 * k];
+      f[3 * i + 1] += in[3 * k + 1];
+      f[3 * i + 2] += in[3 * k + 2];
+    }
+  }
+}
+
+void CommBrick::forward(double* per_atom) {
+  for (int c = 0; c < 6; ++c) {
+    const auto& list = sendlist_[static_cast<std::size_t>(c)];
+    std::vector<double> payload;
+    payload.reserve(list.size());
+    for (const int i : list) payload.push_back(per_atom[i]);
+    const std::vector<double> in = transport_->sendrecv(
+        MsgKind::kScalarFwd, c, send_to_[static_cast<std::size_t>(c)],
+        recv_from_[static_cast<std::size_t>(c)], payload);
+    counters_.scalar_msgs += 1;
+    counters_.bytes += payload.size() * sizeof(double);
+    const int base = first_ghost_[static_cast<std::size_t>(c)];
+    std::copy(in.begin(), in.end(), per_atom + base);
+  }
+}
+
+void CommBrick::reverse_add(double* per_atom) {
+  for (int c = 5; c >= 0; --c) {
+    const int base = first_ghost_[static_cast<std::size_t>(c)];
+    const int n = nrecv_[static_cast<std::size_t>(c)];
+    const std::span<const double> payload(per_atom + base,
+                                          static_cast<std::size_t>(n));
+    const std::vector<double> in = transport_->sendrecv(
+        MsgKind::kScalarRev, c, recv_from_[static_cast<std::size_t>(c)],
+        send_to_[static_cast<std::size_t>(c)], payload);
+    counters_.scalar_msgs += 1;
+    counters_.bytes += payload.size() * sizeof(double);
+    const auto& list = sendlist_[static_cast<std::size_t>(c)];
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      per_atom[list[k]] += in[k];
+    }
+  }
+}
+
+void CommBrick::exchange() {
+  md::Atoms& atoms = *ctx_.atoms;
+  if (atoms.nghost() != 0) {
+    throw std::logic_error("exchange requires ghosts to be cleared");
+  }
+
+  // Wrap all owned atoms into the global periodic box first.
+  for (int i = 0; i < atoms.nlocal(); ++i) {
+    atoms.set_pos(i, ctx_.global.wrap(atoms.pos(i)));
+  }
+
+  // LAMMPS exchange discipline: after the periodic wrap, atom
+  // coordinates are global, so a leaver is simply broadcast to both dim
+  // neighbors and each receiver keeps the atoms that fall inside its own
+  // dim slab. An atom that moved farther than one sub-box between
+  // rebuilds would be lost — same constraint (and error) as LAMMPS.
+  for (int d = 0; d < 3; ++d) {
+    const int nprocs_d = ctx_.decomp->grid()[static_cast<std::size_t>(d)];
+    if (nprocs_d == 1) continue;  // wrap already restored ownership
+
+    const double lo = ctx_.sub.lo[static_cast<std::size_t>(d)];
+    const double hi = ctx_.sub.hi[static_cast<std::size_t>(d)];
+    std::vector<int> gone;
+    std::vector<double> payload;
+    {
+      const double* x = atoms.x();
+      for (int i = 0; i < atoms.nlocal(); ++i) {
+        const double v = x[3 * i + d];
+        if (v < lo || v >= hi) gone.push_back(i);
+      }
+      for (const int i : gone) {
+        const util::Vec3 p = atoms.pos(i);
+        const util::Vec3 vel = atoms.vel(i);
+        payload.insert(payload.end(), {p.x, p.y, p.z, vel.x, vel.y, vel.z,
+                                       tag_to_double(atoms.tag(i))});
+      }
+    }
+    atoms.remove_locals(gone);
+
+    // With 2 ranks in this dim both neighbors are the same rank: send
+    // once (LAMMPS special-cases this identically).
+    const int nsends = nprocs_d == 2 ? 1 : 2;
+    for (int s = 0; s < nsends; ++s) {
+      const int c = 2 * d + s;
+      const std::vector<double> in = transport_->sendrecv(
+          MsgKind::kExchange, c, send_to_[static_cast<std::size_t>(c)],
+          recv_from_[static_cast<std::size_t>(c)], payload);
+      counters_.exchange_msgs += 1;
+      counters_.bytes += payload.size() * sizeof(double);
+      const int n = static_cast<int>(in.size() / 7);
+      for (int k = 0; k < n; ++k) {
+        const double v = in[7 * k + d];
+        if (v < lo || v >= hi) continue;  // not mine; the other copy lands it
+        atoms.add_local({in[7 * k], in[7 * k + 1], in[7 * k + 2]},
+                        {in[7 * k + 3], in[7 * k + 4], in[7 * k + 5]},
+                        double_to_tag(in[7 * k + 6]));
+      }
+    }
+  }
+}
+
+}  // namespace lmp::comm

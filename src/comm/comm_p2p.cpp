@@ -1,0 +1,505 @@
+#include "comm/comm_p2p.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "comm/msg_codec.h"
+#include "geom/ghost_algebra.h"
+
+namespace lmp::comm {
+
+CommP2p::CommP2p(const CommContext& ctx, tofu::Network& net, AddressBook& book,
+                 const P2pOptions& options, pool::SpinThreadPool* pool)
+    : Comm(ctx), net_(&net), book_(&book), opt_(options), pool_(pool) {
+  if (opt_.ntnis < 1 || opt_.ntnis > 6) {
+    throw std::invalid_argument("ntnis must be in [1, 6]");
+  }
+  if (opt_.comm_threads < 1 || opt_.comm_threads > 6) {
+    throw std::invalid_argument("comm_threads must be in [1, 6]");
+  }
+  if (opt_.comm_threads > 1) {
+    if (opt_.comm_threads != opt_.ntnis) {
+      throw std::invalid_argument(
+          "fine-grained mode drives one TNI per thread: comm_threads must "
+          "equal ntnis");
+    }
+    if (pool_ == nullptr || pool_->nthreads() < opt_.comm_threads) {
+      throw std::invalid_argument("fine-grained mode needs a big-enough pool");
+    }
+  }
+}
+
+void CommP2p::setup() {
+  const auto& decomp = *ctx_.decomp;
+  const util::Int3 me = decomp.coord_of(ctx_.rank);
+  const util::Vec3 extent = ctx_.global.extent();
+  const auto& dirs = all_dirs();
+
+  // Which directions we send ghosts to / receive ghosts from (Fig. 5):
+  // Newton on halves the exchange — ghosts arrive only from the upper
+  // 13 neighbors and our atoms travel only to the lower 13.
+  for (int d = 0; d < kNumDirs; ++d) {
+    if (!ctx_.newton || !is_upper(d)) send_dirs_.push_back(d);
+    if (!ctx_.newton || is_upper(d)) recv_dirs_.push_back(d);
+  }
+
+  // Peer ranks and periodic shifts.
+  for (int d = 0; d < kNumDirs; ++d) {
+    const util::Int3 o = dirs[static_cast<std::size_t>(d)];
+    dir_[static_cast<std::size_t>(d)].peer = decomp.rank_of(me + o);
+    util::Vec3 shift;
+    for (int axis = 0; axis < 3; ++axis) {
+      const int c = me[static_cast<std::size_t>(axis)] + o[static_cast<std::size_t>(axis)];
+      if (c < 0) {
+        shift[static_cast<std::size_t>(axis)] = extent[static_cast<std::size_t>(axis)];
+      } else if (c >= decomp.grid()[static_cast<std::size_t>(axis)]) {
+        shift[static_cast<std::size_t>(axis)] = -extent[static_cast<std::size_t>(axis)];
+      }
+    }
+    dir_[static_cast<std::size_t>(d)].shift = shift;
+  }
+
+  const util::Vec3 sub = ctx_.sub.extent();
+  for (int axis = 0; axis < 3; ++axis) {
+    if (sub[static_cast<std::size_t>(axis)] < ctx_.ghost_cutoff) {
+      throw std::invalid_argument(
+          "sub-box thinner than the ghost cutoff: single-shell p2p comm "
+          "cannot cover the stencil");
+    }
+  }
+
+  // Direction -> VCQ/thread slot map. Must be identical on every rank so
+  // senders can target the receiving thread's VCQ.
+  if (opt_.comm_threads > 1 && opt_.balanced_assignment) {
+    // Estimated per-class costs from the ghost algebra of Table 1.
+    const double a = std::min({sub.x, sub.y, sub.z});
+    const double r = ctx_.ghost_cutoff;
+    std::vector<CommTask> tasks;
+    tasks.reserve(kNumDirs);
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int order = dir_order(d);
+      const double vol = order == 1 ? a * a * r : (order == 2 ? a * r * r : r * r * r);
+      tasks.push_back({d, vol * ctx_.density * 24.0, order});
+    }
+    const std::vector<int> assign = balance_tasks(tasks, opt_.comm_threads);
+    for (int d = 0; d < kNumDirs; ++d) {
+      slot_of_dir_[static_cast<std::size_t>(d)] = assign[static_cast<std::size_t>(d)];
+    }
+  } else {
+    const int nslots = opt_.comm_threads > 1 ? opt_.comm_threads : opt_.ntnis;
+    for (int d = 0; d < kNumDirs; ++d) {
+      slot_of_dir_[static_cast<std::size_t>(d)] = d % nslots;
+    }
+  }
+
+  // VCQs: one per used TNI, CQ row 0 (each rank owns its own row in the
+  // per-node CQ matrix of Fig. 7; the functional network gives each rank
+  // a private TNI namespace so row 0 is always free).
+  utofu_ = std::make_unique<tofu::UtofuContext>(*net_, ctx_.rank);
+  RankAddresses& mine = book_->mine(ctx_.rank);
+  dispatch_.resize(static_cast<std::size_t>(opt_.ntnis));
+  for (int t = 0; t < opt_.ntnis; ++t) {
+    vcq_[static_cast<std::size_t>(t)] = utofu_->create_vcq(t, 0);
+    mine.vcq[static_cast<std::size_t>(t)] = vcq_[static_cast<std::size_t>(t)];
+    dispatch_[static_cast<std::size_t>(t)] =
+        NoticeDispatcher(net_, vcq_[static_cast<std::size_t>(t)]);
+  }
+
+  // Pre-registered buffers (Sec. 3.4): rings sized from the theoretical
+  // ghost upper bound — the face slab is the largest class.
+  const double r = ctx_.ghost_cutoff;
+  const double face_vol = std::max({sub.x * sub.y, sub.y * sub.z, sub.x * sub.z}) * r;
+  const auto max_atoms = static_cast<std::size_t>(face_vol * ctx_.density * 2.0) + 64;
+  ring_doubles_ = max_atoms * 8 + 8;
+  mine.ring_bytes = ring_doubles_ * sizeof(double);
+  for (int d = 0; d < kNumDirs; ++d) {
+    dir_[static_cast<std::size_t>(d)].send_buf = utofu_->make_buffer(mine.ring_bytes);
+    for (int s = 0; s < kRingSlots; ++s) {
+      rings_[static_cast<std::size_t>(d)][static_cast<std::size_t>(s)] =
+          utofu_->make_buffer(mine.ring_bytes);
+      mine.ring[static_cast<std::size_t>(d)][static_cast<std::size_t>(s)] =
+          rings_[static_cast<std::size_t>(d)][static_cast<std::size_t>(s)].stadd();
+    }
+  }
+
+  // One-time registration of the position and force arrays themselves —
+  // forward puts land directly in x, reverse puts read directly from f.
+  md::Atoms& atoms = *ctx_.atoms;
+  if (atoms.capacity() == 0) {
+    throw std::logic_error("atoms capacity must be reserved before comm setup");
+  }
+  mine.x_stadd = net_->reg_mem(ctx_.rank, atoms.x(), atoms.array_bytes());
+  mine.f_stadd = net_->reg_mem(ctx_.rank, atoms.f(), atoms.array_bytes());
+
+  // Border-bin applicability (Sec. 3.5.2).
+  bins_active_ = opt_.use_border_bins && BorderBins::applicable(ctx_.sub, r);
+  if (bins_active_) {
+    bins_ = std::make_unique<BorderBins>(ctx_.sub, r, send_dirs_);
+  }
+}
+
+void CommP2p::for_dirs(const std::vector<int>& dirs,
+                       const std::function<void(int)>& fn) {
+  if (opt_.comm_threads == 1) {
+    for (const int d : dirs) fn(d);
+    return;
+  }
+  pool_->parallel_static([&](int t) {
+    if (t >= opt_.comm_threads) return;
+    for (const int d : dirs) {
+      if (slot_of_dir_[static_cast<std::size_t>(d)] == t) fn(d);
+    }
+  });
+}
+
+void CommP2p::put_payload(MsgKind kind, int dir, std::span<const double> payload) {
+  DirState& st = dir_[static_cast<std::size_t>(dir)];
+  if (payload.size() > ring_doubles_) {
+    throw std::length_error("p2p payload exceeds pre-registered ring size");
+  }
+  std::copy(payload.begin(), payload.end(), st.send_buf.as_doubles());
+  const int tag = opposite(dir);  // the receiver's view of this channel
+  const int slot = st.ring_slot_out++ % kRingSlots;
+  const int my_slot = slot_of_dir_[static_cast<std::size_t>(dir)];
+  const RankAddresses& peer = book_->of(st.peer);
+  const Edata ed{kind, tag, slot, static_cast<std::uint32_t>(payload.size())};
+  net_->put(vcq_[static_cast<std::size_t>(my_slot)],
+            peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
+            st.send_buf.stadd(), 0,
+            peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
+            payload.size() * sizeof(double), ed.encode());
+  dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
+  counters_.bytes += payload.size() * sizeof(double);
+}
+
+std::span<const double> CommP2p::wait_payload(MsgKind kind, int dir,
+                                              std::uint32_t* count) {
+  const int slot = slot_of_dir_[static_cast<std::size_t>(dir)];
+  const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(kind, dir);
+  if (count != nullptr) *count = e.value;
+  const double* ring =
+      rings_[static_cast<std::size_t>(dir)][static_cast<std::size_t>(e.slot)]
+          .as_doubles();
+  return {ring, static_cast<std::size_t>(e.value)};
+}
+
+void CommP2p::build_sendlists() {
+  md::Atoms& atoms = *ctx_.atoms;
+  for (const int d : send_dirs_) dir_[static_cast<std::size_t>(d)].sendlist.clear();
+
+  const double rc = ctx_.ghost_cutoff;
+  for (int i = 0; i < atoms.nlocal(); ++i) {
+    const util::Vec3 p = atoms.pos(i);
+    if (bins_active_) {
+      for (const int d : bins_->targets(p)) {
+        dir_[static_cast<std::size_t>(d)].sendlist.push_back(i);
+      }
+    } else {
+      for (const int d :
+           BorderBins::targets_naive(ctx_.sub, rc, send_dirs_, p)) {
+        dir_[static_cast<std::size_t>(d)].sendlist.push_back(i);
+      }
+    }
+  }
+}
+
+void CommP2p::borders() {
+  md::Atoms& atoms = *ctx_.atoms;
+  atoms.clear_ghosts();
+  build_sendlists();
+
+  // Phase A (parallel): send border payloads.
+  for_dirs(send_dirs_, [&](int d) {
+    DirState& st = dir_[static_cast<std::size_t>(d)];
+    std::vector<double> payload;
+    payload.reserve(st.sendlist.size() * 4);
+    const double* x = atoms.x();
+    for (const int i : st.sendlist) {
+      payload.push_back(x[3 * i] + st.shift.x);
+      payload.push_back(x[3 * i + 1] + st.shift.y);
+      payload.push_back(x[3 * i + 2] + st.shift.z);
+      payload.push_back(tag_to_double(atoms.tag(i)));
+    }
+    put_payload(MsgKind::kBorder, d, payload);
+    counters_.border_msgs += 1;
+  });
+
+  // Phase B (parallel): learn each incoming count. The ring slot to read
+  // later is stashed by re-waiting below, so just collect counts first.
+  std::array<std::pair<std::uint32_t, int>, kNumDirs> incoming{};  // count, slot
+  for_dirs(recv_dirs_, [&](int u) {
+    const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
+    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kBorder, u);
+    incoming[static_cast<std::size_t>(u)] = {e.value, e.slot};
+  });
+
+  // Phase C (serial): place ghosts in deterministic direction order so
+  // every comm implementation yields identical ghost indexing.
+  for (const int u : recv_dirs_) {
+    DirState& st = dir_[static_cast<std::size_t>(u)];
+    const auto [raw, slot] = incoming[static_cast<std::size_t>(u)];
+    const int n = static_cast<int>(raw / 4);
+    st.ghost_start = atoms.ntotal();
+    st.ghost_count = n;
+    const double* ring =
+        rings_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)].as_doubles();
+    for (int k = 0; k < n; ++k) {
+      atoms.add_ghost({ring[4 * k], ring[4 * k + 1], ring[4 * k + 2]},
+                      double_to_tag(ring[4 * k + 3]));
+    }
+  }
+
+  // Phase D (parallel): piggyback the ghost offsets back (Sec. 3.4 —
+  // "the receiver informs the sender of the offset of ghost atoms ...
+  // only an 8B value, so we use the piggyback mechanism").
+  for_dirs(recv_dirs_, [&](int u) {
+    DirState& st = dir_[static_cast<std::size_t>(u)];
+    const int tag = opposite(u);
+    const int my_slot = slot_of_dir_[static_cast<std::size_t>(u)];
+    const RankAddresses& peer = book_->of(st.peer);
+    const Edata ed{MsgKind::kBorderAck, tag, 0,
+                   static_cast<std::uint32_t>(st.ghost_start)};
+    net_->put_piggyback(
+        vcq_[static_cast<std::size_t>(my_slot)],
+        peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
+        ed.encode());
+    dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
+  });
+  for_dirs(send_dirs_, [&](int d) {
+    const int slot = slot_of_dir_[static_cast<std::size_t>(d)];
+    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kBorderAck, d);
+    dir_[static_cast<std::size_t>(d)].remote_offset = e.value;
+  });
+}
+
+void CommP2p::forward_positions() {
+  md::Atoms& atoms = *ctx_.atoms;
+
+  // Direct writes into the peer's position array are only safe when the
+  // reverse stage paces the sender: with Newton's law on, a rank cannot
+  // issue its next forward until it has received this step's ghost
+  // forces, which the peer only sends after its pair stage has finished
+  // reading the ghost positions. Without Newton there is no reverse
+  // flow, so a fast neighbor's step-(n+1) forward could overwrite ghost
+  // positions mid-pair-stage — those messages must go through the
+  // round-robin rings instead (at most 2 in flight per direction, well
+  // under the 4-slot depth).
+  if (!ctx_.newton) {
+    double* x = atoms.x();
+    for_dirs(send_dirs_, [&](int d) {
+      DirState& st = dir_[static_cast<std::size_t>(d)];
+      std::vector<double> payload;
+      payload.reserve(st.sendlist.size() * 3);
+      for (const int i : st.sendlist) {
+        payload.push_back(x[3 * i] + st.shift.x);
+        payload.push_back(x[3 * i + 1] + st.shift.y);
+        payload.push_back(x[3 * i + 2] + st.shift.z);
+      }
+      put_payload(MsgKind::kForward, d, payload);
+      counters_.forward_msgs += 1;
+    });
+    for_dirs(recv_dirs_, [&](int u) {
+      std::uint32_t n = 0;
+      const std::span<const double> in = wait_payload(MsgKind::kForward, u, &n);
+      DirState& st = dir_[static_cast<std::size_t>(u)];
+      if (static_cast<int>(n) != st.ghost_count * 3) {
+        throw std::logic_error("forward ghost count changed since borders()");
+      }
+      std::copy(in.begin(), in.end(), x + 3 * st.ghost_start);
+    });
+    return;
+  }
+
+  for_dirs(send_dirs_, [&](int d) {
+    DirState& st = dir_[static_cast<std::size_t>(d)];
+    // Pack shifted positions, then write them *directly* into the peer's
+    // position array at the acked ghost offset (Fig. 9a) — no receive
+    // buffer, no unpack on the far side.
+    double* out = st.send_buf.as_doubles();
+    const double* x = atoms.x();
+    std::size_t w = 0;
+    for (const int i : st.sendlist) {
+      out[w++] = x[3 * i] + st.shift.x;
+      out[w++] = x[3 * i + 1] + st.shift.y;
+      out[w++] = x[3 * i + 2] + st.shift.z;
+    }
+    const int tag = opposite(d);
+    const int my_slot = slot_of_dir_[static_cast<std::size_t>(d)];
+    const RankAddresses& peer = book_->of(st.peer);
+    const Edata ed{MsgKind::kForward, tag, 0,
+                   static_cast<std::uint32_t>(st.sendlist.size())};
+    net_->put(vcq_[static_cast<std::size_t>(my_slot)],
+              peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
+              st.send_buf.stadd(), 0, peer.x_stadd,
+              static_cast<std::uint64_t>(st.remote_offset) * 3 * sizeof(double),
+              w * sizeof(double), ed.encode());
+    dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
+    counters_.forward_msgs += 1;
+    counters_.bytes += w * sizeof(double);
+  });
+
+  // The data lands in place; we only consume the arrival notices.
+  for_dirs(recv_dirs_, [&](int u) {
+    const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
+    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kForward, u);
+    if (static_cast<int>(e.value) != dir_[static_cast<std::size_t>(u)].ghost_count) {
+      throw std::logic_error("forward ghost count changed since borders()");
+    }
+  });
+}
+
+void CommP2p::reverse_forces() {
+  if (!ctx_.newton) return;  // full lists never accumulate ghost forces
+  md::Atoms& atoms = *ctx_.atoms;
+  const RankAddresses& mine = book_->of(ctx_.rank);
+
+  // Send: the ghost block of the force array is contiguous, so the put
+  // reads straight out of the registered array — zero-copy (Fig. 9b).
+  for_dirs(recv_dirs_, [&](int u) {
+    DirState& st = dir_[static_cast<std::size_t>(u)];
+    const int tag = opposite(u);
+    const int slot = st.ring_slot_out++ % kRingSlots;
+    const int my_slot = slot_of_dir_[static_cast<std::size_t>(u)];
+    const RankAddresses& peer = book_->of(st.peer);
+    const auto bytes = static_cast<std::uint64_t>(st.ghost_count) * 3 * sizeof(double);
+    const Edata ed{MsgKind::kReverse, tag, slot,
+                   static_cast<std::uint32_t>(st.ghost_count * 3)};
+    net_->put(vcq_[static_cast<std::size_t>(my_slot)],
+              peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
+              mine.f_stadd,
+              static_cast<std::uint64_t>(st.ghost_start) * 3 * sizeof(double),
+              peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
+              bytes, ed.encode());
+    dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
+    counters_.reverse_msgs += 1;
+    counters_.bytes += bytes;
+  });
+
+  // Receive: unpack-add into the atoms we sent out as ghosts.
+  double* f = atoms.f();
+  for_dirs(send_dirs_, [&](int d) {
+    std::uint32_t n = 0;
+    const std::span<const double> in = wait_payload(MsgKind::kReverse, d, &n);
+    const auto& list = dir_[static_cast<std::size_t>(d)].sendlist;
+    if (n != list.size() * 3) {
+      throw std::logic_error("reverse payload does not match send list");
+    }
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      const int i = list[k];
+      f[3 * i] += in[3 * k];
+      f[3 * i + 1] += in[3 * k + 1];
+      f[3 * i + 2] += in[3 * k + 2];
+    }
+  });
+}
+
+void CommP2p::forward(double* per_atom) {
+  for_dirs(send_dirs_, [&](int d) {
+    DirState& st = dir_[static_cast<std::size_t>(d)];
+    std::vector<double> payload;
+    payload.reserve(st.sendlist.size());
+    for (const int i : st.sendlist) payload.push_back(per_atom[i]);
+    put_payload(MsgKind::kScalarFwd, d, payload);
+    counters_.scalar_msgs += 1;
+  });
+  for_dirs(recv_dirs_, [&](int u) {
+    std::uint32_t n = 0;
+    const std::span<const double> in = wait_payload(MsgKind::kScalarFwd, u, &n);
+    DirState& st = dir_[static_cast<std::size_t>(u)];
+    if (static_cast<int>(n) != st.ghost_count) {
+      throw std::logic_error("scalar forward count mismatch");
+    }
+    std::copy(in.begin(), in.end(), per_atom + st.ghost_start);
+  });
+}
+
+void CommP2p::reverse_add(double* per_atom) {
+  if (!ctx_.newton) return;
+  for_dirs(recv_dirs_, [&](int u) {
+    DirState& st = dir_[static_cast<std::size_t>(u)];
+    const std::span<const double> payload(per_atom + st.ghost_start,
+                                          static_cast<std::size_t>(st.ghost_count));
+    put_payload(MsgKind::kScalarRev, u, payload);
+    counters_.scalar_msgs += 1;
+  });
+  for_dirs(send_dirs_, [&](int d) {
+    std::uint32_t n = 0;
+    const std::span<const double> in = wait_payload(MsgKind::kScalarRev, d, &n);
+    const auto& list = dir_[static_cast<std::size_t>(d)].sendlist;
+    if (n != list.size()) throw std::logic_error("scalar reverse count mismatch");
+    for (std::size_t k = 0; k < list.size(); ++k) per_atom[list[k]] += in[k];
+  });
+}
+
+void CommP2p::exchange() {
+  md::Atoms& atoms = *ctx_.atoms;
+  if (atoms.nghost() != 0) {
+    throw std::logic_error("exchange requires ghosts to be cleared");
+  }
+
+  // Classify leavers by destination direction on the *raw* coordinates:
+  // the direction offset identifies the owner and the direction's
+  // periodic shift maps the coordinate into the owner's box, so no
+  // global wrap is needed (and the single-target send requires none).
+  std::array<std::vector<double>, kNumDirs> outbound;
+  std::vector<int> gone;
+  {
+    const double* x = atoms.x();
+    for (int i = 0; i < atoms.nlocal(); ++i) {
+      util::Int3 off{0, 0, 0};
+      for (int axis = 0; axis < 3; ++axis) {
+        const double v = x[3 * i + axis];
+        if (v < ctx_.sub.lo[static_cast<std::size_t>(axis)]) {
+          off[static_cast<std::size_t>(axis)] = -1;
+        } else if (v >= ctx_.sub.hi[static_cast<std::size_t>(axis)]) {
+          off[static_cast<std::size_t>(axis)] = +1;
+        }
+      }
+      if (off == util::Int3{0, 0, 0}) continue;
+      // After the global wrap, a leaver beyond the adjacent sub-box would
+      // be unreachable by single-shell exchange — LAMMPS calls this a
+      // lost atom; here it cannot happen while rebuilds respect the skin.
+      const int d = dir_index(off);
+      const util::Vec3 p = atoms.pos(i) + dir_[static_cast<std::size_t>(d)].shift;
+      const util::Vec3 v = atoms.vel(i);
+      outbound[static_cast<std::size_t>(d)].insert(
+          outbound[static_cast<std::size_t>(d)].end(),
+          {p.x, p.y, p.z, v.x, v.y, v.z, tag_to_double(atoms.tag(i))});
+      gone.push_back(i);
+    }
+  }
+  atoms.remove_locals(gone);
+
+  // All 26 channels fire every rebuild (possibly empty) so the expected
+  // message counts stay deterministic.
+  static const std::vector<int> all26 = [] {
+    std::vector<int> v(kNumDirs);
+    for (int d = 0; d < kNumDirs; ++d) v[static_cast<std::size_t>(d)] = d;
+    return v;
+  }();
+  for_dirs(all26, [&](int d) {
+    put_payload(MsgKind::kExchange, d, outbound[static_cast<std::size_t>(d)]);
+    counters_.exchange_msgs += 1;
+  });
+  // Collect counts in parallel, append serially (deterministic order).
+  std::array<std::pair<std::uint32_t, int>, kNumDirs> incoming{};
+  for_dirs(all26, [&](int u) {
+    const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
+    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kExchange, u);
+    incoming[static_cast<std::size_t>(u)] = {e.value, e.slot};
+  });
+  for (const int u : all26) {
+    const auto [raw, slot] = incoming[static_cast<std::size_t>(u)];
+    const int n = static_cast<int>(raw / 7);
+    const double* ring =
+        rings_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)].as_doubles();
+    for (int k = 0; k < n; ++k) {
+      atoms.add_local({ring[7 * k], ring[7 * k + 1], ring[7 * k + 2]},
+                      {ring[7 * k + 3], ring[7 * k + 4], ring[7 * k + 5]},
+                      double_to_tag(ring[7 * k + 6]));
+    }
+  }
+}
+
+}  // namespace lmp::comm

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/address_book.h"
+#include "comm/border_bins.h"
+#include "comm/comm_base.h"
+#include "comm/directions.h"
+#include "comm/dispatcher.h"
+#include "comm/load_balance.h"
+#include "threadpool/spin_pool.h"
+#include "tofu/utofu.h"
+
+namespace lmp::comm {
+
+/// Configuration of the p2p engine — one instance per paper variant:
+///
+///   4tni_p2p : ntnis=4, comm_threads=1   (coarse-grained, Sec. 3.2)
+///   6tni_p2p : ntnis=6, comm_threads=1   (single thread over 6 TNIs)
+///   opt      : ntnis=6, comm_threads=6   (fine-grained pool, Sec. 3.3)
+struct P2pOptions {
+  int ntnis = 6;
+  int comm_threads = 1;
+  /// Border-bin target selection (Sec. 3.5.2); falls back to the naive
+  /// per-neighbor slab scan when the geometry disallows bins.
+  bool use_border_bins = true;
+  /// Size/hop-aware thread assignment (Fig. 10) vs plain round-robin.
+  bool balanced_assignment = true;
+};
+
+/// Peer-to-peer ghost communication over uTofu one-sided primitives —
+/// the paper's contribution. Each rank exchanges directly with its 26
+/// neighbors (13 each way under Newton's 3rd law, Fig. 5):
+///
+///   * border:   ghost atoms -> upper-half neighbors; ghost-offset
+///               piggyback acks flow back (Sec. 3.4)
+///   * forward:  packed positions RDMA-written straight into the
+///               receiver's position array at the acked offset (Fig. 9a)
+///   * reverse:  ghost forces put zero-copy from the registered force
+///               array into the owner's round-robin ring (Fig. 9b)
+///   * scalar:   EAM rho reverse-add and fp forward, mid-pair-stage
+///   * exchange: migration messages to all 26 neighbors on rebuild steps
+///
+/// With comm_threads > 1, directions are assigned to pool threads by the
+/// load balancer and each thread drives its own VCQ (one per TNI) —
+/// CQ access stays single-threaded, as the hardware requires (Sec. 3.3).
+class CommP2p final : public Comm {
+ public:
+  /// `pool` must outlive this object and have >= options.comm_threads
+  /// threads when comm_threads > 1; it may be null for single-threaded
+  /// variants.
+  CommP2p(const CommContext& ctx, tofu::Network& net, AddressBook& book,
+          const P2pOptions& options, pool::SpinThreadPool* pool = nullptr);
+
+  void setup() override;
+  void exchange() override;
+  void borders() override;
+  void forward_positions() override;
+  void reverse_forces() override;
+
+  // md::GhostDataComm (EAM mid-pair scalar comm)
+  void forward(double* per_atom) override;
+  void reverse_add(double* per_atom) override;
+
+  const std::vector<int>& send_dirs() const { return send_dirs_; }
+  const std::vector<int>& recv_dirs() const { return recv_dirs_; }
+  int vcq_slot(int dir) const { return slot_of_dir_[static_cast<std::size_t>(dir)]; }
+  bool using_border_bins() const { return bins_active_; }
+
+ private:
+  struct DirState {
+    int peer = -1;                ///< neighbor rank for this direction
+    util::Vec3 shift;             ///< periodic shift applied when sending
+    std::vector<int> sendlist;    ///< my atoms ghosted at the peer
+    int ghost_start = 0;          ///< first ghost index received from here
+    int ghost_count = 0;
+    std::uint32_t remote_offset = 0;  ///< acked ghost offset at the peer
+    int ring_slot_out = 0;        ///< round-robin cursor toward the peer
+    tofu::RegisteredBuffer send_buf;
+  };
+
+  /// Run fn(dir) for every dir in `dirs`, partitioned over the comm
+  /// threads by the slot map (or serially for single-thread variants).
+  void for_dirs(const std::vector<int>& dirs,
+                const std::function<void(int)>& fn);
+
+  void build_sendlists();
+  void put_payload(MsgKind kind, int dir, std::span<const double> payload);
+  std::span<const double> wait_payload(MsgKind kind, int dir,
+                                       std::uint32_t* count);
+
+  tofu::Network* net_;
+  AddressBook* book_;
+  P2pOptions opt_;
+  pool::SpinThreadPool* pool_;
+
+  std::unique_ptr<tofu::UtofuContext> utofu_;
+  std::array<tofu::VcqId, 6> vcq_{};
+  std::vector<NoticeDispatcher> dispatch_;  ///< one per VCQ
+  std::array<int, kNumDirs> slot_of_dir_{};
+
+  std::vector<int> send_dirs_;
+  std::vector<int> recv_dirs_;
+  std::array<DirState, kNumDirs> dir_{};
+  std::array<std::array<tofu::RegisteredBuffer, kRingSlots>, kNumDirs> rings_;
+  std::size_t ring_doubles_ = 0;
+  bool bins_active_ = false;
+  std::unique_ptr<BorderBins> bins_;
+};
+
+}  // namespace lmp::comm

@@ -1,0 +1,57 @@
+#include "comm/directions.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lmp::comm {
+
+namespace {
+
+std::array<Int3, kNumDirs> make_dirs() {
+  std::array<Int3, kNumDirs> dirs{};
+  int n = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        dirs[static_cast<std::size_t>(n++)] = {dx, dy, dz};
+      }
+    }
+  }
+  return dirs;
+}
+
+}  // namespace
+
+const std::array<Int3, kNumDirs>& all_dirs() {
+  static const std::array<Int3, kNumDirs> dirs = make_dirs();
+  return dirs;
+}
+
+int dir_index(const Int3& offset) {
+  if (offset == Int3{0, 0, 0}) throw std::invalid_argument("zero offset");
+  if (std::abs(offset.x) > 1 || std::abs(offset.y) > 1 || std::abs(offset.z) > 1) {
+    throw std::invalid_argument("offset outside single shell");
+  }
+  const int linear =
+      (offset.x + 1) + 3 * ((offset.y + 1) + 3 * (offset.z + 1));
+  // Positions after the skipped center shift down by one.
+  return linear < 13 ? linear : linear - 1;
+}
+
+int opposite(int dir) {
+  const Int3 o = all_dirs()[static_cast<std::size_t>(dir)];
+  return dir_index({-o.x, -o.y, -o.z});
+}
+
+bool is_upper(int dir) {
+  return geom::in_half(all_dirs()[static_cast<std::size_t>(dir)],
+                       geom::HalfShell::kUpper);
+}
+
+int dir_order(int dir) {
+  const Int3 o = all_dirs()[static_cast<std::size_t>(dir)];
+  return std::abs(o.x) + std::abs(o.y) + std::abs(o.z);
+}
+
+}  // namespace lmp::comm

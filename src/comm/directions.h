@@ -1,0 +1,34 @@
+#pragma once
+
+#include <array>
+
+#include "geom/decomposition.h"
+#include "util/vec3.h"
+
+namespace lmp::comm {
+
+using util::Int3;
+
+/// The 26 single-shell neighbor directions in a fixed global enumeration
+/// (z outermost, then y, then x — matching geom::Decomposition::neighbors).
+/// Every message in the p2p engine is keyed by this direction index, so
+/// all ranks agree on channel identities without per-rank negotiation.
+inline constexpr int kNumDirs = 26;
+
+const std::array<Int3, kNumDirs>& all_dirs();
+
+/// Index of an offset in all_dirs(); throws for {0,0,0} or out of range.
+int dir_index(const Int3& offset);
+
+/// Index of the opposite direction (-offset).
+int opposite(int dir);
+
+/// True if the direction lies in the "upper" half-shell (ghost-receiving
+/// side under Newton's 3rd law, paper Fig. 5).
+bool is_upper(int dir);
+
+/// Classify the direction: 1 = face, 2 = edge, 3 = corner (also equals
+/// the logical-torus hop count of Table 1).
+int dir_order(int dir);
+
+}  // namespace lmp::comm

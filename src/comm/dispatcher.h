@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/msg_codec.h"
+#include "tofu/network.h"
+
+namespace lmp::comm {
+
+inline constexpr int kKindCount = static_cast<int>(MsgKind::kCount);
+inline constexpr int kMaxDirs = 26;
+
+/// Orders the completion notices of one VCQ.
+///
+/// Notices for different logical channels can interleave on a VCQ (a fast
+/// neighbor's forward for step n+1 can land while we still collect
+/// reverse notices for step n). The engine's stage ordering guarantees at
+/// most ONE outstanding message per (kind, direction, sender), so a
+/// single stash slot per (kind, direction) suffices to reorder.
+///
+/// Exactly one thread drives a given dispatcher (it owns the VCQ).
+class NoticeDispatcher {
+ public:
+  NoticeDispatcher() = default;
+  NoticeDispatcher(tofu::Network* net, tofu::VcqId vcq) : net_(net), vcq_(vcq) {}
+
+  tofu::VcqId vcq() const { return vcq_; }
+
+  /// Block until a notice with (kind, dir) is available; stash everything
+  /// else that arrives meanwhile.
+  Edata wait(MsgKind kind, int dir) {
+    auto& slot = stash_[static_cast<int>(kind)][dir];
+    if (slot) {
+      const Edata e = *slot;
+      slot.reset();
+      return e;
+    }
+    for (;;) {
+      if (auto notice = net_->poll_mrq(vcq_)) {
+        const Edata e = Edata::decode(notice->edata);
+        if (e.kind == kind && e.dir == dir) return e;
+        auto& other = stash_[static_cast<int>(e.kind)][e.dir];
+        if (other) {
+          throw std::logic_error(
+              "two outstanding messages on one (kind, dir) channel — stage "
+              "ordering violated");
+        }
+        other = e;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Drain the sender-side completion of the most recent put (models the
+  /// TCQ poll a real uTofu sender performs before reusing its buffer).
+  void drain_tcq() { net_->wait_tcq(vcq_); }
+
+ private:
+  tofu::Network* net_ = nullptr;
+  tofu::VcqId vcq_ = tofu::kInvalidVcq;
+  std::optional<Edata> stash_[kKindCount][kMaxDirs] = {};
+};
+
+}  // namespace lmp::comm

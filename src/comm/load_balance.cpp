@@ -1,0 +1,58 @@
+#include "comm/load_balance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lmp::comm {
+
+namespace {
+double cost_of(const CommTask& t, double hop_penalty) {
+  return t.bytes + hop_penalty * t.hops;
+}
+}  // namespace
+
+std::vector<int> balance_tasks(const std::vector<CommTask>& tasks, int nthreads,
+                               double hop_penalty_bytes) {
+  if (nthreads < 1) throw std::invalid_argument("nthreads must be >= 1");
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cost_of(tasks[a], hop_penalty_bytes) > cost_of(tasks[b], hop_penalty_bytes);
+  });
+
+  std::vector<double> load(static_cast<std::size_t>(nthreads), 0.0);
+  std::vector<int> assign(tasks.size(), 0);
+  for (const std::size_t i : order) {
+    const auto t = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assign[i] = t;
+    load[static_cast<std::size_t>(t)] += cost_of(tasks[i], hop_penalty_bytes);
+  }
+  return assign;
+}
+
+std::vector<int> round_robin(const std::vector<CommTask>& tasks, int nthreads) {
+  if (nthreads < 1) throw std::invalid_argument("nthreads must be >= 1");
+  std::vector<int> assign(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    assign[i] = static_cast<int>(i) % nthreads;
+  }
+  return assign;
+}
+
+double makespan(const std::vector<CommTask>& tasks,
+                const std::vector<int>& assignment, int nthreads,
+                double hop_penalty_bytes) {
+  if (assignment.size() != tasks.size()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  std::vector<double> load(static_cast<std::size_t>(nthreads), 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    load.at(static_cast<std::size_t>(assignment[i])) +=
+        cost_of(tasks[i], hop_penalty_bytes);
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace lmp::comm

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace lmp::comm {
+
+/// Message kinds multiplexed over the one-sided channels. Together with
+/// the direction index they identify a logical channel; at most one
+/// message per (kind, direction, sender) is in flight at a time, which
+/// the engine's stage ordering guarantees.
+enum class MsgKind : int {
+  kBorder = 0,    ///< border stage: ghost atom positions + tags
+  kBorderAck,     ///< piggyback reply: ghost offset in receiver's x array
+  kForward,       ///< forward stage: updated ghost positions
+  kReverse,       ///< reverse stage: ghost forces back to owners
+  kScalarFwd,     ///< EAM fp owner -> ghosts
+  kScalarRev,     ///< EAM rho ghosts -> owner
+  kExchange,      ///< atom migration on rebuild steps
+  kCount
+};
+
+/// 64-bit piggyback descriptor word carried in every put's edata:
+///   bits 0..31  value (atom count, or ghost offset for kBorderAck)
+///   bits 32..33 ring-buffer slot the payload was written to
+///   bits 34..39 direction index (sender's perspective)
+///   bits 40..43 message kind
+struct Edata {
+  MsgKind kind;
+  int dir;
+  int slot;
+  std::uint32_t value;
+
+  std::uint64_t encode() const {
+    return (static_cast<std::uint64_t>(kind) << 40) |
+           (static_cast<std::uint64_t>(dir) << 34) |
+           (static_cast<std::uint64_t>(slot) << 32) | value;
+  }
+  static Edata decode(std::uint64_t w) {
+    return {static_cast<MsgKind>((w >> 40) & 0xF),
+            static_cast<int>((w >> 34) & 0x3F), static_cast<int>((w >> 32) & 0x3),
+            static_cast<std::uint32_t>(w & 0xFFFFFFFFu)};
+  }
+};
+
+/// Bit-cast an int64 tag into a double payload slot and back (`message
+/// combine`, Sec. 3.5.1: header fields ride inside the payload so arrays
+/// of unknown length need only one message).
+inline double tag_to_double(std::int64_t tag) {
+  double d;
+  std::memcpy(&d, &tag, sizeof(d));
+  return d;
+}
+inline std::int64_t double_to_tag(double d) {
+  std::int64_t t;
+  std::memcpy(&t, &d, sizeof(t));
+  return t;
+}
+
+}  // namespace lmp::comm

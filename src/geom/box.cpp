@@ -1,0 +1,36 @@
+#include "geom/box.h"
+
+#include <cmath>
+
+namespace lmp::geom {
+
+Vec3 Box::wrap(Vec3 p) const {
+  const Vec3 e = extent();
+  for (int d = 0; d < 3; ++d) {
+    // floor-based wrap handles positions arbitrarily far outside the box
+    // (can happen after many unwrapped integration steps in tests).
+    const double rel = (p[d] - lo[d]) / e[d];
+    p[d] -= std::floor(rel) * e[d];
+    // Guard the hi-edge: floating point can land exactly on hi.
+    if (p[d] >= hi[d]) p[d] = lo[d];
+  }
+  return p;
+}
+
+Vec3 Box::min_image(const Vec3& a, const Vec3& b) const {
+  Vec3 d = a - b;
+  const Vec3 e = extent();
+  for (int k = 0; k < 3; ++k) {
+    d[k] -= e[k] * std::round(d[k] / e[k]);
+  }
+  return d;
+}
+
+bool Box::contains(const Vec3& p) const {
+  for (int d = 0; d < 3; ++d) {
+    if (p[d] < lo[d] || p[d] >= hi[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace lmp::geom

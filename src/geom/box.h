@@ -1,0 +1,33 @@
+#pragma once
+
+#include "util/vec3.h"
+
+namespace lmp::geom {
+
+using util::Vec3;
+
+/// Orthogonal, fully periodic simulation box [lo, hi) in each dimension.
+///
+/// All systems in the paper (LJ melt, EAM copper) use periodic boundary
+/// conditions on an orthogonal cell, so triclinic support is out of scope.
+struct Box {
+  Vec3 lo;
+  Vec3 hi;
+
+  Vec3 extent() const { return hi - lo; }
+  double volume() const {
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+
+  /// Wrap a position into [lo, hi) with periodic images.
+  Vec3 wrap(Vec3 p) const;
+
+  /// Minimum-image displacement a - b under periodicity.
+  Vec3 min_image(const Vec3& a, const Vec3& b) const;
+
+  /// True if `p` lies in [lo, hi) on every axis.
+  bool contains(const Vec3& p) const;
+};
+
+}  // namespace lmp::geom

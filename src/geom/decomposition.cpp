@@ -1,0 +1,128 @@
+#include "geom/decomposition.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace lmp::geom {
+
+NeighborClass classify(const Int3& offset) {
+  const int nz = (offset.x != 0) + (offset.y != 0) + (offset.z != 0);
+  switch (nz) {
+    case 1:
+      return NeighborClass::kFace;
+    case 2:
+      return NeighborClass::kEdge;
+    default:
+      return NeighborClass::kCorner;
+  }
+}
+
+bool in_half(const Int3& offset, HalfShell half) {
+  // Lexicographic (z, y, x) ordering; the upper half receives ghosts.
+  const bool upper = (offset.z > 0) || (offset.z == 0 && offset.y > 0) ||
+                     (offset.z == 0 && offset.y == 0 && offset.x > 0);
+  return half == HalfShell::kUpper ? upper : !upper;
+}
+
+Decomposition::Decomposition(Int3 grid, Box global)
+    : grid_(grid), global_(global) {
+  if (grid.x < 1 || grid.y < 1 || grid.z < 1) {
+    throw std::invalid_argument("decomposition grid must be >= 1 per axis");
+  }
+}
+
+Int3 Decomposition::coord_of(int rank) const {
+  if (rank < 0 || rank >= nranks()) throw std::out_of_range("rank out of range");
+  return {rank % grid_.x, (rank / grid_.x) % grid_.y, rank / (grid_.x * grid_.y)};
+}
+
+int Decomposition::rank_of(Int3 c) const {
+  auto wrap = [](int v, int n) {
+    v %= n;
+    return v < 0 ? v + n : v;
+  };
+  const int x = wrap(c.x, grid_.x);
+  const int y = wrap(c.y, grid_.y);
+  const int z = wrap(c.z, grid_.z);
+  return x + grid_.x * (y + grid_.y * z);
+}
+
+Box Decomposition::sub_box(int rank) const {
+  const Int3 c = coord_of(rank);
+  const Vec3 e = global_.extent();
+  Box b;
+  for (int d = 0; d < 3; ++d) {
+    const double step = e[d] / grid_[d];
+    b.lo[d] = global_.lo[d] + step * c[d];
+    b.hi[d] = (c[d] == grid_[d] - 1) ? global_.hi[d]
+                                     : global_.lo[d] + step * (c[d] + 1);
+  }
+  return b;
+}
+
+int Decomposition::owner_of(const Vec3& p) const {
+  const Vec3 q = global_.wrap(p);
+  const Vec3 e = global_.extent();
+  Int3 c;
+  for (int d = 0; d < 3; ++d) {
+    const double step = e[d] / grid_[d];
+    c[d] = static_cast<int>((q[d] - global_.lo[d]) / step);
+    if (c[d] >= grid_[d]) c[d] = grid_[d] - 1;  // hi-edge guard
+  }
+  return rank_of(c);
+}
+
+std::vector<Neighbor> Decomposition::neighbors(int rank, int shells) const {
+  if (shells < 1) throw std::invalid_argument("shells must be >= 1");
+  const Int3 me = coord_of(rank);
+  std::vector<Neighbor> out;
+  out.reserve(static_cast<std::size_t>(
+      (2 * shells + 1) * (2 * shells + 1) * (2 * shells + 1) - 1));
+  for (int dz = -shells; dz <= shells; ++dz) {
+    for (int dy = -shells; dy <= shells; ++dy) {
+      for (int dx = -shells; dx <= shells; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const Int3 off{dx, dy, dz};
+        out.push_back({off, rank_of(me + off),
+                       std::abs(dx) + std::abs(dy) + std::abs(dz)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Neighbor> Decomposition::half_neighbors(int rank, HalfShell half,
+                                                    int shells) const {
+  std::vector<Neighbor> out;
+  for (const Neighbor& n : neighbors(rank, shells)) {
+    if (in_half(n.offset, half)) out.push_back(n);
+  }
+  return out;
+}
+
+Int3 choose_grid(int nranks, const Vec3& extent) {
+  if (nranks < 1) throw std::invalid_argument("nranks must be >= 1");
+  Int3 best{1, 1, nranks};
+  double best_surface = std::numeric_limits<double>::max();
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    const int rest = nranks / px;
+    for (int py = 1; py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const int pz = rest / py;
+      const double sx = extent.x / px;
+      const double sy = extent.y / py;
+      const double sz = extent.z / pz;
+      const double surface = sx * sy + sy * sz + sx * sz;
+      if (surface < best_surface) {
+        best_surface = surface;
+        best = {px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lmp::geom

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/box.h"
+#include "util/vec3.h"
+
+namespace lmp::geom {
+
+using util::Int3;
+
+/// One neighbor of a sub-box in the rank grid.
+struct Neighbor {
+  Int3 offset;  ///< grid offset in {-shells..shells}^3 \ {0,0,0}
+  int rank;     ///< owning rank of that sub-box (periodic wrap)
+  int hops;     ///< |dx|+|dy|+|dz| — logical 3D-torus hop count (Table 1)
+};
+
+/// Message-size class of a neighbor in the ghost-region algebra.
+/// For a single shell: faces share an a*a*r slab, edges an a*r*r bar,
+/// corners an r^3 cube (paper Table 1).
+enum class NeighborClass { kFace, kEdge, kCorner };
+
+NeighborClass classify(const Int3& offset);
+
+/// Which halves of the neighbor stencil a rank exchanges with when
+/// Newton's 3rd law is on (paper Fig. 5): ghost atoms are *received* from
+/// the "upper" half (yellow) and own atoms are *sent* to the "lower" half
+/// (white); forces flow the opposite way in the reverse stage.
+enum class HalfShell { kUpper, kLower };
+
+/// True if `offset` belongs to the requested half under the standard
+/// lexicographic rule ((z,y,x) > 0 for upper).
+bool in_half(const Int3& offset, HalfShell half);
+
+/// Regular 3D decomposition of a periodic box over px*py*pz MPI ranks.
+///
+/// Rank order matches LAMMPS comm_brick: x fastest, then y, then z.
+class Decomposition {
+ public:
+  Decomposition(Int3 grid, Box global);
+
+  int nranks() const { return grid_.x * grid_.y * grid_.z; }
+  Int3 grid() const { return grid_; }
+  const Box& global() const { return global_; }
+
+  Int3 coord_of(int rank) const;
+  int rank_of(Int3 coord) const;  ///< periodic wrap on each axis
+
+  /// Sub-box owned by `rank` (half-open on every axis).
+  Box sub_box(int rank) const;
+
+  /// Owner rank of a (wrapped) position.
+  int owner_of(const Vec3& p) const;
+
+  /// All neighbors of `rank` within `shells` grid cells (26 for shells=1,
+  /// 124 for shells=2). Self-offsets that wrap back to `rank` are kept —
+  /// on tiny grids a rank can legitimately be its own periodic neighbor.
+  std::vector<Neighbor> neighbors(int rank, int shells = 1) const;
+
+  /// Half-stencil neighbors for Newton-on exchange (13 for shells=1,
+  /// 62 for shells=2).
+  std::vector<Neighbor> half_neighbors(int rank, HalfShell half,
+                                       int shells = 1) const;
+
+ private:
+  Int3 grid_;
+  Box global_;
+};
+
+/// Choose a near-cubic process grid for `nranks` ranks in a box with
+/// extents `extent` (mirrors LAMMPS' procs2box heuristic: minimize the
+/// surface area of a sub-box). Throws if nranks < 1.
+Int3 choose_grid(int nranks, const Vec3& extent);
+
+}  // namespace lmp::geom

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/decomposition.h"
+
+namespace lmp::geom {
+
+/// Analytic ghost-region communication algebra of the paper's Table 1.
+///
+/// A cubic sub-box of side `a` with cutoff `r` exchanges ghost slabs whose
+/// volumes depend only on the neighbor class:
+///
+///   3-stage (Newton on, 6 messages):
+///     stage X:  a^2 r            (x2, neighbors 10/16 in Fig. 5)
+///     stage Y:  a^2 r + 2 a r^2  (x2, neighbors 12/14 — carries X ghosts)
+///     stage Z: (a + 2r)^2 r      (x2, neighbors 4/22 — carries X+Y ghosts)
+///     total ghost volume: 8 r^3 + 12 a r^2 + 6 a^2 r
+///
+///   p2p (Newton on, 13 messages):
+///     face:   a^2 r   (x3)    1 hop
+///     edge:   a r^2   (x6)    2 hops
+///     corner: r^3     (x4)    3 hops
+///     total ghost volume: 4 r^3 + 6 a r^2 + 3 a^2 r
+///
+/// Volumes convert to atoms via number density and to bytes via the
+/// per-atom payload of the comm stage (24 B = 3 doubles for forward
+/// positions / reverse forces).
+struct MessageClass {
+  NeighborClass cls;
+  double volume;    ///< ghost slab volume for one message
+  int hops;         ///< logical 3D-torus hops to the peer
+  int count;        ///< how many messages of this class per exchange
+};
+
+struct GhostAlgebra {
+  double a;  ///< sub-box side
+  double r;  ///< cutoff (plus skin, if the caller includes it)
+
+  /// The three 3-stage message classes (X, Y, Z stages), Newton on.
+  /// With `shells` = 2 (cutoff exceeding the sub-box, paper Fig. 15) the
+  /// per-direction slab spans two sub-boxes: each stage sends `shells`
+  /// chained messages per side (the 3-stage scales *linearly* in shells,
+  /// versus the p2p pattern's cubic neighbor growth).
+  std::vector<MessageClass> three_stage(int shells = 1) const;
+
+  /// The p2p message classes for `shells` neighbor shells.
+  /// shells=1, newton=true  -> 13 msgs (3 face + 6 edge + 4 corner)
+  /// shells=1, newton=false -> 26 msgs (6 + 12 + 8)
+  /// shells=2               -> 62 / 124 msgs (paper Fig. 15)
+  std::vector<MessageClass> p2p(bool newton, int shells = 1) const;
+
+  /// Sum of volume*count over a message set.
+  static double total_volume(const std::vector<MessageClass>& msgs);
+  static int total_messages(const std::vector<MessageClass>& msgs);
+
+  /// Closed forms from Table 1 (used to cross-check the enumerations).
+  double three_stage_total_volume() const {
+    return 8 * r * r * r + 12 * a * r * r + 6 * a * a * r;
+  }
+  double p2p_total_volume_newton() const {
+    return 4 * r * r * r + 6 * a * r * r + 3 * a * a * r;
+  }
+
+  /// Atoms in a slab of volume `v` at number density `rho`.
+  static double atoms(double v, double rho) { return v * rho; }
+
+  /// Payload bytes for `n` atoms at `bytes_per_atom` (24 B for x/f).
+  static double bytes(double n_atoms, double bytes_per_atom = 24.0) {
+    return n_atoms * bytes_per_atom;
+  }
+};
+
+}  // namespace lmp::geom

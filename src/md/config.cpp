@@ -1,0 +1,39 @@
+#include "md/config.h"
+
+namespace lmp::md {
+
+SimConfig SimConfig::lj_melt() {
+  SimConfig c;
+  c.name = "lj-melt";
+  c.units = Units::lj();
+  c.potential = PotentialKind::kLennardJones;
+  c.lattice_arg = 0.8442;  // reduced density
+  c.cutoff = 2.5;
+  c.skin = 0.3;
+  c.dt = 0.005;  // tau
+  c.mass = 1.0;
+  c.newton = true;
+  c.neigh = {20, /*check=*/false};
+  c.t_init = 1.44;
+  c.sigma = 1.0;
+  c.epsilon = 1.0;
+  return c;
+}
+
+SimConfig SimConfig::eam_copper() {
+  SimConfig c;
+  c.name = "eam-cu";
+  c.units = Units::metal();
+  c.potential = PotentialKind::kEam;
+  c.lattice_arg = 3.615;  // Angstrom, fcc Cu
+  c.cutoff = 4.95;
+  c.skin = 1.0;
+  c.dt = 0.005;  // ps
+  c.mass = 63.550;
+  c.newton = true;
+  c.neigh = {5, /*check=*/true};
+  c.t_init = 800.0;  // K
+  return c;
+}
+
+}  // namespace lmp::md

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "md/units.h"
+
+namespace lmp::md {
+
+enum class PotentialKind { kLennardJones, kEam };
+
+/// How often / whether the neighbor list is rebuilt (LAMMPS
+/// `neigh_modify every N check yes|no`, paper Table 2).
+struct NeighborPolicy {
+  int every = 20;
+  /// check yes: at a rebuild step, rebuild only if some atom on *any*
+  /// rank moved more than half the skin since the last build — decided
+  /// by a global logical-or reduction (the extra allreduce the paper
+  /// blames for EAM's large "Other" time).
+  bool check = false;
+};
+
+/// Full description of one of the paper's workloads (Table 2).
+struct SimConfig {
+  std::string name;
+  Units units = Units::lj();
+  PotentialKind potential = PotentialKind::kLennardJones;
+
+  double lattice_arg = 0.8442;  ///< reduced density (lj) or constant (metal)
+  double cutoff = 2.5;
+  double skin = 0.3;
+  double dt = 0.005;
+  double mass = 1.0;
+  bool newton = true;
+  NeighborPolicy neigh;
+
+  /// Initial temperature for velocity creation (LAMMPS melt uses 1.44 for
+  /// lj; we use a modest metal-units value for EAM copper).
+  double t_init = 1.44;
+
+  /// LJ parameters (ignored for EAM).
+  double sigma = 1.0;
+  double epsilon = 1.0;
+
+  double neighbor_cutoff() const { return cutoff + skin; }
+
+  /// The paper's two benchmark configurations.
+  static SimConfig lj_melt();
+  static SimConfig eam_copper();
+};
+
+}  // namespace lmp::md

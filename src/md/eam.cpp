@@ -1,0 +1,108 @@
+#include "md/eam.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace lmp::md {
+
+Eam::Eam(const EamTable& t)
+    : cutoff_(t.cutoff),
+      cut2_(t.cutoff * t.cutoff),
+      frho_(0.0, t.drho, t.frho),
+      rhor_(t.dr, t.dr, t.rhor),
+      z2r_(t.dr, t.dr, t.z2r) {
+  if (t.cutoff <= 0) throw std::invalid_argument("EAM cutoff must be > 0");
+}
+
+ForceResult Eam::compute(Atoms& atoms, const NeighborList& list, bool newton,
+                         GhostDataComm* ghost_comm) {
+  const int nlocal = atoms.nlocal();
+  const int ntotal = atoms.ntotal();
+  const double* x = atoms.x();
+  double* f = atoms.f();
+  ForceResult out;
+
+  rho_.assign(static_cast<std::size_t>(ntotal), 0.0);
+  fp_.assign(static_cast<std::size_t>(ntotal), 0.0);
+
+  // ---- pass 1: electron density ------------------------------------
+  for (int i = 0; i < nlocal; ++i) {
+    for (int k = list.offsets[i]; k < list.offsets[i + 1]; ++k) {
+      const int j = list.neigh[static_cast<std::size_t>(k)];
+      const double dx = x[3 * i] - x[3 * j];
+      const double dy = x[3 * i + 1] - x[3 * j + 1];
+      const double dz = x[3 * i + 2] - x[3 * j + 2];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= cut2_) continue;
+      const double r = std::sqrt(r2);
+      const double rho_r = rhor_.value(r);
+      rho_[static_cast<std::size_t>(i)] += rho_r;
+      if (!list.full && (newton || j < nlocal)) {
+        rho_[static_cast<std::size_t>(j)] += rho_r;
+      }
+    }
+  }
+
+  // Mid-pair communication #1: ghost density contributions -> owners.
+  if (newton && ghost_comm != nullptr) {
+    ghost_comm->reverse_add(rho_.data());
+  }
+
+  // ---- embedding energy and its derivative --------------------------
+  for (int i = 0; i < nlocal; ++i) {
+    double emb, deriv;
+    frho_.eval(rho_[static_cast<std::size_t>(i)], emb, deriv);
+    out.energy += emb;
+    fp_[static_cast<std::size_t>(i)] = deriv;
+  }
+
+  // Mid-pair communication #2: fp of owners -> their ghost copies.
+  if (ghost_comm != nullptr) {
+    ghost_comm->forward(fp_.data());
+  }
+
+  // ---- pass 2: forces -------------------------------------------------
+  const double pair_weight = list.full ? 0.5 : 1.0;
+  for (int i = 0; i < nlocal; ++i) {
+    double fxi = 0, fyi = 0, fzi = 0;
+    for (int k = list.offsets[i]; k < list.offsets[i + 1]; ++k) {
+      const int j = list.neigh[static_cast<std::size_t>(k)];
+      const double dx = x[3 * i] - x[3 * j];
+      const double dy = x[3 * i + 1] - x[3 * j + 1];
+      const double dz = x[3 * i + 2] - x[3 * j + 2];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= cut2_) continue;
+      const double r = std::sqrt(r2);
+
+      double rho_r, rhop;
+      rhor_.eval(r, rho_r, rhop);
+      double z2, z2p;
+      z2r_.eval(r, z2, z2p);
+      const double recip = 1.0 / r;
+      const double phi = z2 * recip;
+      const double phip = z2p * recip - phi * recip;
+
+      const double psip = fp_[static_cast<std::size_t>(i)] * rhop +
+                          fp_[static_cast<std::size_t>(j)] * rhop + phip;
+      const double fpair = -psip * recip;
+
+      fxi += dx * fpair;
+      fyi += dy * fpair;
+      fzi += dz * fpair;
+      if (!list.full && (newton || j < nlocal)) {
+        f[3 * j] -= dx * fpair;
+        f[3 * j + 1] -= dy * fpair;
+        f[3 * j + 2] -= dz * fpair;
+      }
+      out.energy += pair_weight * phi;
+      out.virial += pair_weight * r2 * fpair;
+    }
+    f[3 * i] += fxi;
+    f[3 * i + 1] += fyi;
+    f[3 * i + 2] += fzi;
+  }
+  return out;
+}
+
+}  // namespace lmp::md

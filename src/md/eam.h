@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "md/eam_table.h"
+#include "md/potential.h"
+#include "md/spline.h"
+
+namespace lmp::md {
+
+/// Embedded-atom-method potential over a funcfl table (LAMMPS
+/// `pair_style eam` with `Cu_u3.eam`-style input) — the paper's second
+/// workload.
+///
+///   E = sum_i F(rho_i) + 1/2 sum_{i != j} phi(r_ij),
+///   rho_i = sum_j rho(r_ij)
+///
+/// Evaluation is the two-pass LAMMPS flow. With Newton's law on, ghost
+/// atoms accumulate partial densities that must be *reverse-added* to
+/// their owners, and the embedding derivative fp = F'(rho) must then be
+/// *forwarded* back out to the ghosts — the "two additional
+/// communications during the pair stage" the paper measures for EAM.
+class Eam final : public Potential {
+ public:
+  explicit Eam(const EamTable& table);
+
+  ForceResult compute(Atoms& atoms, const NeighborList& list, bool newton,
+                      GhostDataComm* ghost_comm) override;
+
+  double cutoff() const override { return cutoff_; }
+  bool needs_mid_comm() const override { return true; }
+
+  /// Tabulated functions (exposed for tests).
+  double rho_of_r(double r) const { return rhor_.value(r); }
+  double phi_of_r(double r) const { return z2r_.value(r) / r; }
+  double embed(double rho) const { return frho_.value(rho); }
+
+  /// Scratch sized on first compute; exposed so tests can inspect the
+  /// densities of the last evaluation.
+  const std::vector<double>& last_rho() const { return rho_; }
+
+ private:
+  double cutoff_;
+  double cut2_;
+  UniformSpline frho_;
+  UniformSpline rhor_;
+  UniformSpline z2r_;
+  std::vector<double> rho_;
+  std::vector<double> fp_;
+};
+
+}  // namespace lmp::md

@@ -1,0 +1,115 @@
+#include "md/eam_table.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace lmp::md {
+
+namespace {
+
+/// Smooth taper: 1 below rs, cosine-smoothed to 0 at rc.
+double taper(double r, double rs, double rc) {
+  if (r <= rs) return 1.0;
+  if (r >= rc) return 0.0;
+  const double t = (r - rs) / (rc - rs);
+  return 0.5 * (1.0 + std::cos(std::numbers::pi * t));
+}
+
+}  // namespace
+
+EamTable make_cu_like_table(int nr, int nrho, double cutoff) {
+  if (nr < 10 || nrho < 10) throw std::invalid_argument("table too small");
+
+  // Morse copper pair term.
+  constexpr double kD = 0.3429;    // eV
+  constexpr double kAlpha = 1.3588;  // 1/Angstrom
+  constexpr double kR0 = 2.866;    // Angstrom
+  // Exponential density referenced to the fcc nearest-neighbor distance.
+  const double re = 3.615 / std::sqrt(2.0);
+  constexpr double kFe = 1.0;
+  constexpr double kBeta = 3.0;  // 1/Angstrom
+  // Embedding strength.
+  constexpr double kA = 0.85;  // eV per sqrt(density unit)
+
+  const double rs = 0.90 * cutoff;
+
+  EamTable t;
+  t.nr = nr;
+  t.dr = cutoff / nr;
+  t.cutoff = cutoff;
+  t.rhor.resize(static_cast<std::size_t>(nr));
+  t.z2r.resize(static_cast<std::size_t>(nr));
+  for (int i = 0; i < nr; ++i) {
+    // funcfl grids start at r = dr (index 0 stores r=dr in LAMMPS; we use
+    // r = (i+1)*dr so r=0 singularities never enter the table).
+    const double r = (i + 1) * t.dr;
+    const double s = taper(r, rs, cutoff);
+    const double phi =
+        kD * (std::exp(-2.0 * kAlpha * (r - kR0)) - 2.0 * std::exp(-kAlpha * (r - kR0))) * s;
+    t.rhor[static_cast<std::size_t>(i)] = kFe * std::exp(-kBeta * (r - re)) * s;
+    t.z2r[static_cast<std::size_t>(i)] = r * phi;
+  }
+
+  // rho range: equilibrium fcc density is ~12 neighbors at re plus the
+  // second shell; triple it for headroom under compression.
+  const double rho_eq = 12.0 * kFe;  // upper-ish bound of first shell sum
+  const double rho_max = 3.0 * rho_eq;
+  t.nrho = nrho;
+  t.drho = rho_max / nrho;
+  t.frho.resize(static_cast<std::size_t>(nrho));
+  for (int i = 0; i < nrho; ++i) {
+    const double rho = i * t.drho;
+    t.frho[static_cast<std::size_t>(i)] = -kA * std::sqrt(rho);
+  }
+  return t;
+}
+
+std::string to_funcfl(const EamTable& t) {
+  std::ostringstream out;
+  out.precision(16);
+  out << "Cu-like analytic EAM (Morse + Finnis-Sinclair), generated\n";
+  // funcfl line 2: atomic number, mass, lattice constant, lattice type
+  out << 29 << ' ' << t.mass << ' ' << 3.615 << " FCC\n";
+  out << t.nrho << ' ' << t.drho << ' ' << t.nr << ' ' << t.dr << ' '
+      << t.cutoff << '\n';
+  auto dump = [&](const std::vector<double>& v) {
+    int col = 0;
+    for (double x : v) {
+      out << x << ((++col % 5 == 0) ? '\n' : ' ');
+    }
+    if (col % 5 != 0) out << '\n';
+  };
+  dump(t.frho);
+  dump(t.z2r);
+  dump(t.rhor);
+  return out.str();
+}
+
+EamTable parse_funcfl(const std::string& text) {
+  std::istringstream in(text);
+  std::string comment;
+  std::getline(in, comment);
+
+  EamTable t;
+  int atomic_number = 0;
+  std::string lattice_type;
+  double lattice_constant = 0.0;
+  in >> atomic_number >> t.mass >> lattice_constant >> lattice_type;
+  in >> t.nrho >> t.drho >> t.nr >> t.dr >> t.cutoff;
+  if (!in || t.nrho < 2 || t.nr < 2) {
+    throw std::invalid_argument("malformed funcfl header");
+  }
+  auto slurp = [&](std::vector<double>& v, int n) {
+    v.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in >> v[static_cast<std::size_t>(i)];
+  };
+  slurp(t.frho, t.nrho);
+  slurp(t.z2r, t.nr);
+  slurp(t.rhor, t.nr);
+  if (!in) throw std::invalid_argument("funcfl table truncated");
+  return t;
+}
+
+}  // namespace lmp::md

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lmp::md {
+
+/// A funcfl-layout EAM table (the format of the paper's `Cu_u3.eam`):
+/// the embedding function F on a uniform rho grid, and the density
+/// function rho(r) and scaled pair term z2(r) = r * phi(r) on a uniform
+/// r grid. LAMMPS splines exactly these three arrays; we do the same.
+struct EamTable {
+  std::string element = "Cu";
+  double mass = 63.550;
+
+  int nrho = 0;
+  double drho = 0.0;
+  std::vector<double> frho;  ///< F(rho), nrho samples from rho = 0
+
+  int nr = 0;
+  double dr = 0.0;
+  double cutoff = 0.0;
+  std::vector<double> rhor;  ///< rho(r), nr samples from r = 0
+  std::vector<double> z2r;   ///< r * phi(r), nr samples from r = 0
+};
+
+/// Generate a Cu-like analytic EAM in funcfl layout.
+///
+/// The real `Cu_u3.eam` (Foiles/Daw universal-3 fit) is proprietary data
+/// we do not ship; instead we tabulate a Morse pair term plus a
+/// Finnis-Sinclair square-root embedding with an exponential density,
+/// smoothly tapered to zero at the cutoff:
+///
+///   phi(r) = D [e^{-2 a (r-r0)} - 2 e^{-a (r-r0)}] s(r)
+///   rho(r) = fe e^{-beta (r - re)} s(r)
+///   F(rho) = -A sqrt(rho)
+///
+/// with Cu Morse constants (D = 0.3429 eV, a = 1.3588 1/A, r0 = 2.866 A)
+/// and re = a0/sqrt(2) for a0 = 3.615 A. This preserves everything the
+/// paper's evaluation exercises: the tabulated-spline code path, the
+/// mid-pair-stage rho/fp communications, and a stable fcc copper crystal
+/// under NVE at the paper's cutoff of 4.95 A.
+EamTable make_cu_like_table(int nr = 2000, int nrho = 2000,
+                            double cutoff = 4.95);
+
+/// Serialize/parse the table in the DYNAMO funcfl text format so the
+/// file-I/O code path is exercised too (LAMMPS reads Cu_u3.eam this way).
+std::string to_funcfl(const EamTable& t);
+EamTable parse_funcfl(const std::string& text);
+
+}  // namespace lmp::md

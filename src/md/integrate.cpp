@@ -1,0 +1,32 @@
+#include "md/integrate.h"
+
+#include <stdexcept>
+
+namespace lmp::md {
+
+VerletNve::VerletNve(double dt, double mass, double ftm2v)
+    : dt_(dt), dtf_(0.5 * dt * ftm2v / mass) {
+  if (dt <= 0 || mass <= 0) throw std::invalid_argument("dt and mass must be > 0");
+}
+
+void VerletNve::initial_integrate(Atoms& atoms) const {
+  double* v = atoms.v();
+  double* x = atoms.x();
+  const double* f = atoms.f();
+  const int n3 = 3 * atoms.nlocal();
+  for (int i = 0; i < n3; ++i) {
+    v[i] += dtf_ * f[i];
+    x[i] += dt_ * v[i];
+  }
+}
+
+void VerletNve::final_integrate(Atoms& atoms) const {
+  double* v = atoms.v();
+  const double* f = atoms.f();
+  const int n3 = 3 * atoms.nlocal();
+  for (int i = 0; i < n3; ++i) {
+    v[i] += dtf_ * f[i];
+  }
+}
+
+}  // namespace lmp::md

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "md/atoms.h"
+
+namespace lmp::md {
+
+/// Velocity-Verlet integrator for the microcanonical ensemble (LAMMPS
+/// `fix nve`) — the only fix both paper workloads use (Table 2).
+class VerletNve {
+ public:
+  /// `dtf_scale` folds the unit system's mvv2e conversion into the force
+  /// term: dv = dt/2 * f / m / mvv2e (LAMMPS `force->ftm2v`).
+  VerletNve(double dt, double mass, double ftm2v = 1.0);
+
+  /// First half-kick + drift: v += dt/2 * f/m ; x += dt * v.
+  void initial_integrate(Atoms& atoms) const;
+
+  /// Second half-kick: v += dt/2 * f/m.
+  void final_integrate(Atoms& atoms) const;
+
+  double dt() const { return dt_; }
+
+ private:
+  double dt_;
+  double dtf_;  ///< dt/2 * ftm2v / mass
+};
+
+}  // namespace lmp::md

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "md/potential.h"
+
+namespace lmp::md {
+
+/// Lennard-Jones 12-6 pair potential with a sharp cutoff (LAMMPS
+/// `pair_style lj/cut`), single atom type — the paper's first workload
+/// (sigma = epsilon = 1, cutoff 2.5, Table 2).
+class LennardJones final : public Potential {
+ public:
+  LennardJones(double epsilon, double sigma, double cutoff);
+
+  ForceResult compute(Atoms& atoms, const NeighborList& list, bool newton,
+                      GhostDataComm* ghost_comm) override;
+
+  double cutoff() const override { return cutoff_; }
+
+  /// Analytic pair energy/force magnitude (for tests).
+  double pair_energy(double r) const;
+  double pair_force_over_r(double r) const;
+
+ private:
+  double epsilon_;
+  double sigma_;
+  double cutoff_;
+  double cut2_;
+  double lj1_, lj2_, lj3_, lj4_;  // precomputed coefficient products
+};
+
+}  // namespace lmp::md

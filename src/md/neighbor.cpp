@@ -1,0 +1,137 @@
+#include "md/neighbor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lmp::md {
+
+namespace {
+
+/// Is ghost atom j "greater" than local atom i under the LAMMPS
+/// coordinate tie-break used by half lists with full-shell ghosts?
+inline bool ghost_wins(const double* x, int i, int j) {
+  const double zi = x[3 * i + 2], zj = x[3 * j + 2];
+  if (zj > zi) return true;
+  if (zj < zi) return false;
+  const double yi = x[3 * i + 1], yj = x[3 * j + 1];
+  if (yj > yi) return true;
+  if (yj < yi) return false;
+  return x[3 * j] > x[3 * i];
+}
+
+}  // namespace
+
+struct NeighborBuilder::Bins {
+  util::Int3 dims;
+  util::Vec3 lo;
+  double inv_size[3];
+  std::vector<int> head;   // first atom in bin, -1 if empty
+  std::vector<int> next;   // linked list through atoms
+
+  int index(int bx, int by, int bz) const {
+    return bx + dims.x * (by + dims.y * bz);
+  }
+  util::Int3 of(const double* x, int i) const {
+    util::Int3 b;
+    for (int d = 0; d < 3; ++d) {
+      b[d] = static_cast<int>((x[3 * i + d] - lo[static_cast<std::size_t>(d)]) *
+                              inv_size[d]);
+      b[d] = std::clamp(b[d], 0, dims[d] - 1);
+    }
+    return b;
+  }
+};
+
+NeighborBuilder::NeighborBuilder(double neighbor_cutoff) : cutoff_(neighbor_cutoff) {
+  if (neighbor_cutoff <= 0) throw std::invalid_argument("cutoff must be > 0");
+}
+
+NeighborList NeighborBuilder::build_half(const Atoms& atoms, HalfRule rule) const {
+  return build(atoms, /*full=*/false, rule);
+}
+
+NeighborList NeighborBuilder::build_full(const Atoms& atoms) const {
+  return build(atoms, /*full=*/true, HalfRule::kCoordTieBreak);
+}
+
+NeighborList NeighborBuilder::build(const Atoms& atoms, bool full,
+                                    HalfRule rule) const {
+  const int ntotal = atoms.ntotal();
+  const int nlocal = atoms.nlocal();
+  const double* x = atoms.x();
+
+  NeighborList list;
+  list.full = full;
+  list.offsets.assign(static_cast<std::size_t>(nlocal) + 1, 0);
+  if (nlocal == 0) return list;
+
+  // Bin extents cover every atom (ghosts stick out past the sub-box).
+  util::Vec3 lo = atoms.pos(0);
+  util::Vec3 hi = lo;
+  for (int i = 1; i < ntotal; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], x[3 * i + d]);
+      hi[d] = std::max(hi[d], x[3 * i + d]);
+    }
+  }
+
+  Bins bins;
+  bins.lo = lo;
+  for (int d = 0; d < 3; ++d) {
+    const double extent = std::max(hi[d] - lo[d], 1e-12);
+    bins.dims[d] = std::max(1, static_cast<int>(extent / cutoff_));
+    bins.inv_size[d] = bins.dims[d] / extent * (1.0 - 1e-12);
+  }
+  bins.head.assign(static_cast<std::size_t>(bins.dims.x) * bins.dims.y * bins.dims.z, -1);
+  bins.next.assign(static_cast<std::size_t>(ntotal), -1);
+  for (int i = 0; i < ntotal; ++i) {
+    const util::Int3 b = bins.of(x, i);
+    const int bi = bins.index(b.x, b.y, b.z);
+    bins.next[static_cast<std::size_t>(i)] = bins.head[static_cast<std::size_t>(bi)];
+    bins.head[static_cast<std::size_t>(bi)] = i;
+  }
+
+  const double cut2 = cutoff_ * cutoff_;
+  list.neigh.reserve(static_cast<std::size_t>(nlocal) * 32);
+
+  for (int i = 0; i < nlocal; ++i) {
+    const util::Int3 bi = bins.of(x, i);
+    const std::size_t start = list.neigh.size();
+    for (int dz = -1; dz <= 1; ++dz) {
+      const int bz = bi.z + dz;
+      if (bz < 0 || bz >= bins.dims.z) continue;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int by = bi.y + dy;
+        if (by < 0 || by >= bins.dims.y) continue;
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int bx = bi.x + dx;
+          if (bx < 0 || bx >= bins.dims.x) continue;
+          for (int j = bins.head[static_cast<std::size_t>(bins.index(bx, by, bz))];
+               j >= 0; j = bins.next[static_cast<std::size_t>(j)]) {
+            if (j == i) continue;
+            if (!full) {
+              if (j < nlocal) {
+                if (j < i) continue;  // local-local: keep i < j once
+              } else if (rule == HalfRule::kCoordTieBreak && !ghost_wins(x, i, j)) {
+                continue;
+              }
+            }
+            const double ddx = x[3 * i] - x[3 * j];
+            const double ddy = x[3 * i + 1] - x[3 * j + 1];
+            const double ddz = x[3 * i + 2] - x[3 * j + 2];
+            if (ddx * ddx + ddy * ddy + ddz * ddz < cut2) {
+              list.neigh.push_back(j);
+            }
+          }
+        }
+      }
+    }
+    list.offsets[static_cast<std::size_t>(i) + 1] =
+        static_cast<int>(list.neigh.size());
+    (void)start;
+  }
+  return list;
+}
+
+}  // namespace lmp::md

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "md/atoms.h"
+
+namespace lmp::md {
+
+/// Which pairs a *half* list keeps when ghosts are present.
+enum class HalfRule {
+  /// Ghost pairs filtered by the LAMMPS coordinate tie-break (z, then y,
+  /// then x greater than mine). Needed when ghosts surround the sub-box
+  /// on all 26 sides (3-stage comm): both owners see the pair and exactly
+  /// one must keep it.
+  kCoordTieBreak,
+  /// Keep every local-ghost pair. Correct for the p2p half-shell exchange
+  /// (paper Fig. 5): ghosts only come from the upper 13 directions, so a
+  /// cross-rank pair exists on exactly one rank by construction.
+  kAllGhosts,
+};
+
+/// CSR neighbor list: neighbors of local atom i are
+/// `neigh[offsets[i] .. offsets[i+1])`.
+struct NeighborList {
+  bool full = false;
+  std::vector<int> offsets;
+  std::vector<int> neigh;
+
+  int count(int i) const { return offsets[i + 1] - offsets[i]; }
+  long total_pairs() const { return static_cast<long>(neigh.size()); }
+};
+
+/// Spatial-binning neighbor-list builder over one rank's local + ghost
+/// atoms. Bin size >= the neighbor cutoff (cutoff + skin), so candidate
+/// pairs live in the surrounding 27 bins.
+class NeighborBuilder {
+ public:
+  explicit NeighborBuilder(double neighbor_cutoff);
+
+  /// Half list (Newton's 3rd law on): local-local pairs once (i < j),
+  /// local-ghost pairs per `rule`.
+  NeighborList build_half(const Atoms& atoms, HalfRule rule) const;
+
+  /// Full list (Newton off / many-body potentials): every neighbor of
+  /// every local atom, both directions of local-local pairs.
+  NeighborList build_full(const Atoms& atoms) const;
+
+ private:
+  struct Bins;
+  NeighborList build(const Atoms& atoms, bool full, HalfRule rule) const;
+
+  double cutoff_;
+};
+
+}  // namespace lmp::md

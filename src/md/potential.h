@@ -1,0 +1,46 @@
+#pragma once
+
+#include "md/atoms.h"
+#include "md/neighbor.h"
+
+namespace lmp::md {
+
+/// This rank's share of global energy/virial sums (reduced by thermo).
+struct ForceResult {
+  double energy = 0.0;  ///< potential energy contribution
+  double virial = 0.0;  ///< sum over pairs of r_ij . f_ij (scalar virial)
+};
+
+/// Mid-force-computation ghost communication, implemented by the comm
+/// layer. The EAM potential needs two of these per step (paper Sec. 4):
+/// a reverse-add of ghost electron densities and a forward copy of the
+/// embedding-energy derivatives.
+class GhostDataComm {
+ public:
+  virtual ~GhostDataComm() = default;
+
+  /// Add each ghost atom's value into its owner's entry and zero the
+  /// ghost entry. `per_atom` has `ntotal` entries.
+  virtual void reverse_add(double* per_atom) = 0;
+
+  /// Copy each owned atom's value to all its ghost copies on other ranks.
+  virtual void forward(double* per_atom) = 0;
+};
+
+/// A pair-style potential. `newton` selects half-list (true, forces on
+/// both partners including ghosts, reverse-communicated afterwards by the
+/// caller) or full-list (false, forces on i only) evaluation.
+class Potential {
+ public:
+  virtual ~Potential() = default;
+
+  virtual ForceResult compute(Atoms& atoms, const NeighborList& list,
+                              bool newton, GhostDataComm* ghost_comm) = 0;
+
+  virtual double cutoff() const = 0;
+
+  /// True if compute() communicates mid-evaluation (EAM).
+  virtual bool needs_mid_comm() const { return false; }
+};
+
+}  // namespace lmp::md

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lmp::md {
+
+/// Natural cubic spline over a *uniform* grid — the interpolation engine
+/// behind the tabulated EAM functionals (LAMMPS interpolates funcfl
+/// tables the same way, with uniform dr/drho spacing).
+class UniformSpline {
+ public:
+  UniformSpline() = default;
+
+  /// Build from samples y[i] = f(x0 + i*dx). Needs >= 3 points.
+  UniformSpline(double x0, double dx, std::span<const double> y);
+
+  double x_min() const { return x0_; }
+  double x_max() const { return x0_ + dx_ * static_cast<double>(n_ - 1); }
+
+  /// Interpolated value; clamps to the table ends (matching LAMMPS'
+  /// behaviour of clamping rho beyond the tabulated range).
+  double value(double x) const;
+
+  /// Interpolated derivative, clamped likewise.
+  double derivative(double x) const;
+
+  /// Value and derivative in one lookup (the EAM hot path).
+  void eval(double x, double& val, double& deriv) const;
+
+ private:
+  int segment(double x, double& t) const;
+
+  double x0_ = 0.0;
+  double dx_ = 1.0;
+  int n_ = 0;
+  std::vector<double> y_;
+  std::vector<double> m_;  ///< second derivatives at the knots
+};
+
+}  // namespace lmp::md

@@ -1,0 +1,33 @@
+#include "md/thermo.h"
+
+namespace lmp::md {
+
+ThermoPartials local_thermo(const Atoms& atoms, double mass, double pe_share,
+                            double virial_share) {
+  ThermoPartials p;
+  const double* v = atoms.v();
+  double s = 0.0;
+  const int n3 = 3 * atoms.nlocal();
+  for (int i = 0; i < n3; ++i) s += v[i] * v[i];
+  p.ke_sum = mass * s;
+  p.pe = pe_share;
+  p.virial = virial_share;
+  p.natoms = atoms.nlocal();
+  return p;
+}
+
+ThermoState reduce_thermo(const ThermoPartials& g, const Units& units,
+                          double volume) {
+  ThermoState t;
+  const double mv2 = units.mvv2e * g.ke_sum;
+  t.kinetic = 0.5 * mv2;
+  t.potential = g.pe;
+  const double dof = 3.0 * static_cast<double>(g.natoms) - 3.0;
+  if (dof > 0) t.temperature = mv2 / (dof * units.boltz);
+  if (volume > 0) {
+    t.pressure = (mv2 + g.virial) / (3.0 * volume) * units.nktv2p;
+  }
+  return t;
+}
+
+}  // namespace lmp::md

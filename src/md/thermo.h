@@ -1,0 +1,44 @@
+#pragma once
+
+#include "md/atoms.h"
+#include "md/units.h"
+
+namespace lmp::md {
+
+/// Per-rank thermodynamic partial sums; combine across ranks with an
+/// allreduce before converting to intensive quantities.
+struct ThermoPartials {
+  double ke_sum = 0.0;    ///< sum of m v^2 (NOT halved yet)
+  double pe = 0.0;        ///< potential energy share
+  double virial = 0.0;    ///< sum r_ij . f_ij share
+  long natoms = 0;
+
+  ThermoPartials& operator+=(const ThermoPartials& o) {
+    ke_sum += o.ke_sum;
+    pe += o.pe;
+    virial += o.virial;
+    natoms += o.natoms;
+    return *this;
+  }
+};
+
+/// Global thermodynamic state in the configured unit system.
+struct ThermoState {
+  double temperature = 0.0;
+  double pressure = 0.0;
+  double kinetic = 0.0;    ///< total KE
+  double potential = 0.0;  ///< total PE
+  double total() const { return kinetic + potential; }
+};
+
+/// Local kinetic contributions of one rank (mass * v^2 summed).
+ThermoPartials local_thermo(const Atoms& atoms, double mass, double pe_share,
+                            double virial_share);
+
+/// Convert globally-reduced partials to T and P:
+///   T = mvv2e * sum(m v^2) / (dof * boltz),  dof = 3N - 3
+///   P = (mvv2e * sum(m v^2) + virial) / (3 V) * nktv2p
+ThermoState reduce_thermo(const ThermoPartials& global, const Units& units,
+                          double volume);
+
+}  // namespace lmp::md

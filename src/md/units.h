@@ -1,0 +1,22 @@
+#pragma once
+
+namespace lmp::md {
+
+/// LAMMPS-style unit systems. The paper's two workloads use `lj`
+/// (dimensionless) and `metal` (eV / Angstrom / ps / g-mol) units.
+enum class UnitStyle { kLj, kMetal };
+
+struct Units {
+  UnitStyle style;
+  double boltz;   ///< Boltzmann constant in this system's energy/K
+  double mvv2e;   ///< converts mass*velocity^2 to energy
+  double nktv2p;  ///< converts energy/volume to the pressure unit
+
+  static constexpr Units lj() { return {UnitStyle::kLj, 1.0, 1.0, 1.0}; }
+  static constexpr Units metal() {
+    // Constants as used by LAMMPS update.cpp for `units metal`.
+    return {UnitStyle::kMetal, 8.617343e-5, 1.0364269e-4, 1.6021765e6};
+  }
+};
+
+}  // namespace lmp::md

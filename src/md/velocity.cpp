@@ -1,0 +1,46 @@
+#include "md/velocity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace lmp::md {
+
+std::vector<util::Vec3> create_velocities(std::size_t natoms, double t_target,
+                                          double mass, const Units& units,
+                                          std::uint64_t seed) {
+  if (natoms == 0) return {};
+  if (t_target < 0 || mass <= 0) {
+    throw std::invalid_argument("bad velocity-create arguments");
+  }
+
+  std::vector<util::Vec3> v(natoms);
+  for (std::size_t i = 0; i < natoms; ++i) {
+    util::Rng rng(seed ^ (0x51f9c2e7a8b4d3ULL * (i + 1)));
+    v[i] = {rng.normal(), rng.normal(), rng.normal()};
+  }
+
+  // Remove net momentum.
+  util::Vec3 mean;
+  for (const auto& vi : v) mean += vi;
+  mean *= 1.0 / static_cast<double>(natoms);
+  for (auto& vi : v) vi -= mean;
+
+  if (t_target == 0.0) {
+    for (auto& vi : v) vi = {0, 0, 0};
+    return v;
+  }
+
+  // Rescale to the exact target temperature: T = mvv2e * sum(m v^2) / (dof kB).
+  double mv2 = 0.0;
+  for (const auto& vi : v) mv2 += mass * norm_sq(vi);
+  const double dof = 3.0 * static_cast<double>(natoms) - 3.0;
+  const double t_now = units.mvv2e * mv2 / (dof * units.boltz);
+  if (t_now <= 0) throw std::logic_error("degenerate velocity draw");
+  const double scale = std::sqrt(t_target / t_now);
+  for (auto& vi : v) vi *= scale;
+  return v;
+}
+
+}  // namespace lmp::md

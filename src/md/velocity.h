@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/units.h"
+#include "util/vec3.h"
+
+namespace lmp::md {
+
+/// Deterministic full-system velocity initialization (LAMMPS `velocity
+/// all create T seed`): per-atom Gaussian draws seeded by the atom's
+/// global tag, net momentum removed, then rescaled to the exact target
+/// temperature.
+///
+/// Seeding by *tag* (not by draw order) makes the result independent of
+/// the rank decomposition — every rank can generate the same global
+/// velocity field locally, which is how the functional track checks that
+/// 1-rank and N-rank runs follow the same trajectory.
+std::vector<util::Vec3> create_velocities(std::size_t natoms, double t_target,
+                                          double mass, const Units& units,
+                                          std::uint64_t seed);
+
+}  // namespace lmp::md

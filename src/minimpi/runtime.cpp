@@ -1,0 +1,37 @@
+#include "minimpi/runtime.h"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace lmp::minimpi {
+
+void run_ranks(int nranks, const std::function<void(int)>& fn) {
+  if (nranks < 1) throw std::invalid_argument("nranks must be >= 1");
+  if (nranks == 1) {
+    fn(0);  // keep single-rank runs trivially debuggable
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lmp::minimpi

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <functional>
+
+namespace lmp::minimpi {
+
+/// Run `fn(rank)` on `nranks` threads and join them all. The simulated
+/// job's shared objects (World, tofu::Network, result sinks) are captured
+/// by the callable. If any rank throws, the first exception is rethrown
+/// on the caller's thread after every rank has been joined.
+void run_ranks(int nranks, const std::function<void(int)>& fn);
+
+}  // namespace lmp::minimpi

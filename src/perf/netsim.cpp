@@ -1,0 +1,265 @@
+#include "perf/netsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "comm/directions.h"
+#include "geom/ghost_algebra.h"
+#include "perf/des.h"
+#include "util/stats.h"
+
+namespace lmp::perf {
+
+NetworkSimulator::NetworkSimulator(const Calibration& cal, long nodes)
+    : cal_(cal), topo_(tofu::Topology::for_nodes(nodes)) {
+  // MD node grid filling the allocation exactly (Fig. 3's folding), then
+  // 4 ranks per node folded 2x2x1 — the paper's rank placement.
+  node_grid_ = {2 * topo_.shape().size_of(tofu::Axis::kX),
+                3 * topo_.shape().size_of(tofu::Axis::kY),
+                2 * topo_.shape().size_of(tofu::Axis::kZ)};
+  node_map_ = topo_.map_md_grid(node_grid_);
+  rank_grid_ = {2 * node_grid_.x, 2 * node_grid_.y, node_grid_.z};
+}
+
+long NetworkSimulator::node_of_rank(int rank) const {
+  const int rx = rank % rank_grid_.x;
+  const int ry = (rank / rank_grid_.x) % rank_grid_.y;
+  const int rz = rank / (rank_grid_.x * rank_grid_.y);
+  const int nx = rx / 2;
+  const int ny = ry / 2;
+  const int nz = rz;
+  return node_map_[static_cast<std::size_t>(nx) +
+                   static_cast<std::size_t>(node_grid_.x) *
+                       (ny + static_cast<std::size_t>(node_grid_.y) * nz)];
+}
+
+namespace {
+
+/// Directed link identity: (node, axis, direction).
+long link_key(long node, int axis, int positive) {
+  return node * 16 + axis * 2 + positive;
+}
+
+/// Dimension-order route between two nodes: the sequence of directed
+/// links traversed (torus axes take the shorter way around).
+void route(const tofu::Topology& topo, long u, long v, std::vector<long>& out) {
+  out.clear();
+  if (u == v) return;
+  tofu::TofuCoord cu = topo.coord_of(u);
+  const tofu::TofuCoord cv = topo.coord_of(v);
+  for (int ax = 0; ax < tofu::kAxisCount; ++ax) {
+    const auto axis = static_cast<tofu::Axis>(ax);
+    const int n = topo.shape().size_of(axis);
+    while (cu.v[ax] != cv.v[ax]) {
+      int d = cv.v[ax] - cu.v[ax];
+      if (topo.shape().is_torus(axis) && std::abs(d) > n / 2) {
+        d = d > 0 ? d - n : d + n;
+      }
+      const int step = d > 0 ? 1 : -1;
+      out.push_back(link_key(topo.node_of(cu), ax, step > 0 ? 1 : 0));
+      cu.v[ax] = ((cu.v[ax] + step) % n + n) % n;
+    }
+  }
+}
+
+struct SimMessage {
+  int src_rank;
+  int dst_rank;
+  double bytes;
+  std::vector<long> links;
+};
+
+}  // namespace
+
+NetSimResult NetworkSimulator::simulate_exchange(const Workload& w,
+                                                 const CommConfig& cfg,
+                                                 double bytes_per_atom) const {
+  const long nranks = ranks();
+  const geom::Decomposition decomp(
+      rank_grid_, geom::Box{{0, 0, 0},
+                            {static_cast<double>(rank_grid_.x),
+                             static_cast<double>(rank_grid_.y),
+                             static_cast<double>(rank_grid_.z)}});
+
+  // Per-direction message bytes from the ghost algebra.
+  const double a = w.sub_box_side();
+  const double r = w.cutoff + w.skin;
+  auto bytes_of_dir = [&](int dir) {
+    const int order = comm::dir_order(dir);
+    const double vol =
+        order == 1 ? a * a * r : (order == 2 ? a * r * r : r * r * r);
+    return vol * w.density * bytes_per_atom;
+  };
+
+  // Stage groups: p2p = one group of 13/26 messages; 3-stage = three
+  // barrier-separated groups of 2 (sizes per Fig. 4's carried ghosts).
+  struct Group {
+    std::vector<SimMessage> msgs;
+  };
+  std::vector<Group> groups;
+  std::vector<long> scratch_route;
+
+  if (cfg.pattern == PatternKind::kP2p) {
+    groups.emplace_back();
+    for (int rank = 0; rank < nranks; ++rank) {
+      const util::Int3 me = decomp.coord_of(rank);
+      const long my_node = node_of_rank(rank);
+      for (int d = 0; d < comm::kNumDirs; ++d) {
+        if (w.newton && comm::is_upper(d)) continue;  // send lower half
+        const int peer = decomp.rank_of(me + comm::all_dirs()[static_cast<std::size_t>(d)]);
+        SimMessage m;
+        m.src_rank = rank;
+        m.dst_rank = peer;
+        m.bytes = bytes_of_dir(d);
+        route(topo_, my_node, node_of_rank(peer), scratch_route);
+        m.links = scratch_route;
+        groups.back().msgs.push_back(std::move(m));
+      }
+    }
+  } else {
+    const geom::GhostAlgebra alg{a, r};
+    const auto classes = alg.three_stage();
+    for (int stage = 0; stage < 3; ++stage) {
+      groups.emplace_back();
+      const double bytes =
+          classes[static_cast<std::size_t>(stage)].volume * w.density *
+          bytes_per_atom;
+      for (int rank = 0; rank < nranks; ++rank) {
+        const util::Int3 me = decomp.coord_of(rank);
+        const long my_node = node_of_rank(rank);
+        for (const int step : {-1, +1}) {
+          util::Int3 to = me;
+          to[static_cast<std::size_t>(stage)] += step;
+          SimMessage m;
+          m.src_rank = rank;
+          m.dst_rank = decomp.rank_of(to);
+          m.bytes = bytes;
+          route(topo_, my_node, node_of_rank(m.dst_rank), scratch_route);
+          m.links = scratch_route;
+          groups.back().msgs.push_back(std::move(m));
+        }
+      }
+    }
+  }
+
+  // Resources. TNIs are per node and shared by the node's 4 ranks
+  // according to the variant's binding (1 exclusive TNI per rank for the
+  // 4-TNI binding, all 6 shared otherwise).
+  std::unordered_map<long, Resource> links;
+  std::vector<Resource> tnis(static_cast<std::size_t>(nodes()) * 6);
+  const int nth = cfg.comm_threads;
+  std::vector<Resource> threads(static_cast<std::size_t>(nranks) * nth);
+  const bool multiplexed = cfg.comm_threads == 1 && cfg.ntnis > 1;
+
+  auto tni_of = [&](int rank, int msg_index) -> Resource& {
+    const long node = node_of_rank(rank);
+    int k;
+    if (cfg.ntnis == 1) {
+      k = rank % 4;  // exclusive TNI per rank (4-TNI binding, or MPI)
+    } else {
+      k = msg_index % 6;  // spread across all six
+    }
+    return tnis[static_cast<std::size_t>(node) * 6 + static_cast<std::size_t>(k)];
+  };
+
+  NetSimResult out;
+  std::vector<double> mean_parts;
+  double total_mean = 0;
+  std::vector<double> completion(static_cast<std::size_t>(nranks), 0.0);
+  double clock_base = 0.0;
+
+  for (const Group& group : groups) {
+    // Arrival bookkeeping per destination rank.
+    std::vector<std::vector<double>> arrivals(static_cast<std::size_t>(nranks));
+    EventQueue queue;
+
+    // Injection: per source rank, larger messages first to its least
+    // loaded thread (the Fig. 10 balancer), then TNI, then the route.
+    std::vector<std::vector<const SimMessage*>> per_rank(
+        static_cast<std::size_t>(nranks));
+    for (const SimMessage& m : group.msgs) {
+      per_rank[static_cast<std::size_t>(m.src_rank)].push_back(&m);
+    }
+    for (int rank = 0; rank < nranks; ++rank) {
+      auto& mine = per_rank[static_cast<std::size_t>(rank)];
+      std::stable_sort(mine.begin(), mine.end(),
+                       [](const SimMessage* x, const SimMessage* y) {
+                         return x->bytes > y->bytes;
+                       });
+      int idx = 0;
+      for (const SimMessage* m : mine) {
+        // Thread claim (injection software cost).
+        auto th_begin = threads.begin() + static_cast<std::ptrdiff_t>(rank) * nth;
+        auto th = std::min_element(
+            th_begin, th_begin + nth, [](const Resource& x, const Resource& y) {
+              return x.free_at() < y.free_at();
+            });
+        double cpu = (cfg.api == Api::kMpi ? cal_.t_inj_mpi : cal_.t_inj_utofu) +
+                     m->bytes * cal_.t_pack_per_byte;
+        if (multiplexed) cpu += cal_.t_vcq_switch;
+        const Resource::Grant g = th->claim(clock_base, cpu);
+
+        // TNI DMA occupancy.
+        const double occ = std::max(cal_.t_tni_occupancy, m->bytes / cal_.link_bw);
+        const Resource::Grant t = tni_of(rank, idx++).claim(g.end, occ);
+
+        // Route hop-by-hop as events (store-and-forward serialization).
+        const SimMessage* msg = m;
+        auto advance = std::make_shared<std::function<void(std::size_t, double)>>();
+        *advance = [&, msg, advance](std::size_t hop, double ready) {
+          if (hop == msg->links.size()) {
+            const double recv =
+                cfg.api == Api::kMpi ? cal_.t_recv_mpi : cal_.t_recv_utofu;
+            arrivals[static_cast<std::size_t>(msg->dst_rank)].push_back(
+                ready + cal_.t_base_latency + recv);
+            return;
+          }
+          Resource& link = links[msg->links[hop]];
+          const Resource::Grant lg =
+              link.claim(ready, msg->bytes / cal_.link_bw + cal_.t_hop);
+          queue.schedule(lg.end,
+                         [advance, hop, lg] { (*advance)(hop + 1, lg.end); });
+        };
+        queue.schedule(t.end, [advance, t] { (*advance)(0, t.end); });
+        ++out.messages;
+      }
+    }
+    queue.run();
+
+    // Per-rank completion of this group: drain arrivals in order.
+    double group_max = clock_base;
+    double group_sum = 0;
+    for (int rank = 0; rank < nranks; ++rank) {
+      auto& in = arrivals[static_cast<std::size_t>(rank)];
+      std::sort(in.begin(), in.end());
+      double done = clock_base;
+      for (const double t : in) done = std::max(done, t);
+      completion[static_cast<std::size_t>(rank)] = done;
+      group_max = std::max(group_max, done);
+      group_sum += done - clock_base;
+    }
+    total_mean += group_sum / static_cast<double>(nranks);
+    // Barrier between 3-stage groups: everyone waits for the slowest.
+    clock_base = group_max;
+  }
+
+  out.mean_completion = total_mean;
+  out.max_completion = clock_base;
+  {
+    std::vector<double> finals = completion;
+    out.p99_completion = util::percentile(finals, 99.0);
+  }
+  out.links_used = static_cast<long>(links.size());
+  double busiest = 0;
+  for (const auto& [key, res] : links) {
+    (void)key;
+    busiest = std::max(busiest, res.busy_time());
+  }
+  out.max_link_utilization = clock_base > 0 ? busiest / clock_base : 0.0;
+  return out;
+}
+
+}  // namespace lmp::perf

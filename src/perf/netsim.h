@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "perf/netmodel.h"
+#include "perf/stepmodel.h"
+#include "tofu/topology.h"
+
+namespace lmp::perf {
+
+/// Result of a packet-level exchange simulation.
+struct NetSimResult {
+  double mean_completion = 0;  ///< mean over ranks of "all my messages in"
+  double max_completion = 0;   ///< slowest rank — the step's critical path
+  double p99_completion = 0;
+  long messages = 0;
+  long links_used = 0;
+  double max_link_utilization = 0;  ///< busiest link busy-time / makespan
+  /// Straggler amplification observed by the simulation: max/mean.
+  double straggler_factor() const {
+    return mean_completion > 0 ? max_completion / mean_completion : 1.0;
+  }
+};
+
+/// Packet-level discrete-event simulation of one ghost exchange over the
+/// *actual* allocated TofuD array: every rank of the job injects its
+/// 13/26 p2p messages (or 6 three-stage messages) simultaneously, routed
+/// dimension-order over the 6D topology with per-link serialization,
+/// per-TNI DMA occupancy, and per-thread injection — the
+/// contention-aware counterpart of NetModel::exchange_time's
+/// single-rank closed form.
+///
+/// This is the validation instrument for the model's straggler factor
+/// (Calibration::comm_noise_per_level): the closed form multiplies by a
+/// calibrated lambda, the simulation *produces* a lambda from first
+/// principles of link sharing.
+class NetworkSimulator {
+ public:
+  NetworkSimulator(const Calibration& cal, long nodes);
+
+  long nodes() const { return topo_.nnodes(); }
+  long ranks() const { return 4 * topo_.nnodes(); }
+
+  /// Simulate one forward ghost exchange of workload `w` (which supplies
+  /// the per-class message sizes) under communication config `cfg`.
+  NetSimResult simulate_exchange(const Workload& w, const CommConfig& cfg,
+                                 double bytes_per_atom = 24.0) const;
+
+  /// The MD rank grid used (4 ranks per node, folded 2x2x1 into nodes).
+  util::Int3 rank_grid() const { return rank_grid_; }
+
+ private:
+  long node_of_rank(int rank) const;
+
+  Calibration cal_;
+  tofu::Topology topo_;
+  util::Int3 node_grid_;
+  util::Int3 rank_grid_;
+  std::vector<long> node_map_;  ///< MD node-grid index -> tofu node id
+};
+
+}  // namespace lmp::perf

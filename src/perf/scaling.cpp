@@ -1,0 +1,63 @@
+#include "perf/scaling.h"
+
+namespace lmp::perf {
+
+double ScalingModel::perf_per_day(double step_seconds, double dt) {
+  const double steps_per_day = 86400.0 / step_seconds;
+  return steps_per_day * dt;
+}
+
+Workload ScalingModel::workload(PotKind pot, double natoms, long nodes) const {
+  return pot == PotKind::kLj ? Workload::lj(natoms, nodes)
+                             : Workload::eam(natoms, nodes);
+}
+
+std::vector<ScalingPoint> ScalingModel::strong_scaling(
+    PotKind pot, double natoms, std::span<const long> nodes) const {
+  std::vector<ScalingPoint> out;
+  out.reserve(nodes.size());
+  const CommConfig origin_cfg = CommConfig::ref_mpi();
+  const CommConfig opt_cfg = CommConfig::p2p_parallel();
+
+  for (const long n : nodes) {
+    const Workload w = workload(pot, natoms, n);
+    ScalingPoint p;
+    p.nodes = n;
+    p.origin = model_.step_time(w, origin_cfg);
+    p.opt = model_.step_time(w, opt_cfg);
+    p.speedup = p.origin.total() / p.opt.total();
+    p.perf_origin = perf_per_day(p.origin.total(), w.dt);
+    p.perf_opt = perf_per_day(p.opt.total(), w.dt);
+    out.push_back(p);
+  }
+  // Parallel efficiency vs the first point: eff = (T1 * N1) / (TN * N).
+  if (!out.empty()) {
+    const double base_opt = out.front().opt.total() * out.front().nodes;
+    const double base_origin = out.front().origin.total() * out.front().nodes;
+    for (auto& p : out) {
+      p.efficiency_opt = base_opt / (p.opt.total() * p.nodes);
+      p.efficiency_origin = base_origin / (p.origin.total() * p.nodes);
+    }
+  }
+  return out;
+}
+
+std::vector<WeakPoint> ScalingModel::weak_scaling(
+    PotKind pot, double atoms_per_core, std::span<const long> nodes) const {
+  std::vector<WeakPoint> out;
+  out.reserve(nodes.size());
+  const CommConfig opt_cfg = CommConfig::p2p_parallel();
+  for (const long n : nodes) {
+    const double natoms = atoms_per_core * 48.0 * static_cast<double>(n);
+    const Workload w = workload(pot, natoms, n);
+    WeakPoint p;
+    p.nodes = n;
+    p.natoms = natoms;
+    p.opt = model_.step_time(w, opt_cfg);
+    p.atom_steps_per_sec = natoms / p.opt.total();
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lmp::perf

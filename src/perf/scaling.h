@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "perf/stepmodel.h"
+
+namespace lmp::perf {
+
+/// One node count of a strong-scaling sweep (Fig. 13).
+struct ScalingPoint {
+  long nodes = 0;
+  StepBreakdown origin;
+  StepBreakdown opt;
+  double speedup = 0;          ///< origin total / opt total
+  double perf_origin = 0;      ///< simulated time units per day
+  double perf_opt = 0;
+  double efficiency_opt = 0;   ///< parallel efficiency vs the first point
+  double efficiency_origin = 0;
+};
+
+/// One node count of a weak-scaling sweep (Fig. 14).
+struct WeakPoint {
+  long nodes = 0;
+  double natoms = 0;
+  double atom_steps_per_sec = 0;  ///< aggregate throughput, opt variant
+  StepBreakdown opt;
+};
+
+/// Strong/weak scaling series generator over the step model.
+class ScalingModel {
+ public:
+  explicit ScalingModel(const Calibration& cal) : model_(cal) {}
+
+  /// Simulated-time-per-day for a step duration: steps/day * dt.
+  static double perf_per_day(double step_seconds, double dt);
+
+  Workload workload(PotKind pot, double natoms, long nodes) const;
+
+  std::vector<ScalingPoint> strong_scaling(PotKind pot, double natoms,
+                                           std::span<const long> nodes) const;
+
+  /// `atoms_per_core` fixed (100K LJ / 72K EAM in the paper); 48 compute
+  /// cores per node.
+  std::vector<WeakPoint> weak_scaling(PotKind pot, double atoms_per_core,
+                                      std::span<const long> nodes) const;
+
+  const StepModel& step_model() const { return model_; }
+
+ private:
+  StepModel model_;
+};
+
+}  // namespace lmp::perf

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+#include "perf/netmodel.h"
+#include "util/timer.h"
+
+namespace lmp::perf {
+
+enum class PotKind { kLj, kEam };
+
+/// A modeled workload: one row of the paper's evaluation matrix.
+struct Workload {
+  PotKind pot = PotKind::kLj;
+  double natoms = 0;
+  long nodes = 0;
+
+  // Physics/config parameters (Table 2), in the potential's native units.
+  double cutoff = 2.5;
+  double skin = 0.3;
+  double density = 0.8442;  ///< number density in native length^3
+  double dt = 0.005;
+  int neigh_every = 20;
+  bool neigh_check = false;
+  bool newton = true;
+  /// Neighbor-shell count: 1 normally; 2 models the long-cutoff regime
+  /// of Fig. 15 (62/124 neighbors).
+  int shells = 1;
+  /// Bytes per atom per forward/reverse message (3 doubles).
+  double bytes_per_atom = 24.0;
+
+  static Workload lj(double natoms, long nodes);
+  static Workload eam(double natoms, long nodes);
+
+  long ranks() const;
+  double atoms_per_rank() const;
+  /// Cubic sub-box side in native units.
+  double sub_box_side() const;
+};
+
+/// Per-step modeled stage times (seconds), LAMMPS timer categories.
+struct StepBreakdown {
+  double pair = 0;
+  double neigh = 0;
+  double comm = 0;
+  double modify = 0;
+  double other = 0;
+
+  double total() const { return pair + neigh + comm + modify + other; }
+  double percent(double stage) const { return 100.0 * stage / total(); }
+};
+
+/// Full-timestep performance model: combines the network exchange model
+/// with calibrated compute-kernel costs to produce the per-stage
+/// breakdown for any (workload, comm variant, machine size) point — the
+/// generator behind Figs. 12-15 and Table 3.
+class StepModel {
+ public:
+  explicit StepModel(const Calibration& cal) : cal_(cal), net_(cal) {}
+
+  /// Ghost-exchange message classes for one direction of communication.
+  std::vector<MsgSpec> ghost_messages(const Workload& w, PatternKind pattern,
+                                      double bytes_per_atom) const;
+
+  /// Duration of one forward (or reverse) ghost exchange.
+  double exchange_once(const Workload& w, const CommConfig& cfg,
+                       double bytes_per_atom) const;
+
+  /// Straggler amplification applied to communication at `ranks` scale.
+  double comm_noise(long ranks) const;
+
+  /// The full per-step breakdown.
+  StepBreakdown step_time(const Workload& w, const CommConfig& cfg) const;
+
+  const NetModel& net() const { return net_; }
+  const Calibration& calibration() const { return cal_; }
+
+ private:
+  double pair_interaction_cost(PotKind pot) const;
+
+  Calibration cal_;
+  NetModel net_;
+};
+
+}  // namespace lmp::perf

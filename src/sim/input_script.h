@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace lmp::sim {
+
+/// Parsed outcome of a LAMMPS-style input script: the job options plus
+/// the `run N` step count.
+struct ParsedScript {
+  SimOptions options;
+  int run_steps = 0;
+};
+
+/// Parse a subset of the LAMMPS input-script language — enough to drive
+/// both paper workloads the way the artifact's `in.threadpool.lj` /
+/// `in.threadpool.eam` scripts do:
+///
+///   units           lj | metal
+///   lattice         fcc <density-or-constant>
+///   region          box block 0 <nx> 0 <ny> 0 <nz>       (lattice cells)
+///   create_box      1 box
+///   create_atoms    1 box
+///   mass            1 <m>
+///   pair_style      lj/cut <cutoff> | eam
+///   pair_coeff      1 1 <eps> <sigma> | * * <file>
+///   velocity        all create <T> <seed>
+///   neighbor        <skin> bin
+///   neigh_modify    every <N> check <yes|no> [delay <D>]
+///   newton          on | off
+///   fix             <id> all nve
+///   timestep        <dt>
+///   thermo          <N>
+///   processors      <px> <py> <pz>
+///   comm_variant    ref|mpi_p2p|utofu_3stage|4tni_p2p|6tni_p2p|opt   [ext]
+///   run             <steps>
+///
+/// Lines starting with `#` and blank lines are ignored; `#` also starts
+/// trailing comments. Unknown commands raise std::invalid_argument with
+/// the offending line number (fail-fast, unlike LAMMPS's forgiving
+/// parser, so typos in experiments cannot silently change a workload).
+ParsedScript parse_input_script(const std::string& text);
+
+/// Convenience: read the file at `path` and parse it.
+ParsedScript parse_input_file(const std::string& path);
+
+}  // namespace lmp::sim

@@ -1,0 +1,326 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/comm_brick.h"
+#include "comm/comm_p2p_mpi.h"
+#include "comm/comm_p2p.h"
+#include "geom/lattice.h"
+#include "md/eam.h"
+#include "md/integrate.h"
+#include "md/lj.h"
+#include "md/neighbor.h"
+#include "md/velocity.h"
+#include "minimpi/runtime.h"
+#include "threadpool/spin_pool.h"
+
+namespace lmp::sim {
+
+const char* variant_name(CommVariant v) {
+  switch (v) {
+    case CommVariant::kRefMpi:
+      return "ref";
+    case CommVariant::kMpiP2p:
+      return "mpi_p2p";
+    case CommVariant::kUtofu3Stage:
+      return "utofu_3stage";
+    case CommVariant::kP2pCoarse4:
+      return "4tni_p2p";
+    case CommVariant::kP2pCoarse6:
+      return "6tni_p2p";
+    case CommVariant::kP2pParallel:
+      return "opt";
+  }
+  return "?";
+}
+
+util::StageTimer JobResult::total_stages() const {
+  util::StageTimer t;
+  for (const auto& r : ranks) t += r.stages;
+  return t;
+}
+
+namespace {
+
+using util::Stage;
+
+/// Shared, read-only job description every rank thread sees.
+struct JobShared {
+  SimOptions opt;
+  geom::FccLattice lattice{1.0};
+  geom::Box global;
+  geom::Decomposition decomp{{1, 1, 1}, geom::Box{{0, 0, 0}, {1, 1, 1}}};
+  std::vector<util::Vec3> positions;   ///< full system
+  std::vector<util::Vec3> velocities;  ///< full system
+  double density = 0.0;
+
+  minimpi::World world;
+  tofu::Network net;
+  comm::AddressBook book;
+
+  std::vector<RankResult> results;
+  std::vector<ThermoSample> thermo;  ///< written by rank 0 only
+
+  explicit JobShared(const SimOptions& o)
+      : opt(o),
+        world(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
+        net(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
+        book(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z) {
+    const md::SimConfig& cfg = o.config;
+    lattice = cfg.units.style == md::UnitStyle::kLj
+                  ? geom::FccLattice::from_density(cfg.lattice_arg)
+                  : geom::FccLattice::from_constant(cfg.lattice_arg);
+    global = lattice.box_for(o.cells.x, o.cells.y, o.cells.z);
+    decomp = geom::Decomposition(o.rank_grid, global);
+    positions = lattice.generate(o.cells.x, o.cells.y, o.cells.z);
+    velocities = md::create_velocities(positions.size(), cfg.t_init, cfg.mass,
+                                       cfg.units, o.seed);
+    density = static_cast<double>(positions.size()) / global.volume();
+    results.resize(static_cast<std::size_t>(decomp.nranks()));
+  }
+};
+
+/// One rank's full verlet driver.
+class RankSim {
+ public:
+  RankSim(JobShared& job, int rank) : job_(job), rank_(rank) {
+    const md::SimConfig& cfg = job.opt.config;
+
+    // --- atoms: capacity from the theoretical upper bound (Sec. 3.4) ---
+    const geom::Box sub = job.decomp.sub_box(rank);
+    const util::Vec3 e = sub.extent();
+    const double rc = cfg.neighbor_cutoff();
+    const double own_vol = sub.volume();
+    const double shell_vol =
+        (e.x + 2 * rc) * (e.y + 2 * rc) * (e.z + 2 * rc) - own_vol;
+    const auto cap = static_cast<int>(
+        (own_vol * 1.5 + shell_vol * 2.0) * job.density + 256);
+    atoms_.reserve_capacity(cap);
+
+    for (std::size_t i = 0; i < job.positions.size(); ++i) {
+      if (job.decomp.owner_of(job.positions[i]) == rank) {
+        atoms_.add_local(job.positions[i], job.velocities[i],
+                         static_cast<std::int64_t>(i));
+      }
+    }
+
+    // --- potential ----------------------------------------------------
+    if (cfg.potential == md::PotentialKind::kLennardJones) {
+      potential_ = std::make_unique<md::LennardJones>(cfg.epsilon, cfg.sigma,
+                                                      cfg.cutoff);
+    } else {
+      // Round-trip through the funcfl text format, as LAMMPS would read
+      // the Cu_u3.eam file.
+      const md::EamTable table =
+          md::parse_funcfl(md::to_funcfl(md::make_cu_like_table(
+              2000, 2000, cfg.cutoff)));
+      potential_ = std::make_unique<md::Eam>(table);
+    }
+
+    // --- communication variant ----------------------------------------
+    comm::CommContext cctx;
+    cctx.decomp = &job.decomp;
+    cctx.rank = rank;
+    cctx.atoms = &atoms_;
+    cctx.sub = sub;
+    cctx.global = job.global;
+    cctx.ghost_cutoff = rc;
+    cctx.newton = cfg.newton;
+    cctx.density = job.density;
+
+    switch (job.opt.comm) {
+      case CommVariant::kRefMpi:
+        comm_ = std::make_unique<comm::CommBrick>(
+            cctx, std::make_unique<comm::MpiBrickTransport>(job.world));
+        break;
+      case CommVariant::kMpiP2p:
+        comm_ = std::make_unique<comm::CommP2pMpi>(cctx, job.world);
+        break;
+      case CommVariant::kUtofu3Stage:
+        comm_ = std::make_unique<comm::CommBrick>(
+            cctx, std::make_unique<comm::UtofuBrickTransport>(job.net, job.book));
+        break;
+      case CommVariant::kP2pCoarse4:
+      case CommVariant::kP2pCoarse6:
+      case CommVariant::kP2pParallel: {
+        comm::P2pOptions popt;
+        popt.use_border_bins = job.opt.use_border_bins;
+        popt.balanced_assignment = job.opt.balanced_assignment;
+        if (job.opt.comm == CommVariant::kP2pCoarse4) {
+          popt.ntnis = 4;
+          popt.comm_threads = 1;
+        } else if (job.opt.comm == CommVariant::kP2pCoarse6) {
+          popt.ntnis = 6;
+          popt.comm_threads = 1;
+        } else {
+          popt.ntnis = 6;
+          popt.comm_threads = 6;
+          pool_ = std::make_unique<pool::SpinThreadPool>(6);
+        }
+        comm_ = std::make_unique<comm::CommP2p>(cctx, job.net, job.book, popt,
+                                                pool_.get());
+        break;
+      }
+    }
+
+    neighbor_ = std::make_unique<md::NeighborBuilder>(rc);
+    integrator_ = std::make_unique<md::VerletNve>(
+        cfg.dt, cfg.mass, 1.0 / cfg.units.mvv2e);
+  }
+
+  void run(int nsteps) {
+    const md::SimConfig& cfg = job_.opt.config;
+
+    comm_->setup();
+    job_.world.barrier(rank_);  // addresses published on every rank
+
+    rebuild();
+    compute_forces();
+
+    for (int step = 1; step <= nsteps; ++step) {
+      {
+        util::ScopedStage s(timer_, Stage::kModify);
+        integrator_->initial_integrate(atoms_);
+      }
+
+      bool do_rebuild = false;
+      if (step % cfg.neigh.every == 0) {
+        if (cfg.neigh.check) {
+          util::ScopedStage s(timer_, Stage::kOther);
+          // "check yes": everyone learns whether any atom anywhere moved
+          // past half the skin (the EAM allreduce the paper highlights).
+          do_rebuild = job_.world.allreduce_lor(rank_, moved_too_far());
+        } else {
+          do_rebuild = true;
+        }
+      }
+
+      if (do_rebuild) {
+        rebuild();
+      } else {
+        util::ScopedStage s(timer_, Stage::kComm);
+        comm_->forward_positions();
+      }
+
+      compute_forces();
+
+      {
+        util::ScopedStage s(timer_, Stage::kModify);
+        integrator_->final_integrate(atoms_);
+      }
+
+      if (step % job_.opt.thermo_every == 0 || step == nsteps) {
+        util::ScopedStage s(timer_, Stage::kOther);
+        record_thermo(step);
+      }
+    }
+
+    RankResult& out = job_.results[static_cast<std::size_t>(rank_)];
+    out.stages = timer_;
+    out.comm = comm_->counters();
+    out.nlocal_final = atoms_.nlocal();
+  }
+
+ private:
+  void rebuild() {
+    {
+      util::ScopedStage s(timer_, Stage::kComm);
+      atoms_.clear_ghosts();
+      comm_->exchange();
+      comm_->borders();
+    }
+    {
+      util::ScopedStage s(timer_, Stage::kNeigh);
+      const md::SimConfig& cfg = job_.opt.config;
+      list_ = cfg.newton
+                  ? neighbor_->build_half(
+                        atoms_, job_.opt.comm == CommVariant::kRefMpi ||
+                                        job_.opt.comm == CommVariant::kUtofu3Stage
+                                    ? md::HalfRule::kCoordTieBreak
+                                    : md::HalfRule::kAllGhosts)
+                  : neighbor_->build_full(atoms_);
+      snapshot_positions();
+    }
+  }
+
+  void compute_forces() {
+    {
+      // EAM's mid-pair rho/fp exchanges happen inside compute() and are
+      // therefore charged to Pair, matching the paper's accounting.
+      util::ScopedStage s(timer_, Stage::kPair);
+      atoms_.zero_forces();
+      last_force_ = potential_->compute(atoms_, list_, job_.opt.config.newton,
+                                        comm_.get());
+    }
+    if (job_.opt.config.newton) {
+      // Ghost-force return is a Comm-stage cost in LAMMPS accounting.
+      util::ScopedStage r(timer_, Stage::kComm);
+      comm_->reverse_forces();
+    }
+  }
+
+  bool moved_too_far() const {
+    const double half_skin = 0.5 * job_.opt.config.skin;
+    const double lim2 = half_skin * half_skin;
+    const double* x = atoms_.x();
+    for (int i = 0; i < atoms_.nlocal(); ++i) {
+      const double dx = x[3 * i] - hold_[static_cast<std::size_t>(3 * i)];
+      const double dy = x[3 * i + 1] - hold_[static_cast<std::size_t>(3 * i + 1)];
+      const double dz = x[3 * i + 2] - hold_[static_cast<std::size_t>(3 * i + 2)];
+      if (dx * dx + dy * dy + dz * dz > lim2) return true;
+    }
+    return false;
+  }
+
+  void snapshot_positions() {
+    hold_.assign(atoms_.x(), atoms_.x() + 3 * atoms_.nlocal());
+  }
+
+  void record_thermo(int step) {
+    const md::ThermoPartials local = md::local_thermo(
+        atoms_, job_.opt.config.mass, last_force_.energy, last_force_.virial);
+    md::ThermoPartials global;
+    global.ke_sum = job_.world.allreduce_sum(rank_, local.ke_sum);
+    global.pe = job_.world.allreduce_sum(rank_, local.pe);
+    global.virial = job_.world.allreduce_sum(rank_, local.virial);
+    global.natoms = job_.world.allreduce_sum(
+        rank_, static_cast<std::int64_t>(local.natoms));
+    const md::ThermoState state =
+        md::reduce_thermo(global, job_.opt.config.units, job_.global.volume());
+    if (rank_ == 0) job_.thermo.push_back({step, state});
+  }
+
+  JobShared& job_;
+  int rank_;
+  md::Atoms atoms_;
+  std::unique_ptr<md::Potential> potential_;
+  std::unique_ptr<comm::Comm> comm_;
+  std::unique_ptr<pool::SpinThreadPool> pool_;
+  std::unique_ptr<md::NeighborBuilder> neighbor_;
+  std::unique_ptr<md::VerletNve> integrator_;
+  md::NeighborList list_;
+  md::ForceResult last_force_;
+  std::vector<double> hold_;
+  util::StageTimer timer_;
+};
+
+}  // namespace
+
+JobResult run_simulation(const SimOptions& options, int nsteps) {
+  JobShared job(options);
+  minimpi::run_ranks(job.decomp.nranks(), [&](int rank) {
+    RankSim sim(job, rank);
+    sim.run(nsteps);
+  });
+
+  JobResult out;
+  out.ranks = std::move(job.results);
+  out.thermo = std::move(job.thermo);
+  out.natoms = static_cast<long>(job.positions.size());
+  out.volume = job.global.volume();
+  return out;
+}
+
+}  // namespace lmp::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/address_book.h"
+#include "comm/comm_base.h"
+#include "md/config.h"
+#include "md/thermo.h"
+#include "minimpi/world.h"
+#include "tofu/network.h"
+#include "util/timer.h"
+#include "util/vec3.h"
+
+namespace lmp::sim {
+
+/// The communication implementations evaluated step by step in the
+/// paper's Fig. 12 (and the artifact's five project variants).
+enum class CommVariant {
+  kRefMpi,       ///< `ref`: baseline LAMMPS 3-stage over MPI
+  kMpiP2p,       ///< naive p2p over the MPI stack (Fig. 6's cautionary tale)
+  kUtofu3Stage,  ///< `utofu_3stage`
+  kP2pCoarse4,   ///< `4tni_p2p`: single thread, 4 TNIs
+  kP2pCoarse6,   ///< `6tni_p2p`: single thread, 6 TNIs
+  kP2pParallel,  ///< `opt`: thread pool, 6 TNIs
+};
+
+const char* variant_name(CommVariant v);
+
+struct SimOptions {
+  md::SimConfig config = md::SimConfig::lj_melt();
+  util::Int3 cells{5, 5, 5};      ///< fcc cells per axis (4 atoms each)
+  util::Int3 rank_grid{1, 1, 1};  ///< MPI-rank decomposition
+  CommVariant comm = CommVariant::kP2pParallel;
+  std::uint64_t seed = 12345;
+  int thermo_every = 10;
+  /// Ablation switches (forwarded to the p2p engine).
+  bool use_border_bins = true;
+  bool balanced_assignment = true;
+};
+
+/// One thermo sample (identical on every rank after the reduction).
+struct ThermoSample {
+  int step = 0;
+  md::ThermoState state;
+};
+
+/// Per-rank outcome of a run.
+struct RankResult {
+  util::StageTimer stages;
+  comm::CommCounters comm;
+  int nlocal_final = 0;
+};
+
+/// Whole-job outcome.
+struct JobResult {
+  std::vector<RankResult> ranks;
+  std::vector<ThermoSample> thermo;  ///< global series (rank 0's copy)
+  long natoms = 0;
+  double volume = 0.0;
+
+  util::StageTimer total_stages() const;
+};
+
+/// Runs one MD job: builds the FCC system, decomposes it over
+/// rank_grid ranks (each a thread sharing a simulated TofuD network),
+/// and integrates `nsteps` with the selected communication variant.
+///
+/// The LAMMPS verlet loop is followed exactly — initial integrate,
+/// neighbor-rebuild decision (`every N check yes|no`, with the global
+/// allreduce for `check yes`), exchange/borders/neighbor or forward,
+/// pair (with EAM mid-pair comm), reverse, final integrate, thermo.
+JobResult run_simulation(const SimOptions& options, int nsteps);
+
+}  // namespace lmp::sim

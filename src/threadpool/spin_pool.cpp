@@ -1,0 +1,96 @@
+#include "threadpool/spin_pool.h"
+
+#include <stdexcept>
+
+namespace lmp::pool {
+
+namespace {
+/// Spin briefly, then yield — the pool must stay responsive even when the
+/// host has fewer hardware threads than pool workers.
+inline void relax(int& polls) {
+  if (++polls < 64) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    polls = 0;
+    std::this_thread::yield();
+  }
+}
+}  // namespace
+
+SpinThreadPool::SpinThreadPool(int nthreads) : nthreads_(nthreads) {
+  if (nthreads < 1) throw std::invalid_argument("pool needs >= 1 thread");
+  workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+  for (int t = 1; t < nthreads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+SpinThreadPool::~SpinThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+  for (auto& w : workers_) w.join();
+}
+
+void SpinThreadPool::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  int polls = 0;
+  for (;;) {
+    while (generation_.load(std::memory_order_acquire) == seen) {
+      relax(polls);
+    }
+    seen = generation_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+
+    if (job_.dynamic) {
+      for (;;) {
+        const int i = job_.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_.nwork) break;
+        (*job_.fn)(i);
+      }
+    } else if (tid < job_.nwork) {
+      (*job_.fn)(tid);
+    }
+    outstanding_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void SpinThreadPool::run_generation() {
+  outstanding_.store(nthreads_ - 1, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+
+  // The caller is worker 0.
+  if (job_.dynamic) {
+    for (;;) {
+      const int i = job_.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_.nwork) break;
+      (*job_.fn)(i);
+    }
+  } else if (job_.nwork > 0) {
+    (*job_.fn)(0);
+  }
+
+  int polls = 0;
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    relax(polls);
+  }
+}
+
+void SpinThreadPool::parallel(int nwork, const std::function<void(int)>& fn) {
+  if (nwork <= 0) return;
+  job_.fn = &fn;
+  job_.next.store(0, std::memory_order_relaxed);
+  job_.nwork = nwork;
+  job_.dynamic = true;
+  run_generation();
+}
+
+void SpinThreadPool::parallel_static(const std::function<void(int)>& fn) {
+  job_.fn = &fn;
+  job_.nwork = nthreads_;
+  job_.dynamic = false;
+  run_generation();
+}
+
+}  // namespace lmp::pool

@@ -1,0 +1,25 @@
+#include "tofu/coords.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lmp::tofu {
+
+std::string TofuCoord::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%d,%d,%d,%d,%d,%d)", v[0], v[1], v[2], v[3],
+                v[4], v[5]);
+  return buf;
+}
+
+int AxisShape::axis_hops(Axis ax, int u, int v) const {
+  const int n = size_of(ax);
+  int d = std::abs(u - v);
+  if (is_torus(ax) && n > 1) {
+    d = std::min(d, n - d);
+  }
+  return d;
+}
+
+}  // namespace lmp::tofu

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/vec3.h"
+
+namespace lmp::tofu {
+
+/// The six TofuD axes. X/Y/Z connect cells; A/B/C address the 2x3x2
+/// nodes inside a cell. B is a torus of size 3; A and C are 2-node
+/// meshes (each node pair is directly linked, so hop distance is |d|).
+enum class Axis : int { kX = 0, kY, kZ, kA, kB, kC, kCount };
+
+constexpr int kAxisCount = static_cast<int>(Axis::kCount);
+
+/// 6D TofuD node coordinate (x, y, z, a, b, c).
+struct TofuCoord {
+  std::array<int, kAxisCount> v{};
+
+  int& operator[](Axis ax) { return v[static_cast<int>(ax)]; }
+  int operator[](Axis ax) const { return v[static_cast<int>(ax)]; }
+  bool operator==(const TofuCoord&) const = default;
+
+  std::string to_string() const;
+};
+
+/// Extent and wrap behaviour of the six axes for a (possibly partial)
+/// TofuD allocation. X/Y/Z sizes come from the job allocation shape; the
+/// intra-cell axes are fixed at 2 x 3 x 2.
+struct AxisShape {
+  std::array<int, kAxisCount> size{1, 1, 1, 2, 3, 2};
+  /// Torus (wrap-around) per axis. On Fugaku X/Y/Z/B are tori, A/C are
+  /// meshes; a mesh axis of size 2 still has hop distance <= 1.
+  std::array<bool, kAxisCount> torus{true, true, true, false, true, false};
+
+  int size_of(Axis ax) const { return size[static_cast<int>(ax)]; }
+  bool is_torus(Axis ax) const { return torus[static_cast<int>(ax)]; }
+
+  long total_nodes() const {
+    long n = 1;
+    for (int s : size) n *= s;
+    return n;
+  }
+
+  /// Hop distance along one axis between coordinates u and v.
+  int axis_hops(Axis ax, int u, int v) const;
+};
+
+}  // namespace lmp::tofu

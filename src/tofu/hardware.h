@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lmp::tofu {
+
+/// Hardware constants of the Fugaku node and TofuD interconnect, as
+/// published in the paper (Sec. 2.2) and the TofuD paper [Ajima et al.,
+/// CLUSTER'18]. The functional transport uses the structural constants
+/// (TNI/CQ counts); the performance model uses the timing constants.
+struct Hardware {
+  // --- A64FX node ---------------------------------------------------
+  static constexpr int kCmgsPerNode = 4;        ///< core memory groups
+  static constexpr int kComputeCoresPerCmg = 12;
+  static constexpr int kAssistantCoresPerCmg = 1;
+  static constexpr int kComputeCoresPerNode = kCmgsPerNode * kComputeCoresPerCmg;
+  static constexpr double kHbmBandwidthPerCmg = 256e9;  ///< B/s
+  static constexpr double kHbmCapacityPerCmg = 8e9;     ///< B
+  /// 512-bit SVE, 32 DP flops per core per cycle at 2.2 GHz.
+  static constexpr double kFlopsPerCorePerCycle = 32.0;
+  static constexpr double kClockHz = 2.2e9;
+
+  // --- TofuD interconnect -------------------------------------------
+  static constexpr int kTnisPerNode = 6;   ///< independent network interfaces
+  static constexpr int kCqsPerTni = 9;     ///< control queues per TNI
+  static constexpr int kPortsPerNode = 10; ///< physical router ports
+  static constexpr double kPortRate = 112e9 / 8;      ///< B/s bidirectional
+  static constexpr double kLinkBandwidth = 6.8e9;     ///< B/s injection per link
+  static constexpr double kPutLatency = 0.49e-6;      ///< s, minimal RDMA put
+  static constexpr double kHopLatency = 0.10e-6;      ///< s per additional hop
+
+  // --- Fugaku full-machine shape ------------------------------------
+  /// 24 x 23 x 24 cells of 2 x 3 x 2 nodes = 158,976 nodes.
+  static constexpr int kCellsX = 24;
+  static constexpr int kCellsY = 23;
+  static constexpr int kCellsZ = 24;
+  static constexpr int kNodesPerCell = 12;
+  static constexpr int kTotalNodes = kCellsX * kCellsY * kCellsZ * kNodesPerCell;
+
+  /// The paper launches 4 MPI ranks per node (one per CMG, Sec. 3.2).
+  static constexpr int kRanksPerNode = 4;
+  static constexpr int kThreadsPerRank = 12;
+};
+
+}  // namespace lmp::tofu

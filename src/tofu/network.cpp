@@ -1,0 +1,184 @@
+#include "tofu/network.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace lmp::tofu {
+
+Network::Network(int nprocs, int tnis, int cqs)
+    : nprocs_(nprocs), tnis_(tnis), cqs_(cqs) {
+  if (nprocs < 1 || tnis < 1 || cqs < 1) {
+    throw std::invalid_argument("network shape must be >= 1 everywhere");
+  }
+  regions_.resize(static_cast<std::size_t>(nprocs));
+}
+
+Stadd Network::reg_mem(int proc, void* base, std::size_t len) {
+  if (proc < 0 || proc >= nprocs_) throw std::out_of_range("proc");
+  if (base == nullptr || len == 0) throw std::invalid_argument("empty region");
+  std::lock_guard lock(registry_mu_);
+  const Stadd stadd = next_stadd_++;
+  regions_[static_cast<std::size_t>(proc)][stadd] = {static_cast<std::byte*>(base), len};
+  stats_.registrations.fetch_add(1, std::memory_order_relaxed);
+  return stadd;
+}
+
+void Network::dereg_mem(int proc, Stadd stadd) {
+  if (proc < 0 || proc >= nprocs_) throw std::out_of_range("proc");
+  std::lock_guard lock(registry_mu_);
+  if (regions_[static_cast<std::size_t>(proc)].erase(stadd) == 0) {
+    throw std::invalid_argument("deregistering unknown stadd");
+  }
+  stats_.deregistrations.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::byte* Network::resolve(int proc, Stadd stadd, std::uint64_t offset,
+                            std::uint64_t length) const {
+  if (proc < 0 || proc >= nprocs_) throw std::out_of_range("proc");
+  std::lock_guard lock(registry_mu_);
+  const auto& map = regions_[static_cast<std::size_t>(proc)];
+  const auto it = map.find(stadd);
+  if (it == map.end()) throw std::invalid_argument("unknown stadd");
+  if (offset + length > it->second.len) {
+    throw std::out_of_range("RDMA access beyond registered region");
+  }
+  return it->second.base + offset;
+}
+
+VcqId Network::create_vcq(int proc, int tni, int cq) {
+  if (proc < 0 || proc >= nprocs_) throw std::out_of_range("proc");
+  if (tni < 0 || tni >= tnis_) throw std::out_of_range("tni");
+  if (cq < 0 || cq >= cqs_) throw std::out_of_range("cq");
+  std::lock_guard lock(vcq_mu_);
+  for (const auto& v : vcqs_) {
+    if (v->active && v->proc == proc && v->tni == tni && v->cq == cq) {
+      throw std::invalid_argument("CQ already bound to a VCQ");
+    }
+  }
+  auto vcq = std::make_unique<Vcq>();
+  vcq->proc = proc;
+  vcq->tni = tni;
+  vcq->cq = cq;
+  vcq->active = true;
+  vcqs_.push_back(std::move(vcq));
+  return static_cast<VcqId>(vcqs_.size() - 1);
+}
+
+void Network::free_vcq(VcqId id) {
+  std::lock_guard lock(vcq_mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= vcqs_.size() || !vcqs_[static_cast<std::size_t>(id)]->active) {
+    throw std::invalid_argument("freeing unknown VCQ");
+  }
+  vcqs_[static_cast<std::size_t>(id)]->active = false;
+}
+
+Network::Vcq& Network::vcq_checked(VcqId id) {
+  std::lock_guard lock(vcq_mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= vcqs_.size() || !vcqs_[static_cast<std::size_t>(id)]->active) {
+    throw std::invalid_argument("unknown VCQ");
+  }
+  return *vcqs_[static_cast<std::size_t>(id)];
+}
+
+const Network::Vcq& Network::vcq_checked(VcqId id) const {
+  return const_cast<Network*>(this)->vcq_checked(id);
+}
+
+int Network::proc_of(VcqId id) const { return vcq_checked(id).proc; }
+int Network::tni_of(VcqId id) const { return vcq_checked(id).tni; }
+
+void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
+                  std::uint64_t src_off, Stadd dst_stadd, std::uint64_t dst_off,
+                  std::uint64_t length, std::uint64_t edata) {
+  Vcq& src = vcq_checked(src_vcq);
+  Vcq& dst = vcq_checked(dst_vcq);
+
+  if (length > 0) {
+    const std::byte* from = resolve(src.proc, src_stadd, src_off, length);
+    std::byte* to = resolve(dst.proc, dst_stadd, dst_off, length);
+    std::memcpy(to, from, length);
+  }
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_put.fetch_add(length, std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(dst.mu);
+    dst.mrq.push_back({dst_stadd, dst_off, length, edata, src.proc});
+  }
+  {
+    std::lock_guard lock(src.mu);
+    src.tcq.push_back({edata});
+  }
+}
+
+void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata) {
+  Vcq& src = vcq_checked(src_vcq);
+  Vcq& dst = vcq_checked(dst_vcq);
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(dst.mu);
+    dst.mrq.push_back({0, 0, 0, edata, src.proc});
+  }
+  {
+    std::lock_guard lock(src.mu);
+    src.tcq.push_back({edata});
+  }
+}
+
+void Network::get(VcqId src_vcq, VcqId dst_vcq, Stadd remote_stadd,
+                  std::uint64_t remote_off, Stadd local_stadd,
+                  std::uint64_t local_off, std::uint64_t length) {
+  Vcq& src = vcq_checked(src_vcq);
+  Vcq& dst = vcq_checked(dst_vcq);
+  if (length > 0) {
+    const std::byte* from = resolve(dst.proc, remote_stadd, remote_off, length);
+    std::byte* to = resolve(src.proc, local_stadd, local_off, length);
+    std::memcpy(to, from, length);
+  }
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_put.fetch_add(length, std::memory_order_relaxed);
+  std::lock_guard lock(src.mu);
+  src.tcq.push_back({0});
+}
+
+std::optional<TcqEntry> Network::poll_tcq(VcqId id) {
+  Vcq& v = vcq_checked(id);
+  std::lock_guard lock(v.mu);
+  if (v.tcq.empty()) return std::nullopt;
+  TcqEntry e = v.tcq.front();
+  v.tcq.pop_front();
+  return e;
+}
+
+std::optional<MrqEntry> Network::poll_mrq(VcqId id) {
+  Vcq& v = vcq_checked(id);
+  std::lock_guard lock(v.mu);
+  if (v.mrq.empty()) return std::nullopt;
+  MrqEntry e = v.mrq.front();
+  v.mrq.pop_front();
+  return e;
+}
+
+TcqEntry Network::wait_tcq(VcqId id) {
+  for (;;) {
+    if (auto e = poll_tcq(id)) return *e;
+    std::this_thread::yield();
+  }
+}
+
+MrqEntry Network::wait_mrq(VcqId id) {
+  for (;;) {
+    if (auto e = poll_mrq(id)) return *e;
+    std::this_thread::yield();
+  }
+}
+
+void Network::reset_stats() {
+  stats_.puts = 0;
+  stats_.bytes_put = 0;
+  stats_.registrations = 0;
+  stats_.deregistrations = 0;
+}
+
+}  // namespace lmp::tofu

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace lmp::tofu {
+
+/// STADD — a registered-memory handle, as in uTofu. Offsets into the
+/// registered region address bytes within it.
+using Stadd = std::uint64_t;
+
+/// Globally unique VCQ identity. Senders address remote VCQs by id, the
+/// ids having been exchanged out-of-band during setup (exactly as real
+/// uTofu applications exchange `utofu_vcq_id_t`s).
+using VcqId = std::int32_t;
+
+inline constexpr VcqId kInvalidVcq = -1;
+
+/// TCQ entry: local completion of a put issued from this VCQ.
+struct TcqEntry {
+  std::uint64_t edata = 0;
+};
+
+/// MRQ entry: remote-write notice at the destination VCQ, carrying the
+/// 8-byte piggyback `edata` from the descriptor (paper Sec. 3.4 uses it
+/// to ship ghost-offset values without a payload buffer).
+struct MrqEntry {
+  Stadd stadd = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t edata = 0;
+  std::int32_t src_proc = -1;
+};
+
+/// Counters for ablation benches and tests (how many registrations did a
+/// run perform? how many bytes crossed the fabric?).
+struct NetworkStats {
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> bytes_put{0};
+  std::atomic<std::uint64_t> registrations{0};
+  std::atomic<std::uint64_t> deregistrations{0};
+};
+
+/// Functional in-process model of the TofuD fabric.
+///
+/// One `Network` is shared by all simulated ranks of a job. It really
+/// moves bytes: `put` memcpys from the source registered region into the
+/// destination registered region, then posts a TCQ completion at the
+/// sender VCQ and an MRQ notice at the destination VCQ. All timing is
+/// handled separately by the performance model — this class provides
+/// *semantics* (and the registration/queue discipline the paper's
+/// optimizations are built on).
+///
+/// Thread-safety: the registry is internally synchronized; each VCQ's
+/// queues are mutex-protected so remote ranks can post concurrently.
+/// Like real CQs, a single VCQ must only be *driven* (puts issued,
+/// completions polled) by one thread at a time — the fine-grained comm
+/// layer assigns disjoint VCQs to its pool threads for this reason.
+class Network {
+ public:
+  /// `nprocs` communication endpoints ("ranks"). Each endpoint owns
+  /// `tnis` TNIs with `cqs` control queues each (TofuD: 6 x 9).
+  explicit Network(int nprocs, int tnis = 6, int cqs = 9);
+
+  int nprocs() const { return nprocs_; }
+  int tnis() const { return tnis_; }
+  int cqs_per_tni() const { return cqs_; }
+
+  // --- memory registration ------------------------------------------
+  /// Register [base, base+len) of `proc` and return its STADD. Real
+  /// registration pins pages via a syscall; the performance model charges
+  /// `perf::Calibration::t_reg_per_call` for each of these events.
+  Stadd reg_mem(int proc, void* base, std::size_t len);
+  void dereg_mem(int proc, Stadd stadd);
+
+  /// Resolve a proc-local STADD to host memory (bounds-checked).
+  std::byte* resolve(int proc, Stadd stadd, std::uint64_t offset,
+                     std::uint64_t length) const;
+
+  // --- VCQ lifecycle --------------------------------------------------
+  /// Create a VCQ on (proc, tni, cq). Throws if that CQ is already bound
+  /// (hardware CQs are exclusive — paper Sec. 3.3).
+  VcqId create_vcq(int proc, int tni, int cq);
+  void free_vcq(VcqId id);
+  int proc_of(VcqId id) const;
+  int tni_of(VcqId id) const;
+
+  // --- one-sided operations -------------------------------------------
+  /// RDMA put: copy `length` bytes from (src_stadd+src_off) of the VCQ's
+  /// proc into (dst_stadd+dst_off) of the destination VCQ's proc. Posts a
+  /// TCQ entry locally and an MRQ entry (carrying `edata`) remotely.
+  void put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd, std::uint64_t src_off,
+           Stadd dst_stadd, std::uint64_t dst_off, std::uint64_t length,
+           std::uint64_t edata = 0);
+
+  /// Piggyback-only put: delivers just the 8-byte `edata` through the MRQ
+  /// descriptor, no buffer write (paper Sec. 3.4's offset exchange).
+  void put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata);
+
+  /// RDMA get: copy from the remote region into the local region; posts a
+  /// TCQ entry locally when "complete" (no remote MRQ, as in TofuD gets).
+  void get(VcqId src_vcq, VcqId dst_vcq, Stadd remote_stadd,
+           std::uint64_t remote_off, Stadd local_stadd, std::uint64_t local_off,
+           std::uint64_t length);
+
+  // --- completion polling ----------------------------------------------
+  std::optional<TcqEntry> poll_tcq(VcqId id);
+  std::optional<MrqEntry> poll_mrq(VcqId id);
+
+  /// Blocking variants (spin with yield — the host may have fewer cores
+  /// than simulated ranks).
+  TcqEntry wait_tcq(VcqId id);
+  MrqEntry wait_mrq(VcqId id);
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats();
+
+ private:
+  struct Region {
+    std::byte* base = nullptr;
+    std::size_t len = 0;
+  };
+  struct Vcq {
+    int proc = -1;
+    int tni = -1;
+    int cq = -1;
+    bool active = false;
+    std::mutex mu;
+    std::deque<TcqEntry> tcq;
+    std::deque<MrqEntry> mrq;
+  };
+
+  Vcq& vcq_checked(VcqId id);
+  const Vcq& vcq_checked(VcqId id) const;
+
+  int nprocs_;
+  int tnis_;
+  int cqs_;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unordered_map<Stadd, Region>> regions_;  // per proc
+  std::uint64_t next_stadd_ = 1;
+
+  mutable std::mutex vcq_mu_;
+  std::vector<std::unique_ptr<Vcq>> vcqs_;
+
+  NetworkStats stats_;
+};
+
+}  // namespace lmp::tofu

@@ -1,0 +1,168 @@
+#include "tofu/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tofu/hardware.h"
+
+namespace lmp::tofu {
+
+Topology::Topology(int cells_x, int cells_y, int cells_z)
+    : cells_{cells_x, cells_y, cells_z} {
+  if (cells_x < 1 || cells_y < 1 || cells_z < 1) {
+    throw std::invalid_argument("cell counts must be >= 1");
+  }
+  if (cells_x > Hardware::kCellsX || cells_y > Hardware::kCellsY ||
+      cells_z > Hardware::kCellsZ) {
+    throw std::invalid_argument("allocation exceeds the Fugaku machine shape");
+  }
+  shape_.size = {cells_x, cells_y, cells_z, 2, 3, 2};
+  // A sub-allocation smaller than the full machine does not wrap on the
+  // cell axes (torus links exist only machine-wide); the intra-cell B axis
+  // is always a 3-torus.
+  shape_.torus = {cells_x == Hardware::kCellsX, cells_y == Hardware::kCellsY,
+                  cells_z == Hardware::kCellsZ, false, true, false};
+}
+
+Topology Topology::for_nodes(long nodes) {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  // Grow a near-cubic cell allocation until it covers the request.
+  int cx = 1, cy = 1, cz = 1;
+  auto total = [&] { return static_cast<long>(cx) * cy * cz * Hardware::kNodesPerCell; };
+  int turn = 0;
+  while (total() < nodes) {
+    switch (turn % 3) {
+      case 0:
+        if (cx < Hardware::kCellsX) ++cx;
+        break;
+      case 1:
+        if (cy < Hardware::kCellsY) ++cy;
+        break;
+      default:
+        if (cz < Hardware::kCellsZ) ++cz;
+        break;
+    }
+    ++turn;
+    if (turn > 3 * (Hardware::kCellsX + Hardware::kCellsY + Hardware::kCellsZ) &&
+        total() < nodes) {
+      throw std::invalid_argument("request exceeds the full machine");
+    }
+  }
+  return Topology(cx, cy, cz);
+}
+
+TofuCoord Topology::coord_of(long node) const {
+  if (node < 0 || node >= nnodes()) throw std::out_of_range("node id");
+  TofuCoord c;
+  long rest = node;
+  // Order: c fastest, then b, a, x, y, z — matches node_of below.
+  c[Axis::kC] = static_cast<int>(rest % 2);
+  rest /= 2;
+  c[Axis::kB] = static_cast<int>(rest % 3);
+  rest /= 3;
+  c[Axis::kA] = static_cast<int>(rest % 2);
+  rest /= 2;
+  c[Axis::kX] = static_cast<int>(rest % cells_.x);
+  rest /= cells_.x;
+  c[Axis::kY] = static_cast<int>(rest % cells_.y);
+  rest /= cells_.y;
+  c[Axis::kZ] = static_cast<int>(rest);
+  return c;
+}
+
+long Topology::node_of(const TofuCoord& c) const {
+  for (int ax = 0; ax < kAxisCount; ++ax) {
+    if (c.v[ax] < 0 || c.v[ax] >= shape_.size[ax]) {
+      throw std::out_of_range("tofu coordinate out of allocation");
+    }
+  }
+  long id = c[Axis::kZ];
+  id = id * cells_.y + c[Axis::kY];
+  id = id * cells_.x + c[Axis::kX];
+  id = id * 2 + c[Axis::kA];
+  id = id * 3 + c[Axis::kB];
+  id = id * 2 + c[Axis::kC];
+  return id;
+}
+
+int Topology::hops(long u, long v) const {
+  const TofuCoord cu = coord_of(u);
+  const TofuCoord cv = coord_of(v);
+  int h = 0;
+  for (int ax = 0; ax < kAxisCount; ++ax) {
+    h += shape_.axis_hops(static_cast<Axis>(ax), cu.v[ax], cv.v[ax]);
+  }
+  return h;
+}
+
+std::vector<long> Topology::map_md_grid(Int3 md) const {
+  if (md.x < 1 || md.y < 1 || md.z < 1) {
+    throw std::invalid_argument("MD grid must be >= 1 per axis");
+  }
+  if (md.x > 2 * cells_.x || md.y > 3 * cells_.y || md.z > 2 * cells_.z) {
+    throw std::invalid_argument("MD grid does not fit the allocation");
+  }
+  std::vector<long> mapping(static_cast<std::size_t>(md.x) * md.y * md.z);
+  for (int k = 0; k < md.z; ++k) {
+    for (int j = 0; j < md.y; ++j) {
+      for (int i = 0; i < md.x; ++i) {
+        TofuCoord c;
+        c[Axis::kX] = i / 2;
+        c[Axis::kA] = i % 2;
+        c[Axis::kY] = j / 3;
+        c[Axis::kB] = j % 3;
+        c[Axis::kZ] = k / 2;
+        c[Axis::kC] = k % 2;
+        mapping[static_cast<std::size_t>(i) +
+                static_cast<std::size_t>(md.x) * (j + static_cast<std::size_t>(md.y) * k)] =
+            node_of(c);
+      }
+    }
+  }
+  return mapping;
+}
+
+std::vector<long> Topology::map_linear(Int3 md) const {
+  const long n = static_cast<long>(md.x) * md.y * md.z;
+  if (n > nnodes()) throw std::invalid_argument("MD grid exceeds allocation");
+  std::vector<long> mapping(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) mapping[static_cast<std::size_t>(i)] = i;
+  return mapping;
+}
+
+MappingStats Topology::adjacency_stats(Int3 md,
+                                       const std::vector<long>& mapping) const {
+  const auto idx = [&](int i, int j, int k) {
+    auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+    return static_cast<std::size_t>(wrap(i, md.x)) +
+           static_cast<std::size_t>(md.x) *
+               (wrap(j, md.y) + static_cast<std::size_t>(md.y) * wrap(k, md.z));
+  };
+  MappingStats s;
+  double hop_sum = 0.0;
+  for (int k = 0; k < md.z; ++k) {
+    for (int j = 0; j < md.y; ++j) {
+      for (int i = 0; i < md.x; ++i) {
+        const long u = mapping[idx(i, j, k)];
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const long v = mapping[idx(i + dx, j + dy, k + dz)];
+              if (u == v) continue;  // wrapped onto itself on a tiny grid
+              const int h = hops(u, v);
+              hop_sum += h;
+              s.max_hops_between_adjacent = std::max(s.max_hops_between_adjacent, h);
+              ++s.pairs;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (s.pairs > 0) s.avg_hops_between_adjacent = hop_sum / static_cast<double>(s.pairs);
+  return s;
+}
+
+}  // namespace lmp::tofu

@@ -1,0 +1,77 @@
+#include "tofu/utofu.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lmp::tofu {
+
+RegisteredBuffer::RegisteredBuffer(Network& net, int proc, std::size_t bytes)
+    : net_(&net), proc_(proc), storage_(bytes) {
+  if (bytes == 0) throw std::invalid_argument("zero-size registered buffer");
+  stadd_ = net_->reg_mem(proc_, storage_.data(), storage_.size());
+}
+
+RegisteredBuffer::~RegisteredBuffer() { release(); }
+
+RegisteredBuffer::RegisteredBuffer(RegisteredBuffer&& o) noexcept
+    : net_(std::exchange(o.net_, nullptr)),
+      proc_(o.proc_),
+      storage_(std::move(o.storage_)),
+      stadd_(std::exchange(o.stadd_, 0)) {}
+
+RegisteredBuffer& RegisteredBuffer::operator=(RegisteredBuffer&& o) noexcept {
+  if (this != &o) {
+    release();
+    net_ = std::exchange(o.net_, nullptr);
+    proc_ = o.proc_;
+    storage_ = std::move(o.storage_);
+    stadd_ = std::exchange(o.stadd_, 0);
+  }
+  return *this;
+}
+
+void RegisteredBuffer::release() {
+  if (net_ != nullptr && stadd_ != 0) {
+    net_->dereg_mem(proc_, stadd_);
+    stadd_ = 0;
+    net_ = nullptr;
+  }
+}
+
+void RegisteredBuffer::grow(std::size_t new_bytes) {
+  if (!valid()) throw std::logic_error("grow on invalid buffer");
+  if (new_bytes <= storage_.size()) return;
+  Network& net = *net_;
+  const int proc = proc_;
+  net.dereg_mem(proc, stadd_);
+  storage_.resize(new_bytes);
+  stadd_ = net.reg_mem(proc, storage_.data(), storage_.size());
+}
+
+VcqId UtofuContext::create_vcq(int tni, int cq) {
+  const VcqId id = net_->create_vcq(proc_, tni, cq);
+  owned_.push_back(id);
+  return id;
+}
+
+std::vector<VcqId> UtofuContext::create_vcq_per_tni(int cq_row) {
+  std::vector<VcqId> ids;
+  ids.reserve(static_cast<std::size_t>(net_->tnis()));
+  for (int t = 0; t < net_->tnis(); ++t) {
+    ids.push_back(create_vcq(t, cq_row));
+  }
+  return ids;
+}
+
+UtofuContext::~UtofuContext() {
+  for (const VcqId id : owned_) {
+    try {
+      net_->free_vcq(id);
+    } catch (...) {
+      // Destructor must not throw; a double-free here indicates a test
+      // tearing down the network first, which is harmless.
+    }
+  }
+}
+
+}  // namespace lmp::tofu

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lmp::util {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation between order stats).
+/// `p` in [0, 100]. The input span is copied; the original is untouched.
+double percentile(std::span<const double> xs, double p);
+
+/// Mean of a sample set; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Maximum relative deviation |a-b| / max(|a|,|b|,eps) over paired series.
+/// Used by accuracy tests comparing reference and optimized trajectories.
+double max_rel_deviation(std::span<const double> a, std::span<const double> b);
+
+/// Linear-regression slope of y against x (least squares).
+/// Used to check weak-scaling linearity in fig14.
+double regression_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace lmp::util

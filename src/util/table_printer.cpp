@@ -1,0 +1,96 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lmp::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  // Allow a trailing SI suffix or unit-ish tail of at most 2 chars.
+  return end != s.c_str() && (end - s.c_str()) + 2 >= static_cast<long>(s.size());
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = width[c] - row[c].size();
+      out << "| ";
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+      out << ' ';
+    }
+    out << "|\n";
+  };
+
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << '|' << std::string(width[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::cout << to_string(); }
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  const double mag = std::fabs(v);
+  if (mag >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (mag >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (mag >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+}  // namespace lmp::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lmp::util {
+
+/// Fixed-width console table used by every bench binary so that the
+/// reproduced tables/figures print with a uniform, diff-friendly layout.
+///
+///   TablePrinter t({"pattern", "msg_size", "hops", "time(us)"});
+///   t.add_row({"3-stage", "a^2 r", "1", "1.23"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to a string (header, separator, rows), columns padded to the
+  /// widest cell. Cells that parse as numbers are right-aligned.
+  std::string to_string() const;
+
+  /// Convenience: to_string() to stdout.
+  void print() const;
+
+  /// Format helpers shared by benches.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_si(double v, int precision = 3);  // 1.2k / 3.4M / 5.6G
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lmp::util

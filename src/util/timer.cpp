@@ -1,0 +1,23 @@
+#include "util/timer.h"
+
+namespace lmp::util {
+
+std::string_view stage_name(Stage s) {
+  switch (s) {
+    case Stage::kPair:
+      return "Pair";
+    case Stage::kNeigh:
+      return "Neigh";
+    case Stage::kComm:
+      return "Comm";
+    case Stage::kModify:
+      return "Modify";
+    case Stage::kOther:
+      return "Other";
+    case Stage::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace lmp::util

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace lmp::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// The five LAMMPS timing stages reported in the paper's Table 3.
+///
+/// Pair    — pair-force evaluation (incl. mid-pair EAM communication)
+/// Neigh   — neighbor-list construction
+/// Comm    — ghost exchange: forward, reverse, border, exchange stages
+/// Modify  — fixes: NVE position/velocity update
+/// Other   — everything else (output, allreduce neighbor checks, ...)
+enum class Stage : int { kPair = 0, kNeigh, kComm, kModify, kOther, kCount };
+
+constexpr int kStageCount = static_cast<int>(Stage::kCount);
+
+std::string_view stage_name(Stage s);
+
+/// Accumulates wall (or modeled) seconds per LAMMPS stage.
+///
+/// The functional track feeds it measured wall time; the performance track
+/// feeds it modeled seconds. Both produce the same breakdown report, which
+/// is what `bench/table3_breakdown` prints.
+class StageTimer {
+ public:
+  void add(Stage s, double seconds) { acc_[static_cast<int>(s)] += seconds; }
+  double get(Stage s) const { return acc_[static_cast<int>(s)]; }
+  double total() const {
+    double t = 0.0;
+    for (double v : acc_) t += v;
+    return t;
+  }
+  /// Percentage of total time spent in stage `s` (0 if nothing recorded).
+  double percent(Stage s) const {
+    const double t = total();
+    return t > 0.0 ? 100.0 * get(s) / t : 0.0;
+  }
+  void reset() { acc_.fill(0.0); }
+
+  StageTimer& operator+=(const StageTimer& o) {
+    for (int i = 0; i < kStageCount; ++i) acc_[i] += o.acc_[i];
+    return *this;
+  }
+
+ private:
+  std::array<double, kStageCount> acc_{};
+};
+
+/// RAII helper: measures a scope's wall time into a StageTimer stage.
+class ScopedStage {
+ public:
+  ScopedStage(StageTimer& t, Stage s) : timer_(t), stage_(s) {}
+  ~ScopedStage() { timer_.add(stage_, watch_.seconds()); }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  StageTimer& timer_;
+  Stage stage_;
+  WallTimer watch_;
+};
+
+}  // namespace lmp::util

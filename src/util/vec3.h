@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace lmp::util {
+
+/// Minimal 3-component double vector used throughout the MD engine.
+///
+/// Deliberately a plain aggregate (no SIMD wrappers): positions and
+/// forces live in structure-of-arrays storage in `md::Atoms`; Vec3 is
+/// only used for box extents, per-atom scratch values and geometry math.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+constexpr double norm_sq(const Vec3& a) { return dot(a, a); }
+inline double norm(const Vec3& a) { return std::sqrt(norm_sq(a)); }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+/// Integer 3-tuple for rank-grid / bin-grid coordinates.
+struct Int3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  constexpr int& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr int operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr bool operator==(const Int3&) const = default;
+};
+
+constexpr Int3 operator+(Int3 a, const Int3& b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+constexpr Int3 operator-(Int3 a, const Int3& b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+
+}  // namespace lmp::util

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "util/rng.h"
+
+namespace lmp::geom {
+namespace {
+
+Box unit_box() { return {{0, 0, 0}, {10, 20, 30}}; }
+
+TEST(Box, ExtentAndVolume) {
+  const Box b = unit_box();
+  EXPECT_EQ(b.extent(), (Vec3{10, 20, 30}));
+  EXPECT_DOUBLE_EQ(b.volume(), 6000.0);
+}
+
+TEST(Box, ContainsHalfOpen) {
+  const Box b = unit_box();
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({9.999, 19.999, 29.999}));
+  EXPECT_FALSE(b.contains({10, 5, 5}));
+  EXPECT_FALSE(b.contains({-0.001, 5, 5}));
+}
+
+TEST(Box, WrapInside) {
+  const Box b = unit_box();
+  const Vec3 p{3, 4, 5};
+  EXPECT_EQ(b.wrap(p), p);
+}
+
+TEST(Box, WrapSingleCrossing) {
+  const Box b = unit_box();
+  EXPECT_NEAR(b.wrap({-1, 5, 5}).x, 9.0, 1e-12);
+  EXPECT_NEAR(b.wrap({11, 5, 5}).x, 1.0, 1e-12);
+}
+
+TEST(Box, WrapManyBoxesAway) {
+  const Box b = unit_box();
+  EXPECT_NEAR(b.wrap({103, 5, 5}).x, 3.0, 1e-9);
+  EXPECT_NEAR(b.wrap({-97, 5, 5}).x, 3.0, 1e-9);
+}
+
+TEST(Box, WrapResultAlwaysContained) {
+  const Box b = unit_box();
+  lmp::util::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 p{rng.uniform(-100, 100), rng.uniform(-100, 100),
+                 rng.uniform(-100, 100)};
+    EXPECT_TRUE(b.contains(b.wrap(p)));
+  }
+}
+
+TEST(Box, MinImageShortDistance) {
+  const Box b = unit_box();
+  // Points near opposite x faces are close through the boundary.
+  const Vec3 d = b.min_image({0.5, 0, 0}, {9.5, 0, 0});
+  EXPECT_NEAR(d.x, 1.0, 1e-12);
+}
+
+TEST(Box, MinImageWithinHalfExtent) {
+  const Box b = unit_box();
+  lmp::util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 p{rng.uniform(0, 10), rng.uniform(0, 20), rng.uniform(0, 30)};
+    const Vec3 q{rng.uniform(0, 10), rng.uniform(0, 20), rng.uniform(0, 30)};
+    const Vec3 d = b.min_image(p, q);
+    EXPECT_LE(std::abs(d.x), 5.0 + 1e-12);
+    EXPECT_LE(std::abs(d.y), 10.0 + 1e-12);
+    EXPECT_LE(std::abs(d.z), 15.0 + 1e-12);
+  }
+}
+
+TEST(Box, MinImageAntisymmetric) {
+  const Box b = unit_box();
+  const Vec3 p{1, 2, 3}, q{8, 15, 29};
+  const Vec3 d1 = b.min_image(p, q);
+  const Vec3 d2 = b.min_image(q, p);
+  EXPECT_NEAR(d1.x, -d2.x, 1e-12);
+  EXPECT_NEAR(d1.y, -d2.y, 1e-12);
+  EXPECT_NEAR(d1.z, -d2.z, 1e-12);
+}
+
+}  // namespace
+}  // namespace lmp::geom

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulation.h"
+
+namespace lmp::sim {
+namespace {
+
+SimOptions lj_opts(util::Int3 grid, CommVariant v) {
+  SimOptions o;
+  o.config = md::SimConfig::lj_melt();
+  o.cells = {6, 6, 6};  // 864 atoms, box side ~10 sigma
+  o.rank_grid = grid;
+  o.comm = v;
+  o.thermo_every = 5;
+  return o;
+}
+
+/// Final-state fingerprint: the thermo series is a global observable
+/// identical across ranks; comparing it compares the full trajectory.
+std::vector<double> fingerprint(const JobResult& r) {
+  std::vector<double> out;
+  for (const auto& s : r.thermo) {
+    out.push_back(s.state.temperature);
+    out.push_back(s.state.pressure);
+    out.push_back(s.state.total());
+  }
+  return out;
+}
+
+void expect_close(const std::vector<double>& a, const std::vector<double>& b,
+                  double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::fabs(a[i]), std::fabs(b[i]), 1.0});
+    EXPECT_NEAR(a[i], b[i], tol * scale) << "element " << i;
+  }
+}
+
+TEST(CommIntegration, SerialMatchesEightRanks) {
+  const auto serial = run_simulation(lj_opts({1, 1, 1}, CommVariant::kRefMpi), 40);
+  const auto parallel = run_simulation(lj_opts({2, 2, 2}, CommVariant::kRefMpi), 40);
+  expect_close(fingerprint(serial), fingerprint(parallel), 1e-7);
+}
+
+TEST(CommIntegration, AllVariantsAgreeOnTrajectory) {
+  const auto ref = run_simulation(lj_opts({2, 2, 2}, CommVariant::kRefMpi), 40);
+  for (const CommVariant v :
+       {CommVariant::kMpiP2p, CommVariant::kUtofu3Stage,
+        CommVariant::kP2pCoarse4, CommVariant::kP2pCoarse6,
+        CommVariant::kP2pParallel}) {
+    const auto got = run_simulation(lj_opts({2, 2, 2}, v), 40);
+    expect_close(fingerprint(ref), fingerprint(got), 1e-7);
+  }
+}
+
+TEST(CommIntegration, AsymmetricGridAgrees) {
+  const auto ref = run_simulation(lj_opts({1, 1, 1}, CommVariant::kRefMpi), 30);
+  const auto got = run_simulation(lj_opts({3, 2, 1}, CommVariant::kP2pParallel), 30);
+  expect_close(fingerprint(ref), fingerprint(got), 1e-7);
+}
+
+TEST(CommIntegration, AtomCountConservedThroughExchanges) {
+  // 60 steps crosses several rebuild/exchange cycles (every = 20).
+  for (const CommVariant v : {CommVariant::kRefMpi, CommVariant::kP2pParallel}) {
+    const auto r = run_simulation(lj_opts({2, 2, 2}, v), 60);
+    long total = 0;
+    for (const auto& rank : r.ranks) total += rank.nlocal_final;
+    EXPECT_EQ(total, r.natoms) << variant_name(v);
+  }
+}
+
+TEST(CommIntegration, AtomsActuallyMigrate) {
+  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kP2pParallel), 80);
+  // At T=1.44 the melt definitely sends atoms across sub-box borders.
+  std::uint64_t exchange_msgs = 0;
+  for (const auto& rank : r.ranks) exchange_msgs += rank.comm.exchange_msgs;
+  EXPECT_GT(exchange_msgs, 0u);
+  // Ranks should no longer all hold exactly natoms/8 after a melt phase...
+  // but counts must stay positive and sum correctly (checked above).
+  for (const auto& rank : r.ranks) EXPECT_GT(rank.nlocal_final, 0);
+}
+
+TEST(CommIntegration, P2pMessageCountsMatchPattern) {
+  const int steps = 40;
+  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kP2pCoarse6), steps);
+  const auto& c = r.ranks[0].comm;
+  // Rebuilds: steps/20 plus the setup rebuild.
+  const std::uint64_t rebuilds = steps / 20 + 1;
+  EXPECT_EQ(c.border_msgs, 13u * rebuilds);
+  EXPECT_EQ(c.exchange_msgs, 26u * rebuilds);
+  // Forward runs on every non-rebuild step; reverse on every step.
+  EXPECT_EQ(c.reverse_msgs, 13u * (steps + 1));
+  EXPECT_EQ(c.forward_msgs, 13u * (steps + 1 - rebuilds));
+}
+
+TEST(CommIntegration, MpiP2pMessageCountsMatchPattern) {
+  const int steps = 40;
+  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kMpiP2p), steps);
+  const auto& c = r.ranks[0].comm;
+  const std::uint64_t rebuilds = steps / 20 + 1;
+  EXPECT_EQ(c.border_msgs, 13u * rebuilds);
+  EXPECT_EQ(c.exchange_msgs, 26u * rebuilds);
+  EXPECT_EQ(c.reverse_msgs, 13u * (steps + 1));
+}
+
+TEST(CommIntegration, BrickMessageCountsMatchPattern) {
+  const int steps = 40;
+  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kRefMpi), steps);
+  const auto& c = r.ranks[0].comm;
+  const std::uint64_t rebuilds = steps / 20 + 1;
+  EXPECT_EQ(c.border_msgs, 6u * rebuilds);
+  EXPECT_EQ(c.reverse_msgs, 6u * (steps + 1));
+  EXPECT_EQ(c.forward_msgs, 6u * (steps + 1 - rebuilds));
+}
+
+TEST(CommIntegration, BorderBinsOnOffEquivalent) {
+  SimOptions with = lj_opts({2, 2, 2}, CommVariant::kP2pParallel);
+  SimOptions without = with;
+  without.use_border_bins = false;
+  const auto a = run_simulation(with, 30);
+  const auto b = run_simulation(without, 30);
+  expect_close(fingerprint(a), fingerprint(b), 1e-12);
+}
+
+TEST(CommIntegration, LoadBalanceOnOffEquivalent) {
+  SimOptions with = lj_opts({2, 2, 2}, CommVariant::kP2pParallel);
+  SimOptions without = with;
+  without.balanced_assignment = false;
+  const auto a = run_simulation(with, 30);
+  const auto b = run_simulation(without, 30);
+  expect_close(fingerprint(a), fingerprint(b), 1e-7);
+}
+
+TEST(CommIntegration, EamVariantsAgree) {
+  SimOptions o;
+  o.config = md::SimConfig::eam_copper();
+  o.cells = {5, 5, 5};  // 500 atoms, box ~18 A, sub-box ~9 A > rc 5.95
+  o.rank_grid = {2, 1, 1};
+  o.thermo_every = 5;
+  o.comm = CommVariant::kRefMpi;
+  const auto ref = run_simulation(o, 25);
+  o.comm = CommVariant::kP2pParallel;
+  const auto opt = run_simulation(o, 25);
+  expect_close(fingerprint(ref), fingerprint(opt), 1e-7);
+  // EAM's mid-pair comm must show up in the scalar counters.
+  EXPECT_GT(opt.ranks[0].comm.scalar_msgs, 0u);
+}
+
+TEST(CommIntegration, NewtonOffUsesFullShell) {
+  SimOptions o = lj_opts({2, 2, 2}, CommVariant::kP2pCoarse6);
+  o.config.newton = false;
+  const int steps = 20;
+  const auto r = run_simulation(o, steps);
+  const auto& c = r.ranks[0].comm;
+  const std::uint64_t rebuilds = steps / 20 + 1;
+  EXPECT_EQ(c.border_msgs, 26u * rebuilds);
+  EXPECT_EQ(c.reverse_msgs, 0u);  // no force return without Newton
+}
+
+TEST(CommIntegration, NewtonOnOffSameTrajectory) {
+  SimOptions on = lj_opts({2, 2, 2}, CommVariant::kP2pCoarse6);
+  SimOptions off = on;
+  off.config.newton = false;
+  const auto a = run_simulation(on, 30);
+  const auto b = run_simulation(off, 30);
+  expect_close(fingerprint(a), fingerprint(b), 1e-7);
+}
+
+TEST(CommIntegration, SubBoxThinnerThanCutoffRejected) {
+  SimOptions o = lj_opts({6, 1, 1}, CommVariant::kP2pParallel);
+  // sub-box x side = 10/6 = 1.67 < rc = 2.8.
+  EXPECT_THROW(run_simulation(o, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmp::sim

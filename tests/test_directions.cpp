@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "comm/directions.h"
+
+namespace lmp::comm {
+namespace {
+
+TEST(Directions, TwentySixUniqueOffsets) {
+  std::set<std::tuple<int, int, int>> seen;
+  for (const Int3& o : all_dirs()) {
+    EXPECT_FALSE(o == (Int3{0, 0, 0}));
+    seen.insert({o.x, o.y, o.z});
+  }
+  EXPECT_EQ(seen.size(), 26u);
+}
+
+TEST(Directions, IndexRoundTrip) {
+  for (int d = 0; d < kNumDirs; ++d) {
+    EXPECT_EQ(dir_index(all_dirs()[static_cast<std::size_t>(d)]), d);
+  }
+}
+
+TEST(Directions, OppositeIsInvolution) {
+  for (int d = 0; d < kNumDirs; ++d) {
+    const int o = opposite(d);
+    EXPECT_NE(o, d);
+    EXPECT_EQ(opposite(o), d);
+    const Int3 a = all_dirs()[static_cast<std::size_t>(d)];
+    const Int3 b = all_dirs()[static_cast<std::size_t>(o)];
+    EXPECT_EQ(a + b, (Int3{0, 0, 0}));
+  }
+}
+
+TEST(Directions, UpperHalfHasThirteen) {
+  int upper = 0;
+  for (int d = 0; d < kNumDirs; ++d) upper += is_upper(d);
+  EXPECT_EQ(upper, 13);
+}
+
+TEST(Directions, UpperAndOppositeDisagree) {
+  for (int d = 0; d < kNumDirs; ++d) {
+    EXPECT_NE(is_upper(d), is_upper(opposite(d)));
+  }
+}
+
+TEST(Directions, OrderCountsFacesEdgesCorners) {
+  int count[4] = {0, 0, 0, 0};
+  for (int d = 0; d < kNumDirs; ++d) count[dir_order(d)]++;
+  EXPECT_EQ(count[1], 6);   // faces
+  EXPECT_EQ(count[2], 12);  // edges
+  EXPECT_EQ(count[3], 8);   // corners
+}
+
+TEST(Directions, UpperHalfClassSplitMatchesTable1) {
+  // Newton-on p2p receives 3 faces, 6 edges, 4 corners (Table 1).
+  int faces = 0, edges = 0, corners = 0;
+  for (int d = 0; d < kNumDirs; ++d) {
+    if (!is_upper(d)) continue;
+    if (dir_order(d) == 1) ++faces;
+    if (dir_order(d) == 2) ++edges;
+    if (dir_order(d) == 3) ++corners;
+  }
+  EXPECT_EQ(faces, 3);
+  EXPECT_EQ(edges, 6);
+  EXPECT_EQ(corners, 4);
+}
+
+TEST(Directions, InvalidOffsetsThrow) {
+  EXPECT_THROW(dir_index({0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(dir_index({2, 0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmp::comm

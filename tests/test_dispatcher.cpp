@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "comm/dispatcher.h"
+
+namespace lmp::comm {
+namespace {
+
+struct Fixture {
+  tofu::Network net{2};
+  tofu::VcqId sender;
+  tofu::VcqId receiver;
+  NoticeDispatcher dispatch;
+
+  Fixture() {
+    sender = net.create_vcq(0, 0, 0);
+    receiver = net.create_vcq(1, 0, 0);
+    dispatch = NoticeDispatcher(&net, receiver);
+  }
+
+  void post(MsgKind kind, int dir, std::uint32_t value) {
+    net.put_piggyback(sender, receiver,
+                      Edata{kind, dir, 0, value}.encode());
+  }
+};
+
+TEST(NoticeDispatcher, DeliversMatchingNotice) {
+  Fixture f;
+  f.post(MsgKind::kForward, 3, 42);
+  const Edata e = f.dispatch.wait(MsgKind::kForward, 3);
+  EXPECT_EQ(e.value, 42u);
+  EXPECT_EQ(e.dir, 3);
+}
+
+TEST(NoticeDispatcher, ReordersInterleavedKinds) {
+  // A forward for step n+1 lands before the reverse for step n — the
+  // exact interleaving the stage ordering allows.
+  Fixture f;
+  f.post(MsgKind::kForward, 1, 100);
+  f.post(MsgKind::kReverse, 1, 200);
+  const Edata rev = f.dispatch.wait(MsgKind::kReverse, 1);
+  EXPECT_EQ(rev.value, 200u);
+  const Edata fwd = f.dispatch.wait(MsgKind::kForward, 1);
+  EXPECT_EQ(fwd.value, 100u);
+}
+
+TEST(NoticeDispatcher, ReordersAcrossDirections) {
+  Fixture f;
+  for (int d = 0; d < 5; ++d) {
+    f.post(MsgKind::kBorder, d, static_cast<std::uint32_t>(d * 10));
+  }
+  // Consume in reverse direction order.
+  for (int d = 4; d >= 0; --d) {
+    EXPECT_EQ(f.dispatch.wait(MsgKind::kBorder, d).value,
+              static_cast<std::uint32_t>(d * 10));
+  }
+}
+
+TEST(NoticeDispatcher, DoubleOutstandingChannelIsAProtocolError) {
+  // Two unconsumed messages on one (kind, dir) channel violates the
+  // at-most-one-in-flight invariant the engine relies on.
+  Fixture f;
+  f.post(MsgKind::kExchange, 7, 1);
+  f.post(MsgKind::kExchange, 7, 2);
+  EXPECT_THROW(f.dispatch.wait(MsgKind::kBorder, 0), std::logic_error);
+}
+
+TEST(NoticeDispatcher, DrainTcqConsumesSenderCompletion) {
+  Fixture f;
+  NoticeDispatcher send_side(&f.net, f.sender);
+  f.post(MsgKind::kBorderAck, 0, 9);
+  send_side.drain_tcq();
+  EXPECT_FALSE(f.net.poll_tcq(f.sender).has_value());
+}
+
+}  // namespace
+}  // namespace lmp::comm

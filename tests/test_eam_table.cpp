@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/eam_table.h"
+
+namespace lmp::md {
+namespace {
+
+TEST(EamTable, GeneratedShape) {
+  const EamTable t = make_cu_like_table(500, 400, 4.95);
+  EXPECT_EQ(t.nr, 500);
+  EXPECT_EQ(t.nrho, 400);
+  EXPECT_EQ(t.rhor.size(), 500u);
+  EXPECT_EQ(t.z2r.size(), 500u);
+  EXPECT_EQ(t.frho.size(), 400u);
+  EXPECT_DOUBLE_EQ(t.cutoff, 4.95);
+  EXPECT_NEAR(t.dr * t.nr, 4.95, 1e-12);
+}
+
+TEST(EamTable, DensityVanishesAtCutoff) {
+  const EamTable t = make_cu_like_table(1000, 400, 4.95);
+  EXPECT_NEAR(t.rhor.back(), 0.0, 1e-10);
+  EXPECT_NEAR(t.z2r.back(), 0.0, 1e-10);
+}
+
+TEST(EamTable, DensityPositiveAndDecreasingInTail) {
+  const EamTable t = make_cu_like_table(1000, 400, 4.95);
+  for (int i = 600; i + 1 < t.nr; ++i) {
+    EXPECT_GE(t.rhor[static_cast<std::size_t>(i)], 0.0);
+    EXPECT_LE(t.rhor[static_cast<std::size_t>(i + 1)],
+              t.rhor[static_cast<std::size_t>(i)] + 1e-12);
+  }
+}
+
+TEST(EamTable, EmbeddingIsNegativeSqrt) {
+  const EamTable t = make_cu_like_table(500, 500, 4.95);
+  EXPECT_DOUBLE_EQ(t.frho[0], 0.0);
+  for (int i = 1; i < t.nrho; ++i) {
+    EXPECT_LT(t.frho[static_cast<std::size_t>(i)], 0.0);
+    // Monotone decreasing: more density binds tighter.
+    EXPECT_LT(t.frho[static_cast<std::size_t>(i)],
+              t.frho[static_cast<std::size_t>(i - 1)]);
+  }
+}
+
+TEST(EamTable, PairTermAttractiveNearMorseMinimum) {
+  const EamTable t = make_cu_like_table(2000, 400, 4.95);
+  // phi(r) = z2r / r should be close to -D at r0 = 2.866.
+  const int i = static_cast<int>(2.866 / t.dr) - 1;
+  const double r = (i + 1) * t.dr;
+  const double phi = t.z2r[static_cast<std::size_t>(i)] / r;
+  EXPECT_NEAR(phi, -0.3429, 0.01);
+}
+
+TEST(EamTable, FuncflRoundTrip) {
+  const EamTable t = make_cu_like_table(300, 200, 4.95);
+  const EamTable u = parse_funcfl(to_funcfl(t));
+  EXPECT_EQ(u.nr, t.nr);
+  EXPECT_EQ(u.nrho, t.nrho);
+  EXPECT_DOUBLE_EQ(u.dr, t.dr);
+  EXPECT_DOUBLE_EQ(u.drho, t.drho);
+  EXPECT_DOUBLE_EQ(u.cutoff, t.cutoff);
+  EXPECT_DOUBLE_EQ(u.mass, t.mass);
+  for (int i = 0; i < t.nr; ++i) {
+    EXPECT_DOUBLE_EQ(u.rhor[static_cast<std::size_t>(i)],
+                     t.rhor[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(u.z2r[static_cast<std::size_t>(i)],
+                     t.z2r[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < t.nrho; ++i) {
+    EXPECT_DOUBLE_EQ(u.frho[static_cast<std::size_t>(i)],
+                     t.frho[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(EamTable, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_funcfl("not a funcfl file"), std::invalid_argument);
+  EXPECT_THROW(parse_funcfl("comment\n29 63.5 3.6 FCC\n10 0.1 10 0.1 2.5\n1 2 3"),
+               std::invalid_argument);  // truncated tables
+}
+
+TEST(EamTable, TooSmallTableThrows) {
+  EXPECT_THROW(make_cu_like_table(5, 400, 4.95), std::invalid_argument);
+  EXPECT_THROW(make_cu_like_table(400, 5, 4.95), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmp::md

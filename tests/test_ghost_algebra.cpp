@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "geom/ghost_algebra.h"
+
+namespace lmp::geom {
+namespace {
+
+constexpr double kA = 3.0;
+constexpr double kR = 1.2;
+
+TEST(GhostAlgebra, ThreeStageMessageCount) {
+  const GhostAlgebra g{kA, kR};
+  EXPECT_EQ(GhostAlgebra::total_messages(g.three_stage()), 6);
+}
+
+TEST(GhostAlgebra, ThreeStageTotalVolumeMatchesTable1) {
+  const GhostAlgebra g{kA, kR};
+  EXPECT_NEAR(GhostAlgebra::total_volume(g.three_stage()),
+              g.three_stage_total_volume(), 1e-9);
+  // Closed form: 8r^3 + 12ar^2 + 6a^2r.
+  EXPECT_NEAR(g.three_stage_total_volume(),
+              8 * kR * kR * kR + 12 * kA * kR * kR + 6 * kA * kA * kR, 1e-12);
+}
+
+TEST(GhostAlgebra, P2pNewtonMessageCount13) {
+  const GhostAlgebra g{kA, kR};
+  EXPECT_EQ(GhostAlgebra::total_messages(g.p2p(true)), 13);
+}
+
+TEST(GhostAlgebra, P2pFullMessageCount26) {
+  const GhostAlgebra g{kA, kR};
+  EXPECT_EQ(GhostAlgebra::total_messages(g.p2p(false)), 26);
+}
+
+TEST(GhostAlgebra, P2pNewtonVolumeMatchesTable1) {
+  const GhostAlgebra g{kA, kR};
+  EXPECT_NEAR(GhostAlgebra::total_volume(g.p2p(true)),
+              g.p2p_total_volume_newton(), 1e-9);
+  EXPECT_NEAR(g.p2p_total_volume_newton(),
+              4 * kR * kR * kR + 6 * kA * kR * kR + 3 * kA * kA * kR, 1e-12);
+}
+
+TEST(GhostAlgebra, NewtonHalvesP2pVolume) {
+  const GhostAlgebra g{kA, kR};
+  EXPECT_NEAR(GhostAlgebra::total_volume(g.p2p(false)),
+              2.0 * GhostAlgebra::total_volume(g.p2p(true)), 1e-9);
+}
+
+TEST(GhostAlgebra, P2pHalfVolumeIsBelowThreeStage) {
+  // The headline claim of Table 1: p2p with Newton's law carries half of
+  // what 3-stage carries.
+  const GhostAlgebra g{kA, kR};
+  EXPECT_NEAR(g.three_stage_total_volume(), 2.0 * g.p2p_total_volume_newton(),
+              1e-9);
+}
+
+TEST(GhostAlgebra, HopCountsPerClass) {
+  const GhostAlgebra g{kA, kR};
+  for (const auto& m : g.p2p(true)) {
+    if (m.cls == NeighborClass::kFace) {
+      EXPECT_EQ(m.hops, 1);
+    } else if (m.cls == NeighborClass::kEdge) {
+      EXPECT_EQ(m.hops, 2);
+    } else {
+      EXPECT_EQ(m.hops, 3);
+    }
+  }
+}
+
+TEST(GhostAlgebra, TwoShellCounts62And124) {
+  const GhostAlgebra g{1.0, 1.7};  // r > a triggers the second shell
+  EXPECT_EQ(GhostAlgebra::total_messages(g.p2p(true, 2)), 62);
+  EXPECT_EQ(GhostAlgebra::total_messages(g.p2p(false, 2)), 124);
+}
+
+TEST(GhostAlgebra, TwoShellRequiresLongCutoff) {
+  const GhostAlgebra g{2.0, 1.0};
+  EXPECT_THROW(g.p2p(true, 2), std::invalid_argument);
+}
+
+TEST(GhostAlgebra, ThreeStageTwoShellDoublesMessages) {
+  const GhostAlgebra g{1.0, 1.7};
+  EXPECT_EQ(GhostAlgebra::total_messages(g.three_stage(2)), 12);
+  // Linear growth (the paper's Sec. 4.4 contrast with p2p's cubic).
+  EXPECT_NEAR(GhostAlgebra::total_volume(g.three_stage(2)),
+              GhostAlgebra::total_volume(g.three_stage(1)), 1e-9);
+}
+
+TEST(GhostAlgebra, InvalidShellCountThrows) {
+  const GhostAlgebra g{kA, kR};
+  EXPECT_THROW(g.p2p(true, 3), std::invalid_argument);
+  EXPECT_THROW(g.p2p(true, 0), std::invalid_argument);
+  EXPECT_THROW(g.three_stage(3), std::invalid_argument);
+}
+
+TEST(GhostAlgebra, AtomAndByteConversions) {
+  EXPECT_DOUBLE_EQ(GhostAlgebra::atoms(10.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(GhostAlgebra::bytes(22.0), 528.0);  // the paper's 528 B
+}
+
+}  // namespace
+}  // namespace lmp::geom

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "sim/input_script.h"
+
+namespace lmp::sim {
+namespace {
+
+const char* kMeltScript = R"(
+# melt benchmark
+units           lj
+lattice         fcc 0.8442
+region          box block 0 6 0 6 0 6
+create_box      1 box
+create_atoms    1 box
+mass            1 1.0
+velocity        all create 1.44 87287
+pair_style      lj/cut 2.5
+pair_coeff      1 1 1.0 1.0
+neighbor        0.3 bin
+neigh_modify    every 20 check no
+newton          on
+fix             1 all nve
+timestep        0.005
+thermo          20
+processors      2 2 2
+comm_variant    opt
+run             100
+)";
+
+TEST(InputScript, ParsesTheMeltBenchmark) {
+  const ParsedScript p = parse_input_script(kMeltScript);
+  const SimOptions& o = p.options;
+  EXPECT_EQ(o.config.units.style, md::UnitStyle::kLj);
+  EXPECT_DOUBLE_EQ(o.config.lattice_arg, 0.8442);
+  EXPECT_EQ(o.cells, (util::Int3{6, 6, 6}));
+  EXPECT_DOUBLE_EQ(o.config.mass, 1.0);
+  EXPECT_DOUBLE_EQ(o.config.t_init, 1.44);
+  EXPECT_EQ(o.seed, 87287u);
+  EXPECT_EQ(o.config.potential, md::PotentialKind::kLennardJones);
+  EXPECT_DOUBLE_EQ(o.config.cutoff, 2.5);
+  EXPECT_DOUBLE_EQ(o.config.epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(o.config.sigma, 1.0);
+  EXPECT_DOUBLE_EQ(o.config.skin, 0.3);
+  EXPECT_EQ(o.config.neigh.every, 20);
+  EXPECT_FALSE(o.config.neigh.check);
+  EXPECT_TRUE(o.config.newton);
+  EXPECT_DOUBLE_EQ(o.config.dt, 0.005);
+  EXPECT_EQ(o.thermo_every, 20);
+  EXPECT_EQ(o.rank_grid, (util::Int3{2, 2, 2}));
+  EXPECT_EQ(o.comm, CommVariant::kP2pParallel);
+  EXPECT_EQ(p.run_steps, 100);
+}
+
+TEST(InputScript, ParsesEamMetal) {
+  const ParsedScript p = parse_input_script(R"(
+units metal
+lattice fcc 3.615
+region box block 0 5 0 5 0 5
+mass 1 63.55
+pair_style eam
+pair_coeff * * Cu_u3.eam
+neighbor 1.0 bin
+neigh_modify every 5 check yes
+velocity all create 800 1
+fix 1 all nve
+timestep 0.005
+run 10
+)");
+  EXPECT_EQ(p.options.config.units.style, md::UnitStyle::kMetal);
+  EXPECT_EQ(p.options.config.potential, md::PotentialKind::kEam);
+  EXPECT_DOUBLE_EQ(p.options.config.cutoff, 4.95);
+  EXPECT_TRUE(p.options.config.neigh.check);
+  EXPECT_EQ(p.options.config.neigh.every, 5);
+}
+
+TEST(InputScript, CommentsAndBlanksIgnored) {
+  const ParsedScript p = parse_input_script(
+      "units lj\n\n# full-line comment\nrun 5  # trailing comment\n");
+  EXPECT_EQ(p.run_steps, 5);
+}
+
+TEST(InputScript, NewtonOff) {
+  const ParsedScript p =
+      parse_input_script("units lj\nnewton off\nrun 1\n");
+  EXPECT_FALSE(p.options.config.newton);
+}
+
+TEST(InputScript, NeighModifyDelayAccepted) {
+  const ParsedScript p = parse_input_script(
+      "units lj\nneigh_modify every 10 delay 0 check yes\nrun 1\n");
+  EXPECT_EQ(p.options.config.neigh.every, 10);
+  EXPECT_TRUE(p.options.config.neigh.check);
+}
+
+TEST(InputScript, AllVariantNamesParse) {
+  for (const auto v :
+       {CommVariant::kRefMpi, CommVariant::kMpiP2p, CommVariant::kUtofu3Stage,
+        CommVariant::kP2pCoarse4, CommVariant::kP2pCoarse6,
+        CommVariant::kP2pParallel}) {
+    const std::string script = std::string("units lj\ncomm_variant ") +
+                               variant_name(v) + "\nrun 1\n";
+    EXPECT_EQ(parse_input_script(script).options.comm, v) << variant_name(v);
+  }
+}
+
+TEST(InputScript, MissingUnitsRejected) {
+  EXPECT_THROW(parse_input_script("run 5\n"), std::invalid_argument);
+}
+
+TEST(InputScript, MissingRunRejected) {
+  EXPECT_THROW(parse_input_script("units lj\n"), std::invalid_argument);
+}
+
+TEST(InputScript, UnknownCommandRejectedWithLineNumber) {
+  try {
+    parse_input_script("units lj\nfrobnicate 3\nrun 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(InputScript, BadValuesRejected) {
+  EXPECT_THROW(parse_input_script("units lj\ntimestep 0\nrun 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_input_script("units lj\ntimestep abc\nrun 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_input_script("units lj\nnewton maybe\nrun 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_input_script("units lj\nneigh_modify every\nrun 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_input_script("units potato\nrun 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_input_script("units lj\nrun -3\n"),
+               std::invalid_argument);
+}
+
+TEST(InputScript, RegionMustStartAtOrigin) {
+  EXPECT_THROW(
+      parse_input_script("units lj\nregion box block 1 6 0 6 0 6\nrun 1\n"),
+      std::invalid_argument);
+}
+
+TEST(InputScript, MissingFileRejected) {
+  EXPECT_THROW(parse_input_file("/nonexistent/in.lj"), std::invalid_argument);
+}
+
+TEST(InputScript, ParsedScriptActuallyRuns) {
+  ParsedScript p = parse_input_script(R"(
+units lj
+lattice fcc 0.8442
+region box block 0 5 0 5 0 5
+velocity all create 1.44 11
+pair_style lj/cut 2.5
+pair_coeff 1 1 1.0 1.0
+neighbor 0.3 bin
+neigh_modify every 20 check no
+fix 1 all nve
+timestep 0.005
+thermo 10
+processors 1 1 1
+comm_variant 6tni_p2p
+run 20
+)");
+  const JobResult r = run_simulation(p.options, p.run_steps);
+  EXPECT_EQ(r.natoms, 500);
+  EXPECT_EQ(r.thermo.back().step, 20);
+}
+
+}  // namespace
+}  // namespace lmp::sim

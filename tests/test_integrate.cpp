@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "md/integrate.h"
+
+namespace lmp::md {
+namespace {
+
+TEST(VerletNve, FreeParticleDrifts) {
+  Atoms a;
+  a.reserve_capacity(2);
+  a.add_local({0, 0, 0}, {1.0, -2.0, 0.5}, 0);
+  const VerletNve nve(0.01, 1.0);
+  a.zero_forces();
+  for (int i = 0; i < 100; ++i) {
+    nve.initial_integrate(a);
+    nve.final_integrate(a);
+  }
+  EXPECT_NEAR(a.pos(0).x, 1.0, 1e-12);
+  EXPECT_NEAR(a.pos(0).y, -2.0, 1e-12);
+  EXPECT_NEAR(a.pos(0).z, 0.5, 1e-12);
+  EXPECT_NEAR(a.vel(0).x, 1.0, 1e-12);
+}
+
+TEST(VerletNve, ConstantForceQuadraticTrajectory) {
+  Atoms a;
+  a.reserve_capacity(2);
+  a.add_local({0, 0, 0}, {0, 0, 0}, 0);
+  const double dt = 0.001;
+  const double F = 2.0;
+  const VerletNve nve(dt, 1.0);
+  const int steps = 1000;
+  for (int i = 0; i < steps; ++i) {
+    a.zero_forces();
+    a.f()[0] = F;
+    nve.initial_integrate(a);
+    a.zero_forces();
+    a.f()[0] = F;
+    nve.final_integrate(a);
+  }
+  const double t = steps * dt;
+  // Velocity is exact for constant force; position matches 0.5 a t^2.
+  EXPECT_NEAR(a.vel(0).x, F * t, 1e-10);
+  EXPECT_NEAR(a.pos(0).x, 0.5 * F * t * t, 1e-6);
+}
+
+TEST(VerletNve, MassScalesAcceleration) {
+  Atoms a;
+  a.reserve_capacity(2);
+  a.add_local({0, 0, 0}, {0, 0, 0}, 0);
+  const VerletNve nve(0.1, 4.0);
+  a.zero_forces();
+  a.f()[0] = 8.0;
+  nve.initial_integrate(a);
+  // dv = dt/2 * F/m = 0.05 * 2 = 0.1; dx = dt * v.
+  EXPECT_NEAR(a.vel(0).x, 0.1, 1e-12);
+  EXPECT_NEAR(a.pos(0).x, 0.01, 1e-12);
+}
+
+TEST(VerletNve, Ftm2vConversionApplied) {
+  Atoms a;
+  a.reserve_capacity(2);
+  a.add_local({0, 0, 0}, {0, 0, 0}, 0);
+  // metal units: ftm2v = 1 / mvv2e.
+  const double ftm2v = 1.0 / 1.0364269e-4;
+  const VerletNve nve(0.002, 10.0, ftm2v);
+  a.zero_forces();
+  a.f()[0] = 1.0;
+  nve.final_integrate(a);
+  EXPECT_NEAR(a.vel(0).x, 0.001 * ftm2v / 10.0, 1e-9);
+}
+
+TEST(VerletNve, GhostsUntouched) {
+  Atoms a;
+  a.reserve_capacity(3);
+  a.add_local({0, 0, 0}, {1, 0, 0}, 0);
+  const int g = a.add_ghost({5, 5, 5}, 1);
+  const VerletNve nve(0.1, 1.0);
+  a.zero_forces();
+  nve.initial_integrate(a);
+  EXPECT_EQ(a.pos(g), (Vec3{5, 5, 5}));
+}
+
+TEST(VerletNve, InvalidArgsThrow) {
+  EXPECT_THROW(VerletNve(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(VerletNve(0.1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmp::md

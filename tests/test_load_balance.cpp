@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "comm/directions.h"
+#include "comm/load_balance.h"
+
+namespace lmp::comm {
+namespace {
+
+std::vector<CommTask> paper_tasks() {
+  // The 13 Newton-on p2p messages with Table 1 cost classes: 3 big faces
+  // at 1 hop, 6 medium edges at 2 hops, 4 small corners at 3 hops.
+  std::vector<CommTask> tasks;
+  int dir = 0;
+  for (int i = 0; i < 3; ++i) tasks.push_back({dir++, 2400.0, 1});
+  for (int i = 0; i < 6; ++i) tasks.push_back({dir++, 600.0, 2});
+  for (int i = 0; i < 4; ++i) tasks.push_back({dir++, 150.0, 3});
+  return tasks;
+}
+
+TEST(LoadBalance, AssignmentCoversAllTasks) {
+  const auto tasks = paper_tasks();
+  const auto assign = balance_tasks(tasks, 6);
+  ASSERT_EQ(assign.size(), tasks.size());
+  for (const int t : assign) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 6);
+  }
+}
+
+TEST(LoadBalance, BeatsRoundRobin) {
+  const auto tasks = paper_tasks();
+  const double balanced = makespan(tasks, balance_tasks(tasks, 6), 6);
+  const double rr = makespan(tasks, round_robin(tasks, 6), 6);
+  EXPECT_LE(balanced, rr);
+}
+
+TEST(LoadBalance, WithinLptBoundOfIdeal) {
+  const auto tasks = paper_tasks();
+  double total = 0;
+  double biggest = 0;
+  for (const auto& t : tasks) {
+    const double c = t.bytes + 256.0 * t.hops;
+    total += c;
+    biggest = std::max(biggest, c);
+  }
+  const double ideal = std::max(total / 6.0, biggest);
+  const double got = makespan(tasks, balance_tasks(tasks, 6), 6);
+  EXPECT_LE(got, 4.0 / 3.0 * ideal + 1e-9);
+}
+
+TEST(LoadBalance, SingleThreadGetsEverything) {
+  const auto tasks = paper_tasks();
+  const auto assign = balance_tasks(tasks, 1);
+  for (const int t : assign) EXPECT_EQ(t, 0);
+}
+
+TEST(LoadBalance, Deterministic) {
+  const auto tasks = paper_tasks();
+  EXPECT_EQ(balance_tasks(tasks, 6), balance_tasks(tasks, 6));
+}
+
+TEST(LoadBalance, HopPenaltyChangesAssignment) {
+  // With a huge hop penalty, corners become the heaviest tasks and are
+  // spread out first.
+  std::vector<CommTask> tasks{{0, 100, 1}, {1, 100, 1}, {2, 10, 3}, {3, 10, 3}};
+  const auto cheap_hops = balance_tasks(tasks, 2, 0.0);
+  const auto dear_hops = balance_tasks(tasks, 2, 1e6);
+  // Under the huge penalty, the two corner tasks land on different threads.
+  EXPECT_NE(dear_hops[2], dear_hops[3]);
+  (void)cheap_hops;
+}
+
+TEST(LoadBalance, MakespanValidation) {
+  const std::vector<CommTask> tasks{{0, 10, 1}};
+  EXPECT_THROW(makespan(tasks, {}, 2), std::invalid_argument);
+  EXPECT_THROW(balance_tasks(tasks, 0), std::invalid_argument);
+  EXPECT_THROW(round_robin(tasks, 0), std::invalid_argument);
+}
+
+TEST(LoadBalance, EmptyTaskList) {
+  EXPECT_TRUE(balance_tasks({}, 4).empty());
+  EXPECT_DOUBLE_EQ(makespan({}, {}, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace lmp::comm

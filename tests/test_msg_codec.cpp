@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "comm/msg_codec.h"
+
+namespace lmp::comm {
+namespace {
+
+TEST(Edata, RoundTripAllFields) {
+  for (int kind = 0; kind < static_cast<int>(MsgKind::kCount); ++kind) {
+    for (int dir : {0, 1, 13, 25}) {
+      for (int slot : {0, 1, 2, 3}) {
+        const Edata e{static_cast<MsgKind>(kind), dir, slot, 0xDEADBEEF};
+        const Edata d = Edata::decode(e.encode());
+        EXPECT_EQ(d.kind, e.kind);
+        EXPECT_EQ(d.dir, e.dir);
+        EXPECT_EQ(d.slot, e.slot);
+        EXPECT_EQ(d.value, e.value);
+      }
+    }
+  }
+}
+
+TEST(Edata, MaxValueSurvives) {
+  const Edata e{MsgKind::kExchange, 25, 3, 0xFFFFFFFFu};
+  const Edata d = Edata::decode(e.encode());
+  EXPECT_EQ(d.value, 0xFFFFFFFFu);
+  EXPECT_EQ(d.dir, 25);
+}
+
+TEST(Edata, DistinctChannelsDistinctWords) {
+  const Edata a{MsgKind::kBorder, 3, 0, 7};
+  const Edata b{MsgKind::kForward, 3, 0, 7};
+  const Edata c{MsgKind::kBorder, 4, 0, 7};
+  EXPECT_NE(a.encode(), b.encode());
+  EXPECT_NE(a.encode(), c.encode());
+}
+
+TEST(TagCast, RoundTripsInt64) {
+  for (std::int64_t tag : {0L, 1L, -1L, 1234567890123L, INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(double_to_tag(tag_to_double(tag)), tag);
+  }
+}
+
+}  // namespace
+}  // namespace lmp::comm

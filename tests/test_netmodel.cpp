@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perf/netmodel.h"
+
+namespace lmp::perf {
+namespace {
+
+NetModel model() { return NetModel(default_calibration()); }
+
+TEST(NetModel, InjectionCostsOrdered) {
+  const NetModel m = model();
+  // The heavy MPI stack versus the thin uTofu descriptor write (Fig. 6).
+  EXPECT_GT(m.t_inj(Api::kMpi), 3.0 * m.t_inj(Api::kUtofu));
+  EXPECT_GT(m.t_recv(Api::kMpi), m.t_recv(Api::kUtofu));
+}
+
+TEST(NetModel, TransitMonotoneInBytesAndHops) {
+  const NetModel m = model();
+  EXPECT_LT(m.transit(64, 1), m.transit(65536, 1));
+  EXPECT_LT(m.transit(64, 1), m.transit(64, 3));
+  // One-hop small message approaches the 0.49 us TofuD put latency.
+  EXPECT_NEAR(m.transit(8, 1), 0.49e-6, 0.05e-6);
+}
+
+TEST(NetModel, MessageTimeComposes) {
+  const NetModel m = model();
+  const double t = m.message_time(Api::kUtofu, 512, 2);
+  EXPECT_GT(t, m.transit(512, 2));
+  EXPECT_LT(t, m.transit(512, 2) + 1e-6);
+}
+
+std::vector<MsgSpec> p2p13() {
+  // Table 1 p2p classes for a = 3, r = 1 (scaled to bytes at 24 B/atom,
+  // unit density).
+  return {{9 * 24.0, 1, 3}, {3 * 24.0, 2, 6}, {1 * 24.0, 3, 4}};
+}
+
+std::vector<MsgSpec> stage3() {
+  return {{9 * 24.0, 1, 2}, {15 * 24.0, 1, 2}, {25 * 24.0, 1, 2}};
+}
+
+TEST(NetModel, MpiP2pSlowerThanMpi3Stage) {
+  // Fig. 6's warning: naive p2p over MPI loses to 3-stage over MPI.
+  const NetModel m = model();
+  CommConfig p2p = CommConfig::mpi_p2p();
+  CommConfig st = CommConfig::ref_mpi();
+  EXPECT_GT(m.exchange_time(p2p, p2p13()), m.exchange_time(st, stage3()));
+}
+
+TEST(NetModel, UtofuP2pFasterThanUtofu3Stage) {
+  // The paper's Sec. 3.2 result: 1.5x on 768 nodes.
+  const NetModel m = model();
+  const double p2p =
+      m.exchange_time(CommConfig::p2p_4tni(), p2p13());
+  const double st =
+      m.exchange_time(CommConfig::utofu_3stage(), stage3());
+  EXPECT_LT(p2p, st);
+}
+
+TEST(NetModel, ParallelP2pFastestOverall) {
+  const NetModel m = model();
+  const double par = m.exchange_time(CommConfig::p2p_parallel(), p2p13());
+  EXPECT_LT(par, m.exchange_time(CommConfig::p2p_6tni(), p2p13()));
+  EXPECT_LT(par, m.exchange_time(CommConfig::utofu_3stage(), stage3()));
+  EXPECT_LT(par, m.exchange_time(CommConfig::ref_mpi(), stage3()));
+}
+
+TEST(NetModel, SingleThread6TniSlowerThan4Tni) {
+  // Fig. 12 anomaly: multiplexing 6 VCQs from one thread adds software
+  // cost and TNI contention.
+  const NetModel m = model();
+  EXPECT_GT(m.exchange_time(CommConfig::p2p_6tni(), p2p13()),
+            m.exchange_time(CommConfig::p2p_4tni(), p2p13()));
+}
+
+TEST(NetModel, ExchangeMonotoneInBytes) {
+  const NetModel m = model();
+  const CommConfig cfg = CommConfig::p2p_parallel();
+  std::vector<MsgSpec> small = p2p13();
+  std::vector<MsgSpec> big = p2p13();
+  for (auto& s : big) s.bytes *= 100;
+  EXPECT_LT(m.exchange_time(cfg, small), m.exchange_time(cfg, big));
+}
+
+TEST(NetModel, RendezvousKicksInForLargeMpiMessages) {
+  const NetModel m = model();
+  const Calibration& cal = m.calibration();
+  const CommConfig cfg = CommConfig::ref_mpi();
+  const double just_below = cal.mpi_eager_bytes * 0.9;
+  const double just_above = cal.mpi_eager_bytes * 1.1;
+  const std::vector<MsgSpec> a{{just_below, 1, 1}};
+  const std::vector<MsgSpec> b{{just_above, 1, 1}};
+  const double extra_bytes_cost =
+      (just_above - just_below) * (1.0 / cal.link_bw + 2 * cal.t_pack_per_byte);
+  EXPECT_GT(m.exchange_time(cfg, b) - m.exchange_time(cfg, a),
+            extra_bytes_cost + 0.5 * cal.t_base_latency);
+}
+
+TEST(NetModel, MessageRateOrderingSmallMessages) {
+  // Fig. 8: parallel > single-4TNI > single-6TNI below 512 B.
+  const NetModel m = model();
+  for (double bytes : {64.0, 256.0, 512.0}) {
+    const double par = m.message_rate(Api::kUtofu, bytes, 6, 6, 4);
+    const double s4 = m.message_rate(Api::kUtofu, bytes, 1, 1, 4);
+    const double s6 = m.message_rate(Api::kUtofu, bytes, 1, 6, 4);
+    EXPECT_GT(par, s4) << bytes;
+    EXPECT_GT(s4, s6) << bytes;
+    // "boost the message-sending rate by at least 50%" (Sec. 3.3).
+    EXPECT_GE(par / s4, 1.5) << bytes;
+  }
+}
+
+TEST(NetModel, MessageRateConvergesToBandwidth) {
+  const NetModel m = model();
+  const double bytes = 1 << 20;
+  const double rate6 = m.message_rate(Api::kUtofu, bytes, 6, 6, 4);
+  const double bw_limit = 6.0 * m.calibration().link_bw / bytes;
+  EXPECT_NEAR(rate6, bw_limit, 0.05 * bw_limit);
+  // With more TNIs comes more aggregate bandwidth at large sizes.
+  EXPECT_GT(rate6, m.message_rate(Api::kUtofu, bytes, 1, 1, 4));
+}
+
+TEST(NetModel, AllreduceGrowsLogarithmically) {
+  const NetModel m = model();
+  EXPECT_DOUBLE_EQ(m.allreduce_time(1), 0.0);
+  const double t1k = m.allreduce_time(1024);
+  const double t1m = m.allreduce_time(1024L * 1024);
+  EXPECT_NEAR(t1m / t1k, 2.0, 1e-9);
+}
+
+TEST(NetModel, MpiEagerVsUtofuAt528Bytes) {
+  // The paper's 528 B forward message (22 atoms): uTofu must win big.
+  const NetModel m = model();
+  EXPECT_LT(m.message_time(Api::kUtofu, 528, 1),
+            0.5 * m.message_time(Api::kMpi, 528, 1));
+}
+
+TEST(NetModel, InvalidConfigsThrow) {
+  const NetModel m = model();
+  EXPECT_THROW(m.message_rate(Api::kUtofu, 64, 0, 1, 4), std::invalid_argument);
+  EXPECT_THROW(m.message_rate(Api::kUtofu, 64, 1, 0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmp::perf

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "perf/des.h"
+#include "perf/netsim.h"
+
+namespace lmp::perf {
+namespace {
+
+// --------------------------- EventQueue ------------------------------
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(q.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, ActionsMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule(q.now() + 1.0, [&] { ++fired; });
+  });
+  EXPECT_DOUBLE_EQ(q.run(), 2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, NowTracksCurrentEvent) {
+  EventQueue q;
+  double seen = -1;
+  q.schedule(4.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+// ----------------------------- Resource ------------------------------
+
+TEST(Resource, SerializesClaims) {
+  Resource r;
+  const auto a = r.claim(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 2.0);
+  const auto b = r.claim(1.0, 1.0);  // must wait for a
+  EXPECT_DOUBLE_EQ(b.start, 2.0);
+  EXPECT_DOUBLE_EQ(b.end, 3.0);
+  const auto c = r.claim(10.0, 1.0);  // idle gap allowed
+  EXPECT_DOUBLE_EQ(c.start, 10.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 4.0);
+}
+
+// --------------------------- NetworkSimulator ------------------------
+
+NetworkSimulator small_sim() {
+  return NetworkSimulator(default_calibration(), 96);
+}
+
+TEST(NetworkSimulator, ShapeMatchesAllocation) {
+  const NetworkSimulator sim = small_sim();
+  EXPECT_GE(sim.nodes(), 96);
+  EXPECT_EQ(sim.ranks(), 4 * sim.nodes());
+  const util::Int3 g = sim.rank_grid();
+  EXPECT_EQ(static_cast<long>(g.x) * g.y * g.z, sim.ranks());
+}
+
+TEST(NetworkSimulator, P2pMessageCount) {
+  const NetworkSimulator sim = small_sim();
+  const Workload w = Workload::lj(21.3 * sim.ranks(), sim.nodes());
+  const NetSimResult r = sim.simulate_exchange(w, CommConfig::p2p_parallel());
+  EXPECT_EQ(r.messages, 13 * sim.ranks());  // Newton-halved p2p
+}
+
+TEST(NetworkSimulator, ThreeStageMessageCount) {
+  const NetworkSimulator sim = small_sim();
+  const Workload w = Workload::lj(21.3 * sim.ranks(), sim.nodes());
+  const NetSimResult r = sim.simulate_exchange(w, CommConfig::ref_mpi());
+  EXPECT_EQ(r.messages, 6 * sim.ranks());
+}
+
+TEST(NetworkSimulator, ContentionInflatesClosedForm) {
+  // The whole-machine simulation must cost at least the isolated
+  // single-rank closed form, and must show a straggler tail.
+  const NetworkSimulator sim = small_sim();
+  const Workload w = Workload::lj(21.3 * sim.ranks(), sim.nodes());
+  const StepModel model(default_calibration());
+  const NetSimResult r = sim.simulate_exchange(w, CommConfig::p2p_parallel());
+  EXPECT_GT(r.mean_completion,
+            0.9 * model.exchange_once(w, CommConfig::p2p_parallel(), 24.0));
+  EXPECT_GT(r.max_completion, r.mean_completion);
+  EXPECT_GE(r.p99_completion, r.mean_completion);
+  EXPECT_GE(r.straggler_factor(), 1.0);
+  EXPECT_GT(r.max_link_utilization, 0.0);
+  EXPECT_LE(r.max_link_utilization, 1.0);
+}
+
+TEST(NetworkSimulator, P2pBeatsMpi3StageUnderContention) {
+  // Fig. 6's conclusion must survive full-machine contention.
+  const NetworkSimulator sim = small_sim();
+  const Workload w = Workload::lj(21.3 * sim.ranks(), sim.nodes());
+  const NetSimResult p2p = sim.simulate_exchange(w, CommConfig::p2p_parallel());
+  const NetSimResult st = sim.simulate_exchange(w, CommConfig::ref_mpi());
+  EXPECT_LT(p2p.max_completion, st.max_completion);
+  EXPECT_LT(p2p.mean_completion, st.mean_completion);
+}
+
+TEST(NetworkSimulator, BiggerMessagesTakeLonger) {
+  const NetworkSimulator sim = small_sim();
+  const Workload small = Workload::lj(21.3 * sim.ranks(), sim.nodes());
+  const Workload big = Workload::lj(553.0 * sim.ranks(), sim.nodes());
+  const CommConfig cfg = CommConfig::p2p_parallel();
+  EXPECT_LT(sim.simulate_exchange(small, cfg).max_completion,
+            sim.simulate_exchange(big, cfg).max_completion);
+}
+
+TEST(NetworkSimulator, Deterministic) {
+  const NetworkSimulator sim = small_sim();
+  const Workload w = Workload::lj(21.3 * sim.ranks(), sim.nodes());
+  const CommConfig cfg = CommConfig::p2p_parallel();
+  const NetSimResult a = sim.simulate_exchange(w, cfg);
+  const NetSimResult b = sim.simulate_exchange(w, cfg);
+  EXPECT_DOUBLE_EQ(a.max_completion, b.max_completion);
+  EXPECT_DOUBLE_EQ(a.mean_completion, b.mean_completion);
+}
+
+TEST(NetworkSimulator, StragglerGrowsWithScale) {
+  const Workload w96 = Workload::lj(21.3 * 4 * 96, 96);
+  const Workload w768 = Workload::lj(21.3 * 4 * 768, 768);
+  const NetworkSimulator s96(default_calibration(), 96);
+  const NetworkSimulator s768(default_calibration(), 768);
+  const CommConfig cfg = CommConfig::p2p_parallel();
+  EXPECT_GE(s768.simulate_exchange(w768, cfg).straggler_factor(),
+            s96.simulate_exchange(w96, cfg).straggler_factor() - 0.05);
+}
+
+}  // namespace
+}  // namespace lmp::perf

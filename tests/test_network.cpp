@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "tofu/network.h"
+
+namespace lmp::tofu {
+namespace {
+
+TEST(Network, RegisterAndResolve) {
+  Network net(2);
+  std::vector<std::byte> buf(64);
+  const Stadd s = net.reg_mem(0, buf.data(), buf.size());
+  EXPECT_EQ(net.resolve(0, s, 0, 64), buf.data());
+  EXPECT_EQ(net.resolve(0, s, 16, 8), buf.data() + 16);
+  EXPECT_EQ(net.stats().registrations.load(), 1u);
+}
+
+TEST(Network, ResolveBoundsChecked) {
+  Network net(1);
+  std::vector<std::byte> buf(32);
+  const Stadd s = net.reg_mem(0, buf.data(), buf.size());
+  EXPECT_THROW(net.resolve(0, s, 16, 17), std::out_of_range);
+  EXPECT_THROW(net.resolve(0, s + 1, 0, 1), std::invalid_argument);
+}
+
+TEST(Network, DeregisterInvalidates) {
+  Network net(1);
+  std::vector<std::byte> buf(32);
+  const Stadd s = net.reg_mem(0, buf.data(), buf.size());
+  net.dereg_mem(0, s);
+  EXPECT_THROW(net.resolve(0, s, 0, 1), std::invalid_argument);
+  EXPECT_THROW(net.dereg_mem(0, s), std::invalid_argument);
+}
+
+TEST(Network, CqExclusivity) {
+  Network net(2);
+  net.create_vcq(0, 0, 0);
+  // Same (proc, tni, cq) is taken; other procs/tnis/cqs are free.
+  EXPECT_THROW(net.create_vcq(0, 0, 0), std::invalid_argument);
+  EXPECT_NO_THROW(net.create_vcq(0, 0, 1));
+  EXPECT_NO_THROW(net.create_vcq(0, 1, 0));
+  EXPECT_NO_THROW(net.create_vcq(1, 0, 0));
+}
+
+TEST(Network, FreeVcqReleasesCq) {
+  Network net(1);
+  const VcqId v = net.create_vcq(0, 2, 3);
+  net.free_vcq(v);
+  EXPECT_NO_THROW(net.create_vcq(0, 2, 3));
+}
+
+TEST(Network, VcqShapeValidation) {
+  Network net(1, 6, 9);
+  EXPECT_THROW(net.create_vcq(0, 6, 0), std::out_of_range);
+  EXPECT_THROW(net.create_vcq(0, 0, 9), std::out_of_range);
+  EXPECT_THROW(net.create_vcq(1, 0, 0), std::out_of_range);
+}
+
+TEST(Network, PutMovesBytesAndPostsCompletions) {
+  Network net(2);
+  std::vector<double> src{1.5, 2.5, 3.5};
+  std::vector<double> dst(3, 0.0);
+  const Stadd ss = net.reg_mem(0, src.data(), src.size() * 8);
+  const Stadd ds = net.reg_mem(1, dst.data(), dst.size() * 8);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+
+  net.put(v0, v1, ss, 0, ds, 0, 24, /*edata=*/0xBEEF);
+
+  EXPECT_EQ(dst, src);
+  const auto tcq = net.poll_tcq(v0);
+  ASSERT_TRUE(tcq.has_value());
+  EXPECT_EQ(tcq->edata, 0xBEEFu);
+  const auto mrq = net.poll_mrq(v1);
+  ASSERT_TRUE(mrq.has_value());
+  EXPECT_EQ(mrq->edata, 0xBEEFu);
+  EXPECT_EQ(mrq->length, 24u);
+  EXPECT_EQ(mrq->src_proc, 0);
+  EXPECT_FALSE(net.poll_mrq(v1).has_value());
+}
+
+TEST(Network, PutWithOffsets) {
+  Network net(2);
+  std::vector<double> src{7.0, 8.0};
+  std::vector<double> dst(4, 0.0);
+  const Stadd ss = net.reg_mem(0, src.data(), 16);
+  const Stadd ds = net.reg_mem(1, dst.data(), 32);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+  net.put(v0, v1, ss, 8, ds, 16, 8);
+  EXPECT_DOUBLE_EQ(dst[2], 8.0);
+  EXPECT_DOUBLE_EQ(dst[0], 0.0);
+}
+
+TEST(Network, PutBeyondRegionThrows) {
+  Network net(2);
+  std::vector<std::byte> a(16), b(16);
+  const Stadd sa = net.reg_mem(0, a.data(), 16);
+  const Stadd sb = net.reg_mem(1, b.data(), 16);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+  EXPECT_THROW(net.put(v0, v1, sa, 8, sb, 0, 16), std::out_of_range);
+}
+
+TEST(Network, PiggybackDeliversEdataOnly) {
+  Network net(2);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+  net.put_piggyback(v0, v1, 42);
+  const auto mrq = net.poll_mrq(v1);
+  ASSERT_TRUE(mrq.has_value());
+  EXPECT_EQ(mrq->edata, 42u);
+  EXPECT_EQ(mrq->length, 0u);
+}
+
+TEST(Network, GetReadsRemote) {
+  Network net(2);
+  std::vector<double> remote{9.25};
+  std::vector<double> local{0.0};
+  const Stadd sr = net.reg_mem(1, remote.data(), 8);
+  const Stadd sl = net.reg_mem(0, local.data(), 8);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+  net.get(v0, v1, sr, 0, sl, 0, 8);
+  EXPECT_DOUBLE_EQ(local[0], 9.25);
+  EXPECT_TRUE(net.poll_tcq(v0).has_value());
+}
+
+TEST(Network, SelfPut) {
+  Network net(1);
+  std::vector<double> src{1.0};
+  std::vector<double> dst{0.0};
+  const Stadd ss = net.reg_mem(0, src.data(), 8);
+  const Stadd ds = net.reg_mem(0, dst.data(), 8);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(0, 1, 0);
+  net.put(v0, v1, ss, 0, ds, 0, 8);
+  EXPECT_DOUBLE_EQ(dst[0], 1.0);
+  EXPECT_TRUE(net.poll_mrq(v1).has_value());
+}
+
+TEST(Network, StatsCountPutsAndBytes) {
+  Network net(2);
+  std::vector<std::byte> a(128), b(128);
+  const Stadd sa = net.reg_mem(0, a.data(), 128);
+  const Stadd sb = net.reg_mem(1, b.data(), 128);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+  net.put(v0, v1, sa, 0, sb, 0, 100);
+  net.put(v0, v1, sa, 0, sb, 0, 28);
+  EXPECT_EQ(net.stats().puts.load(), 2u);
+  EXPECT_EQ(net.stats().bytes_put.load(), 128u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().puts.load(), 0u);
+}
+
+TEST(Network, ConcurrentPutsAreOrderedPerVcq) {
+  Network net(2);
+  constexpr int kMsgs = 200;
+  std::vector<double> src(1, 0.0), dst(1, 0.0);
+  const Stadd ss = net.reg_mem(0, src.data(), 8);
+  const Stadd ds = net.reg_mem(1, dst.data(), 8);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+
+  std::thread sender([&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      net.put(v0, v1, ss, 0, ds, 0, 8, static_cast<std::uint64_t>(i));
+    }
+  });
+  // Receiver drains concurrently and must see edatas in order.
+  for (int i = 0; i < kMsgs; ++i) {
+    const MrqEntry e = net.wait_mrq(v1);
+    EXPECT_EQ(e.edata, static_cast<std::uint64_t>(i));
+  }
+  sender.join();
+}
+
+}  // namespace
+}  // namespace lmp::tofu

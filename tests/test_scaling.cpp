@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "perf/scaling.h"
+#include "util/stats.h"
+
+namespace lmp::perf {
+namespace {
+
+constexpr std::array<long, 5> kStrongNodes{768, 2160, 6144, 18432, 36864};
+constexpr std::array<long, 4> kWeakNodes{768, 2160, 6144, 20736};
+
+ScalingModel model() { return ScalingModel(default_calibration()); }
+
+TEST(Scaling, PerfPerDayConversion) {
+  // 1 ms/step at dt = 0.005 tau -> 86.4e6 steps/day... times dt.
+  EXPECT_NEAR(ScalingModel::perf_per_day(1e-3, 0.005), 86400.0 * 1000 * 0.005,
+              1e-6);
+}
+
+TEST(Scaling, StrongSeriesShape) {
+  const auto pts = model().strong_scaling(PotKind::kLj, 4194304, kStrongNodes);
+  ASSERT_EQ(pts.size(), kStrongNodes.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].nodes, kStrongNodes[i]);
+    EXPECT_GT(pts[i].speedup, 1.0);
+    EXPECT_GT(pts[i].perf_opt, pts[i].perf_origin);
+  }
+  // The optimized code keeps gaining performance through 18432 nodes.
+  for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+    EXPECT_GT(pts[i].perf_opt, pts[i - 1].perf_opt) << pts[i].nodes;
+  }
+}
+
+TEST(Scaling, SpeedupGrowsWithScale) {
+  // Fig. 13a: the origin/opt gap widens as comm dominates.
+  const auto pts = model().strong_scaling(PotKind::kLj, 4194304, kStrongNodes);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].speedup, pts[i - 1].speedup);
+  }
+}
+
+TEST(Scaling, EfficiencyStartsAtOneAndDecays) {
+  for (const PotKind pot : {PotKind::kLj, PotKind::kEam}) {
+    const double atoms = pot == PotKind::kLj ? 4194304 : 3456000;
+    const auto pts = model().strong_scaling(pot, atoms, kStrongNodes);
+    EXPECT_NEAR(pts.front().efficiency_opt, 1.0, 1e-12);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      EXPECT_LT(pts[i].efficiency_opt, pts[i - 1].efficiency_opt);
+      EXPECT_GT(pts[i].efficiency_opt, 0.0);
+    }
+  }
+}
+
+TEST(Scaling, OptEfficiencyBeatsOrigin) {
+  const auto pts = model().strong_scaling(PotKind::kLj, 4194304, kStrongNodes);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].efficiency_opt, pts[i].efficiency_origin);
+  }
+}
+
+TEST(Scaling, WeakSeriesNearLinear) {
+  // Fig. 14: throughput grows almost linearly with node count.
+  const auto pts = model().weak_scaling(PotKind::kLj, 100000, kWeakNodes);
+  ASSERT_EQ(pts.size(), kWeakNodes.size());
+  std::vector<double> x, y;
+  for (const auto& p : pts) {
+    x.push_back(static_cast<double>(p.nodes));
+    y.push_back(p.atom_steps_per_sec);
+  }
+  // Compare against the ideal line through the first point.
+  const double per_node = y.front() / x.front();
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    const double ideal = per_node * x[i];
+    EXPECT_GT(y[i], 0.85 * ideal) << kWeakNodes[i];
+    EXPECT_LE(y[i], 1.02 * ideal) << kWeakNodes[i];
+  }
+}
+
+TEST(Scaling, WeakAtomCountsMatchPaper) {
+  // 100K per core -> 99.5 billion atoms at 20736 nodes (Sec. 4.3.2).
+  const auto pts = model().weak_scaling(PotKind::kLj, 100000, kWeakNodes);
+  EXPECT_NEAR(pts.back().natoms, 99.5e9, 1e9);
+  const auto eam = model().weak_scaling(PotKind::kEam, 72000, kWeakNodes);
+  EXPECT_NEAR(eam.back().natoms, 71.7e9, 1e9);
+}
+
+TEST(Scaling, EamSlowerThanLjPerStep) {
+  const ScalingModel m = model();
+  const auto lj = m.strong_scaling(PotKind::kLj, 4194304, kStrongNodes);
+  const auto eam = m.strong_scaling(PotKind::kEam, 3456000, kStrongNodes);
+  for (std::size_t i = 0; i < lj.size(); ++i) {
+    EXPECT_GT(eam[i].opt.total(), lj[i].opt.total());
+  }
+}
+
+TEST(Scaling, WorkloadFactory) {
+  const ScalingModel m = model();
+  EXPECT_EQ(m.workload(PotKind::kLj, 10, 1).pot, PotKind::kLj);
+  EXPECT_EQ(m.workload(PotKind::kEam, 10, 1).pot, PotKind::kEam);
+}
+
+}  // namespace
+}  // namespace lmp::perf

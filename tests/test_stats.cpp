@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace lmp::util {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  const std::vector<double> xs{5, 1, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Percentile, EndsClamp) {
+  const std::vector<double> xs{4, 2, 9};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 9.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(MaxRelDeviation, ZeroForIdentical) {
+  const std::vector<double> a{1, -2, 3};
+  EXPECT_DOUBLE_EQ(max_rel_deviation(a, a), 0.0);
+}
+
+TEST(MaxRelDeviation, DetectsWorstPair) {
+  const std::vector<double> a{1.0, 100.0};
+  const std::vector<double> b{1.1, 100.0};
+  EXPECT_NEAR(max_rel_deviation(a, b), 0.1 / 1.1, 1e-12);
+}
+
+TEST(MaxRelDeviation, MismatchedLengthsThrow) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(max_rel_deviation(a, b), std::invalid_argument);
+}
+
+TEST(RegressionSlope, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};
+  EXPECT_NEAR(regression_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(RegressionSlope, ConstantXThrows) {
+  const std::vector<double> x{2, 2};
+  const std::vector<double> y{1, 5};
+  EXPECT_THROW(regression_slope(x, y), std::invalid_argument);
+}
+
+TEST(RegressionSlope, TooFewPointsThrows) {
+  const std::vector<double> x{1};
+  const std::vector<double> y{1};
+  EXPECT_THROW(regression_slope(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmp::util

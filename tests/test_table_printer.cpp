@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "util/table_printer.h"
+
+namespace lmp::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, ColumnsAligned) {
+  TablePrinter t({"x"});
+  t.add_row({"short"});
+  t.add_row({"a-much-longer-cell"});
+  const std::string s = t.to_string();
+  // Every line has the same length.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+TEST(TablePrinter, FmtSiSuffixes) {
+  EXPECT_EQ(TablePrinter::fmt_si(1500.0, 1), "1.5k");
+  EXPECT_EQ(TablePrinter::fmt_si(2.5e6, 1), "2.5M");
+  EXPECT_EQ(TablePrinter::fmt_si(3.2e9, 1), "3.2G");
+  EXPECT_EQ(TablePrinter::fmt_si(12.0, 1), "12.0");
+}
+
+}  // namespace
+}  // namespace lmp::util

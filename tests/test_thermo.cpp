@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "md/thermo.h"
+
+namespace lmp::md {
+namespace {
+
+TEST(Thermo, LocalSumsKineticTerm) {
+  Atoms a;
+  a.reserve_capacity(4);
+  a.add_local({0, 0, 0}, {1, 0, 0}, 0);
+  a.add_local({1, 0, 0}, {0, 2, 0}, 1);
+  a.add_ghost({2, 0, 0}, 2);  // ghosts excluded
+  const ThermoPartials p = local_thermo(a, 2.0, 5.0, 7.0);
+  EXPECT_DOUBLE_EQ(p.ke_sum, 2.0 * (1.0 + 4.0));
+  EXPECT_DOUBLE_EQ(p.pe, 5.0);
+  EXPECT_DOUBLE_EQ(p.virial, 7.0);
+  EXPECT_EQ(p.natoms, 2);
+}
+
+TEST(Thermo, PartialsAccumulate) {
+  ThermoPartials a{1.0, 2.0, 3.0, 4};
+  const ThermoPartials b{10.0, 20.0, 30.0, 40};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.ke_sum, 11.0);
+  EXPECT_DOUBLE_EQ(a.pe, 22.0);
+  EXPECT_DOUBLE_EQ(a.virial, 33.0);
+  EXPECT_EQ(a.natoms, 44);
+}
+
+TEST(Thermo, TemperatureLjUnits) {
+  // T = sum(m v^2) / (dof * kB); lj units have kB = mvv2e = 1.
+  ThermoPartials g;
+  g.natoms = 100;
+  g.ke_sum = 3.0 * 99.0;  // dof = 297 -> T = 1
+  const ThermoState t = reduce_thermo(g, Units::lj(), 1000.0);
+  EXPECT_NEAR(t.temperature, 1.0, 1e-12);
+  EXPECT_NEAR(t.kinetic, 0.5 * g.ke_sum, 1e-12);
+}
+
+TEST(Thermo, IdealGasPressure) {
+  // With zero virial, P V = N kB T.
+  ThermoPartials g;
+  g.natoms = 64;
+  g.ke_sum = 3.0 * 63.0 * 2.0;  // T = 2 in lj units
+  const double volume = 100.0;
+  const ThermoState t = reduce_thermo(g, Units::lj(), volume);
+  EXPECT_NEAR(t.pressure * volume, g.ke_sum / 3.0, 1e-9);
+}
+
+TEST(Thermo, VirialRaisesPressure) {
+  ThermoPartials g;
+  g.natoms = 10;
+  g.ke_sum = 27.0;
+  ThermoPartials g2 = g;
+  g2.virial = 30.0;
+  const auto base = reduce_thermo(g, Units::lj(), 10.0);
+  const auto more = reduce_thermo(g2, Units::lj(), 10.0);
+  EXPECT_NEAR(more.pressure - base.pressure, 30.0 / 30.0, 1e-12);
+}
+
+TEST(Thermo, MetalUnitsTemperature) {
+  const Units u = Units::metal();
+  ThermoPartials g;
+  g.natoms = 2;
+  // One Cu atom at 100 A/ps, one at rest: sum m v^2 = 63.55 * 1e4.
+  g.ke_sum = 63.55 * 100.0 * 100.0;
+  const ThermoState t = reduce_thermo(g, u, 100.0);
+  const double expected = u.mvv2e * g.ke_sum / (3.0 * u.boltz);
+  EXPECT_NEAR(t.temperature, expected, 1e-9);
+  EXPECT_GT(t.temperature, 0.0);
+}
+
+TEST(Thermo, ZeroVolumeSkipsPressure) {
+  ThermoPartials g;
+  g.natoms = 10;
+  g.ke_sum = 1.0;
+  const ThermoState t = reduce_thermo(g, Units::lj(), 0.0);
+  EXPECT_DOUBLE_EQ(t.pressure, 0.0);
+}
+
+TEST(Thermo, TotalEnergy) {
+  ThermoState t;
+  t.kinetic = 2.5;
+  t.potential = -4.0;
+  EXPECT_DOUBLE_EQ(t.total(), -1.5);
+}
+
+}  // namespace
+}  // namespace lmp::md

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "threadpool/forkjoin.h"
+#include "threadpool/spin_pool.h"
+
+namespace lmp::pool {
+namespace {
+
+TEST(SpinThreadPool, ParallelCoversAllWorkExactlyOnce) {
+  SpinThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel(100, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SpinThreadPool, ParallelSum) {
+  SpinThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel(1000, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(SpinThreadPool, ReusableAcrossManyGenerations) {
+  SpinThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel(8, [&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 1600);
+}
+
+TEST(SpinThreadPool, StaticRunsEachThreadOnce) {
+  SpinThreadPool pool(6);
+  std::vector<std::atomic<int>> per_thread(6);
+  pool.parallel_static([&](int t) { per_thread[static_cast<std::size_t>(t)]++; });
+  for (const auto& c : per_thread) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(SpinThreadPool, StaticThreadIdsDistinct) {
+  SpinThreadPool pool(4);
+  std::vector<std::thread::id> ids(4);
+  pool.parallel_static([&](int t) { ids[static_cast<std::size_t>(t)] = std::this_thread::get_id(); });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+}
+
+TEST(SpinThreadPool, SingleThreadPoolWorks) {
+  SpinThreadPool pool(1);
+  std::atomic<int> n{0};
+  pool.parallel(10, [&](int) { n++; });
+  EXPECT_EQ(n.load(), 10);
+  pool.parallel_static([&](int t) { EXPECT_EQ(t, 0); });
+}
+
+TEST(SpinThreadPool, EmptyWorkIsNoop) {
+  SpinThreadPool pool(2);
+  pool.parallel(0, [&](int) { FAIL(); });
+}
+
+TEST(SpinThreadPool, InvalidSizeThrows) {
+  EXPECT_THROW(SpinThreadPool(0), std::invalid_argument);
+}
+
+TEST(SpinThreadPool, UnbalancedItemsSelfBalance) {
+  SpinThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.parallel(64, [&](int i) {
+    // Item cost varies wildly; dynamic claiming must still finish.
+    volatile long x = 0;
+    for (int k = 0; k < i * 1000; ++k) x = x + k;
+    sum += i;
+    (void)x;
+  });
+  EXPECT_EQ(sum.load(), 63L * 64 / 2);
+}
+
+TEST(ForkJoinPool, ParallelRunsAllThreads) {
+  ForkJoinPool pool(4);
+  std::vector<std::atomic<int>> per_thread(4);
+  pool.parallel([&](int t) { per_thread[static_cast<std::size_t>(t)]++; });
+  for (const auto& c : per_thread) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ForkJoinPool, ParallelForCoversRange) {
+  ForkJoinPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ForkJoinPool, RepeatedRegions) {
+  ForkJoinPool pool(2);
+  std::atomic<int> total{0};
+  for (int r = 0; r < 100; ++r) pool.parallel([&](int) { total++; });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ForkJoinPool, SingleThreadInline) {
+  ForkJoinPool pool(1);
+  std::atomic<int> n{0};
+  pool.parallel([&](int t) {
+    EXPECT_EQ(t, 0);
+    n++;
+  });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ForkJoinPool, EmptyRangeNoop) {
+  ForkJoinPool pool(2);
+  pool.parallel_for(0, [&](int) { FAIL(); });
+}
+
+TEST(ForkJoinPool, InvalidSizeThrows) {
+  EXPECT_THROW(ForkJoinPool(0), std::invalid_argument);
+}
+
+TEST(PoolOverheads, SpinPoolDispatchCheaperThanForkJoin) {
+  // The paper's Sec. 3.3 motivation: pool dispatch (1.1 us on A64FX)
+  // beats OpenMP fork-join (5.8 us). The ordering only shows when the
+  // spinning workers actually own cores; on an oversubscribed host the
+  // spin pool's yield loop is at the scheduler's mercy.
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads to measure spin dispatch";
+  }
+  constexpr int kRegions = 300;
+  SpinThreadPool spin(2);
+  ForkJoinPool fj(2);
+  // Warm up.
+  for (int i = 0; i < 10; ++i) {
+    spin.parallel_static([](int) {});
+    fj.parallel([](int) {});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRegions; ++i) spin.parallel_static([](int) {});
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRegions; ++i) fj.parallel([](int) {});
+  const auto t2 = std::chrono::steady_clock::now();
+  const double spin_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kRegions;
+  const double fj_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count() / kRegions;
+  EXPECT_LT(spin_us, fj_us);
+}
+
+}  // namespace
+}  // namespace lmp::pool

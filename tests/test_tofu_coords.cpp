@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "tofu/coords.h"
+#include "tofu/hardware.h"
+
+namespace lmp::tofu {
+namespace {
+
+TEST(Hardware, FugakuShape) {
+  EXPECT_EQ(Hardware::kTotalNodes, 158976);
+  EXPECT_EQ(Hardware::kNodesPerCell, 12);
+  EXPECT_EQ(Hardware::kComputeCoresPerNode, 48);
+  EXPECT_EQ(Hardware::kTnisPerNode, 6);
+  EXPECT_EQ(Hardware::kCqsPerTni, 9);
+}
+
+TEST(AxisShape, DefaultIntraCellAxes) {
+  const AxisShape s;
+  EXPECT_EQ(s.size_of(Axis::kA), 2);
+  EXPECT_EQ(s.size_of(Axis::kB), 3);
+  EXPECT_EQ(s.size_of(Axis::kC), 2);
+  EXPECT_FALSE(s.is_torus(Axis::kA));
+  EXPECT_TRUE(s.is_torus(Axis::kB));
+  EXPECT_FALSE(s.is_torus(Axis::kC));
+}
+
+TEST(AxisShape, TorusHopsWrap) {
+  AxisShape s;
+  s.size[0] = 10;
+  s.torus[0] = true;
+  EXPECT_EQ(s.axis_hops(Axis::kX, 0, 9), 1);  // wraps
+  EXPECT_EQ(s.axis_hops(Axis::kX, 0, 5), 5);
+  EXPECT_EQ(s.axis_hops(Axis::kX, 2, 2), 0);
+}
+
+TEST(AxisShape, MeshHopsDoNotWrap) {
+  AxisShape s;
+  s.size[0] = 10;
+  s.torus[0] = false;
+  EXPECT_EQ(s.axis_hops(Axis::kX, 0, 9), 9);
+}
+
+TEST(AxisShape, BAxisTorusOfThree) {
+  const AxisShape s;
+  EXPECT_EQ(s.axis_hops(Axis::kB, 0, 2), 1);  // 3-torus wraps
+  EXPECT_EQ(s.axis_hops(Axis::kB, 0, 1), 1);
+}
+
+TEST(AxisShape, TotalNodes) {
+  AxisShape s;
+  s.size = {2, 3, 4, 2, 3, 2};
+  EXPECT_EQ(s.total_nodes(), 2L * 3 * 4 * 2 * 3 * 2);
+}
+
+TEST(TofuCoord, ToString) {
+  TofuCoord c;
+  c[Axis::kX] = 1;
+  c[Axis::kB] = 2;
+  EXPECT_EQ(c.to_string(), "(1,0,0,0,2,0)");
+}
+
+}  // namespace
+}  // namespace lmp::tofu

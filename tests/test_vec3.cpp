@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "util/vec3.h"
+
+namespace lmp::util {
+namespace {
+
+TEST(Vec3, ArithmeticOps) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  const Vec3 s = a + b;
+  EXPECT_EQ(s, (Vec3{5, 7, 9}));
+  EXPECT_EQ(a - b, (Vec3{-3, -3, -3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm_sq(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, Vec3{0, 0, 7}), 0.0);
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(v[0], 1);
+  EXPECT_DOUBLE_EQ(v[1], 2);
+  EXPECT_DOUBLE_EQ(v[2], 3);
+  v[1] = 9;
+  EXPECT_DOUBLE_EQ(v.y, 9);
+}
+
+TEST(Int3, OpsAndEquality) {
+  const Int3 a{1, 2, 3};
+  const Int3 b{-1, 0, 1};
+  EXPECT_EQ(a + b, (Int3{0, 2, 4}));
+  EXPECT_EQ(a - b, (Int3{2, 2, 2}));
+  EXPECT_TRUE(a == (Int3{1, 2, 3}));
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace lmp::util

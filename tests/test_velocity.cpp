@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "md/velocity.h"
+
+namespace lmp::md {
+namespace {
+
+TEST(Velocity, ZeroNetMomentum) {
+  const auto v = create_velocities(500, 1.44, 1.0, Units::lj(), 42);
+  util::Vec3 p;
+  for (const auto& vi : v) p += vi;
+  EXPECT_NEAR(p.x, 0.0, 1e-10);
+  EXPECT_NEAR(p.y, 0.0, 1e-10);
+  EXPECT_NEAR(p.z, 0.0, 1e-10);
+}
+
+TEST(Velocity, ExactTargetTemperature) {
+  const Units u = Units::lj();
+  const std::size_t n = 300;
+  const auto v = create_velocities(n, 1.44, 1.0, u, 7);
+  double mv2 = 0;
+  for (const auto& vi : v) mv2 += norm_sq(vi);
+  const double t = u.mvv2e * mv2 / ((3.0 * n - 3.0) * u.boltz);
+  EXPECT_NEAR(t, 1.44, 1e-12);
+}
+
+TEST(Velocity, MetalUnitsTemperature) {
+  const Units u = Units::metal();
+  const std::size_t n = 200;
+  const double mass = 63.55;
+  const auto v = create_velocities(n, 800.0, mass, u, 3);
+  double mv2 = 0;
+  for (const auto& vi : v) mv2 += mass * norm_sq(vi);
+  const double t = u.mvv2e * mv2 / ((3.0 * n - 3.0) * u.boltz);
+  EXPECT_NEAR(t, 800.0, 1e-9);
+}
+
+TEST(Velocity, DeterministicPerSeed) {
+  const auto a = create_velocities(100, 1.0, 1.0, Units::lj(), 5);
+  const auto b = create_velocities(100, 1.0, 1.0, Units::lj(), 5);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  const auto c = create_velocities(100, 1.0, 1.0, Units::lj(), 6);
+  EXPECT_FALSE(a[0] == c[0]);
+}
+
+TEST(Velocity, ZeroTemperatureMeansAtRest) {
+  const auto v = create_velocities(50, 0.0, 1.0, Units::lj(), 1);
+  for (const auto& vi : v) EXPECT_EQ(vi, (util::Vec3{0, 0, 0}));
+}
+
+TEST(Velocity, EmptySystem) {
+  EXPECT_TRUE(create_velocities(0, 1.0, 1.0, Units::lj(), 1).empty());
+}
+
+TEST(Velocity, InvalidArgsThrow) {
+  EXPECT_THROW(create_velocities(10, -1.0, 1.0, Units::lj(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(create_velocities(10, 1.0, 0.0, Units::lj(), 1),
+               std::invalid_argument);
+}
+
+TEST(Velocity, VelocitiesVaryAcrossAtoms) {
+  const auto v = create_velocities(100, 1.0, 1.0, Units::lj(), 9);
+  int distinct = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) distinct += !(v[i] == v[0]);
+  EXPECT_GT(distinct, 90);
+}
+
+}  // namespace
+}  // namespace lmp::md
