@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_border_bins.dir/ablation_border_bins.cpp.o"
+  "CMakeFiles/ablation_border_bins.dir/ablation_border_bins.cpp.o.d"
+  "ablation_border_bins"
+  "ablation_border_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_border_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preregister.dir/ablation_preregister.cpp.o"
+  "CMakeFiles/ablation_preregister.dir/ablation_preregister.cpp.o.d"
+  "ablation_preregister"
+  "ablation_preregister.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preregister.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

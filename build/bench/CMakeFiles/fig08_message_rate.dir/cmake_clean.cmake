@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_message_rate.dir/fig08_message_rate.cpp.o"
+  "CMakeFiles/fig08_message_rate.dir/fig08_message_rate.cpp.o.d"
+  "fig08_message_rate"
+  "fig08_message_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_message_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_step_by_step.dir/fig12_step_by_step.cpp.o"
+  "CMakeFiles/fig12_step_by_step.dir/fig12_step_by_step.cpp.o.d"
+  "fig12_step_by_step"
+  "fig12_step_by_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_step_by_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

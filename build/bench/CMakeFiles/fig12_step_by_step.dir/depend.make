@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_step_by_step.
+# This may be replaced when dependencies are built.

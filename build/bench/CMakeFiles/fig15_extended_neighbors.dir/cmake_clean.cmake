@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_extended_neighbors.dir/fig15_extended_neighbors.cpp.o"
+  "CMakeFiles/fig15_extended_neighbors.dir/fig15_extended_neighbors.cpp.o.d"
+  "fig15_extended_neighbors"
+  "fig15_extended_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_extended_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_overheads.cpp" "bench/CMakeFiles/micro_overheads.dir/micro_overheads.cpp.o" "gcc" "bench/CMakeFiles/micro_overheads.dir/micro_overheads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lmp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/lmp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/lmp_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/lmp_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tofu/CMakeFiles/lmp_tofu.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadpool/CMakeFiles/lmp_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lmp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

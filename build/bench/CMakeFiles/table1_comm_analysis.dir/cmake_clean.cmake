@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_comm_analysis.dir/table1_comm_analysis.cpp.o"
+  "CMakeFiles/table1_comm_analysis.dir/table1_comm_analysis.cpp.o.d"
+  "table1_comm_analysis"
+  "table1_comm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_comm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

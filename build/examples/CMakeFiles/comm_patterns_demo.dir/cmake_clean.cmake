@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_patterns_demo.dir/comm_patterns_demo.cpp.o"
+  "CMakeFiles/comm_patterns_demo.dir/comm_patterns_demo.cpp.o.d"
+  "comm_patterns_demo"
+  "comm_patterns_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_patterns_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eam_cu.dir/eam_cu.cpp.o"
+  "CMakeFiles/eam_cu.dir/eam_cu.cpp.o.d"
+  "eam_cu"
+  "eam_cu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eam_cu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

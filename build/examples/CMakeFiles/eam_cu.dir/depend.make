@@ -1,0 +1,2 @@
+# Empty dependencies file for eam_cu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_cli.dir/lmp_cli.cpp.o"
+  "CMakeFiles/lmp_cli.dir/lmp_cli.cpp.o.d"
+  "lmp_cli"
+  "lmp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

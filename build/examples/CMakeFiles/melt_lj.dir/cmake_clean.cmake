@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melt_lj.dir/melt_lj.cpp.o"
+  "CMakeFiles/melt_lj.dir/melt_lj.cpp.o.d"
+  "melt_lj"
+  "melt_lj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melt_lj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/border_bins.cpp" "src/comm/CMakeFiles/lmp_comm.dir/border_bins.cpp.o" "gcc" "src/comm/CMakeFiles/lmp_comm.dir/border_bins.cpp.o.d"
+  "/root/repo/src/comm/comm_brick.cpp" "src/comm/CMakeFiles/lmp_comm.dir/comm_brick.cpp.o" "gcc" "src/comm/CMakeFiles/lmp_comm.dir/comm_brick.cpp.o.d"
+  "/root/repo/src/comm/comm_p2p.cpp" "src/comm/CMakeFiles/lmp_comm.dir/comm_p2p.cpp.o" "gcc" "src/comm/CMakeFiles/lmp_comm.dir/comm_p2p.cpp.o.d"
+  "/root/repo/src/comm/comm_p2p_mpi.cpp" "src/comm/CMakeFiles/lmp_comm.dir/comm_p2p_mpi.cpp.o" "gcc" "src/comm/CMakeFiles/lmp_comm.dir/comm_p2p_mpi.cpp.o.d"
+  "/root/repo/src/comm/directions.cpp" "src/comm/CMakeFiles/lmp_comm.dir/directions.cpp.o" "gcc" "src/comm/CMakeFiles/lmp_comm.dir/directions.cpp.o.d"
+  "/root/repo/src/comm/load_balance.cpp" "src/comm/CMakeFiles/lmp_comm.dir/load_balance.cpp.o" "gcc" "src/comm/CMakeFiles/lmp_comm.dir/load_balance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lmp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tofu/CMakeFiles/lmp_tofu.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/lmp_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadpool/CMakeFiles/lmp_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/lmp_md.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_comm.dir/border_bins.cpp.o"
+  "CMakeFiles/lmp_comm.dir/border_bins.cpp.o.d"
+  "CMakeFiles/lmp_comm.dir/comm_brick.cpp.o"
+  "CMakeFiles/lmp_comm.dir/comm_brick.cpp.o.d"
+  "CMakeFiles/lmp_comm.dir/comm_p2p.cpp.o"
+  "CMakeFiles/lmp_comm.dir/comm_p2p.cpp.o.d"
+  "CMakeFiles/lmp_comm.dir/comm_p2p_mpi.cpp.o"
+  "CMakeFiles/lmp_comm.dir/comm_p2p_mpi.cpp.o.d"
+  "CMakeFiles/lmp_comm.dir/directions.cpp.o"
+  "CMakeFiles/lmp_comm.dir/directions.cpp.o.d"
+  "CMakeFiles/lmp_comm.dir/load_balance.cpp.o"
+  "CMakeFiles/lmp_comm.dir/load_balance.cpp.o.d"
+  "liblmp_comm.a"
+  "liblmp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

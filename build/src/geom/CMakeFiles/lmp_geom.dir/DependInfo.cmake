@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cpp" "src/geom/CMakeFiles/lmp_geom.dir/box.cpp.o" "gcc" "src/geom/CMakeFiles/lmp_geom.dir/box.cpp.o.d"
+  "/root/repo/src/geom/decomposition.cpp" "src/geom/CMakeFiles/lmp_geom.dir/decomposition.cpp.o" "gcc" "src/geom/CMakeFiles/lmp_geom.dir/decomposition.cpp.o.d"
+  "/root/repo/src/geom/ghost_algebra.cpp" "src/geom/CMakeFiles/lmp_geom.dir/ghost_algebra.cpp.o" "gcc" "src/geom/CMakeFiles/lmp_geom.dir/ghost_algebra.cpp.o.d"
+  "/root/repo/src/geom/lattice.cpp" "src/geom/CMakeFiles/lmp_geom.dir/lattice.cpp.o" "gcc" "src/geom/CMakeFiles/lmp_geom.dir/lattice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_geom.dir/box.cpp.o"
+  "CMakeFiles/lmp_geom.dir/box.cpp.o.d"
+  "CMakeFiles/lmp_geom.dir/decomposition.cpp.o"
+  "CMakeFiles/lmp_geom.dir/decomposition.cpp.o.d"
+  "CMakeFiles/lmp_geom.dir/ghost_algebra.cpp.o"
+  "CMakeFiles/lmp_geom.dir/ghost_algebra.cpp.o.d"
+  "CMakeFiles/lmp_geom.dir/lattice.cpp.o"
+  "CMakeFiles/lmp_geom.dir/lattice.cpp.o.d"
+  "liblmp_geom.a"
+  "liblmp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

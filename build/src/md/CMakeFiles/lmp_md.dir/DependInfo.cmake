@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/atoms.cpp" "src/md/CMakeFiles/lmp_md.dir/atoms.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/atoms.cpp.o.d"
+  "/root/repo/src/md/config.cpp" "src/md/CMakeFiles/lmp_md.dir/config.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/config.cpp.o.d"
+  "/root/repo/src/md/eam.cpp" "src/md/CMakeFiles/lmp_md.dir/eam.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/eam.cpp.o.d"
+  "/root/repo/src/md/eam_table.cpp" "src/md/CMakeFiles/lmp_md.dir/eam_table.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/eam_table.cpp.o.d"
+  "/root/repo/src/md/integrate.cpp" "src/md/CMakeFiles/lmp_md.dir/integrate.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/integrate.cpp.o.d"
+  "/root/repo/src/md/lj.cpp" "src/md/CMakeFiles/lmp_md.dir/lj.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/lj.cpp.o.d"
+  "/root/repo/src/md/neighbor.cpp" "src/md/CMakeFiles/lmp_md.dir/neighbor.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/neighbor.cpp.o.d"
+  "/root/repo/src/md/spline.cpp" "src/md/CMakeFiles/lmp_md.dir/spline.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/spline.cpp.o.d"
+  "/root/repo/src/md/thermo.cpp" "src/md/CMakeFiles/lmp_md.dir/thermo.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/thermo.cpp.o.d"
+  "/root/repo/src/md/velocity.cpp" "src/md/CMakeFiles/lmp_md.dir/velocity.cpp.o" "gcc" "src/md/CMakeFiles/lmp_md.dir/velocity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lmp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

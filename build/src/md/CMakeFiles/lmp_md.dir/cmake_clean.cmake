@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_md.dir/atoms.cpp.o"
+  "CMakeFiles/lmp_md.dir/atoms.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/config.cpp.o"
+  "CMakeFiles/lmp_md.dir/config.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/eam.cpp.o"
+  "CMakeFiles/lmp_md.dir/eam.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/eam_table.cpp.o"
+  "CMakeFiles/lmp_md.dir/eam_table.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/integrate.cpp.o"
+  "CMakeFiles/lmp_md.dir/integrate.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/lj.cpp.o"
+  "CMakeFiles/lmp_md.dir/lj.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/neighbor.cpp.o"
+  "CMakeFiles/lmp_md.dir/neighbor.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/spline.cpp.o"
+  "CMakeFiles/lmp_md.dir/spline.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/thermo.cpp.o"
+  "CMakeFiles/lmp_md.dir/thermo.cpp.o.d"
+  "CMakeFiles/lmp_md.dir/velocity.cpp.o"
+  "CMakeFiles/lmp_md.dir/velocity.cpp.o.d"
+  "liblmp_md.a"
+  "liblmp_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_minimpi.dir/runtime.cpp.o"
+  "CMakeFiles/lmp_minimpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/lmp_minimpi.dir/world.cpp.o"
+  "CMakeFiles/lmp_minimpi.dir/world.cpp.o.d"
+  "liblmp_minimpi.a"
+  "liblmp_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_perf.dir/netmodel.cpp.o"
+  "CMakeFiles/lmp_perf.dir/netmodel.cpp.o.d"
+  "CMakeFiles/lmp_perf.dir/netsim.cpp.o"
+  "CMakeFiles/lmp_perf.dir/netsim.cpp.o.d"
+  "CMakeFiles/lmp_perf.dir/scaling.cpp.o"
+  "CMakeFiles/lmp_perf.dir/scaling.cpp.o.d"
+  "CMakeFiles/lmp_perf.dir/stepmodel.cpp.o"
+  "CMakeFiles/lmp_perf.dir/stepmodel.cpp.o.d"
+  "liblmp_perf.a"
+  "liblmp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_sim.dir/input_script.cpp.o"
+  "CMakeFiles/lmp_sim.dir/input_script.cpp.o.d"
+  "CMakeFiles/lmp_sim.dir/simulation.cpp.o"
+  "CMakeFiles/lmp_sim.dir/simulation.cpp.o.d"
+  "liblmp_sim.a"
+  "liblmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

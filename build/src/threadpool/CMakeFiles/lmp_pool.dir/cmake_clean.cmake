@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_pool.dir/forkjoin.cpp.o"
+  "CMakeFiles/lmp_pool.dir/forkjoin.cpp.o.d"
+  "CMakeFiles/lmp_pool.dir/spin_pool.cpp.o"
+  "CMakeFiles/lmp_pool.dir/spin_pool.cpp.o.d"
+  "liblmp_pool.a"
+  "liblmp_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tofu/coords.cpp" "src/tofu/CMakeFiles/lmp_tofu.dir/coords.cpp.o" "gcc" "src/tofu/CMakeFiles/lmp_tofu.dir/coords.cpp.o.d"
+  "/root/repo/src/tofu/network.cpp" "src/tofu/CMakeFiles/lmp_tofu.dir/network.cpp.o" "gcc" "src/tofu/CMakeFiles/lmp_tofu.dir/network.cpp.o.d"
+  "/root/repo/src/tofu/topology.cpp" "src/tofu/CMakeFiles/lmp_tofu.dir/topology.cpp.o" "gcc" "src/tofu/CMakeFiles/lmp_tofu.dir/topology.cpp.o.d"
+  "/root/repo/src/tofu/utofu.cpp" "src/tofu/CMakeFiles/lmp_tofu.dir/utofu.cpp.o" "gcc" "src/tofu/CMakeFiles/lmp_tofu.dir/utofu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lmp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

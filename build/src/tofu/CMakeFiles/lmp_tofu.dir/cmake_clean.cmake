@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_tofu.dir/coords.cpp.o"
+  "CMakeFiles/lmp_tofu.dir/coords.cpp.o.d"
+  "CMakeFiles/lmp_tofu.dir/network.cpp.o"
+  "CMakeFiles/lmp_tofu.dir/network.cpp.o.d"
+  "CMakeFiles/lmp_tofu.dir/topology.cpp.o"
+  "CMakeFiles/lmp_tofu.dir/topology.cpp.o.d"
+  "CMakeFiles/lmp_tofu.dir/utofu.cpp.o"
+  "CMakeFiles/lmp_tofu.dir/utofu.cpp.o.d"
+  "liblmp_tofu.a"
+  "liblmp_tofu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_tofu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

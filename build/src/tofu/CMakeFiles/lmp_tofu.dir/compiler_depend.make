@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lmp_tofu.
+# This may be replaced when dependencies are built.

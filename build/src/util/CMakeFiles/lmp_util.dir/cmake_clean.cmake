@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_util.dir/stats.cpp.o"
+  "CMakeFiles/lmp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lmp_util.dir/table_printer.cpp.o"
+  "CMakeFiles/lmp_util.dir/table_printer.cpp.o.d"
+  "CMakeFiles/lmp_util.dir/timer.cpp.o"
+  "CMakeFiles/lmp_util.dir/timer.cpp.o.d"
+  "liblmp_util.a"
+  "liblmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

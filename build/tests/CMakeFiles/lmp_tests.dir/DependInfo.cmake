@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_atoms.cpp" "tests/CMakeFiles/lmp_tests.dir/test_atoms.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_atoms.cpp.o.d"
+  "/root/repo/tests/test_border_bins.cpp" "tests/CMakeFiles/lmp_tests.dir/test_border_bins.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_border_bins.cpp.o.d"
+  "/root/repo/tests/test_box.cpp" "tests/CMakeFiles/lmp_tests.dir/test_box.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_box.cpp.o.d"
+  "/root/repo/tests/test_comm_integration.cpp" "tests/CMakeFiles/lmp_tests.dir/test_comm_integration.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_comm_integration.cpp.o.d"
+  "/root/repo/tests/test_decomposition.cpp" "tests/CMakeFiles/lmp_tests.dir/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_decomposition.cpp.o.d"
+  "/root/repo/tests/test_directions.cpp" "tests/CMakeFiles/lmp_tests.dir/test_directions.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_directions.cpp.o.d"
+  "/root/repo/tests/test_dispatcher.cpp" "tests/CMakeFiles/lmp_tests.dir/test_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_dispatcher.cpp.o.d"
+  "/root/repo/tests/test_eam.cpp" "tests/CMakeFiles/lmp_tests.dir/test_eam.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_eam.cpp.o.d"
+  "/root/repo/tests/test_eam_table.cpp" "tests/CMakeFiles/lmp_tests.dir/test_eam_table.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_eam_table.cpp.o.d"
+  "/root/repo/tests/test_ghost_algebra.cpp" "tests/CMakeFiles/lmp_tests.dir/test_ghost_algebra.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_ghost_algebra.cpp.o.d"
+  "/root/repo/tests/test_input_script.cpp" "tests/CMakeFiles/lmp_tests.dir/test_input_script.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_input_script.cpp.o.d"
+  "/root/repo/tests/test_integrate.cpp" "tests/CMakeFiles/lmp_tests.dir/test_integrate.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_integrate.cpp.o.d"
+  "/root/repo/tests/test_lattice.cpp" "tests/CMakeFiles/lmp_tests.dir/test_lattice.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_lattice.cpp.o.d"
+  "/root/repo/tests/test_lj.cpp" "tests/CMakeFiles/lmp_tests.dir/test_lj.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_lj.cpp.o.d"
+  "/root/repo/tests/test_load_balance.cpp" "tests/CMakeFiles/lmp_tests.dir/test_load_balance.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_load_balance.cpp.o.d"
+  "/root/repo/tests/test_minimpi.cpp" "tests/CMakeFiles/lmp_tests.dir/test_minimpi.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_minimpi.cpp.o.d"
+  "/root/repo/tests/test_msg_codec.cpp" "tests/CMakeFiles/lmp_tests.dir/test_msg_codec.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_msg_codec.cpp.o.d"
+  "/root/repo/tests/test_neighbor.cpp" "tests/CMakeFiles/lmp_tests.dir/test_neighbor.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_neighbor.cpp.o.d"
+  "/root/repo/tests/test_netmodel.cpp" "tests/CMakeFiles/lmp_tests.dir/test_netmodel.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_netmodel.cpp.o.d"
+  "/root/repo/tests/test_netsim.cpp" "tests/CMakeFiles/lmp_tests.dir/test_netsim.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_netsim.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/lmp_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/lmp_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/lmp_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scaling.cpp" "tests/CMakeFiles/lmp_tests.dir/test_scaling.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_scaling.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/lmp_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_spline.cpp" "tests/CMakeFiles/lmp_tests.dir/test_spline.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_spline.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/lmp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stepmodel.cpp" "tests/CMakeFiles/lmp_tests.dir/test_stepmodel.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_stepmodel.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/lmp_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_table_printer.cpp" "tests/CMakeFiles/lmp_tests.dir/test_table_printer.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_table_printer.cpp.o.d"
+  "/root/repo/tests/test_thermo.cpp" "tests/CMakeFiles/lmp_tests.dir/test_thermo.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_thermo.cpp.o.d"
+  "/root/repo/tests/test_threadpool.cpp" "tests/CMakeFiles/lmp_tests.dir/test_threadpool.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_threadpool.cpp.o.d"
+  "/root/repo/tests/test_timer.cpp" "tests/CMakeFiles/lmp_tests.dir/test_timer.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_timer.cpp.o.d"
+  "/root/repo/tests/test_tofu_coords.cpp" "tests/CMakeFiles/lmp_tests.dir/test_tofu_coords.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_tofu_coords.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/lmp_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_utofu.cpp" "tests/CMakeFiles/lmp_tests.dir/test_utofu.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_utofu.cpp.o.d"
+  "/root/repo/tests/test_vec3.cpp" "tests/CMakeFiles/lmp_tests.dir/test_vec3.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_vec3.cpp.o.d"
+  "/root/repo/tests/test_velocity.cpp" "tests/CMakeFiles/lmp_tests.dir/test_velocity.cpp.o" "gcc" "tests/CMakeFiles/lmp_tests.dir/test_velocity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lmp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/lmp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/lmp_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/lmp_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tofu/CMakeFiles/lmp_tofu.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadpool/CMakeFiles/lmp_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lmp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
