@@ -6,6 +6,7 @@
 #include "geom/decomposition.h"
 #include "md/atoms.h"
 #include "md/potential.h"
+#include "util/stats.h"
 
 namespace lmp::comm {
 
@@ -63,6 +64,11 @@ class Comm : public md::GhostDataComm {
 
   const CommCounters& counters() const { return counters_; }
   const CommContext& context() const { return ctx_; }
+
+  /// Reliability/degradation summary for this rank's comm. The default
+  /// (all-zero) report is right for implementations without a reliability
+  /// layer (reference MPI, plain uTofu brick).
+  virtual util::CommHealthReport health() const { return {}; }
 
  protected:
   CommContext ctx_;

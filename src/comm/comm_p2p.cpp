@@ -1,6 +1,7 @@
 #include "comm/comm_p2p.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -28,6 +29,11 @@ CommP2p::CommP2p(const CommContext& ctx, tofu::Network& net, AddressBook& book,
       throw std::invalid_argument("fine-grained mode needs a big-enough pool");
     }
   }
+}
+
+CommP2p::~CommP2p() {
+  stop_progress_.store(true, std::memory_order_release);
+  if (progress_.joinable()) progress_.join();
 }
 
 void CommP2p::setup() {
@@ -93,14 +99,32 @@ void CommP2p::setup() {
     }
   }
 
-  // VCQs: one per used TNI, CQ row 0 (each rank owns its own row in the
-  // per-node CQ matrix of Fig. 7; the functional network gives each rank
-  // a private TNI namespace so row 0 is always free).
+  // VCQs: one per *logical* TNI slot. Normally slot t lives on TNI t,
+  // CQ row 0 (each rank owns its own row in the per-node CQ matrix of
+  // Fig. 7; the functional network gives each rank a private TNI
+  // namespace so the rows are always free). When the fault plan marks
+  // TNIs down, the logical slots re-stripe round-robin across the
+  // survivors, moving to higher CQ rows on reuse so hardware CQs stay
+  // exclusive — comm_threads and the direction map are untouched, the
+  // traffic just shares fewer physical TNIs.
+  const tofu::FaultInjector* inj = net_->fault_injector();
+  std::vector<int> alive;
+  for (int t = 0; t < opt_.ntnis; ++t) {
+    if (inj == nullptr || !inj->tni_down(t)) alive.push_back(t);
+  }
+  if (alive.empty()) {
+    throw std::runtime_error(
+        "all TNIs of this variant are marked down — cannot re-stripe");
+  }
+  tnis_in_use_ = static_cast<int>(alive.size());
+
   utofu_ = std::make_unique<tofu::UtofuContext>(*net_, ctx_.rank);
   RankAddresses& mine = book_->mine(ctx_.rank);
   dispatch_.resize(static_cast<std::size_t>(opt_.ntnis));
   for (int t = 0; t < opt_.ntnis; ++t) {
-    vcq_[static_cast<std::size_t>(t)] = utofu_->create_vcq(t, 0);
+    const int phys = alive[static_cast<std::size_t>(t % tnis_in_use_)];
+    const int row = t / tnis_in_use_;
+    vcq_[static_cast<std::size_t>(t)] = utofu_->create_vcq(phys, row);
     mine.vcq[static_cast<std::size_t>(t)] = vcq_[static_cast<std::size_t>(t)];
     dispatch_[static_cast<std::size_t>(t)] =
         NoticeDispatcher(net_, vcq_[static_cast<std::size_t>(t)]);
@@ -137,6 +161,20 @@ void CommP2p::setup() {
   if (bins_active_) {
     bins_ = std::make_unique<BorderBins>(ctx_.sub, r, send_dirs_);
   }
+
+  // Arm the reliability protocol only for fault-injected runs: clean
+  // runs keep the zero-overhead fast path (no CRC, no pending copies,
+  // no progress thread).
+  reliable_ = inj != nullptr && inj->enabled();
+  if (reliable_) {
+    for (int t = 0; t < opt_.ntnis; ++t) {
+      dispatch_[static_cast<std::size_t>(t)].enable_reliability(
+          [this](MsgKind kind, int dir) { send_nack(kind, dir); },
+          opt_.reliability);
+    }
+    stop_progress_.store(false, std::memory_order_release);
+    progress_ = std::thread([this] { progress_loop(); });
+  }
 }
 
 void CommP2p::for_dirs(const std::vector<int>& dirs,
@@ -153,6 +191,147 @@ void CommP2p::for_dirs(const std::vector<int>& dirs,
   });
 }
 
+// --- reliability protocol ---------------------------------------------
+
+void CommP2p::record_pending(MsgKind kind, int dir, bool piggyback,
+                             const void* payload, std::uint64_t bytes,
+                             int peer, int my_slot, int peer_slot,
+                             tofu::Stadd dst_stadd, std::uint64_t dst_off,
+                             std::uint64_t edata) {
+  std::lock_guard lock(pending_mu_);
+  PendingSend& p =
+      pending_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(dir)];
+  p.valid = true;
+  p.piggyback = piggyback;
+  p.edata = edata;
+  p.peer = peer;
+  p.my_slot = my_slot;
+  p.peer_slot = peer_slot;
+  p.dst_stadd = dst_stadd;
+  p.dst_off = dst_off;
+  p.length = bytes;
+  if (!piggyback) {
+    if (!p.copy.valid() || p.copy.size() < bytes) {
+      p.copy = utofu_->make_buffer(std::max<std::size_t>(bytes, 64));
+    }
+    if (bytes > 0) std::memcpy(p.copy.data(), payload, bytes);
+  }
+}
+
+void CommP2p::send_nack(MsgKind kind, int dir) {
+  const DirState& st = dir_[static_cast<std::size_t>(dir)];
+  const int sender_dir = opposite(dir);
+  const int my_slot = slot_of_dir_[static_cast<std::size_t>(dir)];
+  const std::uint8_t want =
+      dispatch_[static_cast<std::size_t>(my_slot)].expected_seq(kind, dir);
+  const RankAddresses& peer = book_->of(st.peer);
+  // The NACK names the *sender's* channel (their direction index) plus
+  // the kind and the sequence number we are missing, packed into value.
+  const Edata ed{MsgKind::kRetransmitReq, sender_dir, 0,
+                 static_cast<std::uint32_t>(kind) |
+                     (static_cast<std::uint32_t>(want) << 8)};
+  net_->put_piggyback(
+      vcq_[static_cast<std::size_t>(my_slot)],
+      peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(sender_dir)])],
+      ed.encode(), tofu::PutMode::kControl);
+  nacks_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommP2p::serve_retransmit(MsgKind kind, std::uint8_t seq, int dir) {
+  if (static_cast<int>(kind) < 0 || static_cast<int>(kind) >= kKindCount ||
+      dir < 0 || dir >= kNumDirs) {
+    return;
+  }
+  std::lock_guard lock(pending_mu_);
+  const PendingSend& p =
+      pending_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(dir)];
+  // Serve only the exact message the receiver is missing: if the channel
+  // has already advanced (stale NACK) or the message was never sent yet
+  // (early NACK), ignore — the receiver re-NACKs with backoff. This is
+  // what makes late replays harmless: a replay is only ever issued while
+  // the original is still the channel's latest message, so it rewrites
+  // bytes identical to those already delivered.
+  if (!p.valid || static_cast<std::uint8_t>((p.edata >> 44) & 0xFF) != seq) {
+    return;
+  }
+  retransmits_served_.fetch_add(1, std::memory_order_relaxed);
+  const RankAddresses& peer = book_->of(p.peer);
+  if (p.piggyback) {
+    net_->put_piggyback(vcq_[static_cast<std::size_t>(p.my_slot)],
+                        peer.vcq[static_cast<std::size_t>(p.peer_slot)],
+                        p.edata, tofu::PutMode::kRetransmit);
+  } else {
+    net_->put(vcq_[static_cast<std::size_t>(p.my_slot)],
+              peer.vcq[static_cast<std::size_t>(p.peer_slot)], p.copy.stadd(),
+              0, p.dst_stadd, p.dst_off, p.length, p.edata,
+              tofu::PutMode::kRetransmit);
+  }
+}
+
+void CommP2p::progress_loop() {
+  // The per-rank progress engine (the software stand-in for an A64FX
+  // assistant core): services retransmit requests on every owned VCQ so
+  // a sender blocked elsewhere — or already past its last wait — still
+  // answers NACKs.
+  while (!stop_progress_.load(std::memory_order_acquire)) {
+    bool served = false;
+    for (int t = 0; t < opt_.ntnis; ++t) {
+      while (auto n = net_->poll_control(vcq_[static_cast<std::size_t>(t)])) {
+        const Edata e = Edata::decode(n->edata);
+        if (e.kind == MsgKind::kRetransmitReq) {
+          serve_retransmit(static_cast<MsgKind>(e.value & 0xFF),
+                           static_cast<std::uint8_t>((e.value >> 8) & 0xFF),
+                           e.dir);
+          served = true;
+        }
+      }
+    }
+    if (!served) std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+Edata CommP2p::wait_ring(MsgKind kind, int dir) {
+  const int slot = slot_of_dir_[static_cast<std::size_t>(dir)];
+  for (;;) {
+    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(kind, dir);
+    if (!reliable_) return e;
+    const double* ring =
+        rings_[static_cast<std::size_t>(dir)][static_cast<std::size_t>(e.slot)]
+            .as_doubles();
+    if (e.crc == payload_crc(e.value, ring, e.value * sizeof(double))) return e;
+    crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+    dispatch_[static_cast<std::size_t>(slot)].accept_retransmit(kind, dir);
+    send_nack(kind, dir);
+  }
+}
+
+Edata CommP2p::wait_piggyback(MsgKind kind, int dir) {
+  const int slot = slot_of_dir_[static_cast<std::size_t>(dir)];
+  for (;;) {
+    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(kind, dir);
+    if (!reliable_ || e.crc == payload_crc(e.value, nullptr, 0)) return e;
+    crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+    dispatch_[static_cast<std::size_t>(slot)].accept_retransmit(kind, dir);
+    send_nack(kind, dir);
+  }
+}
+
+util::CommHealthReport CommP2p::health() const {
+  util::CommHealthReport h;
+  h.nacks_sent = nacks_sent_.load(std::memory_order_relaxed);
+  h.retransmits_served = retransmits_served_.load(std::memory_order_relaxed);
+  h.crc_rejects = crc_rejects_.load(std::memory_order_relaxed);
+  for (const auto& d : dispatch_) {
+    h.duplicates_dropped +=
+        d.counters().duplicates_dropped.load(std::memory_order_relaxed);
+  }
+  h.tnis_in_use = tnis_in_use_;
+  h.tnis_down = opt_.ntnis - tnis_in_use_;
+  return h;
+}
+
+// --- data path ---------------------------------------------------------
+
 void CommP2p::put_payload(MsgKind kind, int dir, std::span<const double> payload) {
   DirState& st = dir_[static_cast<std::size_t>(dir)];
   if (payload.size() > ring_doubles_) {
@@ -162,21 +341,30 @@ void CommP2p::put_payload(MsgKind kind, int dir, std::span<const double> payload
   const int tag = opposite(dir);  // the receiver's view of this channel
   const int slot = st.ring_slot_out++ % kRingSlots;
   const int my_slot = slot_of_dir_[static_cast<std::size_t>(dir)];
+  const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
   const RankAddresses& peer = book_->of(st.peer);
-  const Edata ed{kind, tag, slot, static_cast<std::uint32_t>(payload.size())};
+  const std::uint64_t bytes = payload.size() * sizeof(double);
+  Edata ed{kind, tag, slot, static_cast<std::uint32_t>(payload.size())};
+  if (reliable_) {
+    ed.seq = next_seq(kind, dir);
+    ed.crc = payload_crc(ed.value, payload.data(), bytes);
+    record_pending(kind, dir, false, payload.data(), bytes, st.peer, my_slot,
+                   peer_slot,
+                   peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)],
+                   0, ed.encode());
+  }
   net_->put(vcq_[static_cast<std::size_t>(my_slot)],
-            peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
+            peer.vcq[static_cast<std::size_t>(peer_slot)],
             st.send_buf.stadd(), 0,
             peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
-            payload.size() * sizeof(double), ed.encode());
+            bytes, ed.encode());
   dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
-  counters_.bytes += payload.size() * sizeof(double);
+  counters_.bytes += bytes;
 }
 
 std::span<const double> CommP2p::wait_payload(MsgKind kind, int dir,
                                               std::uint32_t* count) {
-  const int slot = slot_of_dir_[static_cast<std::size_t>(dir)];
-  const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(kind, dir);
+  const Edata e = wait_ring(kind, dir);
   if (count != nullptr) *count = e.value;
   const double* ring =
       rings_[static_cast<std::size_t>(dir)][static_cast<std::size_t>(e.slot)]
@@ -229,8 +417,7 @@ void CommP2p::borders() {
   // later is stashed by re-waiting below, so just collect counts first.
   std::array<std::pair<std::uint32_t, int>, kNumDirs> incoming{};  // count, slot
   for_dirs(recv_dirs_, [&](int u) {
-    const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
-    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kBorder, u);
+    const Edata e = wait_ring(MsgKind::kBorder, u);
     incoming[static_cast<std::size_t>(u)] = {e.value, e.slot};
   });
 
@@ -257,18 +444,23 @@ void CommP2p::borders() {
     DirState& st = dir_[static_cast<std::size_t>(u)];
     const int tag = opposite(u);
     const int my_slot = slot_of_dir_[static_cast<std::size_t>(u)];
+    const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
     const RankAddresses& peer = book_->of(st.peer);
-    const Edata ed{MsgKind::kBorderAck, tag, 0,
-                   static_cast<std::uint32_t>(st.ghost_start)};
-    net_->put_piggyback(
-        vcq_[static_cast<std::size_t>(my_slot)],
-        peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
-        ed.encode());
+    Edata ed{MsgKind::kBorderAck, tag, 0,
+             static_cast<std::uint32_t>(st.ghost_start)};
+    if (reliable_) {
+      ed.seq = next_seq(MsgKind::kBorderAck, u);
+      ed.crc = payload_crc(ed.value, nullptr, 0);
+      record_pending(MsgKind::kBorderAck, u, true, nullptr, 0, st.peer,
+                     my_slot, peer_slot, 0, 0, ed.encode());
+    }
+    net_->put_piggyback(vcq_[static_cast<std::size_t>(my_slot)],
+                        peer.vcq[static_cast<std::size_t>(peer_slot)],
+                        ed.encode());
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
   });
   for_dirs(send_dirs_, [&](int d) {
-    const int slot = slot_of_dir_[static_cast<std::size_t>(d)];
-    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kBorderAck, d);
+    const Edata e = wait_piggyback(MsgKind::kBorderAck, d);
     dir_[static_cast<std::size_t>(d)].remote_offset = e.value;
   });
 }
@@ -326,25 +518,53 @@ void CommP2p::forward_positions() {
     }
     const int tag = opposite(d);
     const int my_slot = slot_of_dir_[static_cast<std::size_t>(d)];
+    const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
     const RankAddresses& peer = book_->of(st.peer);
-    const Edata ed{MsgKind::kForward, tag, 0,
-                   static_cast<std::uint32_t>(st.sendlist.size())};
+    const std::uint64_t bytes = w * sizeof(double);
+    const std::uint64_t dst_off =
+        static_cast<std::uint64_t>(st.remote_offset) * 3 * sizeof(double);
+    Edata ed{MsgKind::kForward, tag, 0,
+             static_cast<std::uint32_t>(st.sendlist.size())};
+    if (reliable_) {
+      ed.seq = next_seq(MsgKind::kForward, d);
+      ed.crc = payload_crc(ed.value, out, bytes);
+      record_pending(MsgKind::kForward, d, false, out, bytes, st.peer,
+                     my_slot, peer_slot, peer.x_stadd, dst_off, ed.encode());
+    }
     net_->put(vcq_[static_cast<std::size_t>(my_slot)],
-              peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
-              st.send_buf.stadd(), 0, peer.x_stadd,
-              static_cast<std::uint64_t>(st.remote_offset) * 3 * sizeof(double),
-              w * sizeof(double), ed.encode());
+              peer.vcq[static_cast<std::size_t>(peer_slot)],
+              st.send_buf.stadd(), 0, peer.x_stadd, dst_off, bytes,
+              ed.encode());
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
     counters_.forward_msgs += 1;
-    counters_.bytes += w * sizeof(double);
+    counters_.bytes += bytes;
   });
 
-  // The data lands in place; we only consume the arrival notices.
+  // The data lands in place; we only consume the arrival notices — but
+  // under fault injection the landed bytes are CRC-verified against the
+  // descriptor before the pair stage may read them.
   for_dirs(recv_dirs_, [&](int u) {
     const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
-    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kForward, u);
-    if (static_cast<int>(e.value) != dir_[static_cast<std::size_t>(u)].ghost_count) {
-      throw std::logic_error("forward ghost count changed since borders()");
+    DirState& st = dir_[static_cast<std::size_t>(u)];
+    for (;;) {
+      const Edata e =
+          dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kForward, u);
+      if (reliable_) {
+        const double* region = atoms.x() + 3 * st.ghost_start;
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(e.value) * 3 * sizeof(double);
+        if (e.crc != payload_crc(e.value, region, bytes)) {
+          crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+          dispatch_[static_cast<std::size_t>(slot)].accept_retransmit(
+              MsgKind::kForward, u);
+          send_nack(MsgKind::kForward, u);
+          continue;
+        }
+      }
+      if (static_cast<int>(e.value) != st.ghost_count) {
+        throw std::logic_error("forward ghost count changed since borders()");
+      }
+      break;
     }
   });
 }
@@ -361,14 +581,25 @@ void CommP2p::reverse_forces() {
     const int tag = opposite(u);
     const int slot = st.ring_slot_out++ % kRingSlots;
     const int my_slot = slot_of_dir_[static_cast<std::size_t>(u)];
+    const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
     const RankAddresses& peer = book_->of(st.peer);
     const auto bytes = static_cast<std::uint64_t>(st.ghost_count) * 3 * sizeof(double);
-    const Edata ed{MsgKind::kReverse, tag, slot,
-                   static_cast<std::uint32_t>(st.ghost_count * 3)};
+    const std::uint64_t src_off =
+        static_cast<std::uint64_t>(st.ghost_start) * 3 * sizeof(double);
+    Edata ed{MsgKind::kReverse, tag, slot,
+             static_cast<std::uint32_t>(st.ghost_count * 3)};
+    if (reliable_) {
+      ed.seq = next_seq(MsgKind::kReverse, u);
+      ed.crc = payload_crc(ed.value, atoms.f() + 3 * st.ghost_start, bytes);
+      record_pending(MsgKind::kReverse, u, false,
+                     atoms.f() + 3 * st.ghost_start, bytes, st.peer, my_slot,
+                     peer_slot,
+                     peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)],
+                     0, ed.encode());
+    }
     net_->put(vcq_[static_cast<std::size_t>(my_slot)],
-              peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(tag)])],
-              mine.f_stadd,
-              static_cast<std::uint64_t>(st.ghost_start) * 3 * sizeof(double),
+              peer.vcq[static_cast<std::size_t>(peer_slot)],
+              mine.f_stadd, src_off,
               peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
               bytes, ed.encode());
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
@@ -485,8 +716,7 @@ void CommP2p::exchange() {
   // Collect counts in parallel, append serially (deterministic order).
   std::array<std::pair<std::uint32_t, int>, kNumDirs> incoming{};
   for_dirs(all26, [&](int u) {
-    const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
-    const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kExchange, u);
+    const Edata e = wait_ring(MsgKind::kExchange, u);
     incoming[static_cast<std::size_t>(u)] = {e.value, e.slot};
   });
   for (const int u : all26) {

@@ -1,9 +1,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "comm/address_book.h"
@@ -30,6 +34,9 @@ struct P2pOptions {
   bool use_border_bins = true;
   /// Size/hop-aware thread assignment (Fig. 10) vs plain round-robin.
   bool balanced_assignment = true;
+  /// Timeouts/backoff of the reliability protocol (used only when the
+  /// network has a fault injector attached).
+  ReliabilityParams reliability{};
 };
 
 /// Peer-to-peer ghost communication over uTofu one-sided primitives —
@@ -48,6 +55,26 @@ struct P2pOptions {
 /// With comm_threads > 1, directions are assigned to pool threads by the
 /// load balancer and each thread drives its own VCQ (one per TNI) —
 /// CQ access stays single-threaded, as the hardware requires (Sec. 3.3).
+///
+/// ## Reliability under fault injection
+///
+/// When the shared Network carries a FaultInjector, setup() arms a
+/// receiver-driven retransmission protocol: every message is stamped
+/// with a per-channel sequence number and a CRC-8 over value + payload;
+/// a receiver whose wait stalls sends a `kRetransmitReq` control
+/// piggyback (exponential backoff) naming the channel and the expected
+/// sequence number, and the sender's *progress thread* — the analogue
+/// of Fugaku's assistant cores — replays the pending message from a
+/// stable registered copy. Duplicates and stale deliveries are filtered
+/// by sequence number; corrupted payloads are CRC-rejected and NACKed.
+/// A replay is served only when the pending sequence number matches the
+/// request, so a stale NACK can never resurrect a superseded message;
+/// an in-window replay rewrites bytes identical to those already
+/// delivered, which is why late replays are harmless. When the injector
+/// marks TNIs down, setup() re-stripes the logical VCQ slots across the
+/// surviving TNIs (distinct CQ rows keep hardware CQs exclusive). With
+/// no injector attached none of this machinery is active: no CRC is
+/// computed, no pending copies are kept, and no thread is spawned.
 class CommP2p final : public Comm {
  public:
   /// `pool` must outlive this object and have >= options.comm_threads
@@ -55,6 +82,7 @@ class CommP2p final : public Comm {
   /// variants.
   CommP2p(const CommContext& ctx, tofu::Network& net, AddressBook& book,
           const P2pOptions& options, pool::SpinThreadPool* pool = nullptr);
+  ~CommP2p() override;
 
   void setup() override;
   void exchange() override;
@@ -66,10 +94,15 @@ class CommP2p final : public Comm {
   void forward(double* per_atom) override;
   void reverse_add(double* per_atom) override;
 
+  util::CommHealthReport health() const override;
+
   const std::vector<int>& send_dirs() const { return send_dirs_; }
   const std::vector<int>& recv_dirs() const { return recv_dirs_; }
   int vcq_slot(int dir) const { return slot_of_dir_[static_cast<std::size_t>(dir)]; }
   bool using_border_bins() const { return bins_active_; }
+  /// Distinct physical TNIs carrying traffic after degradation.
+  int tnis_in_use() const { return tnis_in_use_; }
+  bool reliability_active() const { return reliable_; }
 
  private:
   struct DirState {
@@ -83,6 +116,23 @@ class CommP2p final : public Comm {
     tofu::RegisteredBuffer send_buf;
   };
 
+  /// Sender-side replay state for one (kind, direction) channel: the
+  /// last message sent, with its payload captured in a registered copy
+  /// so a retransmit writes exactly the original bytes even after the
+  /// live send buffer has been reused.
+  struct PendingSend {
+    bool valid = false;
+    bool piggyback = false;
+    std::uint64_t edata = 0;      ///< full encoded descriptor word
+    int peer = -1;
+    int my_slot = 0;              ///< vcq_ index the original went out on
+    int peer_slot = 0;            ///< peer vcq index it targeted
+    tofu::Stadd dst_stadd = 0;
+    std::uint64_t dst_off = 0;
+    std::uint64_t length = 0;     ///< payload bytes
+    tofu::RegisteredBuffer copy;
+  };
+
   /// Run fn(dir) for every dir in `dirs`, partitioned over the comm
   /// threads by the slot map (or serially for single-thread variants).
   void for_dirs(const std::vector<int>& dirs,
@@ -92,6 +142,25 @@ class CommP2p final : public Comm {
   void put_payload(MsgKind kind, int dir, std::span<const double> payload);
   std::span<const double> wait_payload(MsgKind kind, int dir,
                                        std::uint32_t* count);
+
+  // --- reliability protocol -------------------------------------------
+  std::uint8_t next_seq(MsgKind kind, int dir) {
+    return ++seq_out_[static_cast<int>(kind)][static_cast<std::size_t>(dir)];
+  }
+  void record_pending(MsgKind kind, int dir, bool piggyback,
+                      const void* payload, std::uint64_t bytes, int peer,
+                      int my_slot, int peer_slot, tofu::Stadd dst_stadd,
+                      std::uint64_t dst_off, std::uint64_t edata);
+  /// NACK the sender of the (kind, dir) channel this rank receives on.
+  void send_nack(MsgKind kind, int dir);
+  /// Replay the pending send on (kind, dir) iff its seq matches `seq`.
+  void serve_retransmit(MsgKind kind, std::uint8_t seq, int dir);
+  void progress_loop();
+  /// Dispatcher wait + CRC verification over the ring payload; rejects
+  /// and NACKs until a clean copy arrives.
+  Edata wait_ring(MsgKind kind, int dir);
+  /// Same for piggyback-only channels (CRC over the value alone).
+  Edata wait_piggyback(MsgKind kind, int dir);
 
   tofu::Network* net_;
   AddressBook* book_;
@@ -110,6 +179,17 @@ class CommP2p final : public Comm {
   std::size_t ring_doubles_ = 0;
   bool bins_active_ = false;
   std::unique_ptr<BorderBins> bins_;
+
+  bool reliable_ = false;
+  int tnis_in_use_ = 0;
+  std::uint8_t seq_out_[kKindCount][kNumDirs] = {};
+  std::mutex pending_mu_;
+  std::array<std::array<PendingSend, kNumDirs>, kKindCount> pending_;
+  std::thread progress_;
+  std::atomic<bool> stop_progress_{false};
+  std::atomic<std::uint64_t> nacks_sent_{0};
+  std::atomic<std::uint64_t> retransmits_served_{0};
+  std::atomic<std::uint64_t> crc_rejects_{0};
 };
 
 }  // namespace lmp::comm

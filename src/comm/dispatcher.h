@@ -1,6 +1,11 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -12,6 +17,34 @@ namespace lmp::comm {
 inline constexpr int kKindCount = static_cast<int>(MsgKind::kCount);
 inline constexpr int kMaxDirs = 26;
 
+/// Knobs of the receiver-driven reliability protocol (active only when
+/// `NoticeDispatcher::enable_reliability` has been called).
+struct ReliabilityParams {
+  /// Hard ceiling on one logical wait; past it, CommTimeoutError.
+  std::chrono::milliseconds wait_deadline{120000};
+  /// First NACK after this long without the awaited notice...
+  std::chrono::milliseconds nack_after{2};
+  /// ...then exponential backoff up to this cap.
+  std::chrono::milliseconds nack_max{256};
+};
+
+/// Receiver-side reliability counters (per dispatcher; summed per rank).
+/// Copy snapshots the atomics so dispatchers stay movable during setup.
+struct DispatcherCounters {
+  std::atomic<std::uint64_t> duplicates_dropped{0};
+
+  DispatcherCounters() = default;
+  DispatcherCounters(const DispatcherCounters& o)
+      : duplicates_dropped(
+            o.duplicates_dropped.load(std::memory_order_relaxed)) {}
+  DispatcherCounters& operator=(const DispatcherCounters& o) {
+    duplicates_dropped.store(
+        o.duplicates_dropped.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+};
+
 /// Orders the completion notices of one VCQ.
 ///
 /// Notices for different logical channels can interleave on a VCQ (a fast
@@ -20,16 +53,54 @@ inline constexpr int kMaxDirs = 26;
 /// most ONE outstanding message per (kind, direction, sender), so a
 /// single stash slot per (kind, direction) suffices to reorder.
 ///
+/// With reliability enabled (fault-injected runs), the dispatcher also
+/// tracks per-channel sequence numbers: stale or duplicate notices are
+/// dropped, and a wait that stalls issues NACKs (via the `NackFn`
+/// callback, with exponential backoff) asking the sender to replay the
+/// missing message. Sequence numbers are 8-bit with wraparound compare —
+/// the one-outstanding invariant keeps the window tiny.
+///
 /// Exactly one thread drives a given dispatcher (it owns the VCQ).
 class NoticeDispatcher {
  public:
-  NoticeDispatcher() = default;
-  NoticeDispatcher(tofu::Network* net, tofu::VcqId vcq) : net_(net), vcq_(vcq) {}
+  /// Called when the awaited (kind, dir) notice is overdue.
+  using NackFn = std::function<void(MsgKind kind, int dir)>;
+
+  NoticeDispatcher() { reset_seq(); }
+  NoticeDispatcher(tofu::Network* net, tofu::VcqId vcq) : net_(net), vcq_(vcq) {
+    reset_seq();
+  }
 
   tofu::VcqId vcq() const { return vcq_; }
 
+  void enable_reliability(NackFn nack, ReliabilityParams params = {}) {
+    nack_ = std::move(nack);
+    params_ = params;
+    reliable_ = true;
+  }
+  bool reliable() const { return reliable_; }
+  void set_wait_deadline(std::chrono::milliseconds d) {
+    params_.wait_deadline = d;
+  }
+  const DispatcherCounters& counters() const { return counters_; }
+
+  /// Re-admit a replay of the last-seen message on (kind, dir): called
+  /// after a CRC reject, whose retransmit re-uses the rejected seq.
+  void accept_retransmit(MsgKind kind, int dir) {
+    auto& last = last_seq_[static_cast<int>(kind)][dir];
+    last = static_cast<std::uint8_t>(last - 1);
+  }
+
+  /// Sequence number the next (kind, dir) message should carry — what a
+  /// NACK asks the sender to replay. Senders start their channels at 1,
+  /// so last+1 is right even before the first delivery.
+  std::uint8_t expected_seq(MsgKind kind, int dir) const {
+    return static_cast<std::uint8_t>(last_seq_[static_cast<int>(kind)][dir] + 1);
+  }
+
   /// Block until a notice with (kind, dir) is available; stash everything
-  /// else that arrives meanwhile.
+  /// else that arrives meanwhile. Throws CommTimeoutError (naming the
+  /// VCQ and channel) once `wait_deadline` is exceeded.
   Edata wait(MsgKind kind, int dir) {
     auto& slot = stash_[static_cast<int>(kind)][dir];
     if (slot) {
@@ -37,31 +108,92 @@ class NoticeDispatcher {
       slot.reset();
       return e;
     }
-    for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    auto backoff = params_.nack_after;
+    std::chrono::steady_clock::duration next_nack = params_.nack_after;
+    for (std::uint64_t spin = 0;; ++spin) {
       if (auto notice = net_->poll_mrq(vcq_)) {
         const Edata e = Edata::decode(notice->edata);
-        if (e.kind == kind && e.dir == dir) return e;
+        if (reliable_ && stale_or_dup(e)) {
+          counters_.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (e.kind == kind && e.dir == dir) {
+          bump_seq(e);
+          return e;
+        }
         auto& other = stash_[static_cast<int>(e.kind)][e.dir];
         if (other) {
+          if (reliable_ && other->seq == e.seq) {
+            // Same message delivered twice with the stash still full —
+            // a duplicate that raced past the seq filter via the stash.
+            counters_.duplicates_dropped.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            continue;
+          }
           throw std::logic_error(
               "two outstanding messages on one (kind, dir) channel — stage "
               "ordering violated");
         }
+        bump_seq(e);
         other = e;
-      } else {
-        std::this_thread::yield();
+        continue;
       }
+      if ((spin & 0x3FF) == 0) {
+        const auto waited = std::chrono::steady_clock::now() - start;
+        if (waited >= params_.wait_deadline) {
+          std::ostringstream os;
+          os << "timeout after " << params_.wait_deadline.count()
+             << " ms waiting for " << kind_name(kind) << " notice, dir " << dir
+             << ", on VCQ " << vcq_;
+          throw tofu::CommTimeoutError(os.str());
+        }
+        if (reliable_ && nack_ && waited >= next_nack) {
+          nack_(kind, dir);
+          backoff = (std::min)(backoff * 2, params_.nack_max);
+          next_nack = waited + backoff;
+        }
+      }
+      std::this_thread::yield();
     }
   }
 
   /// Drain the sender-side completion of the most recent put (models the
   /// TCQ poll a real uTofu sender performs before reusing its buffer).
-  void drain_tcq() { net_->wait_tcq(vcq_); }
+  void drain_tcq() { net_->wait_tcq(vcq_, params_.wait_deadline); }
 
  private:
+  /// Signed wraparound compare: seq at or behind the last accepted one on
+  /// this channel means duplicate or stale (e.g. a delayed original whose
+  /// replay already arrived).
+  bool stale_or_dup(const Edata& e) const {
+    const std::uint8_t last = last_seq_[static_cast<int>(e.kind)][e.dir];
+    if (!seq_seen_[static_cast<int>(e.kind)][e.dir]) return false;
+    return static_cast<std::int8_t>(e.seq - last) <= 0;
+  }
+  void bump_seq(const Edata& e) {
+    if (!reliable_) return;
+    last_seq_[static_cast<int>(e.kind)][e.dir] = e.seq;
+    seq_seen_[static_cast<int>(e.kind)][e.dir] = true;
+  }
+  void reset_seq() {
+    for (int k = 0; k < kKindCount; ++k) {
+      for (int d = 0; d < kMaxDirs; ++d) {
+        last_seq_[k][d] = 0;
+        seq_seen_[k][d] = false;
+      }
+    }
+  }
+
   tofu::Network* net_ = nullptr;
   tofu::VcqId vcq_ = tofu::kInvalidVcq;
   std::optional<Edata> stash_[kKindCount][kMaxDirs] = {};
+  std::uint8_t last_seq_[kKindCount][kMaxDirs];
+  bool seq_seen_[kKindCount][kMaxDirs];
+  bool reliable_ = false;
+  NackFn nack_;
+  ReliabilityParams params_{};
+  DispatcherCounters counters_;
 };
 
 }  // namespace lmp::comm

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 
@@ -17,31 +18,81 @@ enum class MsgKind : int {
   kScalarFwd,     ///< EAM fp owner -> ghosts
   kScalarRev,     ///< EAM rho ghosts -> owner
   kExchange,      ///< atom migration on rebuild steps
+  kRetransmitReq, ///< reliability NACK: "re-send (kind, dir) seq N"
   kCount
 };
+
+inline const char* kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kBorder: return "border";
+    case MsgKind::kBorderAck: return "border-ack";
+    case MsgKind::kForward: return "forward";
+    case MsgKind::kReverse: return "reverse";
+    case MsgKind::kScalarFwd: return "scalar-fwd";
+    case MsgKind::kScalarRev: return "scalar-rev";
+    case MsgKind::kExchange: return "exchange";
+    case MsgKind::kRetransmitReq: return "retransmit-req";
+    default: return "?";
+  }
+}
 
 /// 64-bit piggyback descriptor word carried in every put's edata:
 ///   bits 0..31  value (atom count, or ghost offset for kBorderAck)
 ///   bits 32..33 ring-buffer slot the payload was written to
 ///   bits 34..39 direction index (sender's perspective)
 ///   bits 40..43 message kind
+///   bits 44..51 per-channel sequence number (reliability)
+///   bits 52..59 CRC-8 over value + payload (reliability)
 struct Edata {
   MsgKind kind;
   int dir;
   int slot;
   std::uint32_t value;
+  std::uint8_t seq = 0;
+  std::uint8_t crc = 0;
 
   std::uint64_t encode() const {
-    return (static_cast<std::uint64_t>(kind) << 40) |
+    return (static_cast<std::uint64_t>(crc) << 52) |
+           (static_cast<std::uint64_t>(seq) << 44) |
+           (static_cast<std::uint64_t>(kind) << 40) |
            (static_cast<std::uint64_t>(dir) << 34) |
            (static_cast<std::uint64_t>(slot) << 32) | value;
   }
   static Edata decode(std::uint64_t w) {
     return {static_cast<MsgKind>((w >> 40) & 0xF),
             static_cast<int>((w >> 34) & 0x3F), static_cast<int>((w >> 32) & 0x3),
-            static_cast<std::uint32_t>(w & 0xFFFFFFFFu)};
+            static_cast<std::uint32_t>(w & 0xFFFFFFFFu),
+            static_cast<std::uint8_t>((w >> 44) & 0xFF),
+            static_cast<std::uint8_t>((w >> 52) & 0xFF)};
   }
 };
+
+/// CRC-8 (poly 0x07, init 0) — cheap enough to run per message, and the
+/// injector's single-byte/-bit flips can never cancel out under it.
+inline std::uint8_t crc8(std::uint8_t crc, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = static_cast<std::uint8_t>((crc << 1) ^ ((crc & 0x80) ? 0x07 : 0));
+    }
+  }
+  return crc;
+}
+
+/// Checksum guarding one message: the 32-bit descriptor value (little
+/// endian) followed by the payload bytes, if any. Piggyback-only messages
+/// pass bytes == 0 and are still protected against value-bit flips.
+inline std::uint8_t payload_crc(std::uint32_t value, const void* payload,
+                                std::size_t bytes) {
+  std::uint8_t le[4] = {static_cast<std::uint8_t>(value),
+                        static_cast<std::uint8_t>(value >> 8),
+                        static_cast<std::uint8_t>(value >> 16),
+                        static_cast<std::uint8_t>(value >> 24)};
+  std::uint8_t c = crc8(0, le, sizeof(le));
+  if (bytes > 0) c = crc8(c, payload, bytes);
+  return c;
+}
 
 /// Bit-cast an int64 tag into a double payload slot and back (`message
 /// combine`, Sec. 3.5.1: header fields ride inside the payload so arrays

@@ -175,6 +175,11 @@ NetSimResult NetworkSimulator::simulate_exchange(const Workload& w,
     // Arrival bookkeeping per destination rank.
     std::vector<std::vector<double>> arrivals(static_cast<std::size_t>(nranks));
     EventQueue queue;
+    // The per-message `advance` continuations capture their own shared_ptr
+    // (they must outlive every hop event); collect them so the
+    // self-reference cycle can be broken once the queue has drained.
+    std::vector<std::shared_ptr<std::function<void(std::size_t, double)>>>
+        continuations;
 
     // Injection: per source rank, larger messages first to its least
     // loaded thread (the Fig. 10 balancer), then TNI, then the route.
@@ -209,6 +214,7 @@ NetSimResult NetworkSimulator::simulate_exchange(const Workload& w,
         // Route hop-by-hop as events (store-and-forward serialization).
         const SimMessage* msg = m;
         auto advance = std::make_shared<std::function<void(std::size_t, double)>>();
+        continuations.push_back(advance);
         *advance = [&, msg, advance](std::size_t hop, double ready) {
           if (hop == msg->links.size()) {
             const double recv =
@@ -228,6 +234,7 @@ NetSimResult NetworkSimulator::simulate_exchange(const Workload& w,
       }
     }
     queue.run();
+    for (auto& c : continuations) *c = nullptr;  // break self-capture cycles
 
     // Per-rank completion of this group: drain arrivals in order.
     double group_max = clock_base;

@@ -68,6 +68,9 @@ struct JobShared {
         world(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
         net(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
         book(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z) {
+    if (o.faults.enabled()) {
+      net.set_fault_injector(std::make_shared<tofu::FaultInjector>(o.faults));
+    }
     const md::SimConfig& cfg = o.config;
     lattice = cfg.units.style == md::UnitStyle::kLj
                   ? geom::FccLattice::from_density(cfg.lattice_arg)
@@ -220,6 +223,7 @@ class RankSim {
     RankResult& out = job_.results[static_cast<std::size_t>(rank_)];
     out.stages = timer_;
     out.comm = comm_->counters();
+    out.health = comm_->health();
     out.nlocal_final = atoms_.nlocal();
   }
 
@@ -320,6 +324,20 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
   out.thermo = std::move(job.thermo);
   out.natoms = static_cast<long>(job.positions.size());
   out.volume = job.global.volume();
+  for (const auto& r : out.ranks) out.health += r.health;
+  if (const tofu::FaultInjector* inj = job.net.fault_injector()) {
+    const tofu::FaultStats& fs = inj->stats();
+    out.health.notices_dropped = fs.dropped.load(std::memory_order_relaxed);
+    out.health.notices_delayed = fs.delayed.load(std::memory_order_relaxed);
+    out.health.notices_duplicated =
+        fs.duplicated.load(std::memory_order_relaxed);
+    out.health.payloads_corrupted =
+        fs.corrupted.load(std::memory_order_relaxed);
+    out.health.tni_drops = fs.tni_drops.load(std::memory_order_relaxed);
+    out.health.tnis_down = static_cast<int>(inj->plan().dead_tnis.size());
+  }
+  out.health.retransmit_puts =
+      job.net.stats().retransmit_puts.load(std::memory_order_relaxed);
   return out;
 }
 

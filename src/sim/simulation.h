@@ -9,7 +9,9 @@
 #include "md/config.h"
 #include "md/thermo.h"
 #include "minimpi/world.h"
+#include "tofu/fault.h"
 #include "tofu/network.h"
+#include "util/stats.h"
 #include "util/timer.h"
 #include "util/vec3.h"
 
@@ -38,6 +40,10 @@ struct SimOptions {
   /// Ablation switches (forwarded to the p2p engine).
   bool use_border_bins = true;
   bool balanced_assignment = true;
+  /// Fault plan for chaos runs. When enabled() a FaultInjector is
+  /// attached to the shared network and the p2p comm layer arms its
+  /// reliability protocol; the default (all-clean) plan changes nothing.
+  tofu::FaultPlan faults{};
 };
 
 /// One thermo sample (identical on every rank after the reduction).
@@ -50,6 +56,7 @@ struct ThermoSample {
 struct RankResult {
   util::StageTimer stages;
   comm::CommCounters comm;
+  util::CommHealthReport health;
   int nlocal_final = 0;
 };
 
@@ -57,6 +64,9 @@ struct RankResult {
 struct JobResult {
   std::vector<RankResult> ranks;
   std::vector<ThermoSample> thermo;  ///< global series (rank 0's copy)
+  /// Rank-summed reliability counters plus the fabric-side injected
+  /// fault totals — what `util::format_health_table` prints.
+  util::CommHealthReport health;
   long natoms = 0;
   double volume = 0.0;
 

@@ -1,0 +1,75 @@
+#include "tofu/fault.h"
+
+#include <stdexcept>
+
+namespace lmp::tofu {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer util::Rng seeds with, used here
+/// as a stateless hash so decisions need no shared mutable RNG state
+/// (shared state would make the fault sequence depend on thread timing).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t v) {
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const double r : {plan_.drop_rate, plan_.delay_rate,
+                         plan_.duplicate_rate, plan_.corrupt_rate}) {
+    if (r < 0.0 || r > 1.0) {
+      throw std::invalid_argument("fault rates must be in [0, 1]");
+    }
+  }
+  if (plan_.max_delay_polls < 1) {
+    throw std::invalid_argument("max_delay_polls must be >= 1");
+  }
+  for (const int t : plan_.dead_tnis) {
+    if (t < 0 || t >= 64) throw std::invalid_argument("dead TNI out of range");
+    down_mask_ |= 1ULL << t;
+  }
+}
+
+FaultDecision FaultInjector::decide(int src_proc, int dst_proc,
+                                    std::uint64_t edata) const {
+  FaultDecision d;
+  if (!plan_.message_faults()) return d;
+  stats_.decisions.fetch_add(1, std::memory_order_relaxed);
+
+  std::uint64_t h = mix(plan_.seed);
+  h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_proc))
+               << 32 |
+               static_cast<std::uint32_t>(dst_proc)));
+  h = mix(h ^ edata);
+
+  if (to_unit(mix(h + 1)) < plan_.drop_rate) {
+    d.drop = true;
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return d;
+  }
+  if (to_unit(mix(h + 2)) < plan_.delay_rate) {
+    d.delay_polls = 1 + static_cast<int>(
+        mix(h + 3) % static_cast<std::uint64_t>(plan_.max_delay_polls));
+    stats_.delayed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (to_unit(mix(h + 4)) < plan_.duplicate_rate) {
+    d.duplicate = true;
+    stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (to_unit(mix(h + 5)) < plan_.corrupt_rate) {
+    d.corrupt = true;
+    d.corrupt_pos = mix(h + 6);
+    stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+}  // namespace lmp::tofu

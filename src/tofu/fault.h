@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace lmp::tofu {
+
+/// Declarative description of the faults a run should experience.
+///
+/// Rates are per-message probabilities evaluated independently for every
+/// data put; `dead_tnis` marks whole TNIs as down for the entire run
+/// (link failure — puts addressing a VCQ on a dead TNI never arrive).
+/// All stochastic choices derive from `seed` and the message identity
+/// alone, so a given plan injects the *same* faults into the same
+/// logical messages on every run: every failure is replayable.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedULL;
+  double drop_rate = 0.0;       ///< notice and payload vanish in the fabric
+  double delay_rate = 0.0;      ///< notice surfaces only on a later poll
+  double duplicate_rate = 0.0;  ///< notice delivered twice
+  double corrupt_rate = 0.0;    ///< payload byte (or piggyback value bit) flipped
+  /// Delayed notices surface within [1, max_delay_polls] receive polls.
+  int max_delay_polls = 16;
+  std::vector<int> dead_tnis;
+
+  bool message_faults() const {
+    return drop_rate > 0 || delay_rate > 0 || duplicate_rate > 0 ||
+           corrupt_rate > 0;
+  }
+  bool enabled() const { return message_faults() || !dead_tnis.empty(); }
+};
+
+/// What the injector decided for one message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  int delay_polls = 0;          ///< 0 = deliver immediately
+  std::uint64_t corrupt_pos = 0;  ///< payload byte index / value bit, pre-modulo
+};
+
+/// Counters of injected faults (fabric-side view of a chaos run).
+struct FaultStats {
+  std::atomic<std::uint64_t> decisions{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> delayed{0};
+  std::atomic<std::uint64_t> duplicated{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> tni_drops{0};
+};
+
+/// Deterministic, seeded fault source consulted by `Network::put` /
+/// `put_piggyback` for every data-plane message.
+///
+/// Decisions are a pure hash of (seed, src proc, dst proc, edata): the
+/// edata word carries the logical channel and sequence number, so the
+/// same logical message draws the same fate in every run regardless of
+/// thread interleaving. Retransmissions and control messages are issued
+/// with `PutMode::kRetransmit` / `kControl` and bypass the injector —
+/// they model the recovered path, and faulting them would only delay
+/// convergence without adding coverage.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+  bool tni_down(int tni) const {
+    return tni >= 0 && tni < 64 && ((down_mask_ >> tni) & 1u) != 0;
+  }
+
+  /// Decide the fate of one data put. Thread-safe; deterministic in its
+  /// arguments. Updates the fault counters for every non-clean decision.
+  FaultDecision decide(int src_proc, int dst_proc, std::uint64_t edata) const;
+
+  FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t down_mask_ = 0;
+  mutable FaultStats stats_;
+};
+
+}  // namespace lmp::tofu

@@ -1,7 +1,9 @@
 #include "tofu/network.h"
 
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace lmp::tofu {
@@ -12,6 +14,10 @@ Network::Network(int nprocs, int tnis, int cqs)
     throw std::invalid_argument("network shape must be >= 1 everywhere");
   }
   regions_.resize(static_cast<std::size_t>(nprocs));
+}
+
+void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
 }
 
 Stadd Network::reg_mem(int proc, void* base, std::size_t len) {
@@ -33,17 +39,33 @@ void Network::dereg_mem(int proc, Stadd stadd) {
   stats_.deregistrations.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::byte* Network::resolve(int proc, Stadd stadd, std::uint64_t offset,
-                            std::uint64_t length) const {
+std::byte* Network::window_checked(int proc, Stadd stadd, std::uint64_t offset,
+                                   std::uint64_t length,
+                                   const char* what) const {
   if (proc < 0 || proc >= nprocs_) throw std::out_of_range("proc");
   std::lock_guard lock(registry_mu_);
   const auto& map = regions_[static_cast<std::size_t>(proc)];
   const auto it = map.find(stadd);
-  if (it == map.end()) throw std::invalid_argument("unknown stadd");
-  if (offset + length > it->second.len) {
-    throw std::out_of_range("RDMA access beyond registered region");
+  if (it == map.end()) {
+    std::ostringstream os;
+    os << what << ": unknown stadd " << stadd << " on proc " << proc;
+    throw std::invalid_argument(os.str());
+  }
+  // Checked as two comparisons so offset + length cannot wrap around.
+  const std::uint64_t region = it->second.len;
+  if (offset > region || length > region - offset) {
+    std::ostringstream os;
+    os << what << ": window [" << offset << ", +" << length
+       << ") leaves registered region of " << region << " bytes (stadd "
+       << stadd << ", proc " << proc << ")";
+    throw std::out_of_range(os.str());
   }
   return it->second.base + offset;
+}
+
+std::byte* Network::resolve(int proc, Stadd stadd, std::uint64_t offset,
+                            std::uint64_t length) const {
+  return window_checked(proc, stadd, offset, length, "RDMA access");
 }
 
 VcqId Network::create_vcq(int proc, int tni, int cq) {
@@ -90,37 +112,118 @@ int Network::tni_of(VcqId id) const { return vcq_checked(id).tni; }
 
 void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
                   std::uint64_t src_off, Stadd dst_stadd, std::uint64_t dst_off,
-                  std::uint64_t length, std::uint64_t edata) {
+                  std::uint64_t length, std::uint64_t edata, PutMode mode) {
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
 
-  if (length > 0) {
-    const std::byte* from = resolve(src.proc, src_stadd, src_off, length);
-    std::byte* to = resolve(dst.proc, dst_stadd, dst_off, length);
-    std::memcpy(to, from, length);
-  }
+  // Validate both windows before touching any queue, even for length 0:
+  // a put with a bogus STADD or offset is a programming error regardless
+  // of how many bytes it would have moved.
+  const std::byte* from =
+      window_checked(src.proc, src_stadd, src_off, length, "put source");
+  std::byte* to =
+      window_checked(dst.proc, dst_stadd, dst_off, length, "put destination");
+
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_put.fetch_add(length, std::memory_order_relaxed);
+  if (mode == PutMode::kRetransmit) {
+    stats_.retransmit_puts.fetch_add(1, std::memory_order_relaxed);
+  } else if (mode == PutMode::kControl) {
+    stats_.control_puts.fetch_add(1, std::memory_order_relaxed);
+  }
 
+  FaultDecision fault;
+  if (mode == PutMode::kData && injector_) {
+    if (injector_->tni_down(src.tni) || injector_->tni_down(dst.tni)) {
+      // The message never leaves the NIC; the sender still observes a
+      // local completion (injection into a dead link is not detectable
+      // from the TCQ on real hardware either).
+      injector_->stats().tni_drops.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lock(src.mu);
+      src.tcq.push_back({edata});
+      return;
+    }
+    fault = injector_->decide(src.proc, dst.proc, edata);
+  }
+
+  if (fault.drop) {
+    std::lock_guard lock(src.mu);
+    src.tcq.push_back({edata});
+    return;
+  }
+
+  if (length > 0) {
+    std::memcpy(to, from, length);
+    if (fault.corrupt) {
+      to[fault.corrupt_pos % length] ^= std::byte{0x5A};
+    }
+  }
+
+  MrqEntry entry{dst_stadd, dst_off, length, edata, src.proc,
+                 mode == PutMode::kControl};
   {
     std::lock_guard lock(dst.mu);
-    dst.mrq.push_back({dst_stadd, dst_off, length, edata, src.proc});
+    if (fault.delay_polls > 0) {
+      dst.delayed.push_back({entry, fault.delay_polls});
+    } else {
+      dst.mrq.push_back(entry);
+    }
+    // The duplicate races ahead of a delayed original: reordering is
+    // exactly the hazard duplicates create on a real fabric.
+    if (fault.duplicate) dst.mrq.push_back(entry);
   }
-  {
+  if (mode == PutMode::kData) {
     std::lock_guard lock(src.mu);
     src.tcq.push_back({edata});
   }
 }
 
-void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata) {
+void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
+                            PutMode mode) {
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  if (mode == PutMode::kRetransmit) {
+    stats_.retransmit_puts.fetch_add(1, std::memory_order_relaxed);
+  } else if (mode == PutMode::kControl) {
+    stats_.control_puts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  FaultDecision fault;
+  if (mode == PutMode::kData && injector_) {
+    if (injector_->tni_down(src.tni) || injector_->tni_down(dst.tni)) {
+      injector_->stats().tni_drops.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lock(src.mu);
+      src.tcq.push_back({edata});
+      return;
+    }
+    fault = injector_->decide(src.proc, dst.proc, edata);
+  }
+
+  if (fault.drop) {
+    std::lock_guard lock(src.mu);
+    src.tcq.push_back({edata});
+    return;
+  }
+
+  std::uint64_t delivered = edata;
+  if (fault.corrupt) {
+    // No payload to damage — flip one bit of the piggyback value field
+    // (low 32 bits) so the receiver's checksum over the value catches it.
+    delivered ^= 1ULL << (fault.corrupt_pos % 32);
+  }
+
+  MrqEntry entry{0, 0, 0, delivered, src.proc, mode == PutMode::kControl};
   {
     std::lock_guard lock(dst.mu);
-    dst.mrq.push_back({0, 0, 0, edata, src.proc});
+    if (fault.delay_polls > 0) {
+      dst.delayed.push_back({entry, fault.delay_polls});
+    } else {
+      dst.mrq.push_back(entry);
+    }
+    if (fault.duplicate) dst.mrq.push_back(entry);
   }
-  {
+  if (mode == PutMode::kData) {
     std::lock_guard lock(src.mu);
     src.tcq.push_back({edata});
   }
@@ -131,11 +234,11 @@ void Network::get(VcqId src_vcq, VcqId dst_vcq, Stadd remote_stadd,
                   std::uint64_t local_off, std::uint64_t length) {
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
-  if (length > 0) {
-    const std::byte* from = resolve(dst.proc, remote_stadd, remote_off, length);
-    std::byte* to = resolve(src.proc, local_stadd, local_off, length);
-    std::memcpy(to, from, length);
-  }
+  const std::byte* from = window_checked(dst.proc, remote_stadd, remote_off,
+                                         length, "get source");
+  std::byte* to =
+      window_checked(src.proc, local_stadd, local_off, length, "get destination");
+  if (length > 0) std::memcpy(to, from, length);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_put.fetch_add(length, std::memory_order_relaxed);
   std::lock_guard lock(src.mu);
@@ -151,25 +254,80 @@ std::optional<TcqEntry> Network::poll_tcq(VcqId id) {
   return e;
 }
 
+void Network::advance_delayed(Vcq& v) {
+  for (auto it = v.delayed.begin(); it != v.delayed.end();) {
+    if (--it->polls_left <= 0) {
+      v.mrq.push_back(it->entry);
+      it = v.delayed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::optional<MrqEntry> Network::poll_mrq(VcqId id) {
   Vcq& v = vcq_checked(id);
   std::lock_guard lock(v.mu);
-  if (v.mrq.empty()) return std::nullopt;
-  MrqEntry e = v.mrq.front();
-  v.mrq.pop_front();
-  return e;
+  advance_delayed(v);
+  for (auto it = v.mrq.begin(); it != v.mrq.end(); ++it) {
+    if (it->control) continue;
+    MrqEntry e = *it;
+    v.mrq.erase(it);
+    return e;
+  }
+  return std::nullopt;
 }
 
-TcqEntry Network::wait_tcq(VcqId id) {
-  for (;;) {
+std::optional<MrqEntry> Network::poll_control(VcqId id) {
+  Vcq& v = vcq_checked(id);
+  std::lock_guard lock(v.mu);
+  // No delayed-queue advance here: delay budgets are measured in *data*
+  // polls by the owning thread, and a fast-spinning progress thread must
+  // not burn them down.
+  for (auto it = v.mrq.begin(); it != v.mrq.end(); ++it) {
+    if (!it->control) continue;
+    MrqEntry e = *it;
+    v.mrq.erase(it);
+    return e;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+[[noreturn]] void throw_wait_timeout(const char* queue, VcqId id, int proc,
+                                     int tni, std::chrono::milliseconds deadline) {
+  std::ostringstream os;
+  os << "timeout after " << deadline.count() << " ms waiting on " << queue
+     << " of VCQ " << id << " (proc " << proc << ", tni " << tni << ")";
+  throw CommTimeoutError(os.str());
+}
+
+}  // namespace
+
+TcqEntry Network::wait_tcq(VcqId id, std::chrono::milliseconds deadline) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t spin = 0;; ++spin) {
     if (auto e = poll_tcq(id)) return *e;
+    // Amortize the clock read: a syscall-free spin iteration is a few ns.
+    if ((spin & 0x3FF) == 0 &&
+        std::chrono::steady_clock::now() - start >= deadline) {
+      const Vcq& v = vcq_checked(id);
+      throw_wait_timeout("TCQ", id, v.proc, v.tni, deadline);
+    }
     std::this_thread::yield();
   }
 }
 
-MrqEntry Network::wait_mrq(VcqId id) {
-  for (;;) {
+MrqEntry Network::wait_mrq(VcqId id, std::chrono::milliseconds deadline) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t spin = 0;; ++spin) {
     if (auto e = poll_mrq(id)) return *e;
+    if ((spin & 0x3FF) == 0 &&
+        std::chrono::steady_clock::now() - start >= deadline) {
+      const Vcq& v = vcq_checked(id);
+      throw_wait_timeout("MRQ", id, v.proc, v.tni, deadline);
+    }
     std::this_thread::yield();
   }
 }
@@ -179,6 +337,8 @@ void Network::reset_stats() {
   stats_.bytes_put = 0;
   stats_.registrations = 0;
   stats_.deregistrations = 0;
+  stats_.retransmit_puts = 0;
+  stats_.control_puts = 0;
 }
 
 }  // namespace lmp::tofu

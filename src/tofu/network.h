@@ -1,14 +1,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
+
+#include "tofu/fault.h"
 
 namespace lmp::tofu {
 
@@ -22,6 +26,29 @@ using Stadd = std::uint64_t;
 using VcqId = std::int32_t;
 
 inline constexpr VcqId kInvalidVcq = -1;
+
+/// A wait on a completion queue exceeded its deadline. Real RDMA stacks
+/// surface lost completions as errors rather than hanging; the message
+/// names the queue (VCQ, direction, and — for the comm layer — the
+/// logical channel) so a stuck run is diagnosable.
+class CommTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Default ceiling on blocking completion waits. Generous — the host may
+/// oversubscribe cores heavily — but finite, so a lost notice produces a
+/// diagnostic instead of an infinite spin.
+inline constexpr std::chrono::milliseconds kDefaultWaitDeadline{120000};
+
+/// How a put participates in the fault model. Data puts are the normal
+/// path and pass through the fault injector; retransmissions replay a
+/// previously faulted message and bypass it (they model the recovered
+/// path); control puts (retransmit requests) are the reliability
+/// protocol's own traffic — fault-exempt and delivered on a separate
+/// logical queue so a progress engine can service them out of band.
+/// Retransmit and control puts post no TCQ completion (fire-and-forget).
+enum class PutMode { kData, kRetransmit, kControl };
 
 /// TCQ entry: local completion of a put issued from this VCQ.
 struct TcqEntry {
@@ -37,6 +64,7 @@ struct MrqEntry {
   std::uint64_t length = 0;
   std::uint64_t edata = 0;
   std::int32_t src_proc = -1;
+  bool control = false;  ///< reliability-protocol message (PutMode::kControl)
 };
 
 /// Counters for ablation benches and tests (how many registrations did a
@@ -46,6 +74,8 @@ struct NetworkStats {
   std::atomic<std::uint64_t> bytes_put{0};
   std::atomic<std::uint64_t> registrations{0};
   std::atomic<std::uint64_t> deregistrations{0};
+  std::atomic<std::uint64_t> retransmit_puts{0};  ///< replays of faulted puts
+  std::atomic<std::uint64_t> control_puts{0};     ///< retransmit requests
 };
 
 /// Functional in-process model of the TofuD fabric.
@@ -58,11 +88,21 @@ struct NetworkStats {
 /// *semantics* (and the registration/queue discipline the paper's
 /// optimizations are built on).
 ///
+/// An optional `FaultInjector` turns the perfectly reliable model into a
+/// lossy one: data puts may be dropped, delayed (the notice surfaces only
+/// on a later poll), duplicated, or corrupted, and whole TNIs can be
+/// declared down. Local TCQ completions still fire for faulted data puts
+/// — as on real hardware, where the sender's completion only certifies
+/// injection into the fabric, not delivery.
+///
 /// Thread-safety: the registry is internally synchronized; each VCQ's
 /// queues are mutex-protected so remote ranks can post concurrently.
 /// Like real CQs, a single VCQ must only be *driven* (puts issued,
 /// completions polled) by one thread at a time — the fine-grained comm
-/// layer assigns disjoint VCQs to its pool threads for this reason.
+/// layer assigns disjoint VCQs to its pool threads for this reason. The
+/// exception is the control queue: `poll_control` and retransmit puts
+/// may be issued by a dedicated progress thread (modelling the A64FX
+/// assistant cores that run communication progress on Fugaku).
 class Network {
  public:
   /// `nprocs` communication endpoints ("ranks"). Each endpoint owns
@@ -73,6 +113,12 @@ class Network {
   int tnis() const { return tnis_; }
   int cqs_per_tni() const { return cqs_; }
 
+  // --- fault injection ------------------------------------------------
+  /// Attach a fault injector; pass nullptr to restore perfect delivery.
+  /// Must be called before traffic starts (not synchronized with puts).
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+  FaultInjector* fault_injector() const { return injector_.get(); }
+
   // --- memory registration ------------------------------------------
   /// Register [base, base+len) of `proc` and return its STADD. Real
   /// registration pins pages via a syscall; the performance model charges
@@ -80,7 +126,8 @@ class Network {
   Stadd reg_mem(int proc, void* base, std::size_t len);
   void dereg_mem(int proc, Stadd stadd);
 
-  /// Resolve a proc-local STADD to host memory (bounds-checked).
+  /// Resolve a proc-local STADD to host memory. Rejects unknown STADDs
+  /// and any window that leaves the registered region (overflow-safe).
   std::byte* resolve(int proc, Stadd stadd, std::uint64_t offset,
                      std::uint64_t length) const;
 
@@ -96,28 +143,40 @@ class Network {
   /// RDMA put: copy `length` bytes from (src_stadd+src_off) of the VCQ's
   /// proc into (dst_stadd+dst_off) of the destination VCQ's proc. Posts a
   /// TCQ entry locally and an MRQ entry (carrying `edata`) remotely.
+  /// Both windows are validated up front — even for length 0 — so an
+  /// invalid STADD or an out-of-region offset is always a hard error.
   void put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd, std::uint64_t src_off,
            Stadd dst_stadd, std::uint64_t dst_off, std::uint64_t length,
-           std::uint64_t edata = 0);
+           std::uint64_t edata = 0, PutMode mode = PutMode::kData);
 
   /// Piggyback-only put: delivers just the 8-byte `edata` through the MRQ
   /// descriptor, no buffer write (paper Sec. 3.4's offset exchange).
-  void put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata);
+  void put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
+                     PutMode mode = PutMode::kData);
 
   /// RDMA get: copy from the remote region into the local region; posts a
   /// TCQ entry locally when "complete" (no remote MRQ, as in TofuD gets).
+  /// Gets are not subject to fault injection (no user of the optimized
+  /// comm path issues them).
   void get(VcqId src_vcq, VcqId dst_vcq, Stadd remote_stadd,
            std::uint64_t remote_off, Stadd local_stadd, std::uint64_t local_off,
            std::uint64_t length);
 
   // --- completion polling ----------------------------------------------
+  /// Data-plane notices only; control messages are never returned here.
   std::optional<TcqEntry> poll_tcq(VcqId id);
   std::optional<MrqEntry> poll_mrq(VcqId id);
 
+  /// Control-plane notices only (retransmit requests). May be called by
+  /// a progress thread concurrently with the owner's data polls.
+  std::optional<MrqEntry> poll_control(VcqId id);
+
   /// Blocking variants (spin with yield — the host may have fewer cores
-  /// than simulated ranks).
-  TcqEntry wait_tcq(VcqId id);
-  MrqEntry wait_mrq(VcqId id);
+  /// than simulated ranks). Throw CommTimeoutError past the deadline.
+  TcqEntry wait_tcq(VcqId id,
+                    std::chrono::milliseconds deadline = kDefaultWaitDeadline);
+  MrqEntry wait_mrq(VcqId id,
+                    std::chrono::milliseconds deadline = kDefaultWaitDeadline);
 
   const NetworkStats& stats() const { return stats_; }
   void reset_stats();
@@ -127,6 +186,10 @@ class Network {
     std::byte* base = nullptr;
     std::size_t len = 0;
   };
+  struct DelayedEntry {
+    MrqEntry entry;
+    int polls_left = 0;
+  };
   struct Vcq {
     int proc = -1;
     int tni = -1;
@@ -135,10 +198,20 @@ class Network {
     std::mutex mu;
     std::deque<TcqEntry> tcq;
     std::deque<MrqEntry> mrq;
+    std::deque<DelayedEntry> delayed;
   };
 
   Vcq& vcq_checked(VcqId id);
   const Vcq& vcq_checked(VcqId id) const;
+
+  /// Locked lookup + overflow-safe window check; `what` names the access
+  /// in the error message ("put source", "put destination", ...).
+  std::byte* window_checked(int proc, Stadd stadd, std::uint64_t offset,
+                            std::uint64_t length, const char* what) const;
+
+  /// Move delayed notices whose poll budget expired into the MRQ.
+  /// Caller holds v.mu.
+  static void advance_delayed(Vcq& v);
 
   int nprocs_;
   int tnis_;
@@ -151,6 +224,7 @@ class Network {
   mutable std::mutex vcq_mu_;
   std::vector<std::unique_ptr<Vcq>> vcqs_;
 
+  std::shared_ptr<FaultInjector> injector_;
   NetworkStats stats_;
 };
 

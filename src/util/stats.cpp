@@ -4,7 +4,29 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/table_printer.h"
+
 namespace lmp::util {
+
+std::string format_health_table(const CommHealthReport& h) {
+  TablePrinter t({"comm health", "count"});
+  const auto row = [&t](const char* name, std::uint64_t v) {
+    t.add_row({name, std::to_string(v)});
+  };
+  row("nacks_sent", h.nacks_sent);
+  row("retransmits_served", h.retransmits_served);
+  row("duplicates_dropped", h.duplicates_dropped);
+  row("crc_rejects", h.crc_rejects);
+  row("notices_dropped", h.notices_dropped);
+  row("notices_delayed", h.notices_delayed);
+  row("notices_duplicated", h.notices_duplicated);
+  row("payloads_corrupted", h.payloads_corrupted);
+  row("tni_drops", h.tni_drops);
+  row("retransmit_puts", h.retransmit_puts);
+  t.add_row({"tnis_in_use", std::to_string(h.tnis_in_use)});
+  t.add_row({"tnis_down", std::to_string(h.tnis_down)});
+  return t.to_string();
+}
 
 void RunningStats::add(double x) {
   if (n_ == 0) {

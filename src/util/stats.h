@@ -1,10 +1,62 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace lmp::util {
+
+/// End-of-run communication health summary: what the reliability layer
+/// and the fault injector saw. All zeros on a clean run — the acceptance
+/// bar for "no overhead on the clean path".
+struct CommHealthReport {
+  // Receiver/sender protocol activity (comm layer).
+  std::uint64_t nacks_sent = 0;           ///< retransmit requests issued
+  std::uint64_t retransmits_served = 0;   ///< pending sends replayed
+  std::uint64_t duplicates_dropped = 0;   ///< stale/dup notices filtered
+  std::uint64_t crc_rejects = 0;          ///< checksum mismatches detected
+  // Fabric-side injected faults (fault injector view).
+  std::uint64_t notices_dropped = 0;
+  std::uint64_t notices_delayed = 0;
+  std::uint64_t notices_duplicated = 0;
+  std::uint64_t payloads_corrupted = 0;
+  std::uint64_t tni_drops = 0;            ///< puts swallowed by a dead TNI
+  std::uint64_t retransmit_puts = 0;      ///< fabric-level replay puts
+  // Degradation state.
+  int tnis_in_use = 0;
+  int tnis_down = 0;
+
+  CommHealthReport& operator+=(const CommHealthReport& o) {
+    nacks_sent += o.nacks_sent;
+    retransmits_served += o.retransmits_served;
+    duplicates_dropped += o.duplicates_dropped;
+    crc_rejects += o.crc_rejects;
+    notices_dropped += o.notices_dropped;
+    notices_delayed += o.notices_delayed;
+    notices_duplicated += o.notices_duplicated;
+    payloads_corrupted += o.payloads_corrupted;
+    tni_drops += o.tni_drops;
+    retransmit_puts += o.retransmit_puts;
+    tnis_in_use = tnis_in_use > o.tnis_in_use ? tnis_in_use : o.tnis_in_use;
+    tnis_down = tnis_down > o.tnis_down ? tnis_down : o.tnis_down;
+    return *this;
+  }
+
+  /// True when nothing abnormal happened (degradation state ignored).
+  bool clean() const {
+    return nacks_sent == 0 && retransmits_served == 0 &&
+           duplicates_dropped == 0 && crc_rejects == 0 &&
+           notices_dropped == 0 && notices_delayed == 0 &&
+           notices_duplicated == 0 && payloads_corrupted == 0 &&
+           tni_drops == 0 && retransmit_puts == 0;
+  }
+};
+
+/// Render the health report with the standard table layout (one counter
+/// per row) for end-of-run printing.
+std::string format_health_table(const CommHealthReport& h);
 
 /// Streaming mean/variance accumulator (Welford).
 class RunningStats {
