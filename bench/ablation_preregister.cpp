@@ -37,7 +37,7 @@ int main() {
   o.config = md::SimConfig::lj_melt();
   o.cells = {6, 6, 6};
   o.rank_grid = {2, 2, 2};
-  o.comm = sim::CommVariant::kP2pParallel;
+  o.comm = "opt";
   const int steps = 60;
   const sim::JobResult r = sim::run_simulation(o, steps);
   std::uint64_t puts = 0;

@@ -21,9 +21,9 @@ namespace {
 
 void run_potential(const char* label, sim::SimOptions base, int steps) {
   base.thermo_every = steps / 10;
-  base.comm = sim::CommVariant::kRefMpi;
+  base.comm = "ref";
   const sim::JobResult ref = sim::run_simulation(base, steps);
-  base.comm = sim::CommVariant::kP2pParallel;
+  base.comm = "opt";
   const sim::JobResult opt = sim::run_simulation(base, steps);
 
   bench::TablePrinter t({"step", (std::string(label) + "_ref P").c_str(),

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI: warnings-as-errors build + full test suite, then the same
+# suite under AddressSanitizer/UBSan (catches the buffer-discipline bugs
+# the zero-copy RDMA paths are prone to).
+#
+#   ./ci.sh            # both passes
+#   ./ci.sh --fast     # skip the sanitizer pass
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "=== pass 1: -Werror build + ctest ==="
+cmake -B build-ci -S . -DLMP_WERROR=ON
+cmake --build build-ci -j "${JOBS}"
+ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "ci.sh: --fast: skipping sanitizer pass"
+  exit 0
+fi
+
+echo "=== pass 2: ASan+UBSan build + ctest ==="
+cmake -B build-ci-asan -S . -DLMP_WERROR=ON -DLMP_SANITIZE=address,undefined
+cmake --build build-ci-asan -j "${JOBS}"
+ctest --test-dir build-ci-asan --output-on-failure -j "${JOBS}"
+
+echo "ci.sh: all passes green"

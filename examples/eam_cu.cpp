@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   options.config = md::SimConfig::eam_copper();
   options.cells = {cells, cells, cells};
   options.rank_grid = {2, 1, 1};
-  options.comm = sim::CommVariant::kP2pParallel;
+  options.comm = "opt";
   options.thermo_every = std::max(1, steps / 10);
 
   std::printf("\nEAM copper: %d atoms at a0 = 3.615 A, T0 = %.0f K, "

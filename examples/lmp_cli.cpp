@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "comm/comm_factory.h"
 #include "sim/input_script.h"
 #include "util/table_printer.h"
 
@@ -15,8 +16,10 @@ using namespace lmp;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <input-script> [ref|mpi_p2p|utofu_3stage|"
-                 "4tni_p2p|6tni_p2p|opt]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <input-script> [comm-variant]\n",
+                 argv[0]);
+    std::fprintf(stderr, "  comm-variant: %s\n",
+                 comm::CommFactory::instance().catalog().c_str());
     return 1;
   }
 
@@ -29,20 +32,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 2) {
     // Variant override, like swapping the artifact's project directory.
-    bool ok = false;
-    for (const auto v :
-         {sim::CommVariant::kRefMpi, sim::CommVariant::kMpiP2p,
-          sim::CommVariant::kUtofu3Stage, sim::CommVariant::kP2pCoarse4,
-          sim::CommVariant::kP2pCoarse6, sim::CommVariant::kP2pParallel}) {
-      if (std::strcmp(argv[2], sim::variant_name(v)) == 0) {
-        script.options.comm = v;
-        ok = true;
-      }
-    }
-    if (!ok) {
-      std::fprintf(stderr, "unknown variant override '%s'\n", argv[2]);
+    if (!comm::CommFactory::instance().known(argv[2])) {
+      std::fprintf(stderr, "unknown variant override '%s' (registered: %s)\n",
+                   argv[2], comm::CommFactory::instance().catalog().c_str());
       return 1;
     }
+    script.options.comm = argv[2];
   }
 
   const sim::SimOptions& o = script.options;
@@ -52,7 +47,7 @@ int main(int argc, char** argv) {
               o.cells.x, o.cells.y, o.cells.z,
               4 * o.cells.x * o.cells.y * o.cells.z,
               o.rank_grid.x * o.rank_grid.y * o.rank_grid.z, o.rank_grid.x,
-              o.rank_grid.y, o.rank_grid.z, sim::variant_name(o.comm));
+              o.rank_grid.y, o.rank_grid.z, o.comm.c_str());
   std::printf("  cutoff %.3f skin %.2f dt %.4g newton %s neigh every %d "
               "check %s\n\n",
               o.config.cutoff, o.config.skin, o.config.dt,

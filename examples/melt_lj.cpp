@@ -16,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "comm/comm_factory.h"
 #include "sim/simulation.h"
 #include "util/table_printer.h"
 
@@ -23,17 +24,10 @@ using namespace lmp;
 
 namespace {
 
-sim::CommVariant parse_variant(const char* name) {
-  for (const auto v :
-       {sim::CommVariant::kRefMpi, sim::CommVariant::kUtofu3Stage,
-        sim::CommVariant::kP2pCoarse4, sim::CommVariant::kP2pCoarse6,
-        sim::CommVariant::kP2pParallel}) {
-    if (std::strcmp(name, sim::variant_name(v)) == 0) return v;
-  }
-  std::fprintf(stderr,
-               "unknown variant '%s' (want ref|utofu_3stage|4tni_p2p|"
-               "6tni_p2p|opt)\n",
-               name);
+std::string parse_variant(const char* name) {
+  if (comm::CommFactory::instance().known(name)) return name;
+  std::fprintf(stderr, "unknown variant '%s' (registered: %s)\n", name,
+               comm::CommFactory::instance().catalog().c_str());
   std::exit(1);
 }
 
@@ -53,7 +47,7 @@ void report(const char* label, const sim::JobResult& r) {
 int main(int argc, char** argv) {
   sim::SimOptions options;
   options.config = md::SimConfig::lj_melt();
-  options.comm = argc > 1 ? parse_variant(argv[1]) : sim::CommVariant::kP2pParallel;
+  options.comm = argc > 1 ? parse_variant(argv[1]) : "opt";
   const int cells = argc > 2 ? std::atoi(argv[2]) : 6;
   const int steps = argc > 3 ? std::atoi(argv[3]) : 100;
   options.cells = {cells, cells, cells};
@@ -70,11 +64,11 @@ int main(int argc, char** argv) {
               options.rank_grid.y, options.rank_grid.z);
 
   const sim::JobResult chosen = sim::run_simulation(options, steps);
-  report(sim::variant_name(options.comm), chosen);
+  report(options.comm.c_str(), chosen);
 
-  if (options.comm != sim::CommVariant::kRefMpi) {
+  if (options.comm != "ref") {
     sim::SimOptions ref_options = options;
-    ref_options.comm = sim::CommVariant::kRefMpi;
+    ref_options.comm = "ref";
     const sim::JobResult ref = sim::run_simulation(ref_options, steps);
     report("ref", ref);
 

@@ -16,13 +16,13 @@ int main() {
   options.config = md::SimConfig::lj_melt();  // Table 2, L-J column
   options.cells = {6, 6, 6};                  // 864 atoms
   options.rank_grid = {2, 2, 2};              // 8 MPI ranks (threads here)
-  options.comm = sim::CommVariant::kP2pParallel;  // the paper's `opt`
+  options.comm = "opt";  // the paper's fine-grained p2p variant
   options.thermo_every = 20;
 
   std::printf("mini-LAMMPS quickstart: %s, %d ranks, comm=%s\n",
               options.config.name.c_str(),
               options.rank_grid.x * options.rank_grid.y * options.rank_grid.z,
-              sim::variant_name(options.comm));
+              options.comm.c_str());
 
   const sim::JobResult result = sim::run_simulation(options, 100);
 

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "comm/comm_factory.h"
+#include "comm/pack_kernels.h"
+
 namespace lmp::comm {
 
 // ---------------------------------------------------------------------
@@ -99,52 +102,19 @@ CommBrick::CommBrick(const CommContext& ctx,
     : Comm(ctx), transport_(std::move(transport)) {}
 
 void CommBrick::setup() {
-  const auto& decomp = *ctx_.decomp;
-  const util::Int3 me = decomp.coord_of(ctx_.rank);
-  const util::Vec3 extent = ctx_.global.extent();
+  plan_ = GhostPlan::staged(ctx_);
+  transport_->setup(ctx_, plan_.max_payload_doubles());
+}
 
-  for (int c = 0; c < 6; ++c) {
-    const int d = dim_of(c);
-    const int step = side_of(c) == 0 ? -1 : +1;
-    util::Int3 to = me;
-    to[static_cast<std::size_t>(d)] += step;
-    util::Int3 from = me;
-    from[static_cast<std::size_t>(d)] -= step;
-    send_to_[static_cast<std::size_t>(c)] = decomp.rank_of(to);
-    recv_from_[static_cast<std::size_t>(c)] = decomp.rank_of(from);
-    util::Vec3 shift;
-    const int dest_coord = me[static_cast<std::size_t>(d)] + step;
-    if (dest_coord < 0) {
-      shift[static_cast<std::size_t>(d)] = extent[static_cast<std::size_t>(d)];
-    } else if (dest_coord >= decomp.grid()[static_cast<std::size_t>(d)]) {
-      shift[static_cast<std::size_t>(d)] = -extent[static_cast<std::size_t>(d)];
-    }
-    shift_[static_cast<std::size_t>(c)] = shift;
-  }
-
-  const util::Vec3 sub = ctx_.sub.extent();
-  for (int d = 0; d < 3; ++d) {
-    if (sub[static_cast<std::size_t>(d)] < ctx_.ghost_cutoff) {
-      throw std::invalid_argument(
-          "sub-box thinner than the ghost cutoff: single-shell 3-stage comm "
-          "cannot cover the stencil");
-    }
-  }
-
-  // Upper bound for one channel: the widest slab is the z stage, which
-  // carries the x- and y-ghosts too: (ex+2rc)(ey+2rc)*rc atoms' worth.
-  const double rc = ctx_.ghost_cutoff;
-  const double slab = (sub.x + 2 * rc) * (sub.y + 2 * rc) * rc;
-  const auto max_atoms =
-      static_cast<std::size_t>(slab * ctx_.density * 2.0) + 64;
-  max_channel_doubles_ = max_atoms * 8;
-  transport_->setup(ctx_, max_channel_doubles_);
+std::array<int, 6> CommBrick::ghosts_per_channel() const {
+  std::array<int, 6> out{};
+  for (int c = 0; c < 6; ++c) out[static_cast<std::size_t>(c)] = plan_.ghost_count(c);
+  return out;
 }
 
 void CommBrick::borders() {
   md::Atoms& atoms = *ctx_.atoms;
   atoms.clear_ghosts();
-  const double rc = ctx_.ghost_cutoff;
 
   int scan_end = 0;
   for (int c = 0; c < 6; ++c) {
@@ -152,47 +122,17 @@ void CommBrick::borders() {
     // dimension's first swap (LAMMPS nlast discipline): the -side ghosts
     // must not bounce straight back on the +side swap.
     if (side_of(c) == 0) scan_end = atoms.ntotal();
+    plan_.select_staged(c, atoms, scan_end);
 
-    const int d = dim_of(c);
-    auto& list = sendlist_[static_cast<std::size_t>(c)];
-    list.clear();
-    const double* x = atoms.x();
-    if (side_of(c) == 0) {
-      const double bound = ctx_.sub.lo[static_cast<std::size_t>(d)] + rc;
-      for (int i = 0; i < scan_end; ++i) {
-        if (x[3 * i + d] < bound) list.push_back(i);
-      }
-    } else {
-      const double bound = ctx_.sub.hi[static_cast<std::size_t>(d)] - rc;
-      for (int i = 0; i < scan_end; ++i) {
-        if (x[3 * i + d] > bound) list.push_back(i);
-      }
-    }
-
-    // Pack: shifted position + tag, 4 doubles per atom.
-    std::vector<double> payload;
-    payload.reserve(list.size() * 4);
-    const util::Vec3& sh = shift_[static_cast<std::size_t>(c)];
-    for (const int i : list) {
-      payload.push_back(x[3 * i] + sh.x);
-      payload.push_back(x[3 * i + 1] + sh.y);
-      payload.push_back(x[3 * i + 2] + sh.z);
-      payload.push_back(tag_to_double(atoms.tag(i)));
-    }
-
+    const std::vector<double> payload =
+        pack_border(atoms, plan_.send_list(c), plan_.shift(c));
     const std::vector<double> in = transport_->sendrecv(
-        MsgKind::kBorder, c, send_to_[static_cast<std::size_t>(c)],
-        recv_from_[static_cast<std::size_t>(c)], payload);
-    counters_.border_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
+        MsgKind::kBorder, c, plan_.send_peer(c), plan_.recv_peer(c), payload);
+    account(counters_, MsgKind::kBorder, payload.size());
 
-    first_ghost_[static_cast<std::size_t>(c)] = atoms.ntotal();
-    const int n = static_cast<int>(in.size() / 4);
-    for (int k = 0; k < n; ++k) {
-      atoms.add_ghost({in[4 * k], in[4 * k + 1], in[4 * k + 2]},
-                      double_to_tag(in[4 * k + 3]));
-    }
-    nrecv_[static_cast<std::size_t>(c)] = n;
+    const int start = atoms.ntotal();
+    const int n = unpack_border(atoms, in);
+    plan_.set_ghost_block(c, start, n);
   }
 }
 
@@ -200,26 +140,15 @@ void CommBrick::forward_positions() {
   md::Atoms& atoms = *ctx_.atoms;
   double* x = atoms.x();
   for (int c = 0; c < 6; ++c) {
-    const auto& list = sendlist_[static_cast<std::size_t>(c)];
-    const util::Vec3& sh = shift_[static_cast<std::size_t>(c)];
-    std::vector<double> payload;
-    payload.reserve(list.size() * 3);
-    for (const int i : list) {
-      payload.push_back(x[3 * i] + sh.x);
-      payload.push_back(x[3 * i + 1] + sh.y);
-      payload.push_back(x[3 * i + 2] + sh.z);
-    }
+    const std::vector<double> payload =
+        pack_positions(x, plan_.send_list(c), plan_.shift(c));
     const std::vector<double> in = transport_->sendrecv(
-        MsgKind::kForward, c, send_to_[static_cast<std::size_t>(c)],
-        recv_from_[static_cast<std::size_t>(c)], payload);
-    counters_.forward_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
-    const int base = first_ghost_[static_cast<std::size_t>(c)];
-    const int n = static_cast<int>(in.size() / 3);
-    if (n != nrecv_[static_cast<std::size_t>(c)]) {
+        MsgKind::kForward, c, plan_.send_peer(c), plan_.recv_peer(c), payload);
+    account(counters_, MsgKind::kForward, payload.size());
+    if (static_cast<int>(in.size()) != 3 * plan_.ghost_count(c)) {
       throw std::logic_error("forward ghost count changed since borders()");
     }
-    std::memcpy(x + 3 * base, in.data(), in.size() * sizeof(double));
+    unpack_positions(x, plan_.ghost_start(c), in);
   }
 }
 
@@ -228,61 +157,41 @@ void CommBrick::reverse_forces() {
   double* f = atoms.f();
   // Walk the stages backwards so edge/corner contributions cascade home.
   for (int c = 5; c >= 0; --c) {
-    const int base = first_ghost_[static_cast<std::size_t>(c)];
-    const int n = nrecv_[static_cast<std::size_t>(c)];
+    const int base = plan_.ghost_start(c);
+    const int n = plan_.ghost_count(c);
     // Roles swap in reverse: I send my ghost forces to the rank I
     // *received* ghosts from.
     const std::span<const double> payload(f + 3 * base,
                                           static_cast<std::size_t>(3) * n);
     const std::vector<double> in = transport_->sendrecv(
-        MsgKind::kReverse, c, recv_from_[static_cast<std::size_t>(c)],
-        send_to_[static_cast<std::size_t>(c)], payload);
-    counters_.reverse_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
-    const auto& list = sendlist_[static_cast<std::size_t>(c)];
-    if (in.size() != list.size() * 3) {
-      throw std::logic_error("reverse payload does not match send list");
-    }
-    for (std::size_t k = 0; k < list.size(); ++k) {
-      const int i = list[k];
-      f[3 * i] += in[3 * k];
-      f[3 * i + 1] += in[3 * k + 1];
-      f[3 * i + 2] += in[3 * k + 2];
-    }
+        MsgKind::kReverse, c, plan_.recv_peer(c), plan_.send_peer(c), payload);
+    account(counters_, MsgKind::kReverse, payload.size());
+    add_forces(f, plan_.send_list(c), in);
   }
 }
 
 void CommBrick::forward(double* per_atom) {
   for (int c = 0; c < 6; ++c) {
-    const auto& list = sendlist_[static_cast<std::size_t>(c)];
-    std::vector<double> payload;
-    payload.reserve(list.size());
-    for (const int i : list) payload.push_back(per_atom[i]);
+    const std::vector<double> payload =
+        pack_scalar(per_atom, plan_.send_list(c));
     const std::vector<double> in = transport_->sendrecv(
-        MsgKind::kScalarFwd, c, send_to_[static_cast<std::size_t>(c)],
-        recv_from_[static_cast<std::size_t>(c)], payload);
-    counters_.scalar_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
-    const int base = first_ghost_[static_cast<std::size_t>(c)];
-    std::copy(in.begin(), in.end(), per_atom + base);
+        MsgKind::kScalarFwd, c, plan_.send_peer(c), plan_.recv_peer(c),
+        payload);
+    account(counters_, MsgKind::kScalarFwd, payload.size());
+    unpack_scalar(per_atom, plan_.ghost_start(c), in);
   }
 }
 
 void CommBrick::reverse_add(double* per_atom) {
   for (int c = 5; c >= 0; --c) {
-    const int base = first_ghost_[static_cast<std::size_t>(c)];
-    const int n = nrecv_[static_cast<std::size_t>(c)];
-    const std::span<const double> payload(per_atom + base,
-                                          static_cast<std::size_t>(n));
+    const std::span<const double> payload(
+        per_atom + plan_.ghost_start(c),
+        static_cast<std::size_t>(plan_.ghost_count(c)));
     const std::vector<double> in = transport_->sendrecv(
-        MsgKind::kScalarRev, c, recv_from_[static_cast<std::size_t>(c)],
-        send_to_[static_cast<std::size_t>(c)], payload);
-    counters_.scalar_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
-    const auto& list = sendlist_[static_cast<std::size_t>(c)];
-    for (std::size_t k = 0; k < list.size(); ++k) {
-      per_atom[list[k]] += in[k];
-    }
+        MsgKind::kScalarRev, c, plan_.recv_peer(c), plan_.send_peer(c),
+        payload);
+    account(counters_, MsgKind::kScalarRev, payload.size());
+    add_scalar(per_atom, plan_.send_list(c), in);
   }
 }
 
@@ -308,21 +217,10 @@ void CommBrick::exchange() {
 
     const double lo = ctx_.sub.lo[static_cast<std::size_t>(d)];
     const double hi = ctx_.sub.hi[static_cast<std::size_t>(d)];
-    std::vector<int> gone;
-    std::vector<double> payload;
-    {
-      const double* x = atoms.x();
-      for (int i = 0; i < atoms.nlocal(); ++i) {
-        const double v = x[3 * i + d];
-        if (v < lo || v >= hi) gone.push_back(i);
-      }
-      for (const int i : gone) {
-        const util::Vec3 p = atoms.pos(i);
-        const util::Vec3 vel = atoms.vel(i);
-        payload.insert(payload.end(), {p.x, p.y, p.z, vel.x, vel.y, vel.z,
-                                       tag_to_double(atoms.tag(i))});
-      }
-    }
+    const std::vector<int> gone = plan_.migrants_along(atoms, d);
+    // Coordinates are already global (wrapped), so no shift applies.
+    const std::vector<double> payload =
+        pack_exchange(atoms, gone, util::Vec3{});
     atoms.remove_locals(gone);
 
     // With 2 ranks in this dim both neighbors are the same rank: send
@@ -331,20 +229,43 @@ void CommBrick::exchange() {
     for (int s = 0; s < nsends; ++s) {
       const int c = 2 * d + s;
       const std::vector<double> in = transport_->sendrecv(
-          MsgKind::kExchange, c, send_to_[static_cast<std::size_t>(c)],
-          recv_from_[static_cast<std::size_t>(c)], payload);
-      counters_.exchange_msgs += 1;
-      counters_.bytes += payload.size() * sizeof(double);
-      const int n = static_cast<int>(in.size() / 7);
-      for (int k = 0; k < n; ++k) {
-        const double v = in[7 * k + d];
-        if (v < lo || v >= hi) continue;  // not mine; the other copy lands it
-        atoms.add_local({in[7 * k], in[7 * k + 1], in[7 * k + 2]},
-                        {in[7 * k + 3], in[7 * k + 4], in[7 * k + 5]},
-                        double_to_tag(in[7 * k + 6]));
-      }
+          MsgKind::kExchange, c, plan_.send_peer(c), plan_.recv_peer(c),
+          payload);
+      account(counters_, MsgKind::kExchange, payload.size());
+      unpack_exchange_slab(atoms, in, d, lo, hi);
     }
   }
 }
+
+// --- factory registration ----------------------------------------------
+// All-26-sides brick ghosts require the coordinate tie-break half rule.
+
+namespace {
+
+const CommRegistrar kRefRegistrar{{
+    "ref",
+    "baseline LAMMPS 3-stage over MPI",
+    md::HalfRule::kCoordTieBreak,
+    [](const CommBuildInputs& in) {
+      CommInstance out;
+      out.comm = std::make_unique<CommBrick>(
+          in.ctx, std::make_unique<MpiBrickTransport>(*in.world));
+      return out;
+    },
+}};
+
+const CommRegistrar kUtofu3StageRegistrar{{
+    "utofu_3stage",
+    "3-stage pattern over uTofu one-sided puts",
+    md::HalfRule::kCoordTieBreak,
+    [](const CommBuildInputs& in) {
+      CommInstance out;
+      out.comm = std::make_unique<CommBrick>(
+          in.ctx, std::make_unique<UtofuBrickTransport>(*in.net, *in.book));
+      return out;
+    },
+}};
+
+}  // namespace
 
 }  // namespace lmp::comm

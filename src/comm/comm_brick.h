@@ -8,6 +8,7 @@
 #include "comm/address_book.h"
 #include "comm/comm_base.h"
 #include "comm/dispatcher.h"
+#include "comm/ghost_plan.h"
 #include "comm/msg_codec.h"
 #include "minimpi/world.h"
 #include "tofu/utofu.h"
@@ -71,7 +72,9 @@ class UtofuBrickTransport final : public BrickTransport {
 /// The LAMMPS default 3-stage ghost communication (paper Fig. 4): each
 /// dimension exchanges with its two face partners in turn, and later
 /// stages carry the ghosts of earlier ones, covering all 26 neighbors
-/// with 6 messages at the price of strict stage ordering.
+/// with 6 messages at the price of strict stage ordering. The exchange
+/// plan (channels, shifts, border selection, migration, sizing) lives in
+/// GhostPlan; this class only drives its transport over that plan.
 class CommBrick final : public Comm {
  public:
   CommBrick(const CommContext& ctx, std::unique_ptr<BrickTransport> transport);
@@ -87,20 +90,13 @@ class CommBrick final : public Comm {
   void reverse_add(double* per_atom) override;
 
   /// Ghost count received per channel (tests).
-  const std::array<int, 6>& ghosts_per_channel() const { return nrecv_; }
+  std::array<int, 6> ghosts_per_channel() const;
 
  private:
-  static int dim_of(int channel) { return channel / 2; }
   static int side_of(int channel) { return channel % 2; }
 
   std::unique_ptr<BrickTransport> transport_;
-  std::array<int, 6> send_to_{};
-  std::array<int, 6> recv_from_{};
-  std::array<util::Vec3, 6> shift_{};
-  std::array<std::vector<int>, 6> sendlist_{};
-  std::array<int, 6> first_ghost_{};
-  std::array<int, 6> nrecv_{};
-  std::size_t max_channel_doubles_ = 0;
+  GhostPlan plan_;
 };
 
 }  // namespace lmp::comm

@@ -5,7 +5,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "comm/comm_factory.h"
 #include "comm/msg_codec.h"
+#include "comm/pack_kernels.h"
 #include "geom/ghost_algebra.h"
 
 namespace lmp::comm {
@@ -37,46 +39,12 @@ CommP2p::~CommP2p() {
 }
 
 void CommP2p::setup() {
-  const auto& decomp = *ctx_.decomp;
-  const util::Int3 me = decomp.coord_of(ctx_.rank);
-  const util::Vec3 extent = ctx_.global.extent();
-  const auto& dirs = all_dirs();
-
-  // Which directions we send ghosts to / receive ghosts from (Fig. 5):
-  // Newton on halves the exchange — ghosts arrive only from the upper
-  // 13 neighbors and our atoms travel only to the lower 13.
-  for (int d = 0; d < kNumDirs; ++d) {
-    if (!ctx_.newton || !is_upper(d)) send_dirs_.push_back(d);
-    if (!ctx_.newton || is_upper(d)) recv_dirs_.push_back(d);
-  }
-
-  // Peer ranks and periodic shifts.
-  for (int d = 0; d < kNumDirs; ++d) {
-    const util::Int3 o = dirs[static_cast<std::size_t>(d)];
-    dir_[static_cast<std::size_t>(d)].peer = decomp.rank_of(me + o);
-    util::Vec3 shift;
-    for (int axis = 0; axis < 3; ++axis) {
-      const int c = me[static_cast<std::size_t>(axis)] + o[static_cast<std::size_t>(axis)];
-      if (c < 0) {
-        shift[static_cast<std::size_t>(axis)] = extent[static_cast<std::size_t>(axis)];
-      } else if (c >= decomp.grid()[static_cast<std::size_t>(axis)]) {
-        shift[static_cast<std::size_t>(axis)] = -extent[static_cast<std::size_t>(axis)];
-      }
-    }
-    dir_[static_cast<std::size_t>(d)].shift = shift;
-  }
-
-  const util::Vec3 sub = ctx_.sub.extent();
-  for (int axis = 0; axis < 3; ++axis) {
-    if (sub[static_cast<std::size_t>(axis)] < ctx_.ghost_cutoff) {
-      throw std::invalid_argument(
-          "sub-box thinner than the ghost cutoff: single-shell p2p comm "
-          "cannot cover the stencil");
-    }
-  }
+  // The transport-invariant half: channels, peers, shifts, bins, bounds.
+  plan_ = GhostPlan::p2p(ctx_, opt_.use_border_bins);
 
   // Direction -> VCQ/thread slot map. Must be identical on every rank so
   // senders can target the receiving thread's VCQ.
+  const util::Vec3 sub = ctx_.sub.extent();
   if (opt_.comm_threads > 1 && opt_.balanced_assignment) {
     // Estimated per-class costs from the ghost algebra of Table 1.
     const double a = std::min({sub.x, sub.y, sub.z});
@@ -130,12 +98,9 @@ void CommP2p::setup() {
         NoticeDispatcher(net_, vcq_[static_cast<std::size_t>(t)]);
   }
 
-  // Pre-registered buffers (Sec. 3.4): rings sized from the theoretical
-  // ghost upper bound — the face slab is the largest class.
-  const double r = ctx_.ghost_cutoff;
-  const double face_vol = std::max({sub.x * sub.y, sub.y * sub.z, sub.x * sub.z}) * r;
-  const auto max_atoms = static_cast<std::size_t>(face_vol * ctx_.density * 2.0) + 64;
-  ring_doubles_ = max_atoms * 8 + 8;
+  // Pre-registered buffers (Sec. 3.4): rings sized from the plan's
+  // theoretical ghost upper bound — the face slab is the largest class.
+  ring_doubles_ = plan_.max_payload_doubles();
   mine.ring_bytes = ring_doubles_ * sizeof(double);
   for (int d = 0; d < kNumDirs; ++d) {
     dir_[static_cast<std::size_t>(d)].send_buf = utofu_->make_buffer(mine.ring_bytes);
@@ -155,12 +120,6 @@ void CommP2p::setup() {
   }
   mine.x_stadd = net_->reg_mem(ctx_.rank, atoms.x(), atoms.array_bytes());
   mine.f_stadd = net_->reg_mem(ctx_.rank, atoms.f(), atoms.array_bytes());
-
-  // Border-bin applicability (Sec. 3.5.2).
-  bins_active_ = opt_.use_border_bins && BorderBins::applicable(ctx_.sub, r);
-  if (bins_active_) {
-    bins_ = std::make_unique<BorderBins>(ctx_.sub, r, send_dirs_);
-  }
 
   // Arm the reliability protocol only for fault-injected runs: clean
   // runs keep the zero-overhead fast path (no CRC, no pending copies,
@@ -219,12 +178,11 @@ void CommP2p::record_pending(MsgKind kind, int dir, bool piggyback,
 }
 
 void CommP2p::send_nack(MsgKind kind, int dir) {
-  const DirState& st = dir_[static_cast<std::size_t>(dir)];
   const int sender_dir = opposite(dir);
   const int my_slot = slot_of_dir_[static_cast<std::size_t>(dir)];
   const std::uint8_t want =
       dispatch_[static_cast<std::size_t>(my_slot)].expected_seq(kind, dir);
-  const RankAddresses& peer = book_->of(st.peer);
+  const RankAddresses& peer = book_->of(plan_.recv_peer(dir));
   // The NACK names the *sender's* channel (their direction index) plus
   // the kind and the sequence number we are missing, packed into value.
   const Edata ed{MsgKind::kRetransmitReq, sender_dir, 0,
@@ -332,23 +290,27 @@ util::CommHealthReport CommP2p::health() const {
 
 // --- data path ---------------------------------------------------------
 
-void CommP2p::put_payload(MsgKind kind, int dir, std::span<const double> payload) {
-  DirState& st = dir_[static_cast<std::size_t>(dir)];
-  if (payload.size() > ring_doubles_) {
+void CommP2p::check_fits(std::size_t ndoubles) const {
+  if (ndoubles > ring_doubles_) {
     throw std::length_error("p2p payload exceeds pre-registered ring size");
   }
-  std::copy(payload.begin(), payload.end(), st.send_buf.as_doubles());
+}
+
+void CommP2p::send_ring(MsgKind kind, int dir, std::size_t ndoubles) {
+  DirState& st = dir_[static_cast<std::size_t>(dir)];
   const int tag = opposite(dir);  // the receiver's view of this channel
   const int slot = st.ring_slot_out++ % kRingSlots;
   const int my_slot = slot_of_dir_[static_cast<std::size_t>(dir)];
   const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
-  const RankAddresses& peer = book_->of(st.peer);
-  const std::uint64_t bytes = payload.size() * sizeof(double);
-  Edata ed{kind, tag, slot, static_cast<std::uint32_t>(payload.size())};
+  const int peer_rank = plan_.send_peer(dir);
+  const RankAddresses& peer = book_->of(peer_rank);
+  const std::uint64_t bytes = ndoubles * sizeof(double);
+  const double* buf = st.send_buf.as_doubles();
+  Edata ed{kind, tag, slot, static_cast<std::uint32_t>(ndoubles)};
   if (reliable_) {
     ed.seq = next_seq(kind, dir);
-    ed.crc = payload_crc(ed.value, payload.data(), bytes);
-    record_pending(kind, dir, false, payload.data(), bytes, st.peer, my_slot,
+    ed.crc = payload_crc(ed.value, buf, bytes);
+    record_pending(kind, dir, false, buf, bytes, peer_rank, my_slot,
                    peer_slot,
                    peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)],
                    0, ed.encode());
@@ -359,7 +321,13 @@ void CommP2p::put_payload(MsgKind kind, int dir, std::span<const double> payload
             peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
             bytes, ed.encode());
   dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
-  counters_.bytes += bytes;
+}
+
+void CommP2p::put_payload(MsgKind kind, int dir, std::span<const double> payload) {
+  check_fits(payload.size());
+  DirState& st = dir_[static_cast<std::size_t>(dir)];
+  std::copy(payload.begin(), payload.end(), st.send_buf.as_doubles());
+  send_ring(kind, dir, payload.size());
 }
 
 std::span<const double> CommP2p::wait_payload(MsgKind kind, int dir,
@@ -372,86 +340,62 @@ std::span<const double> CommP2p::wait_payload(MsgKind kind, int dir,
   return {ring, static_cast<std::size_t>(e.value)};
 }
 
-void CommP2p::build_sendlists() {
-  md::Atoms& atoms = *ctx_.atoms;
-  for (const int d : send_dirs_) dir_[static_cast<std::size_t>(d)].sendlist.clear();
-
-  const double rc = ctx_.ghost_cutoff;
-  for (int i = 0; i < atoms.nlocal(); ++i) {
-    const util::Vec3 p = atoms.pos(i);
-    if (bins_active_) {
-      for (const int d : bins_->targets(p)) {
-        dir_[static_cast<std::size_t>(d)].sendlist.push_back(i);
-      }
-    } else {
-      for (const int d :
-           BorderBins::targets_naive(ctx_.sub, rc, send_dirs_, p)) {
-        dir_[static_cast<std::size_t>(d)].sendlist.push_back(i);
-      }
-    }
-  }
-}
-
 void CommP2p::borders() {
   md::Atoms& atoms = *ctx_.atoms;
   atoms.clear_ghosts();
-  build_sendlists();
+  plan_.build_send_lists(atoms);
 
-  // Phase A (parallel): send border payloads.
-  for_dirs(send_dirs_, [&](int d) {
+  // Phase A (parallel): pack straight into the registered send buffers
+  // and put. Counters are settled serially afterwards — the payload
+  // sizes are fully determined by the send lists.
+  for_dirs(plan_.send_channels(), [&](int d) {
+    const std::vector<int>& list = plan_.send_list(d);
+    check_fits(list.size() * kBorderDoubles);
     DirState& st = dir_[static_cast<std::size_t>(d)];
-    std::vector<double> payload;
-    payload.reserve(st.sendlist.size() * 4);
-    const double* x = atoms.x();
-    for (const int i : st.sendlist) {
-      payload.push_back(x[3 * i] + st.shift.x);
-      payload.push_back(x[3 * i + 1] + st.shift.y);
-      payload.push_back(x[3 * i + 2] + st.shift.z);
-      payload.push_back(tag_to_double(atoms.tag(i)));
-    }
-    put_payload(MsgKind::kBorder, d, payload);
-    counters_.border_msgs += 1;
+    const std::size_t n =
+        pack_border(atoms, list, plan_.shift(d), st.send_buf.as_doubles());
+    send_ring(MsgKind::kBorder, d, n);
   });
+  for (const int d : plan_.send_channels()) {
+    account(counters_, MsgKind::kBorder,
+            plan_.send_list(d).size() * kBorderDoubles);
+  }
 
   // Phase B (parallel): learn each incoming count. The ring slot to read
   // later is stashed by re-waiting below, so just collect counts first.
   std::array<std::pair<std::uint32_t, int>, kNumDirs> incoming{};  // count, slot
-  for_dirs(recv_dirs_, [&](int u) {
+  for_dirs(plan_.recv_channels(), [&](int u) {
     const Edata e = wait_ring(MsgKind::kBorder, u);
     incoming[static_cast<std::size_t>(u)] = {e.value, e.slot};
   });
 
   // Phase C (serial): place ghosts in deterministic direction order so
   // every comm implementation yields identical ghost indexing.
-  for (const int u : recv_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
+  for (const int u : plan_.recv_channels()) {
     const auto [raw, slot] = incoming[static_cast<std::size_t>(u)];
-    const int n = static_cast<int>(raw / 4);
-    st.ghost_start = atoms.ntotal();
-    st.ghost_count = n;
     const double* ring =
         rings_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)].as_doubles();
-    for (int k = 0; k < n; ++k) {
-      atoms.add_ghost({ring[4 * k], ring[4 * k + 1], ring[4 * k + 2]},
-                      double_to_tag(ring[4 * k + 3]));
-    }
+    const int start = atoms.ntotal();
+    const int n = unpack_border(
+        atoms, std::span<const double>(ring, static_cast<std::size_t>(raw)));
+    plan_.set_ghost_block(u, start, n);
   }
 
   // Phase D (parallel): piggyback the ghost offsets back (Sec. 3.4 —
   // "the receiver informs the sender of the offset of ghost atoms ...
   // only an 8B value, so we use the piggyback mechanism").
-  for_dirs(recv_dirs_, [&](int u) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
+  for_dirs(plan_.recv_channels(), [&](int u) {
     const int tag = opposite(u);
     const int my_slot = slot_of_dir_[static_cast<std::size_t>(u)];
     const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
-    const RankAddresses& peer = book_->of(st.peer);
+    const int peer_rank = plan_.recv_peer(u);
+    const RankAddresses& peer = book_->of(peer_rank);
     Edata ed{MsgKind::kBorderAck, tag, 0,
-             static_cast<std::uint32_t>(st.ghost_start)};
+             static_cast<std::uint32_t>(plan_.ghost_start(u))};
     if (reliable_) {
       ed.seq = next_seq(MsgKind::kBorderAck, u);
       ed.crc = payload_crc(ed.value, nullptr, 0);
-      record_pending(MsgKind::kBorderAck, u, true, nullptr, 0, st.peer,
+      record_pending(MsgKind::kBorderAck, u, true, nullptr, 0, peer_rank,
                      my_slot, peer_slot, 0, 0, ed.encode());
     }
     net_->put_piggyback(vcq_[static_cast<std::size_t>(my_slot)],
@@ -459,7 +403,7 @@ void CommP2p::borders() {
                         ed.encode());
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
   });
-  for_dirs(send_dirs_, [&](int d) {
+  for_dirs(plan_.send_channels(), [&](int d) {
     const Edata e = wait_piggyback(MsgKind::kBorderAck, d);
     dir_[static_cast<std::size_t>(d)].remote_offset = e.value;
   });
@@ -479,56 +423,53 @@ void CommP2p::forward_positions() {
   // under the 4-slot depth).
   if (!ctx_.newton) {
     double* x = atoms.x();
-    for_dirs(send_dirs_, [&](int d) {
+    for_dirs(plan_.send_channels(), [&](int d) {
+      const std::vector<int>& list = plan_.send_list(d);
+      check_fits(list.size() * kPositionDoubles);
       DirState& st = dir_[static_cast<std::size_t>(d)];
-      std::vector<double> payload;
-      payload.reserve(st.sendlist.size() * 3);
-      for (const int i : st.sendlist) {
-        payload.push_back(x[3 * i] + st.shift.x);
-        payload.push_back(x[3 * i + 1] + st.shift.y);
-        payload.push_back(x[3 * i + 2] + st.shift.z);
-      }
-      put_payload(MsgKind::kForward, d, payload);
-      counters_.forward_msgs += 1;
+      const std::size_t n =
+          pack_positions(x, list, plan_.shift(d), st.send_buf.as_doubles());
+      send_ring(MsgKind::kForward, d, n);
     });
-    for_dirs(recv_dirs_, [&](int u) {
+    for (const int d : plan_.send_channels()) {
+      account(counters_, MsgKind::kForward,
+              plan_.send_list(d).size() * kPositionDoubles);
+    }
+    for_dirs(plan_.recv_channels(), [&](int u) {
       std::uint32_t n = 0;
       const std::span<const double> in = wait_payload(MsgKind::kForward, u, &n);
-      DirState& st = dir_[static_cast<std::size_t>(u)];
-      if (static_cast<int>(n) != st.ghost_count * 3) {
+      if (static_cast<int>(n) != plan_.ghost_count(u) * 3) {
         throw std::logic_error("forward ghost count changed since borders()");
       }
-      std::copy(in.begin(), in.end(), x + 3 * st.ghost_start);
+      unpack_positions(x, plan_.ghost_start(u), in);
     });
     return;
   }
 
-  for_dirs(send_dirs_, [&](int d) {
+  for_dirs(plan_.send_channels(), [&](int d) {
+    const std::vector<int>& list = plan_.send_list(d);
+    check_fits(list.size() * kPositionDoubles);
     DirState& st = dir_[static_cast<std::size_t>(d)];
     // Pack shifted positions, then write them *directly* into the peer's
     // position array at the acked ghost offset (Fig. 9a) — no receive
     // buffer, no unpack on the far side.
     double* out = st.send_buf.as_doubles();
-    const double* x = atoms.x();
-    std::size_t w = 0;
-    for (const int i : st.sendlist) {
-      out[w++] = x[3 * i] + st.shift.x;
-      out[w++] = x[3 * i + 1] + st.shift.y;
-      out[w++] = x[3 * i + 2] + st.shift.z;
-    }
+    const std::size_t w =
+        pack_positions(atoms.x(), list, plan_.shift(d), out);
     const int tag = opposite(d);
     const int my_slot = slot_of_dir_[static_cast<std::size_t>(d)];
     const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
-    const RankAddresses& peer = book_->of(st.peer);
+    const int peer_rank = plan_.send_peer(d);
+    const RankAddresses& peer = book_->of(peer_rank);
     const std::uint64_t bytes = w * sizeof(double);
     const std::uint64_t dst_off =
         static_cast<std::uint64_t>(st.remote_offset) * 3 * sizeof(double);
     Edata ed{MsgKind::kForward, tag, 0,
-             static_cast<std::uint32_t>(st.sendlist.size())};
+             static_cast<std::uint32_t>(list.size())};
     if (reliable_) {
       ed.seq = next_seq(MsgKind::kForward, d);
       ed.crc = payload_crc(ed.value, out, bytes);
-      record_pending(MsgKind::kForward, d, false, out, bytes, st.peer,
+      record_pending(MsgKind::kForward, d, false, out, bytes, peer_rank,
                      my_slot, peer_slot, peer.x_stadd, dst_off, ed.encode());
     }
     net_->put(vcq_[static_cast<std::size_t>(my_slot)],
@@ -536,21 +477,22 @@ void CommP2p::forward_positions() {
               st.send_buf.stadd(), 0, peer.x_stadd, dst_off, bytes,
               ed.encode());
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
-    counters_.forward_msgs += 1;
-    counters_.bytes += bytes;
   });
+  for (const int d : plan_.send_channels()) {
+    account(counters_, MsgKind::kForward,
+            plan_.send_list(d).size() * kPositionDoubles);
+  }
 
   // The data lands in place; we only consume the arrival notices — but
   // under fault injection the landed bytes are CRC-verified against the
   // descriptor before the pair stage may read them.
-  for_dirs(recv_dirs_, [&](int u) {
+  for_dirs(plan_.recv_channels(), [&](int u) {
     const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
-    DirState& st = dir_[static_cast<std::size_t>(u)];
     for (;;) {
       const Edata e =
           dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kForward, u);
       if (reliable_) {
-        const double* region = atoms.x() + 3 * st.ghost_start;
+        const double* region = atoms.x() + 3 * plan_.ghost_start(u);
         const std::uint64_t bytes =
             static_cast<std::uint64_t>(e.value) * 3 * sizeof(double);
         if (e.crc != payload_crc(e.value, region, bytes)) {
@@ -561,7 +503,7 @@ void CommP2p::forward_positions() {
           continue;
         }
       }
-      if (static_cast<int>(e.value) != st.ghost_count) {
+      if (static_cast<int>(e.value) != plan_.ghost_count(u)) {
         throw std::logic_error("forward ghost count changed since borders()");
       }
       break;
@@ -576,23 +518,26 @@ void CommP2p::reverse_forces() {
 
   // Send: the ghost block of the force array is contiguous, so the put
   // reads straight out of the registered array — zero-copy (Fig. 9b).
-  for_dirs(recv_dirs_, [&](int u) {
+  for_dirs(plan_.recv_channels(), [&](int u) {
     DirState& st = dir_[static_cast<std::size_t>(u)];
+    const int ghost_start = plan_.ghost_start(u);
+    const int ghost_count = plan_.ghost_count(u);
     const int tag = opposite(u);
     const int slot = st.ring_slot_out++ % kRingSlots;
     const int my_slot = slot_of_dir_[static_cast<std::size_t>(u)];
     const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
-    const RankAddresses& peer = book_->of(st.peer);
-    const auto bytes = static_cast<std::uint64_t>(st.ghost_count) * 3 * sizeof(double);
+    const int peer_rank = plan_.recv_peer(u);
+    const RankAddresses& peer = book_->of(peer_rank);
+    const auto bytes = static_cast<std::uint64_t>(ghost_count) * 3 * sizeof(double);
     const std::uint64_t src_off =
-        static_cast<std::uint64_t>(st.ghost_start) * 3 * sizeof(double);
+        static_cast<std::uint64_t>(ghost_start) * 3 * sizeof(double);
     Edata ed{MsgKind::kReverse, tag, slot,
-             static_cast<std::uint32_t>(st.ghost_count * 3)};
+             static_cast<std::uint32_t>(ghost_count * 3)};
     if (reliable_) {
       ed.seq = next_seq(MsgKind::kReverse, u);
-      ed.crc = payload_crc(ed.value, atoms.f() + 3 * st.ghost_start, bytes);
+      ed.crc = payload_crc(ed.value, atoms.f() + 3 * ghost_start, bytes);
       record_pending(MsgKind::kReverse, u, false,
-                     atoms.f() + 3 * st.ghost_start, bytes, st.peer, my_slot,
+                     atoms.f() + 3 * ghost_start, bytes, peer_rank, my_slot,
                      peer_slot,
                      peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)],
                      0, ed.encode());
@@ -603,63 +548,59 @@ void CommP2p::reverse_forces() {
               peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
               bytes, ed.encode());
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
-    counters_.reverse_msgs += 1;
-    counters_.bytes += bytes;
   });
+  for (const int u : plan_.recv_channels()) {
+    account(counters_, MsgKind::kReverse,
+            static_cast<std::size_t>(plan_.ghost_count(u)) * 3);
+  }
 
   // Receive: unpack-add into the atoms we sent out as ghosts.
   double* f = atoms.f();
-  for_dirs(send_dirs_, [&](int d) {
+  for_dirs(plan_.send_channels(), [&](int d) {
     std::uint32_t n = 0;
     const std::span<const double> in = wait_payload(MsgKind::kReverse, d, &n);
-    const auto& list = dir_[static_cast<std::size_t>(d)].sendlist;
-    if (n != list.size() * 3) {
-      throw std::logic_error("reverse payload does not match send list");
-    }
-    for (std::size_t k = 0; k < list.size(); ++k) {
-      const int i = list[k];
-      f[3 * i] += in[3 * k];
-      f[3 * i + 1] += in[3 * k + 1];
-      f[3 * i + 2] += in[3 * k + 2];
-    }
+    add_forces(f, plan_.send_list(d), in);
   });
 }
 
 void CommP2p::forward(double* per_atom) {
-  for_dirs(send_dirs_, [&](int d) {
+  for_dirs(plan_.send_channels(), [&](int d) {
+    const std::vector<int>& list = plan_.send_list(d);
+    check_fits(list.size());
     DirState& st = dir_[static_cast<std::size_t>(d)];
-    std::vector<double> payload;
-    payload.reserve(st.sendlist.size());
-    for (const int i : st.sendlist) payload.push_back(per_atom[i]);
-    put_payload(MsgKind::kScalarFwd, d, payload);
-    counters_.scalar_msgs += 1;
+    const std::size_t n =
+        pack_scalar(per_atom, list, st.send_buf.as_doubles());
+    send_ring(MsgKind::kScalarFwd, d, n);
   });
-  for_dirs(recv_dirs_, [&](int u) {
+  for (const int d : plan_.send_channels()) {
+    account(counters_, MsgKind::kScalarFwd, plan_.send_list(d).size());
+  }
+  for_dirs(plan_.recv_channels(), [&](int u) {
     std::uint32_t n = 0;
     const std::span<const double> in = wait_payload(MsgKind::kScalarFwd, u, &n);
-    DirState& st = dir_[static_cast<std::size_t>(u)];
-    if (static_cast<int>(n) != st.ghost_count) {
+    if (static_cast<int>(n) != plan_.ghost_count(u)) {
       throw std::logic_error("scalar forward count mismatch");
     }
-    std::copy(in.begin(), in.end(), per_atom + st.ghost_start);
+    unpack_scalar(per_atom, plan_.ghost_start(u), in);
   });
 }
 
 void CommP2p::reverse_add(double* per_atom) {
   if (!ctx_.newton) return;
-  for_dirs(recv_dirs_, [&](int u) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
-    const std::span<const double> payload(per_atom + st.ghost_start,
-                                          static_cast<std::size_t>(st.ghost_count));
+  for_dirs(plan_.recv_channels(), [&](int u) {
+    const std::span<const double> payload(
+        per_atom + plan_.ghost_start(u),
+        static_cast<std::size_t>(plan_.ghost_count(u)));
     put_payload(MsgKind::kScalarRev, u, payload);
-    counters_.scalar_msgs += 1;
   });
-  for_dirs(send_dirs_, [&](int d) {
+  for (const int u : plan_.recv_channels()) {
+    account(counters_, MsgKind::kScalarRev,
+            static_cast<std::size_t>(plan_.ghost_count(u)));
+  }
+  for_dirs(plan_.send_channels(), [&](int d) {
     std::uint32_t n = 0;
     const std::span<const double> in = wait_payload(MsgKind::kScalarRev, d, &n);
-    const auto& list = dir_[static_cast<std::size_t>(d)].sendlist;
-    if (n != list.size()) throw std::logic_error("scalar reverse count mismatch");
-    for (std::size_t k = 0; k < list.size(); ++k) per_atom[list[k]] += in[k];
+    add_scalar(per_atom, plan_.send_list(d), in);
   });
 }
 
@@ -669,50 +610,34 @@ void CommP2p::exchange() {
     throw std::logic_error("exchange requires ghosts to be cleared");
   }
 
-  // Classify leavers by destination direction on the *raw* coordinates:
-  // the direction offset identifies the owner and the direction's
+  // Classify leavers by destination direction on the *raw* coordinates
+  // (plan): the direction offset identifies the owner and the channel's
   // periodic shift maps the coordinate into the owner's box, so no
   // global wrap is needed (and the single-target send requires none).
-  std::array<std::vector<double>, kNumDirs> outbound;
-  std::vector<int> gone;
-  {
-    const double* x = atoms.x();
-    for (int i = 0; i < atoms.nlocal(); ++i) {
-      util::Int3 off{0, 0, 0};
-      for (int axis = 0; axis < 3; ++axis) {
-        const double v = x[3 * i + axis];
-        if (v < ctx_.sub.lo[static_cast<std::size_t>(axis)]) {
-          off[static_cast<std::size_t>(axis)] = -1;
-        } else if (v >= ctx_.sub.hi[static_cast<std::size_t>(axis)]) {
-          off[static_cast<std::size_t>(axis)] = +1;
-        }
-      }
-      if (off == util::Int3{0, 0, 0}) continue;
-      // After the global wrap, a leaver beyond the adjacent sub-box would
-      // be unreachable by single-shell exchange — LAMMPS calls this a
-      // lost atom; here it cannot happen while rebuilds respect the skin.
-      const int d = dir_index(off);
-      const util::Vec3 p = atoms.pos(i) + dir_[static_cast<std::size_t>(d)].shift;
-      const util::Vec3 v = atoms.vel(i);
-      outbound[static_cast<std::size_t>(d)].insert(
-          outbound[static_cast<std::size_t>(d)].end(),
-          {p.x, p.y, p.z, v.x, v.y, v.z, tag_to_double(atoms.tag(i))});
-      gone.push_back(i);
-    }
-  }
-  atoms.remove_locals(gone);
+  const MigrationPlan mig = plan_.classify_migrants(atoms);
 
   // All 26 channels fire every rebuild (possibly empty) so the expected
-  // message counts stay deterministic.
+  // message counts stay deterministic. Pack before remove_locals — the
+  // migration indices refer to the pre-removal atom array.
   static const std::vector<int> all26 = [] {
     std::vector<int> v(kNumDirs);
     for (int d = 0; d < kNumDirs; ++d) v[static_cast<std::size_t>(d)] = d;
     return v;
   }();
   for_dirs(all26, [&](int d) {
-    put_payload(MsgKind::kExchange, d, outbound[static_cast<std::size_t>(d)]);
-    counters_.exchange_msgs += 1;
+    const std::vector<int>& leavers = mig.by_dir[static_cast<std::size_t>(d)];
+    check_fits(leavers.size() * kExchangeDoubles);
+    DirState& st = dir_[static_cast<std::size_t>(d)];
+    const std::size_t n = pack_exchange(atoms, leavers, plan_.shift(d),
+                                        st.send_buf.as_doubles());
+    send_ring(MsgKind::kExchange, d, n);
   });
+  for (const int d : all26) {
+    account(counters_, MsgKind::kExchange,
+            mig.by_dir[static_cast<std::size_t>(d)].size() * kExchangeDoubles);
+  }
+  atoms.remove_locals(mig.gone);
+
   // Collect counts in parallel, append serially (deterministic order).
   std::array<std::pair<std::uint32_t, int>, kNumDirs> incoming{};
   for_dirs(all26, [&](int u) {
@@ -721,15 +646,55 @@ void CommP2p::exchange() {
   });
   for (const int u : all26) {
     const auto [raw, slot] = incoming[static_cast<std::size_t>(u)];
-    const int n = static_cast<int>(raw / 7);
     const double* ring =
         rings_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)].as_doubles();
-    for (int k = 0; k < n; ++k) {
-      atoms.add_local({ring[7 * k], ring[7 * k + 1], ring[7 * k + 2]},
-                      {ring[7 * k + 3], ring[7 * k + 4], ring[7 * k + 5]},
-                      double_to_tag(ring[7 * k + 6]));
-    }
+    unpack_exchange(
+        atoms, std::span<const double>(ring, static_cast<std::size_t>(raw)));
   }
 }
+
+// --- factory registration ----------------------------------------------
+// The three p2p variants differ only in TNI count and threading; all use
+// the half-shell ghost pattern (kAllGhosts).
+
+namespace {
+
+CommInstance build_p2p(const CommBuildInputs& in, int ntnis, int threads) {
+  P2pOptions popt;
+  popt.ntnis = ntnis;
+  popt.comm_threads = threads;
+  popt.use_border_bins = in.use_border_bins;
+  popt.balanced_assignment = in.balanced_assignment;
+  CommInstance out;
+  if (threads > 1) {
+    out.pool = std::make_unique<pool::SpinThreadPool>(threads);
+  }
+  out.comm = std::make_unique<CommP2p>(in.ctx, *in.net, *in.book, popt,
+                                       out.pool.get());
+  return out;
+}
+
+const CommRegistrar k4TniRegistrar{{
+    "4tni_p2p",
+    "coarse p2p: single thread, 4 TNIs (Sec. 3.2)",
+    md::HalfRule::kAllGhosts,
+    [](const CommBuildInputs& in) { return build_p2p(in, 4, 1); },
+}};
+
+const CommRegistrar k6TniRegistrar{{
+    "6tni_p2p",
+    "coarse p2p: single thread, 6 TNIs",
+    md::HalfRule::kAllGhosts,
+    [](const CommBuildInputs& in) { return build_p2p(in, 6, 1); },
+}};
+
+const CommRegistrar kOptRegistrar{{
+    "opt",
+    "fine-grained p2p: 6-thread spin pool over 6 TNIs (Sec. 3.3)",
+    md::HalfRule::kAllGhosts,
+    [](const CommBuildInputs& in) { return build_p2p(in, 6, 6); },
+}};
+
+}  // namespace
 
 }  // namespace lmp::comm

@@ -11,10 +11,10 @@
 #include <vector>
 
 #include "comm/address_book.h"
-#include "comm/border_bins.h"
 #include "comm/comm_base.h"
 #include "comm/directions.h"
 #include "comm/dispatcher.h"
+#include "comm/ghost_plan.h"
 #include "comm/load_balance.h"
 #include "threadpool/spin_pool.h"
 #include "tofu/utofu.h"
@@ -51,6 +51,13 @@ struct P2pOptions {
 ///               array into the owner's round-robin ring (Fig. 9b)
 ///   * scalar:   EAM rho reverse-add and fp forward, mid-pair-stage
 ///   * exchange: migration messages to all 26 neighbors on rebuild steps
+///
+/// The exchange *plan* (channels, peers, shifts, send lists, migration
+/// classification, buffer bounds) lives in the shared GhostPlan; the
+/// pack kernels write payloads straight into this driver's registered
+/// send buffers (zero-copy RDMA). This class contributes only transport
+/// and scheduling: VCQ striping, ring slots, piggyback acks, and the
+/// reliability protocol.
 ///
 /// With comm_threads > 1, directions are assigned to pool threads by the
 /// load balancer and each thread drives its own VCQ (one per TNI) —
@@ -96,21 +103,18 @@ class CommP2p final : public Comm {
 
   util::CommHealthReport health() const override;
 
-  const std::vector<int>& send_dirs() const { return send_dirs_; }
-  const std::vector<int>& recv_dirs() const { return recv_dirs_; }
+  const std::vector<int>& send_dirs() const { return plan_.send_channels(); }
+  const std::vector<int>& recv_dirs() const { return plan_.recv_channels(); }
   int vcq_slot(int dir) const { return slot_of_dir_[static_cast<std::size_t>(dir)]; }
-  bool using_border_bins() const { return bins_active_; }
+  bool using_border_bins() const { return plan_.using_border_bins(); }
   /// Distinct physical TNIs carrying traffic after degradation.
   int tnis_in_use() const { return tnis_in_use_; }
   bool reliability_active() const { return reliable_; }
 
  private:
+  /// Per-direction transport state. The exchange-pattern fields (peer,
+  /// shift, send list, ghost block) live in the GhostPlan.
   struct DirState {
-    int peer = -1;                ///< neighbor rank for this direction
-    util::Vec3 shift;             ///< periodic shift applied when sending
-    std::vector<int> sendlist;    ///< my atoms ghosted at the peer
-    int ghost_start = 0;          ///< first ghost index received from here
-    int ghost_count = 0;
     std::uint32_t remote_offset = 0;  ///< acked ghost offset at the peer
     int ring_slot_out = 0;        ///< round-robin cursor toward the peer
     tofu::RegisteredBuffer send_buf;
@@ -138,7 +142,14 @@ class CommP2p final : public Comm {
   void for_dirs(const std::vector<int>& dirs,
                 const std::function<void(int)>& fn);
 
-  void build_sendlists();
+  /// Throws when a payload of `ndoubles` cannot fit the preregistered
+  /// rings — checked *before* packing into the registered send buffer.
+  void check_fits(std::size_t ndoubles) const;
+  /// Announce-and-put the first `ndoubles` of dir's send buffer (already
+  /// packed by a kernel) into the peer's ring. The zero-copy send path.
+  void send_ring(MsgKind kind, int dir, std::size_t ndoubles);
+  /// Copying convenience over send_ring for payloads that are not packed
+  /// into the send buffer (contiguous scalar ghost blocks).
   void put_payload(MsgKind kind, int dir, std::span<const double> payload);
   std::span<const double> wait_payload(MsgKind kind, int dir,
                                        std::uint32_t* count);
@@ -172,13 +183,10 @@ class CommP2p final : public Comm {
   std::vector<NoticeDispatcher> dispatch_;  ///< one per VCQ
   std::array<int, kNumDirs> slot_of_dir_{};
 
-  std::vector<int> send_dirs_;
-  std::vector<int> recv_dirs_;
+  GhostPlan plan_;
   std::array<DirState, kNumDirs> dir_{};
   std::array<std::array<tofu::RegisteredBuffer, kRingSlots>, kNumDirs> rings_;
   std::size_t ring_doubles_ = 0;
-  bool bins_active_ = false;
-  std::unique_ptr<BorderBins> bins_;
 
   bool reliable_ = false;
   int tnis_in_use_ = 0;

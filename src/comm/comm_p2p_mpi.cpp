@@ -3,143 +3,61 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "comm/msg_codec.h"
+#include "comm/comm_factory.h"
+#include "comm/pack_kernels.h"
 
 namespace lmp::comm {
 
-namespace {
+CommP2pMpi::CommP2pMpi(const CommContext& ctx, minimpi::World& world)
+    : Comm(ctx), world_(&world) {}
 
-std::span<const std::byte> as_bytes(const std::vector<double>& v) {
-  return std::as_bytes(std::span<const double>(v));
+void CommP2pMpi::setup() { plan_ = GhostPlan::p2p(ctx_, /*use_border_bins=*/true); }
+
+void CommP2pMpi::send_payload(MsgKind kind, int dir,
+                              const std::vector<double>& payload) {
+  world_->send(ctx_.rank, plan_.send_peer(dir), tag_for(kind, opposite(dir)),
+               std::as_bytes(std::span<const double>(payload)));
+  account(counters_, kind, payload.size());
 }
 
-std::vector<double> as_doubles(const std::vector<std::byte>& raw) {
+std::vector<double> CommP2pMpi::recv_payload(MsgKind kind, int dir) {
+  const std::vector<std::byte> raw =
+      world_->recv(ctx_.rank, plan_.recv_peer(dir), tag_for(kind, dir));
   std::vector<double> out(raw.size() / sizeof(double));
   std::memcpy(out.data(), raw.data(), raw.size());
   return out;
 }
 
-}  // namespace
-
-CommP2pMpi::CommP2pMpi(const CommContext& ctx, minimpi::World& world)
-    : Comm(ctx), world_(&world) {}
-
-void CommP2pMpi::setup() {
-  const auto& decomp = *ctx_.decomp;
-  const util::Int3 me = decomp.coord_of(ctx_.rank);
-  const util::Vec3 extent = ctx_.global.extent();
-  const auto& dirs = all_dirs();
-
-  for (int d = 0; d < kNumDirs; ++d) {
-    if (!ctx_.newton || !is_upper(d)) send_dirs_.push_back(d);
-    if (!ctx_.newton || is_upper(d)) recv_dirs_.push_back(d);
-    const util::Int3 o = dirs[static_cast<std::size_t>(d)];
-    dir_[static_cast<std::size_t>(d)].peer = decomp.rank_of(me + o);
-    util::Vec3 shift;
-    for (int axis = 0; axis < 3; ++axis) {
-      const int c = me[static_cast<std::size_t>(axis)] + o[static_cast<std::size_t>(axis)];
-      if (c < 0) {
-        shift[static_cast<std::size_t>(axis)] = extent[static_cast<std::size_t>(axis)];
-      } else if (c >= decomp.grid()[static_cast<std::size_t>(axis)]) {
-        shift[static_cast<std::size_t>(axis)] = -extent[static_cast<std::size_t>(axis)];
-      }
-    }
-    dir_[static_cast<std::size_t>(d)].shift = shift;
-  }
-
-  const util::Vec3 sub = ctx_.sub.extent();
-  for (int axis = 0; axis < 3; ++axis) {
-    if (sub[static_cast<std::size_t>(axis)] < ctx_.ghost_cutoff) {
-      throw std::invalid_argument(
-          "sub-box thinner than the ghost cutoff: single-shell p2p comm "
-          "cannot cover the stencil");
-    }
-  }
-
-  bins_active_ = BorderBins::applicable(ctx_.sub, ctx_.ghost_cutoff);
-  if (bins_active_) {
-    bins_ = std::make_unique<BorderBins>(ctx_.sub, ctx_.ghost_cutoff, send_dirs_);
-  }
-}
-
-void CommP2pMpi::build_sendlists() {
-  md::Atoms& atoms = *ctx_.atoms;
-  for (const int d : send_dirs_) dir_[static_cast<std::size_t>(d)].sendlist.clear();
-  for (int i = 0; i < atoms.nlocal(); ++i) {
-    const util::Vec3 p = atoms.pos(i);
-    if (bins_active_) {
-      for (const int d : bins_->targets(p)) {
-        dir_[static_cast<std::size_t>(d)].sendlist.push_back(i);
-      }
-    } else {
-      for (const int d : BorderBins::targets_naive(ctx_.sub, ctx_.ghost_cutoff,
-                                                   send_dirs_, p)) {
-        dir_[static_cast<std::size_t>(d)].sendlist.push_back(i);
-      }
-    }
-  }
-}
-
 void CommP2pMpi::borders() {
   md::Atoms& atoms = *ctx_.atoms;
   atoms.clear_ghosts();
-  build_sendlists();
+  plan_.build_send_lists(atoms);
 
-  const double* x = atoms.x();
-  for (const int d : send_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(d)];
-    std::vector<double> payload;
-    payload.reserve(st.sendlist.size() * 4);
-    for (const int i : st.sendlist) {
-      payload.push_back(x[3 * i] + st.shift.x);
-      payload.push_back(x[3 * i + 1] + st.shift.y);
-      payload.push_back(x[3 * i + 2] + st.shift.z);
-      payload.push_back(tag_to_double(atoms.tag(i)));
-    }
-    world_->send(ctx_.rank, st.peer, tag_for(MsgKind::kBorder, opposite(d)),
-                 as_bytes(payload));
-    counters_.border_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
+  for (const int d : plan_.send_channels()) {
+    send_payload(MsgKind::kBorder, d,
+                 pack_border(atoms, plan_.send_list(d), plan_.shift(d)));
   }
-  for (const int u : recv_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
-    const std::vector<double> in = as_doubles(
-        world_->recv(ctx_.rank, st.peer, tag_for(MsgKind::kBorder, u)));
-    const int n = static_cast<int>(in.size() / 4);
-    st.ghost_start = atoms.ntotal();
-    st.ghost_count = n;
-    for (int k = 0; k < n; ++k) {
-      atoms.add_ghost({in[4 * k], in[4 * k + 1], in[4 * k + 2]},
-                      double_to_tag(in[4 * k + 3]));
-    }
+  for (const int u : plan_.recv_channels()) {
+    const std::vector<double> in = recv_payload(MsgKind::kBorder, u);
+    const int start = atoms.ntotal();
+    const int n = unpack_border(atoms, in);
+    plan_.set_ghost_block(u, start, n);
   }
 }
 
 void CommP2pMpi::forward_positions() {
   md::Atoms& atoms = *ctx_.atoms;
   double* x = atoms.x();
-  for (const int d : send_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(d)];
-    std::vector<double> payload;
-    payload.reserve(st.sendlist.size() * 3);
-    for (const int i : st.sendlist) {
-      payload.push_back(x[3 * i] + st.shift.x);
-      payload.push_back(x[3 * i + 1] + st.shift.y);
-      payload.push_back(x[3 * i + 2] + st.shift.z);
-    }
-    world_->send(ctx_.rank, st.peer, tag_for(MsgKind::kForward, opposite(d)),
-                 as_bytes(payload));
-    counters_.forward_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
+  for (const int d : plan_.send_channels()) {
+    send_payload(MsgKind::kForward, d,
+                 pack_positions(x, plan_.send_list(d), plan_.shift(d)));
   }
-  for (const int u : recv_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
-    const std::vector<double> in = as_doubles(
-        world_->recv(ctx_.rank, st.peer, tag_for(MsgKind::kForward, u)));
-    if (static_cast<int>(in.size()) != 3 * st.ghost_count) {
+  for (const int u : plan_.recv_channels()) {
+    const std::vector<double> in = recv_payload(MsgKind::kForward, u);
+    if (static_cast<int>(in.size()) != 3 * plan_.ghost_count(u)) {
       throw std::logic_error("forward ghost count changed since borders()");
     }
-    std::memcpy(x + 3 * st.ghost_start, in.data(), in.size() * sizeof(double));
+    unpack_positions(x, plan_.ghost_start(u), in);
   }
 }
 
@@ -147,66 +65,39 @@ void CommP2pMpi::reverse_forces() {
   if (!ctx_.newton) return;
   md::Atoms& atoms = *ctx_.atoms;
   double* f = atoms.f();
-  for (const int u : recv_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
-    const std::vector<double> payload(f + 3 * st.ghost_start,
-                                      f + 3 * (st.ghost_start + st.ghost_count));
-    world_->send(ctx_.rank, st.peer, tag_for(MsgKind::kReverse, opposite(u)),
-                 as_bytes(payload));
-    counters_.reverse_msgs += 1;
-    counters_.bytes += payload.size() * sizeof(double);
+  for (const int u : plan_.recv_channels()) {
+    const std::vector<double> payload(
+        f + 3 * plan_.ghost_start(u),
+        f + 3 * (plan_.ghost_start(u) + plan_.ghost_count(u)));
+    send_payload(MsgKind::kReverse, u, payload);
   }
-  for (const int d : send_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(d)];
-    const std::vector<double> in = as_doubles(
-        world_->recv(ctx_.rank, st.peer, tag_for(MsgKind::kReverse, d)));
-    if (in.size() != st.sendlist.size() * 3) {
-      throw std::logic_error("reverse payload does not match send list");
-    }
-    for (std::size_t k = 0; k < st.sendlist.size(); ++k) {
-      const int i = st.sendlist[k];
-      f[3 * i] += in[3 * k];
-      f[3 * i + 1] += in[3 * k + 1];
-      f[3 * i + 2] += in[3 * k + 2];
-    }
+  for (const int d : plan_.send_channels()) {
+    add_forces(f, plan_.send_list(d), recv_payload(MsgKind::kReverse, d));
   }
 }
 
 void CommP2pMpi::forward(double* per_atom) {
-  for (const int d : send_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(d)];
-    std::vector<double> payload;
-    payload.reserve(st.sendlist.size());
-    for (const int i : st.sendlist) payload.push_back(per_atom[i]);
-    world_->send(ctx_.rank, st.peer, tag_for(MsgKind::kScalarFwd, opposite(d)),
-                 as_bytes(payload));
-    counters_.scalar_msgs += 1;
+  for (const int d : plan_.send_channels()) {
+    send_payload(MsgKind::kScalarFwd, d,
+                 pack_scalar(per_atom, plan_.send_list(d)));
   }
-  for (const int u : recv_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
-    const std::vector<double> in = as_doubles(
-        world_->recv(ctx_.rank, st.peer, tag_for(MsgKind::kScalarFwd, u)));
-    std::copy(in.begin(), in.end(), per_atom + st.ghost_start);
+  for (const int u : plan_.recv_channels()) {
+    unpack_scalar(per_atom, plan_.ghost_start(u),
+                  recv_payload(MsgKind::kScalarFwd, u));
   }
 }
 
 void CommP2pMpi::reverse_add(double* per_atom) {
   if (!ctx_.newton) return;
-  for (const int u : recv_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(u)];
-    const std::vector<double> payload(per_atom + st.ghost_start,
-                                      per_atom + st.ghost_start + st.ghost_count);
-    world_->send(ctx_.rank, st.peer, tag_for(MsgKind::kScalarRev, opposite(u)),
-                 as_bytes(payload));
-    counters_.scalar_msgs += 1;
+  for (const int u : plan_.recv_channels()) {
+    const std::vector<double> payload(
+        per_atom + plan_.ghost_start(u),
+        per_atom + plan_.ghost_start(u) + plan_.ghost_count(u));
+    send_payload(MsgKind::kScalarRev, u, payload);
   }
-  for (const int d : send_dirs_) {
-    DirState& st = dir_[static_cast<std::size_t>(d)];
-    const std::vector<double> in = as_doubles(
-        world_->recv(ctx_.rank, st.peer, tag_for(MsgKind::kScalarRev, d)));
-    for (std::size_t k = 0; k < st.sendlist.size(); ++k) {
-      per_atom[st.sendlist[k]] += in[k];
-    }
+  for (const int d : plan_.send_channels()) {
+    add_scalar(per_atom, plan_.send_list(d),
+               recv_payload(MsgKind::kScalarRev, d));
   }
 }
 
@@ -216,50 +107,38 @@ void CommP2pMpi::exchange() {
     throw std::logic_error("exchange requires ghosts to be cleared");
   }
 
+  const MigrationPlan mig = plan_.classify_migrants(atoms);
   std::array<std::vector<double>, kNumDirs> outbound;
-  std::vector<int> gone;
-  {
-    const double* x = atoms.x();
-    for (int i = 0; i < atoms.nlocal(); ++i) {
-      util::Int3 off{0, 0, 0};
-      for (int axis = 0; axis < 3; ++axis) {
-        const double v = x[3 * i + axis];
-        if (v < ctx_.sub.lo[static_cast<std::size_t>(axis)]) {
-          off[static_cast<std::size_t>(axis)] = -1;
-        } else if (v >= ctx_.sub.hi[static_cast<std::size_t>(axis)]) {
-          off[static_cast<std::size_t>(axis)] = +1;
-        }
-      }
-      if (off == util::Int3{0, 0, 0}) continue;
-      const int d = dir_index(off);
-      const util::Vec3 p = atoms.pos(i) + dir_[static_cast<std::size_t>(d)].shift;
-      const util::Vec3 v = atoms.vel(i);
-      outbound[static_cast<std::size_t>(d)].insert(
-          outbound[static_cast<std::size_t>(d)].end(),
-          {p.x, p.y, p.z, v.x, v.y, v.z, tag_to_double(atoms.tag(i))});
-      gone.push_back(i);
-    }
+  for (int d = 0; d < kNumDirs; ++d) {
+    outbound[static_cast<std::size_t>(d)] = pack_exchange(
+        atoms, mig.by_dir[static_cast<std::size_t>(d)], plan_.shift(d));
   }
-  atoms.remove_locals(gone);
+  atoms.remove_locals(mig.gone);
 
   for (int d = 0; d < kNumDirs; ++d) {
-    world_->send(ctx_.rank, dir_[static_cast<std::size_t>(d)].peer,
-                 tag_for(MsgKind::kExchange, opposite(d)),
-                 as_bytes(outbound[static_cast<std::size_t>(d)]));
-    counters_.exchange_msgs += 1;
-    counters_.bytes += outbound[static_cast<std::size_t>(d)].size() * sizeof(double);
+    send_payload(MsgKind::kExchange, d, outbound[static_cast<std::size_t>(d)]);
   }
   for (int u = 0; u < kNumDirs; ++u) {
-    const std::vector<double> in =
-        as_doubles(world_->recv(ctx_.rank, dir_[static_cast<std::size_t>(u)].peer,
-                                tag_for(MsgKind::kExchange, u)));
-    const int n = static_cast<int>(in.size() / 7);
-    for (int k = 0; k < n; ++k) {
-      atoms.add_local({in[7 * k], in[7 * k + 1], in[7 * k + 2]},
-                      {in[7 * k + 3], in[7 * k + 4], in[7 * k + 5]},
-                      double_to_tag(in[7 * k + 6]));
-    }
+    unpack_exchange(atoms, recv_payload(MsgKind::kExchange, u));
   }
 }
+
+// --- factory registration ----------------------------------------------
+// Half-shell p2p ghosts keep every local-ghost pair.
+
+namespace {
+
+const CommRegistrar kMpiP2pRegistrar{{
+    "mpi_p2p",
+    "naive p2p over the MPI stack (Fig. 6's cautionary tale)",
+    md::HalfRule::kAllGhosts,
+    [](const CommBuildInputs& in) {
+      CommInstance out;
+      out.comm = std::make_unique<CommP2pMpi>(in.ctx, *in.world);
+      return out;
+    },
+}};
+
+}  // namespace
 
 }  // namespace lmp::comm

@@ -1,12 +1,11 @@
 #pragma once
 
 #include <array>
-#include <memory>
 #include <vector>
 
-#include "comm/border_bins.h"
 #include "comm/comm_base.h"
 #include "comm/directions.h"
+#include "comm/ghost_plan.h"
 #include "comm/msg_codec.h"
 #include "minimpi/world.h"
 
@@ -21,7 +20,9 @@ namespace lmp::comm {
 /// the uTofu rewrite (Sec. 3.2).
 ///
 /// Functionally it must of course produce the same trajectory as every
-/// other variant; the integration tests hold it to that.
+/// other variant; the integration tests hold it to that. The pattern
+/// itself (channels, shifts, send lists, migration) lives in the shared
+/// GhostPlan; this class only moves the payloads over minimpi.
 class CommP2pMpi final : public Comm {
  public:
   CommP2pMpi(const CommContext& ctx, minimpi::World& world);
@@ -37,25 +38,14 @@ class CommP2pMpi final : public Comm {
   void reverse_add(double* per_atom) override;
 
  private:
-  struct DirState {
-    int peer = -1;
-    util::Vec3 shift;
-    std::vector<int> sendlist;
-    int ghost_start = 0;
-    int ghost_count = 0;
-  };
-
   int tag_for(MsgKind kind, int receiver_dir) const {
     return static_cast<int>(kind) * 32 + receiver_dir;
   }
-  void build_sendlists();
+  void send_payload(MsgKind kind, int dir, const std::vector<double>& payload);
+  std::vector<double> recv_payload(MsgKind kind, int dir);
 
   minimpi::World* world_;
-  std::vector<int> send_dirs_;
-  std::vector<int> recv_dirs_;
-  std::array<DirState, kNumDirs> dir_{};
-  bool bins_active_ = false;
-  std::unique_ptr<BorderBins> bins_;
+  GhostPlan plan_;
 };
 
 }  // namespace lmp::comm

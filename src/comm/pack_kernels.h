@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "md/atoms.h"
+#include "util/vec3.h"
+
+namespace lmp::comm {
+
+/// SoA pack/unpack kernels shared by every comm variant. Each payload
+/// format is defined exactly once here, so the `x[3*i] + shift` loop and
+/// its siblings cannot drift apart between transports:
+///
+///   border:   shifted position + tag        (4 doubles / atom)
+///   forward:  shifted position              (3 doubles / atom)
+///   scalar:   one per-atom double           (EAM rho / fp mid-pair comm)
+///   exchange: position + velocity + tag     (7 doubles / atom)
+///
+/// The raw-buffer overloads write into a caller-provided buffer so the
+/// zero-copy RDMA path (CommP2p) packs straight into registered memory;
+/// the vector overloads size the result up front from the send-list
+/// length (no unreserved push_back) for the two-sided transports.
+
+inline constexpr int kBorderDoubles = 4;
+inline constexpr int kPositionDoubles = 3;
+inline constexpr int kExchangeDoubles = 7;
+
+// --- pack: raw caller-provided buffers (zero-copy path) ----------------
+// `out` must hold list.size() * k doubles; each returns doubles written.
+
+std::size_t pack_border(const md::Atoms& atoms, std::span<const int> list,
+                        const util::Vec3& shift, double* out);
+std::size_t pack_positions(const double* x, std::span<const int> list,
+                           const util::Vec3& shift, double* out);
+std::size_t pack_scalar(const double* per_atom, std::span<const int> list,
+                        double* out);
+std::size_t pack_exchange(const md::Atoms& atoms, std::span<const int> list,
+                          const util::Vec3& shift, double* out);
+
+// --- pack: sized-up-front vectors (two-sided transports) ---------------
+
+std::vector<double> pack_border(const md::Atoms& atoms,
+                                std::span<const int> list,
+                                const util::Vec3& shift);
+std::vector<double> pack_positions(const double* x, std::span<const int> list,
+                                   const util::Vec3& shift);
+std::vector<double> pack_scalar(const double* per_atom,
+                                std::span<const int> list);
+std::vector<double> pack_exchange(const md::Atoms& atoms,
+                                  std::span<const int> list,
+                                  const util::Vec3& shift);
+
+// --- unpack ------------------------------------------------------------
+
+/// Append the border payload as ghost atoms; returns ghosts added.
+int unpack_border(md::Atoms& atoms, std::span<const double> in);
+
+/// Overwrite the ghost block starting at `ghost_start` with forwarded
+/// positions.
+void unpack_positions(double* x, int ghost_start, std::span<const double> in);
+
+/// Overwrite the per-atom scalar ghost block starting at `ghost_start`.
+void unpack_scalar(double* per_atom, int ghost_start,
+                   std::span<const double> in);
+
+/// Append every migrated atom in the payload as a local; returns atoms
+/// added.
+int unpack_exchange(md::Atoms& atoms, std::span<const double> in);
+
+/// Staged-exchange variant: keep only the records whose coordinate on
+/// `axis` falls in [lo, hi) — the other broadcast copy lands the rest.
+int unpack_exchange_slab(md::Atoms& atoms, std::span<const double> in,
+                         int axis, double lo, double hi);
+
+// --- reverse accumulation ----------------------------------------------
+
+/// Add returned ghost forces onto the owners named by the send list.
+/// Throws std::logic_error if the payload length does not match.
+void add_forces(double* f, std::span<const int> list,
+                std::span<const double> in);
+
+/// Same for a per-atom scalar (EAM rho reverse-add).
+void add_scalar(double* per_atom, std::span<const int> list,
+                std::span<const double> in);
+
+}  // namespace lmp::comm

@@ -127,9 +127,24 @@ NeighborList NeighborBuilder::build(const Atoms& atoms, bool full,
         }
       }
     }
+    // Canonicalize the row: bin traversal visits atoms in insertion
+    // order, which depends on how the comm variant happened to place
+    // ghosts — a different order sums pair forces in a different FP
+    // order. Sorting each row by (tag, then coords — a wrapped atom can
+    // appear as several same-tag periodic images) makes the force
+    // accumulation order, and therefore the trajectory, bitwise
+    // identical across comm variants.
+    std::sort(list.neigh.begin() + static_cast<std::ptrdiff_t>(start),
+              list.neigh.end(), [&](int a, int b) {
+                const std::int64_t ta = atoms.tag(a);
+                const std::int64_t tb = atoms.tag(b);
+                if (ta != tb) return ta < tb;
+                if (x[3 * a + 2] != x[3 * b + 2]) return x[3 * a + 2] < x[3 * b + 2];
+                if (x[3 * a + 1] != x[3 * b + 1]) return x[3 * a + 1] < x[3 * b + 1];
+                return x[3 * a] < x[3 * b];
+              });
     list.offsets[static_cast<std::size_t>(i) + 1] =
         static_cast<int>(list.neigh.size());
-    (void)start;
   }
   return list;
 }

@@ -33,6 +33,11 @@ struct NeighborList {
 /// Spatial-binning neighbor-list builder over one rank's local + ghost
 /// atoms. Bin size >= the neighbor cutoff (cutoff + skin), so candidate
 /// pairs live in the surrounding 27 bins.
+///
+/// Each atom's row is sorted canonically (by neighbor tag, coordinates
+/// breaking ties between periodic images), so the pair-force summation
+/// order — and therefore the trajectory — does not depend on the ghost
+/// placement order of the comm variant that built the halo.
 class NeighborBuilder {
  public:
   explicit NeighborBuilder(double neighbor_cutoff);

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "comm/comm_factory.h"
+
 namespace lmp::sim {
 
 namespace {
@@ -43,16 +45,6 @@ int to_int(const std::string& w, int line) {
   const int i = static_cast<int>(v);
   if (static_cast<double>(i) != v) fail(line, "expected an integer, got '" + w + "'");
   return i;
-}
-
-CommVariant to_variant(const std::string& w, int line) {
-  for (const auto v :
-       {CommVariant::kRefMpi, CommVariant::kMpiP2p, CommVariant::kUtofu3Stage,
-        CommVariant::kP2pCoarse4, CommVariant::kP2pCoarse6,
-        CommVariant::kP2pParallel}) {
-    if (w == variant_name(v)) return v;
-  }
-  fail(line, "unknown comm_variant '" + w + "'");
 }
 
 }  // namespace
@@ -179,7 +171,14 @@ ParsedScript parse_input_script(const std::string& text) {
                      to_int(w[3], lineno)};
     } else if (cmd == "comm_variant") {
       need(1);
-      o.comm = to_variant(w[1], lineno);
+      // Validate against the factory so the error carries the live
+      // catalog (a newly registered variant is accepted with no parser
+      // change).
+      if (!comm::CommFactory::instance().known(w[1])) {
+        fail(lineno, "unknown comm_variant '" + w[1] + "' (registered: " +
+                         comm::CommFactory::instance().catalog() + ")");
+      }
+      o.comm = w[1];
     } else if (cmd == "run") {
       need(1);
       out.run_steps = to_int(w[1], lineno);

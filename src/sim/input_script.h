@@ -33,7 +33,9 @@ struct ParsedScript {
 ///   timestep        <dt>
 ///   thermo          <N>
 ///   processors      <px> <py> <pz>
-///   comm_variant    ref|mpi_p2p|utofu_3stage|4tni_p2p|6tni_p2p|opt   [ext]
+///   comm_variant    <name>       (any name in the CommFactory catalog,
+///                                 e.g. ref, mpi_p2p, utofu_3stage,
+///                                 4tni_p2p, 6tni_p2p, opt)       [ext]
 ///   run             <steps>
 ///
 /// Lines starting with `#` and blank lines are ignored; `#` also starts

@@ -4,9 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "comm/comm_brick.h"
-#include "comm/comm_p2p_mpi.h"
-#include "comm/comm_p2p.h"
+#include "comm/comm_factory.h"
 #include "geom/lattice.h"
 #include "md/eam.h"
 #include "md/integrate.h"
@@ -17,24 +15,6 @@
 #include "threadpool/spin_pool.h"
 
 namespace lmp::sim {
-
-const char* variant_name(CommVariant v) {
-  switch (v) {
-    case CommVariant::kRefMpi:
-      return "ref";
-    case CommVariant::kMpiP2p:
-      return "mpi_p2p";
-    case CommVariant::kUtofu3Stage:
-      return "utofu_3stage";
-    case CommVariant::kP2pCoarse4:
-      return "4tni_p2p";
-    case CommVariant::kP2pCoarse6:
-      return "6tni_p2p";
-    case CommVariant::kP2pParallel:
-      return "opt";
-  }
-  return "?";
-}
 
 util::StageTimer JobResult::total_stages() const {
   util::StageTimer t;
@@ -133,40 +113,23 @@ class RankSim {
     cctx.newton = cfg.newton;
     cctx.density = job.density;
 
-    switch (job.opt.comm) {
-      case CommVariant::kRefMpi:
-        comm_ = std::make_unique<comm::CommBrick>(
-            cctx, std::make_unique<comm::MpiBrickTransport>(job.world));
-        break;
-      case CommVariant::kMpiP2p:
-        comm_ = std::make_unique<comm::CommP2pMpi>(cctx, job.world);
-        break;
-      case CommVariant::kUtofu3Stage:
-        comm_ = std::make_unique<comm::CommBrick>(
-            cctx, std::make_unique<comm::UtofuBrickTransport>(job.net, job.book));
-        break;
-      case CommVariant::kP2pCoarse4:
-      case CommVariant::kP2pCoarse6:
-      case CommVariant::kP2pParallel: {
-        comm::P2pOptions popt;
-        popt.use_border_bins = job.opt.use_border_bins;
-        popt.balanced_assignment = job.opt.balanced_assignment;
-        if (job.opt.comm == CommVariant::kP2pCoarse4) {
-          popt.ntnis = 4;
-          popt.comm_threads = 1;
-        } else if (job.opt.comm == CommVariant::kP2pCoarse6) {
-          popt.ntnis = 6;
-          popt.comm_threads = 1;
-        } else {
-          popt.ntnis = 6;
-          popt.comm_threads = 6;
-          pool_ = std::make_unique<pool::SpinThreadPool>(6);
-        }
-        comm_ = std::make_unique<comm::CommP2p>(cctx, job.net, job.book, popt,
-                                                pool_.get());
-        break;
-      }
-    }
+    // The factory resolves the variant name to a builder; each builder
+    // (registered by the driver's own translation unit) knows which
+    // transport to stand up and which neighbor-list half rule its ghost
+    // pattern needs.
+    const comm::CommVariantInfo& info =
+        comm::CommFactory::instance().at(job.opt.comm);
+    half_rule_ = info.half_rule;
+    comm::CommBuildInputs inputs;
+    inputs.ctx = cctx;
+    inputs.world = &job.world;
+    inputs.net = &job.net;
+    inputs.book = &job.book;
+    inputs.use_border_bins = job.opt.use_border_bins;
+    inputs.balanced_assignment = job.opt.balanced_assignment;
+    comm::CommInstance built = info.build(inputs);
+    comm_ = std::move(built.comm);
+    pool_ = std::move(built.pool);
 
     neighbor_ = std::make_unique<md::NeighborBuilder>(rc);
     integrator_ = std::make_unique<md::VerletNve>(
@@ -225,6 +188,10 @@ class RankSim {
     out.comm = comm_->counters();
     out.health = comm_->health();
     out.nlocal_final = atoms_.nlocal();
+    out.atoms.reserve(static_cast<std::size_t>(atoms_.nlocal()));
+    for (int i = 0; i < atoms_.nlocal(); ++i) {
+      out.atoms.push_back({atoms_.tag(i), atoms_.pos(i), atoms_.vel(i)});
+    }
   }
 
  private:
@@ -238,13 +205,8 @@ class RankSim {
     {
       util::ScopedStage s(timer_, Stage::kNeigh);
       const md::SimConfig& cfg = job_.opt.config;
-      list_ = cfg.newton
-                  ? neighbor_->build_half(
-                        atoms_, job_.opt.comm == CommVariant::kRefMpi ||
-                                        job_.opt.comm == CommVariant::kUtofu3Stage
-                                    ? md::HalfRule::kCoordTieBreak
-                                    : md::HalfRule::kAllGhosts)
-                  : neighbor_->build_full(atoms_);
+      list_ = cfg.newton ? neighbor_->build_half(atoms_, half_rule_)
+                         : neighbor_->build_full(atoms_);
       snapshot_positions();
     }
   }
@@ -299,6 +261,7 @@ class RankSim {
   JobShared& job_;
   int rank_;
   md::Atoms atoms_;
+  md::HalfRule half_rule_ = md::HalfRule::kAllGhosts;
   std::unique_ptr<md::Potential> potential_;
   std::unique_ptr<comm::Comm> comm_;
   std::unique_ptr<pool::SpinThreadPool> pool_;
@@ -313,6 +276,10 @@ class RankSim {
 }  // namespace
 
 JobResult run_simulation(const SimOptions& options, int nsteps) {
+  // Resolve the variant up front so an unknown name fails on the calling
+  // thread with the full catalog, not inside a rank thread.
+  comm::CommFactory::instance().at(options.comm);
+
   JobShared job(options);
   minimpi::run_ranks(job.decomp.nranks(), [&](int rank) {
     RankSim sim(job, rank);
@@ -324,6 +291,12 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
   out.thermo = std::move(job.thermo);
   out.natoms = static_cast<long>(job.positions.size());
   out.volume = job.global.volume();
+  out.atoms.reserve(static_cast<std::size_t>(out.natoms));
+  for (const auto& r : out.ranks) {
+    out.atoms.insert(out.atoms.end(), r.atoms.begin(), r.atoms.end());
+  }
+  std::sort(out.atoms.begin(), out.atoms.end(),
+            [](const AtomState& a, const AtomState& b) { return a.tag < b.tag; });
   for (const auto& r : out.ranks) out.health += r.health;
   if (const tofu::FaultInjector* inj = job.net.fault_injector()) {
     const tofu::FaultStats& fs = inj->stats();

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/address_book.h"
@@ -17,24 +18,15 @@
 
 namespace lmp::sim {
 
-/// The communication implementations evaluated step by step in the
-/// paper's Fig. 12 (and the artifact's five project variants).
-enum class CommVariant {
-  kRefMpi,       ///< `ref`: baseline LAMMPS 3-stage over MPI
-  kMpiP2p,       ///< naive p2p over the MPI stack (Fig. 6's cautionary tale)
-  kUtofu3Stage,  ///< `utofu_3stage`
-  kP2pCoarse4,   ///< `4tni_p2p`: single thread, 4 TNIs
-  kP2pCoarse6,   ///< `6tni_p2p`: single thread, 6 TNIs
-  kP2pParallel,  ///< `opt`: thread pool, 6 TNIs
-};
-
-const char* variant_name(CommVariant v);
-
 struct SimOptions {
   md::SimConfig config = md::SimConfig::lj_melt();
   util::Int3 cells{5, 5, 5};      ///< fcc cells per axis (4 atoms each)
   util::Int3 rank_grid{1, 1, 1};  ///< MPI-rank decomposition
-  CommVariant comm = CommVariant::kP2pParallel;
+  /// Communication variant, resolved by name against the CommFactory
+  /// catalog (the paper's Fig. 12 ladder: `ref`, `mpi_p2p`,
+  /// `utofu_3stage`, `4tni_p2p`, `6tni_p2p`, `opt`). Unknown names make
+  /// run_simulation throw with the list of registered variants.
+  std::string comm = "opt";
   std::uint64_t seed = 12345;
   int thermo_every = 10;
   /// Ablation switches (forwarded to the p2p engine).
@@ -52,18 +44,30 @@ struct ThermoSample {
   md::ThermoState state;
 };
 
+/// Final state of one atom, identified by its global tag. The job-level
+/// list is sorted by tag, so two runs of the same system are comparable
+/// atom-by-atom regardless of how ranks ordered them locally — the
+/// cross-variant golden test compares these bitwise.
+struct AtomState {
+  std::int64_t tag = 0;
+  util::Vec3 pos;
+  util::Vec3 vel;
+};
+
 /// Per-rank outcome of a run.
 struct RankResult {
   util::StageTimer stages;
   comm::CommCounters comm;
   util::CommHealthReport health;
   int nlocal_final = 0;
+  std::vector<AtomState> atoms;  ///< final owned atoms (local order)
 };
 
 /// Whole-job outcome.
 struct JobResult {
   std::vector<RankResult> ranks;
   std::vector<ThermoSample> thermo;  ///< global series (rank 0's copy)
+  std::vector<AtomState> atoms;      ///< whole system, sorted by tag
   /// Rank-summed reliability counters plus the fabric-side injected
   /// fault totals — what `util::format_health_table` prints.
   util::CommHealthReport health;

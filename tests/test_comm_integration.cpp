@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "comm/comm_factory.h"
 #include "sim/simulation.h"
 
 namespace lmp::sim {
 namespace {
 
-SimOptions lj_opts(util::Int3 grid, CommVariant v) {
+SimOptions lj_opts(util::Int3 grid, const std::string& v) {
   SimOptions o;
   o.config = md::SimConfig::lj_melt();
   o.cells = {6, 6, 6};  // 864 atoms, box side ~10 sigma
@@ -39,40 +44,38 @@ void expect_close(const std::vector<double>& a, const std::vector<double>& b,
 }
 
 TEST(CommIntegration, SerialMatchesEightRanks) {
-  const auto serial = run_simulation(lj_opts({1, 1, 1}, CommVariant::kRefMpi), 40);
-  const auto parallel = run_simulation(lj_opts({2, 2, 2}, CommVariant::kRefMpi), 40);
+  const auto serial = run_simulation(lj_opts({1, 1, 1}, "ref"), 40);
+  const auto parallel = run_simulation(lj_opts({2, 2, 2}, "ref"), 40);
   expect_close(fingerprint(serial), fingerprint(parallel), 1e-7);
 }
 
 TEST(CommIntegration, AllVariantsAgreeOnTrajectory) {
-  const auto ref = run_simulation(lj_opts({2, 2, 2}, CommVariant::kRefMpi), 40);
-  for (const CommVariant v :
-       {CommVariant::kMpiP2p, CommVariant::kUtofu3Stage,
-        CommVariant::kP2pCoarse4, CommVariant::kP2pCoarse6,
-        CommVariant::kP2pParallel}) {
+  const auto ref = run_simulation(lj_opts({2, 2, 2}, "ref"), 40);
+  for (const char* v :
+       {"mpi_p2p", "utofu_3stage", "4tni_p2p", "6tni_p2p", "opt"}) {
     const auto got = run_simulation(lj_opts({2, 2, 2}, v), 40);
     expect_close(fingerprint(ref), fingerprint(got), 1e-7);
   }
 }
 
 TEST(CommIntegration, AsymmetricGridAgrees) {
-  const auto ref = run_simulation(lj_opts({1, 1, 1}, CommVariant::kRefMpi), 30);
-  const auto got = run_simulation(lj_opts({3, 2, 1}, CommVariant::kP2pParallel), 30);
+  const auto ref = run_simulation(lj_opts({1, 1, 1}, "ref"), 30);
+  const auto got = run_simulation(lj_opts({3, 2, 1}, "opt"), 30);
   expect_close(fingerprint(ref), fingerprint(got), 1e-7);
 }
 
 TEST(CommIntegration, AtomCountConservedThroughExchanges) {
   // 60 steps crosses several rebuild/exchange cycles (every = 20).
-  for (const CommVariant v : {CommVariant::kRefMpi, CommVariant::kP2pParallel}) {
+  for (const char* v : {"ref", "opt"}) {
     const auto r = run_simulation(lj_opts({2, 2, 2}, v), 60);
     long total = 0;
     for (const auto& rank : r.ranks) total += rank.nlocal_final;
-    EXPECT_EQ(total, r.natoms) << variant_name(v);
+    EXPECT_EQ(total, r.natoms) << v;
   }
 }
 
 TEST(CommIntegration, AtomsActuallyMigrate) {
-  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kP2pParallel), 80);
+  const auto r = run_simulation(lj_opts({2, 2, 2}, "opt"), 80);
   // At T=1.44 the melt definitely sends atoms across sub-box borders.
   std::uint64_t exchange_msgs = 0;
   for (const auto& rank : r.ranks) exchange_msgs += rank.comm.exchange_msgs;
@@ -84,7 +87,7 @@ TEST(CommIntegration, AtomsActuallyMigrate) {
 
 TEST(CommIntegration, P2pMessageCountsMatchPattern) {
   const int steps = 40;
-  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kP2pCoarse6), steps);
+  const auto r = run_simulation(lj_opts({2, 2, 2}, "6tni_p2p"), steps);
   const auto& c = r.ranks[0].comm;
   // Rebuilds: steps/20 plus the setup rebuild.
   const std::uint64_t rebuilds = steps / 20 + 1;
@@ -97,7 +100,7 @@ TEST(CommIntegration, P2pMessageCountsMatchPattern) {
 
 TEST(CommIntegration, MpiP2pMessageCountsMatchPattern) {
   const int steps = 40;
-  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kMpiP2p), steps);
+  const auto r = run_simulation(lj_opts({2, 2, 2}, "mpi_p2p"), steps);
   const auto& c = r.ranks[0].comm;
   const std::uint64_t rebuilds = steps / 20 + 1;
   EXPECT_EQ(c.border_msgs, 13u * rebuilds);
@@ -107,7 +110,7 @@ TEST(CommIntegration, MpiP2pMessageCountsMatchPattern) {
 
 TEST(CommIntegration, BrickMessageCountsMatchPattern) {
   const int steps = 40;
-  const auto r = run_simulation(lj_opts({2, 2, 2}, CommVariant::kRefMpi), steps);
+  const auto r = run_simulation(lj_opts({2, 2, 2}, "ref"), steps);
   const auto& c = r.ranks[0].comm;
   const std::uint64_t rebuilds = steps / 20 + 1;
   EXPECT_EQ(c.border_msgs, 6u * rebuilds);
@@ -116,7 +119,7 @@ TEST(CommIntegration, BrickMessageCountsMatchPattern) {
 }
 
 TEST(CommIntegration, BorderBinsOnOffEquivalent) {
-  SimOptions with = lj_opts({2, 2, 2}, CommVariant::kP2pParallel);
+  SimOptions with = lj_opts({2, 2, 2}, "opt");
   SimOptions without = with;
   without.use_border_bins = false;
   const auto a = run_simulation(with, 30);
@@ -125,7 +128,7 @@ TEST(CommIntegration, BorderBinsOnOffEquivalent) {
 }
 
 TEST(CommIntegration, LoadBalanceOnOffEquivalent) {
-  SimOptions with = lj_opts({2, 2, 2}, CommVariant::kP2pParallel);
+  SimOptions with = lj_opts({2, 2, 2}, "opt");
   SimOptions without = with;
   without.balanced_assignment = false;
   const auto a = run_simulation(with, 30);
@@ -139,9 +142,9 @@ TEST(CommIntegration, EamVariantsAgree) {
   o.cells = {5, 5, 5};  // 500 atoms, box ~18 A, sub-box ~9 A > rc 5.95
   o.rank_grid = {2, 1, 1};
   o.thermo_every = 5;
-  o.comm = CommVariant::kRefMpi;
+  o.comm = "ref";
   const auto ref = run_simulation(o, 25);
-  o.comm = CommVariant::kP2pParallel;
+  o.comm = "opt";
   const auto opt = run_simulation(o, 25);
   expect_close(fingerprint(ref), fingerprint(opt), 1e-7);
   // EAM's mid-pair comm must show up in the scalar counters.
@@ -149,7 +152,7 @@ TEST(CommIntegration, EamVariantsAgree) {
 }
 
 TEST(CommIntegration, NewtonOffUsesFullShell) {
-  SimOptions o = lj_opts({2, 2, 2}, CommVariant::kP2pCoarse6);
+  SimOptions o = lj_opts({2, 2, 2}, "6tni_p2p");
   o.config.newton = false;
   const int steps = 20;
   const auto r = run_simulation(o, steps);
@@ -160,7 +163,7 @@ TEST(CommIntegration, NewtonOffUsesFullShell) {
 }
 
 TEST(CommIntegration, NewtonOnOffSameTrajectory) {
-  SimOptions on = lj_opts({2, 2, 2}, CommVariant::kP2pCoarse6);
+  SimOptions on = lj_opts({2, 2, 2}, "6tni_p2p");
   SimOptions off = on;
   off.config.newton = false;
   const auto a = run_simulation(on, 30);
@@ -169,9 +172,57 @@ TEST(CommIntegration, NewtonOnOffSameTrajectory) {
 }
 
 TEST(CommIntegration, SubBoxThinnerThanCutoffRejected) {
-  SimOptions o = lj_opts({6, 1, 1}, CommVariant::kP2pParallel);
+  SimOptions o = lj_opts({6, 1, 1}, "opt");
   // sub-box x side = 10/6 = 1.67 < rc = 2.8.
   EXPECT_THROW(run_simulation(o, 1), std::invalid_argument);
+}
+
+
+// ---------------------------------------------------------------------
+// Cross-variant golden test: with canonically sorted neighbor rows every
+// comm variant must produce the *bitwise identical* trajectory — not
+// just close. Newton off keeps reverse accumulation (whose unpack order
+// is transport-specific under Newton) out of the picture; every other
+// stage is deterministic by construction.
+// ---------------------------------------------------------------------
+
+TEST(CommIntegration, GoldenAllVariantsBitwiseIdentical) {
+  SimOptions base;
+  base.config = md::SimConfig::eam_copper();
+  base.config.newton = false;
+  base.cells = {5, 5, 5};
+  base.rank_grid = {2, 2, 2};
+  base.thermo_every = 5;
+
+  const std::vector<std::string> variants =
+      comm::CommFactory::instance().names();
+  ASSERT_GE(variants.size(), 6u);
+
+  std::vector<AtomState> golden;
+  for (const std::string& v : variants) {
+    SimOptions o = base;
+    o.comm = v;
+    const JobResult r = run_simulation(o, 15);
+    ASSERT_EQ(r.atoms.size(), static_cast<std::size_t>(r.natoms)) << v;
+    if (golden.empty()) {
+      golden = r.atoms;
+      continue;
+    }
+    ASSERT_EQ(r.atoms.size(), golden.size()) << v;
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      ASSERT_EQ(r.atoms[i].tag, golden[i].tag) << v << " atom " << i;
+      for (int d = 0; d < 3; ++d) {
+        // Bit-level compare: EXPECT_EQ on doubles would accept -0.0 ==
+        // +0.0 and miss sign-of-zero divergence between pack paths.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(r.atoms[i].pos[d]),
+                  std::bit_cast<std::uint64_t>(golden[i].pos[d]))
+            << v << " atom tag " << golden[i].tag << " pos axis " << d;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(r.atoms[i].vel[d]),
+                  std::bit_cast<std::uint64_t>(golden[i].vel[d]))
+            << v << " atom tag " << golden[i].tag << " vel axis " << d;
+      }
+    }
+  }
 }
 
 }  // namespace

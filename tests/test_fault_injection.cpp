@@ -387,7 +387,7 @@ sim::SimOptions chaos_opts() {
   // Single comm thread: the fine-grained pool's reverse unpack is not
   // bitwise deterministic (pre-existing FP reduction race), so bitwise
   // chaos assertions use the coarse 6-TNI variant.
-  o.comm = sim::CommVariant::kP2pCoarse6;
+  o.comm = "6tni_p2p";
   o.thermo_every = 5;
   return o;
 }
@@ -488,7 +488,7 @@ TEST(ChaosSweep, ParallelVariantSurvivesFaults) {
   // clean (concurrent reverse-force accumulation), so here chaos only
   // has to converge to the same physics.
   sim::SimOptions o = chaos_opts();
-  o.comm = sim::CommVariant::kP2pParallel;
+  o.comm = "opt";
   const auto clean = run_simulation(o, kChaosSteps);
   o.faults.drop_rate = 0.02;
   o.faults.duplicate_rate = 0.1;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "comm/comm_factory.h"
 #include "sim/input_script.h"
 
 namespace lmp::sim {
@@ -47,7 +50,7 @@ TEST(InputScript, ParsesTheMeltBenchmark) {
   EXPECT_DOUBLE_EQ(o.config.dt, 0.005);
   EXPECT_EQ(o.thermo_every, 20);
   EXPECT_EQ(o.rank_grid, (util::Int3{2, 2, 2}));
-  EXPECT_EQ(o.comm, CommVariant::kP2pParallel);
+  EXPECT_EQ(o.comm, "opt");
   EXPECT_EQ(p.run_steps, 100);
 }
 
@@ -93,13 +96,26 @@ TEST(InputScript, NeighModifyDelayAccepted) {
 }
 
 TEST(InputScript, AllVariantNamesParse) {
-  for (const auto v :
-       {CommVariant::kRefMpi, CommVariant::kMpiP2p, CommVariant::kUtofu3Stage,
-        CommVariant::kP2pCoarse4, CommVariant::kP2pCoarse6,
-        CommVariant::kP2pParallel}) {
-    const std::string script = std::string("units lj\ncomm_variant ") +
-                               variant_name(v) + "\nrun 1\n";
-    EXPECT_EQ(parse_input_script(script).options.comm, v) << variant_name(v);
+  // Whatever is registered with the factory must be accepted verbatim —
+  // a new variant needs no parser change.
+  for (const std::string& v : comm::CommFactory::instance().names()) {
+    const std::string script =
+        std::string("units lj\ncomm_variant ") + v + "\nrun 1\n";
+    EXPECT_EQ(parse_input_script(script).options.comm, v) << v;
+  }
+}
+
+TEST(InputScript, UnknownVariantErrorListsCatalog) {
+  try {
+    parse_input_script("units lj\ncomm_variant warp_drive\nrun 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("warp_drive"), std::string::npos);
+    // The error must enumerate the registered names, not a stale list.
+    for (const std::string& v : comm::CommFactory::instance().names()) {
+      EXPECT_NE(msg.find(v), std::string::npos) << v;
+    }
   }
 }
 

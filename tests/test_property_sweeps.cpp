@@ -40,7 +40,7 @@ const std::vector<double>& reference_fingerprint() {
   std::call_once(once, [] {
     sim::SimOptions o = base_opts();
     o.rank_grid = {1, 1, 1};
-    o.comm = sim::CommVariant::kRefMpi;
+    o.comm = "ref";
     ref = fingerprint(sim::run_simulation(o, 30));
   });
   return ref;
@@ -56,7 +56,7 @@ void expect_matches_reference(const sim::JobResult& r, double tol) {
   }
 }
 
-class VariantSweep : public ::testing::TestWithParam<sim::CommVariant> {};
+class VariantSweep : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(VariantSweep, ReproducesReferenceTrajectory) {
   sim::SimOptions o = base_opts();
@@ -67,12 +67,9 @@ TEST_P(VariantSweep, ReproducesReferenceTrajectory) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllVariants, VariantSweep,
-    ::testing::Values(sim::CommVariant::kRefMpi, sim::CommVariant::kMpiP2p,
-                      sim::CommVariant::kUtofu3Stage,
-                      sim::CommVariant::kP2pCoarse4,
-                      sim::CommVariant::kP2pCoarse6,
-                      sim::CommVariant::kP2pParallel),
-    [](const auto& info) { return sim::variant_name(info.param); });
+    ::testing::Values("ref", "mpi_p2p", "utofu_3stage", "4tni_p2p",
+                      "6tni_p2p", "opt"),
+    [](const auto& info) { return std::string(info.param); });
 
 // ---------------------------------------------------------------------
 // Property: any admissible rank grid yields the same physics.
@@ -88,7 +85,7 @@ class GridSweep : public ::testing::TestWithParam<GridCase> {};
 TEST_P(GridSweep, DecompositionInvariance) {
   sim::SimOptions o = base_opts();
   o.rank_grid = GetParam().grid;
-  o.comm = sim::CommVariant::kP2pParallel;
+  o.comm = "opt";
   expect_matches_reference(sim::run_simulation(o, 30), 1e-7);
 }
 

@@ -1,22 +1,42 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "comm/comm_factory.h"
 #include "sim/simulation.h"
 
 namespace lmp::sim {
 namespace {
 
-TEST(Simulation, VariantNames) {
-  EXPECT_STREQ(variant_name(CommVariant::kRefMpi), "ref");
-  EXPECT_STREQ(variant_name(CommVariant::kMpiP2p), "mpi_p2p");
-  EXPECT_STREQ(variant_name(CommVariant::kUtofu3Stage), "utofu_3stage");
-  EXPECT_STREQ(variant_name(CommVariant::kP2pCoarse4), "4tni_p2p");
-  EXPECT_STREQ(variant_name(CommVariant::kP2pCoarse6), "6tni_p2p");
-  EXPECT_STREQ(variant_name(CommVariant::kP2pParallel), "opt");
+TEST(Simulation, FactoryCatalogHasAllPaperVariants) {
+  // The six Fig. 12 variants self-register from their driver translation
+  // units; the factory's sorted name list is the single source of truth.
+  const std::vector<std::string> names = comm::CommFactory::instance().names();
+  for (const char* want :
+       {"ref", "mpi_p2p", "utofu_3stage", "4tni_p2p", "6tni_p2p", "opt"}) {
+    EXPECT_TRUE(comm::CommFactory::instance().known(want)) << want;
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end());
+  }
 }
 
-SimOptions small_lj(CommVariant v) {
+TEST(Simulation, UnknownVariantThrowsWithCatalog) {
+  SimOptions o;
+  o.comm = "nonsense_variant";
+  try {
+    run_simulation(o, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nonsense_variant"), std::string::npos);
+    EXPECT_NE(msg.find("opt"), std::string::npos);       // catalog listed
+    EXPECT_NE(msg.find("mpi_p2p"), std::string::npos);
+  }
+}
+
+SimOptions small_lj(const std::string& v) {
   SimOptions o;
   o.config = md::SimConfig::lj_melt();
   o.cells = {6, 6, 6};
@@ -27,14 +47,14 @@ SimOptions small_lj(CommVariant v) {
 }
 
 TEST(Simulation, EnergyConservedLj) {
-  for (const CommVariant v : {CommVariant::kRefMpi, CommVariant::kP2pParallel}) {
+  for (const char* v : {"ref", "opt"}) {
     const auto r = run_simulation(small_lj(v), 100);
     ASSERT_GE(r.thermo.size(), 2u);
     const double e0 = r.thermo.front().state.total();
     const double e1 = r.thermo.back().state.total();
     // NVE with dt = 0.005 tau and skin-based rebuilds: small bounded
     // drift only (same order as the real LAMMPS melt benchmark).
-    EXPECT_LT(std::fabs(e1 - e0) / std::fabs(e0), 5e-3) << variant_name(v);
+    EXPECT_LT(std::fabs(e1 - e0) / std::fabs(e0), 5e-3) << v;
   }
 }
 
@@ -43,7 +63,7 @@ TEST(Simulation, EnergyConservedEam) {
   o.config = md::SimConfig::eam_copper();
   o.cells = {5, 5, 5};
   o.rank_grid = {2, 1, 1};
-  o.comm = CommVariant::kP2pParallel;
+  o.comm = "opt";
   o.thermo_every = 10;
   const auto r = run_simulation(o, 60);
   const double e0 = r.thermo.front().state.total();
@@ -57,7 +77,7 @@ TEST(Simulation, EamCheckYesRebuildsOnDemand) {
   ASSERT_TRUE(o.config.neigh.check);
   o.cells = {5, 5, 5};
   o.rank_grid = {2, 1, 1};
-  o.comm = CommVariant::kRefMpi;
+  o.comm = "ref";
   const auto r = run_simulation(o, 50);
   const auto& c = r.ranks[0].comm;
   // Borders fire once at setup plus once per accepted rebuild; with
@@ -68,8 +88,8 @@ TEST(Simulation, EamCheckYesRebuildsOnDemand) {
 }
 
 TEST(Simulation, DeterministicAcrossRuns) {
-  const auto a = run_simulation(small_lj(CommVariant::kRefMpi), 30);
-  const auto b = run_simulation(small_lj(CommVariant::kRefMpi), 30);
+  const auto a = run_simulation(small_lj("ref"), 30);
+  const auto b = run_simulation(small_lj("ref"), 30);
   ASSERT_EQ(a.thermo.size(), b.thermo.size());
   for (std::size_t i = 0; i < a.thermo.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.thermo[i].state.pressure, b.thermo[i].state.pressure);
@@ -78,7 +98,7 @@ TEST(Simulation, DeterministicAcrossRuns) {
 }
 
 TEST(Simulation, SeedChangesTrajectory) {
-  SimOptions o = small_lj(CommVariant::kRefMpi);
+  SimOptions o = small_lj("ref");
   const auto a = run_simulation(o, 20);
   o.seed = 999;
   const auto b = run_simulation(o, 20);
@@ -86,7 +106,7 @@ TEST(Simulation, SeedChangesTrajectory) {
 }
 
 TEST(Simulation, ThermoSeriesWellFormed) {
-  const auto r = run_simulation(small_lj(CommVariant::kP2pCoarse4), 40);
+  const auto r = run_simulation(small_lj("4tni_p2p"), 40);
   ASSERT_FALSE(r.thermo.empty());
   for (std::size_t i = 1; i < r.thermo.size(); ++i) {
     EXPECT_GT(r.thermo[i].step, r.thermo[i - 1].step);
@@ -100,7 +120,7 @@ TEST(Simulation, ThermoSeriesWellFormed) {
 }
 
 TEST(Simulation, StageTimersPopulated) {
-  const auto r = run_simulation(small_lj(CommVariant::kP2pParallel), 20);
+  const auto r = run_simulation(small_lj("opt"), 20);
   const util::StageTimer t = r.total_stages();
   EXPECT_GT(t.get(util::Stage::kPair), 0.0);
   EXPECT_GT(t.get(util::Stage::kComm), 0.0);
@@ -110,7 +130,7 @@ TEST(Simulation, StageTimersPopulated) {
 }
 
 TEST(Simulation, TemperatureStartsAtTarget) {
-  const auto r = run_simulation(small_lj(CommVariant::kRefMpi), 10);
+  const auto r = run_simulation(small_lj("ref"), 10);
   // After a few steps, T has moved from 1.44 (lattice melts, KE <-> PE),
   // but it must remain in a physical band.
   EXPECT_GT(r.thermo.front().state.temperature, 0.4);
@@ -118,7 +138,7 @@ TEST(Simulation, TemperatureStartsAtTarget) {
 }
 
 TEST(Simulation, VolumeAndAtoms) {
-  const auto r = run_simulation(small_lj(CommVariant::kRefMpi), 5);
+  const auto r = run_simulation(small_lj("ref"), 5);
   EXPECT_EQ(r.natoms, 4L * 6 * 6 * 6);
   const double cell = std::cbrt(4.0 / 0.8442);
   EXPECT_NEAR(r.volume, std::pow(6 * cell, 3.0), 1e-9);

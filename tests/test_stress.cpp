@@ -39,11 +39,11 @@ TEST(Stress, HotMeltMigratesHeavilyAndStaysConsistent) {
   o.cells = {6, 6, 6};
   o.thermo_every = 25;
   o.rank_grid = {1, 1, 1};
-  o.comm = CommVariant::kRefMpi;
+  o.comm = "ref";
   const auto serial = run_simulation(o, 150);
 
   o.rank_grid = {2, 2, 2};
-  o.comm = CommVariant::kP2pParallel;
+  o.comm = "opt";
   const auto parallel = run_simulation(o, 150);
 
   // Chaotic melt: FP-order differences amplify, so compare with a loose
@@ -65,7 +65,7 @@ TEST(Stress, LongRunEnergyBounded) {
   o.config = md::SimConfig::lj_melt();
   o.cells = {5, 5, 5};
   o.rank_grid = {2, 2, 1};
-  o.comm = CommVariant::kP2pParallel;
+  o.comm = "opt";
   o.thermo_every = 50;
   const auto r = run_simulation(o, 400);
   const double e0 = r.thermo.front().state.total();
@@ -79,12 +79,12 @@ TEST(Stress, EamAcrossGridsAgrees) {
   o.config = md::SimConfig::eam_copper();
   o.cells = {6, 6, 6};  // 864 atoms, box 21.7 A, sub-box >= 10.8 > rc 5.95
   o.thermo_every = 10;
-  o.comm = CommVariant::kRefMpi;
+  o.comm = "ref";
   o.rank_grid = {1, 1, 1};
   const auto serial = run_simulation(o, 30);
   for (const util::Int3 grid : {util::Int3{2, 1, 1}, {1, 2, 1}, {2, 2, 2}}) {
     o.rank_grid = grid;
-    o.comm = CommVariant::kP2pParallel;
+    o.comm = "opt";
     const auto got = run_simulation(o, 30);
     expect_close(fingerprint(serial), fingerprint(got), 1e-7);
   }
@@ -96,7 +96,7 @@ TEST(Stress, EamNewtonOffMatchesNewtonOn) {
   o.cells = {5, 5, 5};
   o.rank_grid = {2, 1, 1};
   o.thermo_every = 5;
-  o.comm = CommVariant::kP2pCoarse6;
+  o.comm = "6tni_p2p";
   const auto on = run_simulation(o, 20);
   o.config.newton = false;
   const auto off = run_simulation(o, 20);
@@ -108,7 +108,7 @@ TEST(Stress, ZeroStepRunIsJustSetup) {
   o.config = md::SimConfig::lj_melt();
   o.cells = {5, 5, 5};
   o.rank_grid = {2, 1, 1};
-  o.comm = CommVariant::kP2pParallel;
+  o.comm = "opt";
   const auto r = run_simulation(o, 0);
   EXPECT_EQ(r.natoms, 500);
   long total = 0;
@@ -124,7 +124,7 @@ TEST(Stress, ManyRanksOnTinyHost) {
   o.config = md::SimConfig::lj_melt();
   o.cells = {9, 9, 9};
   o.rank_grid = {3, 3, 3};
-  o.comm = CommVariant::kP2pParallel;
+  o.comm = "opt";
   o.thermo_every = 10;
   const auto r = run_simulation(o, 20);
   EXPECT_EQ(r.natoms, 4L * 9 * 9 * 9);
