@@ -10,10 +10,31 @@ cd "$(dirname "$0")"
 
 JOBS=${JOBS:-$(nproc)}
 
+# Kill-and-restart smoke: run the restart example to completion while
+# checkpointing every 20 steps, then pretend the job died after step 40
+# and resume from that checkpoint. The resumed trajectory must be
+# bitwise-identical to the uninterrupted one.
+run_restart_smoke() {
+  local build_dir="$1"
+  echo "--- restart smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  "${build_dir}/examples/lmp_cli" examples/in.restart.lj \
+      --checkpoint-path "${work}/ck" --dump-final "${work}/full.dump"
+  test -f "${work}/ck.40" || { echo "restart smoke: ck.40 missing"; return 1; }
+  "${build_dir}/examples/lmp_cli" examples/in.restart.lj \
+      --restart "${work}/ck.40" --dump-final "${work}/resumed.dump"
+  diff "${work}/full.dump" "${work}/resumed.dump" \
+      || { echo "restart smoke: resumed run diverged"; return 1; }
+  echo "restart smoke: bitwise-identical after restart from step 40"
+}
+
 echo "=== pass 1: -Werror build + ctest ==="
 cmake -B build-ci -S . -DLMP_WERROR=ON
 cmake --build build-ci -j "${JOBS}"
 ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+run_restart_smoke build-ci
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "ci.sh: --fast: skipping sanitizer pass"
@@ -24,5 +45,6 @@ echo "=== pass 2: ASan+UBSan build + ctest ==="
 cmake -B build-ci-asan -S . -DLMP_WERROR=ON -DLMP_SANITIZE=address,undefined
 cmake --build build-ci-asan -j "${JOBS}"
 ctest --test-dir build-ci-asan --output-on-failure -j "${JOBS}"
+run_restart_smoke build-ci-asan
 
 echo "ci.sh: all passes green"

@@ -3,25 +3,57 @@
 // in.threadpool.lj). Ships with examples/in.melt.lj and
 // examples/in.eam.cu.
 //
-//   ./lmp_cli <input-script> [comm_variant_override]
+//   ./lmp_cli <input-script> [comm_variant_override] [flags]
+//
+// Flags (after the positional args, any order):
+//   --restart <file>          resume from a checkpoint file
+//   --checkpoint-path <pfx>   write checkpoints as <pfx>.<step>
+//   --dump-final <file>       write final per-atom state (tag x y z vx vy vz)
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "comm/comm_factory.h"
 #include "sim/input_script.h"
+#include "util/stats.h"
 #include "util/table_printer.h"
 
 using namespace lmp;
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <input-script> [comm-variant]\n",
-                 argv[0]);
-    std::fprintf(stderr, "  comm-variant: %s\n",
-                 comm::CommFactory::instance().catalog().c_str());
-    return 1;
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <input-script> [comm-variant] [--restart <file>] "
+               "[--checkpoint-path <prefix>] [--dump-final <file>]\n",
+               prog);
+  std::fprintf(stderr, "  comm-variant: %s\n",
+               comm::CommFactory::instance().catalog().c_str());
+  return 1;
+}
+
+/// Text dump of the final sorted per-atom state at full double precision
+/// (%.17g round-trips exactly) — what the kill-and-restart smoke diffs.
+bool dump_final(const std::string& path, const sim::JobResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
   }
+  for (const auto& a : r.atoms) {
+    std::fprintf(f, "%lld %.17g %.17g %.17g %.17g %.17g %.17g\n",
+                 static_cast<long long>(a.tag), a.pos.x, a.pos.y, a.pos.z,
+                 a.vel.x, a.vel.y, a.vel.z);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
 
   sim::ParsedScript script;
   try {
@@ -30,14 +62,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  if (argc > 2) {
-    // Variant override, like swapping the artifact's project directory.
-    if (!comm::CommFactory::instance().known(argv[2])) {
-      std::fprintf(stderr, "unknown variant override '%s' (registered: %s)\n",
-                   argv[2], comm::CommFactory::instance().catalog().c_str());
-      return 1;
+
+  std::string dump_path;
+  for (int i = 2; i < argc; ++i) {
+    const auto flag_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--restart") == 0) {
+      const char* v = flag_value("--restart");
+      if (!v) return 1;
+      script.options.restart_file = v;
+    } else if (std::strcmp(argv[i], "--checkpoint-path") == 0) {
+      const char* v = flag_value("--checkpoint-path");
+      if (!v) return 1;
+      script.options.checkpoint_path = v;
+    } else if (std::strcmp(argv[i], "--dump-final") == 0) {
+      const char* v = flag_value("--dump-final");
+      if (!v) return 1;
+      dump_path = v;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      // Variant override, like swapping the artifact's project directory.
+      if (!comm::CommFactory::instance().known(argv[i])) {
+        std::fprintf(stderr, "unknown variant override '%s' (registered: %s)\n",
+                     argv[i], comm::CommFactory::instance().catalog().c_str());
+        return 1;
+      }
+      script.options.comm = argv[i];
     }
-    script.options.comm = argv[2];
   }
 
   const sim::SimOptions& o = script.options;
@@ -49,12 +107,30 @@ int main(int argc, char** argv) {
               o.rank_grid.x * o.rank_grid.y * o.rank_grid.z, o.rank_grid.x,
               o.rank_grid.y, o.rank_grid.z, o.comm.c_str());
   std::printf("  cutoff %.3f skin %.2f dt %.4g newton %s neigh every %d "
-              "check %s\n\n",
+              "check %s\n",
               o.config.cutoff, o.config.skin, o.config.dt,
               o.config.newton ? "on" : "off", o.config.neigh.every,
               o.config.neigh.check ? "yes" : "no");
+  if (!o.restart_file.empty()) {
+    std::printf("  restarting from %s\n", o.restart_file.c_str());
+  }
+  std::printf("\n");
 
-  const sim::JobResult r = sim::run_simulation(o, script.run_steps);
+  sim::JobResult r;
+  try {
+    r = sim::run_simulation(o, script.run_steps);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (r.restart_step > 0) {
+    std::printf("Resumed from step %d\n", r.restart_step);
+  }
+  if (r.final_comm != o.comm) {
+    std::printf("Finished on comm=%s after %zu failover(s)\n",
+                r.final_comm.c_str(), r.health.escalations.size());
+  }
 
   util::TablePrinter t({"Step", "Temp", "Press", "TotEng"});
   for (const auto& s : r.thermo) {
@@ -65,6 +141,10 @@ int main(int argc, char** argv) {
   }
   t.print();
 
+  if (!r.health.clean() || r.health.checkpoints_written > 0) {
+    std::printf("\n%s", util::format_health_table(r.health).c_str());
+  }
+
   const util::StageTimer stages = r.total_stages();
   std::printf("\nMPI task timing breakdown:\n");
   for (const auto stage :
@@ -74,5 +154,12 @@ int main(int argc, char** argv) {
                 std::string(util::stage_name(stage)).c_str(),
                 stages.get(stage), stages.percent(stage));
   }
+  if (r.health.checkpoints_written > 0) {
+    std::printf("  Ckpt I/O %7.4fs  (%llu checkpoints)\n",
+                r.health.checkpoint_io_seconds,
+                static_cast<unsigned long long>(r.health.checkpoints_written));
+  }
+
+  if (!dump_path.empty() && !dump_final(dump_path, r)) return 1;
   return 0;
 }

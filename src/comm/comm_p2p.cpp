@@ -233,16 +233,24 @@ void CommP2p::progress_loop() {
   // answers NACKs.
   while (!stop_progress_.load(std::memory_order_acquire)) {
     bool served = false;
-    for (int t = 0; t < opt_.ntnis; ++t) {
-      while (auto n = net_->poll_control(vcq_[static_cast<std::size_t>(t)])) {
-        const Edata e = Edata::decode(n->edata);
-        if (e.kind == MsgKind::kRetransmitReq) {
-          serve_retransmit(static_cast<MsgKind>(e.value & 0xFF),
-                           static_cast<std::uint8_t>((e.value >> 8) & 0xFF),
-                           e.dir);
-          served = true;
+    try {
+      for (int t = 0; t < opt_.ntnis; ++t) {
+        while (auto n = net_->poll_control(vcq_[static_cast<std::size_t>(t)])) {
+          const Edata e = Edata::decode(n->edata);
+          if (e.kind == MsgKind::kRetransmitReq) {
+            serve_retransmit(static_cast<MsgKind>(e.value & 0xFF),
+                             static_cast<std::uint8_t>((e.value >> 8) & 0xFF),
+                             e.dir);
+            served = true;
+          }
         }
       }
+    } catch (const std::exception&) {
+      // Permanent fault or fabric abort mid-retransmit: the progress
+      // engine cannot help any more. The owner thread hits the same
+      // condition on its next wait and escalates through the failover
+      // path; letting the exception fly here would std::terminate.
+      return;
     }
     if (!served) std::this_thread::sleep_for(std::chrono::microseconds(20));
   }

@@ -29,7 +29,13 @@ struct ReliabilityParams {
 };
 
 /// Receiver-side reliability counters (per dispatcher; summed per rank).
-/// Copy snapshots the atomics so dispatchers stay movable during setup.
+///
+/// Copy and assignment take relaxed snapshots of the atomics. Two
+/// distinct situations rely on this: dispatchers are *assigned* into
+/// their slot vector during setup (the implicit move falls back to this
+/// copy), and `health()` snapshots the counters during failover teardown
+/// while the owner thread may still be incrementing them — a plain
+/// non-atomic copy there would be a data race.
 struct DispatcherCounters {
   std::atomic<std::uint64_t> duplicates_dropped{0};
 
@@ -100,7 +106,8 @@ class NoticeDispatcher {
 
   /// Block until a notice with (kind, dir) is available; stash everything
   /// else that arrives meanwhile. Throws CommTimeoutError (naming the
-  /// VCQ and channel) once `wait_deadline` is exceeded.
+  /// VCQ and channel) once `wait_deadline` is exceeded, and
+  /// JobAbortedError as soon as the fabric is aborted by a failing rank.
   Edata wait(MsgKind kind, int dir) {
     auto& slot = stash_[static_cast<int>(kind)][dir];
     if (slot) {
@@ -140,6 +147,11 @@ class NoticeDispatcher {
         continue;
       }
       if ((spin & 0x3FF) == 0) {
+        // A fabric abort (failover teardown) must unblock this wait
+        // promptly — with NACK backoff in flight, spinning out the full
+        // deadline against a peer that is already gone would stall every
+        // surviving rank for minutes.
+        net_->check_aborted();
         const auto waited = std::chrono::steady_clock::now() - start;
         if (waited >= params_.wait_deadline) {
           std::ostringstream os;

@@ -15,8 +15,30 @@ World::World(int nranks) : nranks_(nranks) {
   gather_.resize(static_cast<std::size_t>(nranks));
 }
 
+void World::throw_poisoned() const {
+  std::lock_guard lock(poison_mu_);
+  throw PoisonedError("world poisoned: " + poison_reason_);
+}
+
+void World::poison(const std::string& reason) {
+  {
+    std::lock_guard lock(poison_mu_);
+    if (poison_reason_.empty()) poison_reason_ = reason;
+  }
+  poisoned_.store(true, std::memory_order_release);
+  // Wake every sleeper under its own lock so the store cannot race past
+  // a waiter that checked the flag and is about to block.
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box->mu);
+    box->cv.notify_all();
+  }
+  std::lock_guard lock(barrier_mu_);
+  barrier_cv_.notify_all();
+}
+
 void World::send(int src, int dst, int tag, std::span<const std::byte> payload) {
   if (dst < 0 || dst >= nranks_) throw std::out_of_range("send dst");
+  if (poisoned()) throw_poisoned();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.mu);
@@ -31,6 +53,7 @@ std::vector<std::byte> World::recv(int dst, int src, int tag, int* actual_src) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock lock(box.mu);
   for (;;) {
+    if (poisoned()) throw_poisoned();
     const auto it = std::find_if(box.queue.begin(), box.queue.end(),
                                  [&](const Envelope& e) {
                                    return e.tag == tag &&
@@ -56,13 +79,16 @@ std::vector<std::byte> World::sendrecv(int me, int dst, int src, int tag,
 void World::barrier(int rank) {
   (void)rank;
   std::unique_lock lock(barrier_mu_);
+  if (poisoned()) throw_poisoned();
   const bool my_sense = barrier_sense_;
   if (++barrier_waiting_ == nranks_) {
     barrier_waiting_ = 0;
     barrier_sense_ = !barrier_sense_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != my_sense; });
+    barrier_cv_.wait(
+        lock, [&] { return barrier_sense_ != my_sense || poisoned(); });
+    if (barrier_sense_ == my_sense) throw_poisoned();
   }
 }
 

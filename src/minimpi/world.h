@@ -9,12 +9,22 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace lmp::minimpi {
 
 /// Wildcard source for recv (MPI_ANY_SOURCE analogue).
 inline constexpr int kAnySource = -1;
+
+/// The world was poisoned (`World::poison`): a rank failed and the run
+/// is being torn down, so blocking collectives/receives throw instead of
+/// waiting forever for a peer that will never arrive.
+class PoisonedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A two-sided, tag-matched message layer over shared memory — our stand-
 /// in for the MPI stack that the paper's *baseline* LAMMPS communicates
@@ -59,6 +69,15 @@ class World {
   /// Messages sent so far (for tests).
   std::uint64_t message_count() const;
 
+  /// Poison the world: every blocked and every future send/recv/barrier/
+  /// reduction throws PoisonedError naming `reason`. Used by the failover
+  /// path so one failing rank promptly unblocks its peers instead of
+  /// deadlocking them in a collective. Idempotent (first reason wins) and
+  /// permanent — barrier state may be mid-flight when the poison lands,
+  /// so a poisoned World must be discarded, never reused.
+  void poison(const std::string& reason);
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
  private:
   struct Envelope {
     int src;
@@ -74,6 +93,8 @@ class World {
   template <typename T>
   T allreduce_impl(int rank, T v, const std::function<T(const std::vector<T>&)>& fold,
                    std::vector<T>& slots);
+
+  [[noreturn]] void throw_poisoned() const;
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -91,6 +112,11 @@ class World {
   std::vector<double> gather_;
 
   std::atomic<std::uint64_t> messages_{0};
+
+  // Poison state.
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex poison_mu_;
+  std::string poison_reason_;
 };
 
 }  // namespace lmp::minimpi

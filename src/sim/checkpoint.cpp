@@ -1,0 +1,361 @@
+#include "sim/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace lmp::sim {
+
+namespace {
+
+// Section tags. A file is magic + version, then tagged CRC'd sections,
+// then the end marker (empty section). Unknown tags are an error — the
+// version field, not tag skipping, is the compatibility mechanism.
+constexpr std::uint32_t kTagMeta = 1;
+constexpr std::uint32_t kTagRanks = 2;
+constexpr std::uint32_t kTagThermo = 3;
+constexpr std::uint32_t kTagEnd = 0xFFFFFFFFu;
+
+constexpr char kMagic[8] = {'L', 'M', 'P', 'C', 'K', 'P', 'T', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+/// Append-only little binary writer (host-endian raw bytes).
+class Encoder {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void vec3(const util::Vec3& v) {
+    f64(v.x);
+    f64(v.y);
+    f64(v.z);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  const std::vector<char>& bytes() const { return buf_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  std::vector<char> buf_;
+};
+
+/// Bounds-checked reader over one section payload.
+class Decoder {
+ public:
+  Decoder(const char* data, std::size_t len, std::string section)
+      : p_(data), end_(data + len), section_(std::move(section)) {}
+
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int32_t i32() { return get<std::int32_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+  double f64() { return get<double>(); }
+  util::Vec3 vec3() {
+    util::Vec3 v;
+    v.x = f64();
+    v.y = f64();
+    v.z = f64();
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(p_, p_ + n);
+    p_ += n;
+    return s;
+  }
+  void expect_done() const {
+    if (p_ != end_) {
+      throw std::runtime_error("checkpoint: trailing bytes in section '" +
+                               section_ + "'");
+    }
+  }
+
+ private:
+  template <class T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+  void need(std::uint64_t n) const {
+    if (n > static_cast<std::uint64_t>(end_ - p_)) {
+      throw std::runtime_error("checkpoint: truncated section '" + section_ +
+                               "'");
+    }
+  }
+  const char* p_;
+  const char* end_;
+  std::string section_;
+};
+
+void encode_meta(Encoder& e, const CheckpointState& st) {
+  e.i32(st.step);
+  e.i32(st.checkpoint_every);
+  e.u64(st.seed);
+  e.i64(st.natoms);
+  e.i32(st.cells.x);
+  e.i32(st.cells.y);
+  e.i32(st.cells.z);
+  e.i32(st.rank_grid.x);
+  e.i32(st.rank_grid.y);
+  e.i32(st.rank_grid.z);
+  e.vec3(st.box.lo);
+  e.vec3(st.box.hi);
+  e.i32(static_cast<std::int32_t>(st.rank_atoms.size()));
+  e.str(st.comm_variant);
+}
+
+void decode_meta(Decoder& d, CheckpointState& st, std::int32_t& nranks) {
+  st.step = d.i32();
+  st.checkpoint_every = d.i32();
+  st.seed = d.u64();
+  st.natoms = static_cast<long>(d.i64());
+  st.cells.x = d.i32();
+  st.cells.y = d.i32();
+  st.cells.z = d.i32();
+  st.rank_grid.x = d.i32();
+  st.rank_grid.y = d.i32();
+  st.rank_grid.z = d.i32();
+  st.box.lo = d.vec3();
+  st.box.hi = d.vec3();
+  nranks = d.i32();
+  st.comm_variant = d.str();
+  d.expect_done();
+}
+
+void encode_ranks(Encoder& e, const CheckpointState& st) {
+  for (const auto& atoms : st.rank_atoms) {
+    e.i64(static_cast<std::int64_t>(atoms.size()));
+    for (const AtomState& a : atoms) {
+      e.i64(a.tag);
+      e.vec3(a.pos);
+      e.vec3(a.vel);
+    }
+  }
+}
+
+void decode_ranks(Decoder& d, CheckpointState& st, std::int32_t nranks) {
+  if (nranks < 0) throw std::runtime_error("checkpoint: negative rank count");
+  st.rank_atoms.resize(static_cast<std::size_t>(nranks));
+  for (auto& atoms : st.rank_atoms) {
+    const std::int64_t n = d.i64();
+    if (n < 0) throw std::runtime_error("checkpoint: negative atom count");
+    atoms.resize(static_cast<std::size_t>(n));
+    for (AtomState& a : atoms) {
+      a.tag = d.i64();
+      a.pos = d.vec3();
+      a.vel = d.vec3();
+    }
+  }
+  d.expect_done();
+}
+
+void encode_thermo(Encoder& e, const CheckpointState& st) {
+  e.i64(static_cast<std::int64_t>(st.thermo.size()));
+  for (const ThermoSample& s : st.thermo) {
+    e.i32(s.step);
+    e.f64(s.state.temperature);
+    e.f64(s.state.pressure);
+    e.f64(s.state.kinetic);
+    e.f64(s.state.potential);
+  }
+}
+
+void decode_thermo(Decoder& d, CheckpointState& st) {
+  const std::int64_t n = d.i64();
+  if (n < 0) throw std::runtime_error("checkpoint: negative thermo count");
+  st.thermo.resize(static_cast<std::size_t>(n));
+  for (ThermoSample& s : st.thermo) {
+    s.step = d.i32();
+    s.state.temperature = d.f64();
+    s.state.pressure = d.f64();
+    s.state.kinetic = d.f64();
+    s.state.potential = d.f64();
+  }
+  d.expect_done();
+}
+
+void append_section(std::vector<char>& out, std::uint32_t tag,
+                    const std::vector<char>& payload) {
+  Encoder hdr;
+  hdr.u32(tag);
+  hdr.u64(payload.size());
+  out.insert(out.end(), hdr.bytes().begin(), hdr.bytes().end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = checkpoint_crc32(payload.data(), payload.size());
+  Encoder tail;
+  tail.u32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+}
+
+}  // namespace
+
+std::uint32_t checkpoint_crc32(const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void write_checkpoint(const std::string& path, const CheckpointState& st) {
+  std::vector<char> file;
+  file.insert(file.end(), kMagic, kMagic + sizeof kMagic);
+  {
+    Encoder v;
+    v.u32(kCheckpointVersion);
+    file.insert(file.end(), v.bytes().begin(), v.bytes().end());
+  }
+  {
+    Encoder e;
+    encode_meta(e, st);
+    append_section(file, kTagMeta, e.bytes());
+  }
+  {
+    Encoder e;
+    encode_ranks(e, st);
+    append_section(file, kTagRanks, e.bytes());
+  }
+  {
+    Encoder e;
+    encode_thermo(e, st);
+    append_section(file, kTagThermo, e.bytes());
+  }
+  append_section(file, kTagEnd, {});
+
+  // Atomic publish: never expose a half-written file under `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    os.write(file.data(), static_cast<std::streamsize>(file.size()));
+    os.close();
+    if (!os) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+}
+
+CheckpointState read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::vector<char> file((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+
+  const char* p = file.data();
+  const char* end = p + file.size();
+  const auto need = [&](std::size_t n, const char* what) {
+    if (n > static_cast<std::size_t>(end - p)) {
+      throw std::runtime_error(std::string("checkpoint: truncated ") + what +
+                               " in " + path);
+    }
+  };
+
+  need(sizeof kMagic, "magic");
+  if (std::memcmp(p, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  p += sizeof kMagic;
+
+  need(sizeof(std::uint32_t), "version");
+  std::uint32_t version;
+  std::memcpy(&version, p, sizeof version);
+  p += sizeof version;
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version) + " in " + path);
+  }
+
+  CheckpointState st;
+  std::int32_t nranks = -1;
+  bool saw_meta = false, saw_ranks = false, saw_thermo = false, saw_end = false;
+  while (!saw_end) {
+    need(sizeof(std::uint32_t) + sizeof(std::uint64_t), "section header");
+    std::uint32_t tag;
+    std::uint64_t len;
+    std::memcpy(&tag, p, sizeof tag);
+    p += sizeof tag;
+    std::memcpy(&len, p, sizeof len);
+    p += sizeof len;
+    const char* name = tag == kTagMeta     ? "meta"
+                       : tag == kTagRanks  ? "ranks"
+                       : tag == kTagThermo ? "thermo"
+                       : tag == kTagEnd    ? "end"
+                                           : "unknown";
+    need(len, name);
+    const char* payload = p;
+    p += len;
+    need(sizeof(std::uint32_t), "section crc");
+    std::uint32_t stored;
+    std::memcpy(&stored, p, sizeof stored);
+    p += sizeof stored;
+    if (checkpoint_crc32(payload, len) != stored) {
+      throw std::runtime_error(std::string("checkpoint: CRC mismatch in "
+                                           "section '") +
+                               name + "' of " + path);
+    }
+    switch (tag) {
+      case kTagMeta: {
+        Decoder d(payload, len, "meta");
+        decode_meta(d, st, nranks);
+        saw_meta = true;
+        break;
+      }
+      case kTagRanks: {
+        if (!saw_meta) {
+          throw std::runtime_error("checkpoint: ranks section before meta in " +
+                                   path);
+        }
+        Decoder d(payload, len, "ranks");
+        decode_ranks(d, st, nranks);
+        saw_ranks = true;
+        break;
+      }
+      case kTagThermo: {
+        Decoder d(payload, len, "thermo");
+        decode_thermo(d, st);
+        saw_thermo = true;
+        break;
+      }
+      case kTagEnd:
+        saw_end = true;
+        break;
+      default:
+        throw std::runtime_error("checkpoint: unknown section tag " +
+                                 std::to_string(tag) + " in " + path);
+    }
+  }
+  if (!saw_meta || !saw_ranks || !saw_thermo) {
+    throw std::runtime_error("checkpoint: missing required section in " + path);
+  }
+  return st;
+}
+
+}  // namespace lmp::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/box.h"
+#include "sim/simulation.h"
+#include "util/vec3.h"
+
+namespace lmp::sim {
+
+/// On-disk format version. Bumped whenever the section layout changes;
+/// readers reject any other value instead of guessing.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Everything needed to resume a run bitwise-identically: per-rank owned
+/// atoms (no ghosts — they are rebuilt), box/geometry, the RNG seed (the
+/// t=0 velocity draw is the only RNG consumer, so the seed IS the stream
+/// state), the step counter, the thermo series so far, and the comm
+/// variant that was active when the checkpoint was cut.
+struct CheckpointState {
+  int step = 0;
+  int checkpoint_every = 0;  ///< emission schedule; restart must match
+  std::string comm_variant;
+  std::uint64_t seed = 0;
+  util::Int3 cells{0, 0, 0};
+  util::Int3 rank_grid{0, 0, 0};
+  long natoms = 0;
+  geom::Box box{{0, 0, 0}, {0, 0, 0}};
+  /// Owned atoms per rank, in each rank's local order at checkpoint time.
+  std::vector<std::vector<AtomState>> rank_atoms;
+  std::vector<ThermoSample> thermo;  ///< global series up to `step`
+};
+
+/// CRC-32 (reflected, poly 0xEDB88320) over `len` bytes — the per-section
+/// integrity check of the checkpoint format.
+std::uint32_t checkpoint_crc32(const void* data, std::size_t len);
+
+/// Writes `st` to `path` atomically: serialize to `path + ".tmp"`, fsync
+/// via stream close, then std::rename over the destination, so a crash
+/// mid-write never leaves a truncated file under the final name. Throws
+/// std::runtime_error on any I/O failure.
+void write_checkpoint(const std::string& path, const CheckpointState& st);
+
+/// Reads and validates a checkpoint: magic, version, per-section CRCs,
+/// and payload bounds. Throws std::runtime_error naming the offending
+/// section on corruption or truncation.
+CheckpointState read_checkpoint(const std::string& path);
+
+}  // namespace lmp::sim

@@ -179,6 +179,46 @@ ParsedScript parse_input_script(const std::string& text) {
                          comm::CommFactory::instance().catalog() + ")");
       }
       o.comm = w[1];
+    } else if (cmd == "checkpoint") {
+      // checkpoint N [prefix] — cut a snapshot every N steps; with a
+      // prefix, also publish it as <prefix>.<step> on disk.
+      need(1);
+      o.checkpoint_every = to_int(w[1], lineno);
+      if (o.checkpoint_every < 1) fail(lineno, "checkpoint interval must be >= 1");
+      if (w.size() > 2) o.checkpoint_path = w[2];
+    } else if (cmd == "restart") {
+      need(1);
+      o.restart_file = w[1];
+    } else if (cmd == "failover_chain") {
+      need(1);
+      o.failover_chain.clear();
+      for (std::size_t i = 1; i < w.size(); ++i) {
+        if (!comm::CommFactory::instance().known(w[i])) {
+          fail(lineno, "unknown failover variant '" + w[i] + "' (registered: " +
+                           comm::CommFactory::instance().catalog() + ")");
+        }
+        o.failover_chain.push_back(w[i]);
+      }
+    } else if (cmd == "health_threshold") {
+      if (w.size() % 2 == 0) fail(lineno, "health_threshold keyword without value");
+      for (std::size_t i = 1; i + 1 < w.size(); i += 2) {
+        const std::string& key = w[i];
+        const int val = to_int(w[i + 1], lineno);
+        if (val < 0) fail(lineno, "health threshold must be >= 0");
+        if (key == "max_nacks") {
+          o.health.max_nacks = static_cast<std::uint64_t>(val);
+        } else if (key == "max_retransmits") {
+          o.health.max_retransmits = static_cast<std::uint64_t>(val);
+        } else if (key == "max_crc_rejects") {
+          o.health.max_crc_rejects = static_cast<std::uint64_t>(val);
+        } else if (key == "max_duplicates") {
+          o.health.max_duplicates = static_cast<std::uint64_t>(val);
+        } else if (key == "min_tnis") {
+          o.health.min_tnis = val;
+        } else {
+          fail(lineno, "unknown health_threshold keyword '" + key + "'");
+        }
+      }
     } else if (cmd == "run") {
       need(1);
       out.run_steps = to_int(w[1], lineno);

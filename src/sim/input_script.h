@@ -36,6 +36,15 @@ struct ParsedScript {
 ///   comm_variant    <name>       (any name in the CommFactory catalog,
 ///                                 e.g. ref, mpi_p2p, utofu_3stage,
 ///                                 4tni_p2p, 6tni_p2p, opt)       [ext]
+///   checkpoint      <N> [<prefix>]   (snapshot every N steps; with a
+///                                 prefix, also write <prefix>.<step>) [ext]
+///   restart         <file>       (resume from a checkpoint file)    [ext]
+///   failover_chain  <v1> [<v2> ...]  (degradation ladder tried after
+///                                 the active variant fails)         [ext]
+///   health_threshold <key> <val> [...]  (soft escalation budgets:
+///                                 max_nacks, max_retransmits,
+///                                 max_crc_rejects, max_duplicates,
+///                                 min_tnis)                         [ext]
 ///   run             <steps>
 ///
 /// Lines starting with `#` and blank lines are ignored; `#` also starts

@@ -1,8 +1,16 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "comm/comm_factory.h"
 #include "geom/lattice.h"
@@ -12,6 +20,7 @@
 #include "md/neighbor.h"
 #include "md/velocity.h"
 #include "minimpi/runtime.h"
+#include "sim/checkpoint.h"
 #include "threadpool/spin_pool.h"
 
 namespace lmp::sim {
@@ -26,28 +35,65 @@ namespace {
 
 using util::Stage;
 
-/// Shared, read-only job description every rank thread sees.
+/// Internal control-flow exception: this attempt is over, roll back and
+/// try the next variant. Thrown by every rank of a failing attempt (the
+/// health allreduce makes the soft path collective; abort/poison fan the
+/// hard path out), caught by run_attempt. Never escapes run_simulation.
+class FailoverSignal : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Shared job state every rank thread sees. One JobShared per *attempt*:
+/// a poisoned World / aborted Network is permanent, so each failover
+/// builds a fresh fabric instead of trying to scrub the old one.
 struct JobShared {
   SimOptions opt;
+  std::string variant;                   ///< comm variant of this attempt
+  const CheckpointState* restart;        ///< null for a fresh start
+  int start_step = 0;                    ///< loop resumes at start_step + 1
   geom::FccLattice lattice{1.0};
   geom::Box global;
   geom::Decomposition decomp{{1, 1, 1}, geom::Box{{0, 0, 0}, {1, 1, 1}}};
-  std::vector<util::Vec3> positions;   ///< full system
-  std::vector<util::Vec3> velocities;  ///< full system
+  std::vector<util::Vec3> positions;   ///< full system (fresh start only)
+  std::vector<util::Vec3> velocities;  ///< full system (fresh start only)
   double density = 0.0;
+  long natoms_total = 0;
 
   minimpi::World world;
   tofu::Network net;
   comm::AddressBook book;
 
+  comm::HealthMonitor monitor;
+
   std::vector<RankResult> results;
   std::vector<ThermoSample> thermo;  ///< written by rank 0 only
 
-  explicit JobShared(const SimOptions& o)
+  // --- checkpoint plumbing --------------------------------------------
+  /// Per-rank staging area for owned atoms; rank 0 assembles the staged
+  /// rows into a CheckpointState between two barriers.
+  std::vector<std::vector<AtomState>> ckpt_stage;
+  std::shared_ptr<const CheckpointState> last_ckpt;  ///< rollback target
+  double ckpt_io_seconds = 0.0;
+  std::uint64_t ckpts_written = 0;
+
+  // --- failure rendezvous ---------------------------------------------
+  std::atomic<bool> abort_requested{false};
+  std::atomic<int> failed_ranks{0};
+  std::mutex fail_mu;
+  int fail_step = 0;
+  std::string fail_reason;
+  std::exception_ptr fatal;  ///< genuine bug — rethrown, never failed over
+
+  JobShared(const SimOptions& o, std::string variant_name,
+            const CheckpointState* rst)
       : opt(o),
+        variant(std::move(variant_name)),
+        restart(rst),
         world(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
         net(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
-        book(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z) {
+        book(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
+        monitor(o.health) {
     if (o.faults.enabled()) {
       net.set_fault_injector(std::make_shared<tofu::FaultInjector>(o.faults));
     }
@@ -57,11 +103,81 @@ struct JobShared {
                   : geom::FccLattice::from_constant(cfg.lattice_arg);
     global = lattice.box_for(o.cells.x, o.cells.y, o.cells.z);
     decomp = geom::Decomposition(o.rank_grid, global);
-    positions = lattice.generate(o.cells.x, o.cells.y, o.cells.z);
-    velocities = md::create_velocities(positions.size(), cfg.t_init, cfg.mass,
-                                       cfg.units, o.seed);
-    density = static_cast<double>(positions.size()) / global.volume();
+    if (restart) {
+      validate_restart();
+      start_step = restart->step;
+      thermo = restart->thermo;
+      natoms_total = restart->natoms;
+    } else {
+      positions = lattice.generate(o.cells.x, o.cells.y, o.cells.z);
+      velocities = md::create_velocities(positions.size(), cfg.t_init,
+                                         cfg.mass, cfg.units, o.seed);
+      natoms_total = static_cast<long>(positions.size());
+    }
+    density = static_cast<double>(natoms_total) / global.volume();
     results.resize(static_cast<std::size_t>(decomp.nranks()));
+    ckpt_stage.resize(static_cast<std::size_t>(decomp.nranks()));
+  }
+
+  /// First failure wins: later notes (aborted/poisoned wakeups on peer
+  /// ranks) keep the root cause intact.
+  void note_failure(int rank, int step, const std::string& reason) {
+    std::lock_guard lock(fail_mu);
+    if (!fail_reason.empty()) return;
+    fail_step = step;
+    fail_reason = "rank " + std::to_string(rank) + ": " + reason;
+  }
+
+  void note_fatal(std::exception_ptr ep) {
+    std::lock_guard lock(fail_mu);
+    if (!fatal) fatal = ep;
+  }
+
+  /// Rank 0, between the two barriers of a checkpoint step: freeze the
+  /// staged per-rank atoms + thermo into the rollback snapshot and, when
+  /// a path is configured, publish it to disk atomically.
+  void commit_checkpoint(int step) {
+    auto st = std::make_shared<CheckpointState>();
+    st->step = step;
+    st->checkpoint_every = opt.checkpoint_every;
+    st->comm_variant = variant;
+    st->seed = opt.seed;
+    st->cells = opt.cells;
+    st->rank_grid = opt.rank_grid;
+    st->natoms = natoms_total;
+    st->box = global;
+    st->rank_atoms = ckpt_stage;
+    st->thermo = thermo;
+    if (!opt.checkpoint_path.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      write_checkpoint(opt.checkpoint_path + "." + std::to_string(step), *st);
+      ckpt_io_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+    ++ckpts_written;
+    last_ckpt = std::move(st);
+  }
+
+ private:
+  void validate_restart() {
+    const auto mismatch = [](const std::string& what) {
+      throw std::runtime_error("restart: checkpoint " + what +
+                               " does not match the requested run");
+    };
+    if (!(restart->cells == opt.cells)) mismatch("cell counts");
+    if (!(restart->rank_grid == opt.rank_grid)) mismatch("rank grid");
+    if (restart->seed != opt.seed) mismatch("seed");
+    if (restart->rank_atoms.size() !=
+        static_cast<std::size_t>(opt.rank_grid.x * opt.rank_grid.y *
+                                 opt.rank_grid.z)) {
+      mismatch("rank count");
+    }
+    if (restart->box.lo.x != global.lo.x || restart->box.lo.y != global.lo.y ||
+        restart->box.lo.z != global.lo.z || restart->box.hi.x != global.hi.x ||
+        restart->box.hi.y != global.hi.y || restart->box.hi.z != global.hi.z) {
+      mismatch("box");
+    }
   }
 };
 
@@ -82,10 +198,19 @@ class RankSim {
         (own_vol * 1.5 + shell_vol * 2.0) * job.density + 256);
     atoms_.reserve_capacity(cap);
 
-    for (std::size_t i = 0; i < job.positions.size(); ++i) {
-      if (job.decomp.owner_of(job.positions[i]) == rank) {
-        atoms_.add_local(job.positions[i], job.velocities[i],
-                         static_cast<std::int64_t>(i));
+    if (job.restart) {
+      // Checkpointed atoms are post-exchange: every row already lives in
+      // its owner's sub-box, so the startup exchange migrates nothing and
+      // the restarted trajectory stays bitwise-identical.
+      const auto& mine =
+          job.restart->rank_atoms[static_cast<std::size_t>(rank)];
+      for (const AtomState& a : mine) atoms_.add_local(a.pos, a.vel, a.tag);
+    } else {
+      for (std::size_t i = 0; i < job.positions.size(); ++i) {
+        if (job.decomp.owner_of(job.positions[i]) == rank) {
+          atoms_.add_local(job.positions[i], job.velocities[i],
+                           static_cast<std::int64_t>(i));
+        }
       }
     }
 
@@ -118,7 +243,7 @@ class RankSim {
     // transport to stand up and which neighbor-list half rule its ghost
     // pattern needs.
     const comm::CommVariantInfo& info =
-        comm::CommFactory::instance().at(job.opt.comm);
+        comm::CommFactory::instance().at(job.variant);
     half_rule_ = info.half_rule;
     comm::CommBuildInputs inputs;
     inputs.ctx = cctx;
@@ -136,8 +261,12 @@ class RankSim {
         cfg.dt, cfg.mass, 1.0 / cfg.units.mvv2e);
   }
 
+  int current_step() const { return step_; }
+  util::CommHealthReport health() const { return comm_->health(); }
+
   void run(int nsteps) {
     const md::SimConfig& cfg = job_.opt.config;
+    const int ckpt_every = job_.opt.checkpoint_every;
 
     comm_->setup();
     job_.world.barrier(rank_);  // addresses published on every rank
@@ -145,14 +274,18 @@ class RankSim {
     rebuild();
     compute_forces();
 
-    for (int step = 1; step <= nsteps; ++step) {
+    for (step_ = job_.start_step + 1; step_ <= nsteps; ++step_) {
       {
         util::ScopedStage s(timer_, Stage::kModify);
         integrator_->initial_integrate(atoms_);
       }
 
-      bool do_rebuild = false;
-      if (step % cfg.neigh.every == 0) {
+      // Checkpoint steps force a rebuild (skipping the check-yes
+      // allreduce): the snapshot must be post-exchange so a restarted
+      // run's startup rebuild reproduces this exact state.
+      const bool ckpt_step = ckpt_every > 0 && step_ % ckpt_every == 0;
+      bool do_rebuild = ckpt_step;
+      if (!do_rebuild && step_ % cfg.neigh.every == 0) {
         if (cfg.neigh.check) {
           util::ScopedStage s(timer_, Stage::kOther);
           // "check yes": everyone learns whether any atom anywhere moved
@@ -177,9 +310,14 @@ class RankSim {
         integrator_->final_integrate(atoms_);
       }
 
-      if (step % job_.opt.thermo_every == 0 || step == nsteps) {
+      if (step_ % job_.opt.thermo_every == 0 || step_ == nsteps) {
         util::ScopedStage s(timer_, Stage::kOther);
-        record_thermo(step);
+        record_thermo(step_);
+      }
+
+      if (ckpt_step) {
+        stage_checkpoint(step_);
+        check_health(step_);
       }
     }
 
@@ -192,6 +330,10 @@ class RankSim {
     for (int i = 0; i < atoms_.nlocal(); ++i) {
       out.atoms.push_back({atoms_.tag(i), atoms_.pos(i), atoms_.vel(i)});
     }
+    // Keep RDMA buffers registered until every peer is done with them: a
+    // rank that tears down early would yank memory a neighbor's comm
+    // layer may still address.
+    job_.world.barrier(rank_);
   }
 
  private:
@@ -258,8 +400,44 @@ class RankSim {
     if (rank_ == 0) job_.thermo.push_back({step, state});
   }
 
+  /// End-of-step checkpoint: stage my owned atoms, then let rank 0
+  /// freeze the collective snapshot between two barriers. The first
+  /// barrier orders every rank's staging before the commit; the second
+  /// keeps the stage buffers stable until the commit is done.
+  void stage_checkpoint(int step) {
+    util::ScopedStage s(timer_, Stage::kOther);
+    auto& mine = job_.ckpt_stage[static_cast<std::size_t>(rank_)];
+    mine.clear();
+    mine.reserve(static_cast<std::size_t>(atoms_.nlocal()));
+    for (int i = 0; i < atoms_.nlocal(); ++i) {
+      mine.push_back({atoms_.tag(i), atoms_.pos(i), atoms_.vel(i)});
+    }
+    job_.world.barrier(rank_);
+    if (rank_ == 0) job_.commit_checkpoint(step);
+    job_.world.barrier(rank_);
+  }
+
+  /// Collective soft-failure assessment at a checkpoint step: any rank
+  /// whose counters cross a budget drags everyone into the failover
+  /// together (the allreduce makes the decision symmetric, so no rank is
+  /// left running against a torn-down fabric).
+  void check_health(int step) {
+    if (!job_.monitor.enabled()) return;
+    util::ScopedStage s(timer_, Stage::kOther);
+    const util::CommHealthReport h = comm_->health();
+    const comm::EscalationDecision dec = job_.monitor.assess(h);
+    if (dec.escalate) {
+      job_.note_failure(rank_, step,
+                        "health threshold: " + dec.reason + " [" +
+                            comm::describe_counters(h) + "]");
+    }
+    const bool any = job_.world.allreduce_lor(rank_, dec.escalate);
+    if (any) throw FailoverSignal("health threshold tripped");
+  }
+
   JobShared& job_;
   int rank_;
+  int step_ = 0;
   md::Atoms atoms_;
   md::HalfRule half_rule_ = md::HalfRule::kAllGhosts;
   std::unique_ptr<md::Potential> potential_;
@@ -273,45 +451,227 @@ class RankSim {
   util::StageTimer timer_;
 };
 
+/// Classify a rank failure: failover triggers are the typed comm errors
+/// (and our own signal); anything else is a genuine bug that must
+/// surface, not be retried on another variant.
+bool is_failover_trigger(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const FailoverSignal&) {
+    return true;
+  } catch (const tofu::UnreachableError&) {
+    return true;
+  } catch (const tofu::CommTimeoutError&) {
+    return true;
+  } catch (const tofu::JobAbortedError&) {
+    return true;
+  } catch (const minimpi::PoisonedError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+struct AttemptOutcome {
+  bool ok = false;
+  int fail_step = 0;
+  std::string fail_reason;
+  std::shared_ptr<const CheckpointState> last_ckpt;
+  double ckpt_io_seconds = 0.0;
+  std::uint64_t ckpts_written = 0;
+  /// Fabric-side fault counters of this attempt (also harvested on
+  /// failure, so the final health report tells the whole story — the
+  /// unreachable puts happened on the *retired* variant's fabric).
+  util::CommHealthReport fabric;
+  JobResult result;
+};
+
+/// Copy the fault-injector and network counters of one attempt's fabric
+/// into a health report.
+void harvest_fabric_stats(const JobShared& job, util::CommHealthReport& h) {
+  if (const tofu::FaultInjector* inj = job.net.fault_injector()) {
+    const tofu::FaultStats& fs = inj->stats();
+    h.notices_dropped = fs.dropped.load(std::memory_order_relaxed);
+    h.notices_delayed = fs.delayed.load(std::memory_order_relaxed);
+    h.notices_duplicated = fs.duplicated.load(std::memory_order_relaxed);
+    h.payloads_corrupted = fs.corrupted.load(std::memory_order_relaxed);
+    h.tni_drops = fs.tni_drops.load(std::memory_order_relaxed);
+    h.unreachable_puts = fs.unreachable_puts.load(std::memory_order_relaxed);
+    h.fabric_puts = fs.fabric_puts.load(std::memory_order_relaxed);
+    h.tnis_down = static_cast<int>(inj->plan().dead_tnis.size());
+  }
+  h.retransmit_puts =
+      job.net.stats().retransmit_puts.load(std::memory_order_relaxed);
+}
+
+/// One attempt on one comm variant: run all ranks to completion or to a
+/// collective failure. Hard errors on any rank abort the fabric and
+/// poison the world so blocked peers wake promptly; every rank then
+/// rendezvouses before tearing down its comm layer (RDMA buffers must
+/// stay registered while any peer might still address them).
+AttemptOutcome run_attempt(const SimOptions& options,
+                           const std::string& variant,
+                           const std::shared_ptr<const CheckpointState>& from,
+                           int nsteps) {
+  JobShared job(options, variant, from.get());
+  const int nranks = job.decomp.nranks();
+
+  const auto rank_main = [&](int rank) {
+    std::optional<RankSim> sim;
+    try {
+      sim.emplace(job, rank);
+      sim->run(nsteps);
+    } catch (...) {
+      const std::exception_ptr ep = std::current_exception();
+      const bool trigger = is_failover_trigger(ep);
+      if (trigger) {
+        try {
+          std::rethrow_exception(ep);
+        } catch (const std::exception& e) {
+          job.note_failure(rank, sim ? sim->current_step() : 0, e.what());
+        }
+      } else {
+        job.note_fatal(ep);
+      }
+      job.abort_requested.store(true, std::memory_order_release);
+      job.net.abort_fabric("rank " + std::to_string(rank) + " failed");
+      job.world.poison("rank " + std::to_string(rank) + " failed");
+      job.failed_ranks.fetch_add(1, std::memory_order_acq_rel);
+      // Rendezvous before destroying the comm layer: peers may still be
+      // in flight against our registered buffers until their own
+      // failure handling starts. The deadline covers a rank that
+      // finished cleanly before the poison landed.
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(60);
+      while (job.failed_ranks.load(std::memory_order_acquire) < nranks &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      sim.reset();
+      if (trigger) throw FailoverSignal("attempt failed");
+      std::rethrow_exception(ep);
+    }
+  };
+
+  AttemptOutcome out;
+  try {
+    minimpi::run_ranks(nranks, rank_main);
+  } catch (const FailoverSignal&) {
+    // run_ranks rethrows the *first* captured exception; a genuine bug
+    // on a slower rank may have been recorded after a peer's signal.
+    if (job.fatal) std::rethrow_exception(job.fatal);
+    out.ok = false;
+    {
+      std::lock_guard lock(job.fail_mu);
+      out.fail_step = job.fail_step;
+      out.fail_reason =
+          job.fail_reason.empty() ? "unknown failure" : job.fail_reason;
+    }
+    out.last_ckpt = job.last_ckpt;
+    out.ckpt_io_seconds = job.ckpt_io_seconds;
+    out.ckpts_written = job.ckpts_written;
+    harvest_fabric_stats(job, out.fabric);
+    return out;
+  }
+  if (job.fatal) std::rethrow_exception(job.fatal);
+
+  out.ok = true;
+  out.last_ckpt = job.last_ckpt;
+  out.ckpt_io_seconds = job.ckpt_io_seconds;
+  out.ckpts_written = job.ckpts_written;
+
+  JobResult& res = out.result;
+  res.ranks = std::move(job.results);
+  res.thermo = std::move(job.thermo);
+  res.natoms = job.natoms_total;
+  res.volume = job.global.volume();
+  res.atoms.reserve(static_cast<std::size_t>(res.natoms));
+  for (const auto& r : res.ranks) {
+    res.atoms.insert(res.atoms.end(), r.atoms.begin(), r.atoms.end());
+  }
+  std::sort(res.atoms.begin(), res.atoms.end(),
+            [](const AtomState& a, const AtomState& b) { return a.tag < b.tag; });
+  for (const auto& r : res.ranks) res.health += r.health;
+  harvest_fabric_stats(job, out.fabric);
+  res.health += out.fabric;
+  return out;
+}
+
 }  // namespace
 
 JobResult run_simulation(const SimOptions& options, int nsteps) {
-  // Resolve the variant up front so an unknown name fails on the calling
-  // thread with the full catalog, not inside a rank thread.
-  comm::CommFactory::instance().at(options.comm);
+  SimOptions opt = options;
 
-  JobShared job(options);
-  minimpi::run_ranks(job.decomp.nranks(), [&](int rank) {
-    RankSim sim(job, rank);
-    sim.run(nsteps);
-  });
+  // Resolve every variant the run might touch up front, so an unknown
+  // name fails on the calling thread with the full catalog — not three
+  // failovers deep inside a rank thread.
+  comm::CommFactory::instance().at(opt.comm);
+  const std::vector<std::string> chain = comm::resolve_failover_chain(
+      opt.comm, opt.failover_chain.empty() ? comm::default_failover_chain()
+                                           : opt.failover_chain);
+  for (const std::string& v : chain) comm::CommFactory::instance().at(v);
 
-  JobResult out;
-  out.ranks = std::move(job.results);
-  out.thermo = std::move(job.thermo);
-  out.natoms = static_cast<long>(job.positions.size());
-  out.volume = job.global.volume();
-  out.atoms.reserve(static_cast<std::size_t>(out.natoms));
-  for (const auto& r : out.ranks) {
-    out.atoms.insert(out.atoms.end(), r.atoms.begin(), r.atoms.end());
+  std::shared_ptr<const CheckpointState> resume;
+  if (!opt.restart_file.empty()) {
+    auto st =
+        std::make_shared<CheckpointState>(read_checkpoint(opt.restart_file));
+    // The emission schedule is part of the trajectory (checkpoint steps
+    // force rebuilds), so a restart must run the same schedule.
+    if (opt.checkpoint_every == 0) {
+      opt.checkpoint_every = st->checkpoint_every;
+    } else if (opt.checkpoint_every != st->checkpoint_every) {
+      throw std::runtime_error(
+          "restart: checkpoint_every " + std::to_string(opt.checkpoint_every) +
+          " does not match the checkpoint file's " +
+          std::to_string(st->checkpoint_every));
+    }
+    resume = std::move(st);
   }
-  std::sort(out.atoms.begin(), out.atoms.end(),
-            [](const AtomState& a, const AtomState& b) { return a.tag < b.tag; });
-  for (const auto& r : out.ranks) out.health += r.health;
-  if (const tofu::FaultInjector* inj = job.net.fault_injector()) {
-    const tofu::FaultStats& fs = inj->stats();
-    out.health.notices_dropped = fs.dropped.load(std::memory_order_relaxed);
-    out.health.notices_delayed = fs.delayed.load(std::memory_order_relaxed);
-    out.health.notices_duplicated =
-        fs.duplicated.load(std::memory_order_relaxed);
-    out.health.payloads_corrupted =
-        fs.corrupted.load(std::memory_order_relaxed);
-    out.health.tni_drops = fs.tni_drops.load(std::memory_order_relaxed);
-    out.health.tnis_down = static_cast<int>(inj->plan().dead_tnis.size());
+
+  const int max_failovers = opt.max_failovers < 0
+                                ? static_cast<int>(chain.size()) - 1
+                                : opt.max_failovers;
+
+  std::vector<util::EscalationEvent> events;
+  util::CommHealthReport carry;  // fabric counters of failed attempts
+  double io_seconds = 0.0;
+  std::uint64_t written = 0;
+
+  std::size_t idx = 0;
+  for (;;) {
+    const std::string& variant = chain[idx];
+    AttemptOutcome at = run_attempt(opt, variant, resume, nsteps);
+    io_seconds += at.ckpt_io_seconds;
+    written += at.ckpts_written;
+    if (at.ok) {
+      JobResult res = std::move(at.result);
+      res.restart_step = resume ? resume->step : 0;
+      res.final_comm = variant;
+      res.health += carry;
+      res.health.checkpoint_io_seconds += io_seconds;
+      res.health.checkpoints_written += written;
+      res.health.escalations = std::move(events);
+      return res;
+    }
+    carry += at.fabric;
+    // Roll back to the newest snapshot this attempt produced; without
+    // one, resume stays at the previous rollback point (or a fresh
+    // start when there has never been a checkpoint).
+    if (at.last_ckpt) resume = at.last_ckpt;
+    if (idx + 1 >= chain.size() ||
+        static_cast<int>(events.size()) >= max_failovers) {
+      throw std::runtime_error("failover chain exhausted at variant '" +
+                               variant + "': " + at.fail_reason);
+    }
+    util::EscalationEvent ev;
+    ev.fail_step = at.fail_step;
+    ev.resume_step = resume ? resume->step : 0;
+    ev.from_variant = variant;
+    ev.to_variant = chain[idx + 1];
+    ev.reason = at.fail_reason;
+    events.push_back(std::move(ev));
+    ++idx;
   }
-  out.health.retransmit_puts =
-      job.net.stats().retransmit_puts.load(std::memory_order_relaxed);
-  return out;
 }
 
 }  // namespace lmp::sim

@@ -7,6 +7,7 @@
 
 #include "comm/address_book.h"
 #include "comm/comm_base.h"
+#include "comm/health_monitor.h"
 #include "md/config.h"
 #include "md/thermo.h"
 #include "minimpi/world.h"
@@ -36,6 +37,29 @@ struct SimOptions {
   /// attached to the shared network and the p2p comm layer arms its
   /// reliability protocol; the default (all-clean) plan changes nothing.
   tofu::FaultPlan faults{};
+
+  // --- self-healing runtime -------------------------------------------
+  /// Cut a checkpoint at the end of every Nth step (0 disables). The
+  /// in-memory snapshot always feeds failover rollback; a file is also
+  /// written when `checkpoint_path` is set.
+  int checkpoint_every = 0;
+  /// File prefix for checkpoint emission; the file for step N is
+  /// `<prefix>.<N>`, written atomically (tmp + rename). Empty keeps
+  /// checkpoints in memory only.
+  std::string checkpoint_path;
+  /// Resume from this checkpoint file instead of generating the lattice.
+  /// Geometry/seed in the file must match the options; `checkpoint_every`
+  /// is adopted from the file when the option is 0 and must match when
+  /// nonzero (a different schedule breaks bitwise-identical restart).
+  std::string restart_file;
+  /// Degradation ladder tried in order after the active variant fails.
+  /// Empty means `comm::default_failover_chain()`.
+  std::vector<std::string> failover_chain;
+  /// Soft escalation thresholds, assessed collectively at checkpoint
+  /// steps. All-zero (default) means only hard comm errors fail over.
+  comm::HealthThresholds health;
+  /// Cap on comm-variant failovers; -1 means "rest of the chain".
+  int max_failovers = -1;
 };
 
 /// One thermo sample (identical on every rank after the reduction).
@@ -73,6 +97,12 @@ struct JobResult {
   util::CommHealthReport health;
   long natoms = 0;
   double volume = 0.0;
+  /// Step the (final) attempt resumed from: 0 for a fresh start, the
+  /// checkpoint step for restarts and post-failover attempts.
+  int restart_step = 0;
+  /// Variant that actually finished the run — differs from
+  /// SimOptions::comm when the degradation ladder was walked.
+  std::string final_comm;
 
   util::StageTimer total_stages() const;
 };
@@ -85,6 +115,15 @@ struct JobResult {
 /// neighbor-rebuild decision (`every N check yes|no`, with the global
 /// allreduce for `check yes`), exchange/borders/neighbor or forward,
 /// pair (with EAM mid-pair comm), reverse, final integrate, thermo.
+///
+/// Self-healing: when `checkpoint_every` is set, each checkpoint step
+/// forces a neighbor rebuild and snapshots owned atoms + thermo (and
+/// writes `<checkpoint_path>.<step>` if a path is given). A hard comm
+/// error (timeout, severed route, fabric abort) or a tripped health
+/// threshold tears the job down, rolls back to the last checkpoint, and
+/// rebuilds on the next variant of the failover chain; every hop is
+/// recorded as an EscalationEvent in the returned health report. The
+/// chain running dry rethrows the final failure as std::runtime_error.
 JobResult run_simulation(const SimOptions& options, int nsteps);
 
 }  // namespace lmp::sim

@@ -1,6 +1,10 @@
 #include "tofu/fault.h"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
+
+#include "tofu/topology.h"
 
 namespace lmp::tofu {
 
@@ -20,6 +24,8 @@ double to_unit(std::uint64_t v) {
   return static_cast<double>(v >> 11) * 0x1.0p-53;
 }
 
+constexpr char kAxisNames[kAxisCount] = {'X', 'Y', 'Z', 'a', 'b', 'c'};
+
 }  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
@@ -36,6 +42,76 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
     if (t < 0 || t >= 64) throw std::invalid_argument("dead TNI out of range");
     down_mask_ |= 1ULL << t;
   }
+  for (const int ax : plan_.down_axes) {
+    if (ax < 0 || ax >= kAxisCount) {
+      throw std::invalid_argument("down axis must be a tofu::Axis (0..5)");
+    }
+    down_axis_mask_ |= 1ULL << ax;
+  }
+  for (const int r : plan_.crashed_ranks) {
+    if (r < 0) throw std::invalid_argument("crashed rank must be >= 0");
+  }
+}
+
+void FaultInjector::map_procs(int nprocs) {
+  if (!plan_.permanent_faults() || nprocs < 1) return;
+  // Same default allocation the job itself would get: a near-cubic cell
+  // block with proc i on node i (Topology::map_linear).
+  const Topology topo = Topology::for_nodes(nprocs);
+  proc_coords_.clear();
+  proc_coords_.reserve(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    proc_coords_.push_back(topo.coord_of(p));
+  }
+}
+
+bool FaultInjector::crashed(int proc) const {
+  return std::find(plan_.crashed_ranks.begin(), plan_.crashed_ranks.end(),
+                   proc) != plan_.crashed_ranks.end();
+}
+
+bool FaultInjector::unreachable(int src_proc, int dst_proc) const {
+  if (!plan_.permanent_faults() || src_proc == dst_proc) return false;
+  if (stats_.fabric_puts.load(std::memory_order_relaxed) <=
+      plan_.fault_onset_puts) {
+    return false;  // the link has not died yet
+  }
+  if (crashed(src_proc) || crashed(dst_proc)) return true;
+  if (down_axis_mask_ != 0 &&
+      static_cast<std::size_t>(src_proc) < proc_coords_.size() &&
+      static_cast<std::size_t>(dst_proc) < proc_coords_.size()) {
+    const TofuCoord& a = proc_coords_[static_cast<std::size_t>(src_proc)];
+    const TofuCoord& b = proc_coords_[static_cast<std::size_t>(dst_proc)];
+    for (int ax = 0; ax < kAxisCount; ++ax) {
+      if (((down_axis_mask_ >> ax) & 1u) != 0 && a.v[ax] != b.v[ax]) {
+        return true;  // the route must traverse a severed axis
+      }
+    }
+  }
+  return false;
+}
+
+std::string FaultInjector::unreachable_reason(int src_proc,
+                                              int dst_proc) const {
+  std::ostringstream os;
+  os << "route rank " << src_proc << " -> rank " << dst_proc
+     << " unreachable:";
+  if (crashed(src_proc)) os << " rank " << src_proc << " crashed (NIC lost);";
+  if (crashed(dst_proc)) os << " rank " << dst_proc << " crashed (NIC lost);";
+  if (down_axis_mask_ != 0 &&
+      static_cast<std::size_t>(src_proc) < proc_coords_.size() &&
+      static_cast<std::size_t>(dst_proc) < proc_coords_.size()) {
+    const TofuCoord& a = proc_coords_[static_cast<std::size_t>(src_proc)];
+    const TofuCoord& b = proc_coords_[static_cast<std::size_t>(dst_proc)];
+    for (int ax = 0; ax < kAxisCount; ++ax) {
+      if (((down_axis_mask_ >> ax) & 1u) != 0 && a.v[ax] != b.v[ax]) {
+        os << " link down on axis " << kAxisNames[ax] << ";";
+      }
+    }
+  }
+  os << " after "
+     << stats_.fabric_puts.load(std::memory_order_relaxed) << " fabric puts";
+  return os.str();
 }
 
 FaultDecision FaultInjector::decide(int src_proc, int dst_proc,

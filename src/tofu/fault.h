@@ -2,9 +2,23 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "tofu/coords.h"
+
 namespace lmp::tofu {
+
+/// A route between two endpoints is permanently severed (a link on one
+/// of the 6D axes is down, or the peer's NIC died). Unlike the
+/// stochastic message faults, retransmission cannot recover this: the
+/// fabric surfaces it as a typed error so the health monitor can
+/// escalate to the next comm variant instead of spinning on NACKs.
+class UnreachableError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Declarative description of the faults a run should experience.
 ///
@@ -14,6 +28,13 @@ namespace lmp::tofu {
 /// All stochastic choices derive from `seed` and the message identity
 /// alone, so a given plan injects the *same* faults into the same
 /// logical messages on every run: every failure is replayable.
+///
+/// `down_axes` / `crashed_ranks` are *permanent* faults: any route whose
+/// endpoints differ along a downed 6D axis, or that touches a crashed
+/// rank, raises UnreachableError from every put once the fault has
+/// manifested (`fault_onset_puts` fabric puts into the run). They defeat
+/// the retransmit protocol by design — recovery is the failover ladder's
+/// job, not the reliability layer's.
 struct FaultPlan {
   std::uint64_t seed = 0x5eedULL;
   double drop_rate = 0.0;       ///< notice and payload vanish in the fabric
@@ -24,11 +45,28 @@ struct FaultPlan {
   int max_delay_polls = 16;
   std::vector<int> dead_tnis;
 
+  // --- permanent faults -------------------------------------------------
+  /// 6D axes (tofu::Axis values, 0..5) whose links are severed: a route
+  /// is unreachable iff its endpoints' coordinates differ on a down axis.
+  std::vector<int> down_axes;
+  /// Ranks whose TofuD NIC died. The node itself still computes (and the
+  /// MPI fallback still reaches it) — exactly the degradation the
+  /// failover ladder exists for.
+  std::vector<int> crashed_ranks;
+  /// Permanent faults manifest only after this many fabric puts, so a
+  /// test can model a link that dies mid-run. 0 = down from the start.
+  std::uint64_t fault_onset_puts = 0;
+
   bool message_faults() const {
     return drop_rate > 0 || delay_rate > 0 || duplicate_rate > 0 ||
            corrupt_rate > 0;
   }
-  bool enabled() const { return message_faults() || !dead_tnis.empty(); }
+  bool permanent_faults() const {
+    return !down_axes.empty() || !crashed_ranks.empty();
+  }
+  bool enabled() const {
+    return message_faults() || !dead_tnis.empty() || permanent_faults();
+  }
 };
 
 /// What the injector decided for one message.
@@ -48,6 +86,8 @@ struct FaultStats {
   std::atomic<std::uint64_t> duplicated{0};
   std::atomic<std::uint64_t> corrupted{0};
   std::atomic<std::uint64_t> tni_drops{0};
+  std::atomic<std::uint64_t> fabric_puts{0};       ///< all puts seen (onset clock)
+  std::atomic<std::uint64_t> unreachable_puts{0};  ///< puts refused on severed routes
 };
 
 /// Deterministic, seeded fault source consulted by `Network::put` /
@@ -57,9 +97,10 @@ struct FaultStats {
 /// edata word carries the logical channel and sequence number, so the
 /// same logical message draws the same fate in every run regardless of
 /// thread interleaving. Retransmissions and control messages are issued
-/// with `PutMode::kRetransmit` / `kControl` and bypass the injector —
-/// they model the recovered path, and faulting them would only delay
-/// convergence without adding coverage.
+/// with `PutMode::kRetransmit` / `kControl` and bypass the *stochastic*
+/// injector — they model the recovered path, and faulting them would
+/// only delay convergence without adding coverage. Permanent faults
+/// (`unreachable`) apply to every mode: a severed link carries nothing.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
@@ -74,11 +115,33 @@ class FaultInjector {
   /// arguments. Updates the fault counters for every non-clean decision.
   FaultDecision decide(int src_proc, int dst_proc, std::uint64_t edata) const;
 
+  /// Resolve proc ids to 6D coordinates of a default (linear) allocation
+  /// so `down_axes` can be evaluated per route. Called by
+  /// `Network::set_fault_injector`; a no-op without permanent faults.
+  void map_procs(int nprocs);
+
+  /// Advance the onset clock — called once per fabric put (any mode).
+  void note_put() const {
+    stats_.fabric_puts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// True when the route src -> dst is permanently severed and the fault
+  /// has manifested (see FaultPlan::fault_onset_puts).
+  bool unreachable(int src_proc, int dst_proc) const;
+
+  /// Human-readable diagnosis for a severed route, used as the
+  /// UnreachableError message.
+  std::string unreachable_reason(int src_proc, int dst_proc) const;
+
   FaultStats& stats() const { return stats_; }
 
  private:
+  bool crashed(int proc) const;
+
   FaultPlan plan_;
-  std::uint64_t down_mask_ = 0;
+  std::uint64_t down_mask_ = 0;        ///< dead TNIs
+  std::uint64_t down_axis_mask_ = 0;   ///< severed 6D axes
+  std::vector<TofuCoord> proc_coords_; ///< filled by map_procs
   mutable FaultStats stats_;
 };
 

@@ -18,6 +18,32 @@ Network::Network(int nprocs, int tnis, int cqs)
 
 void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
   injector_ = std::move(injector);
+  if (injector_) injector_->map_procs(nprocs_);
+}
+
+void Network::abort_fabric(const std::string& reason) {
+  {
+    std::lock_guard lock(abort_mu_);
+    if (abort_reason_.empty()) abort_reason_ = reason;
+  }
+  aborted_.store(true, std::memory_order_release);
+}
+
+void Network::check_aborted() const {
+  if (!aborted_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(abort_mu_);
+  throw JobAbortedError("fabric aborted: " + abort_reason_);
+}
+
+void Network::check_route(int src_proc, int dst_proc) const {
+  if (injector_ == nullptr) return;
+  injector_->note_put();
+  if (injector_->unreachable(src_proc, dst_proc)) {
+    injector_->stats().unreachable_puts.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    throw UnreachableError(
+        injector_->unreachable_reason(src_proc, dst_proc));
+  }
 }
 
 Stadd Network::reg_mem(int proc, void* base, std::size_t len) {
@@ -113,8 +139,13 @@ int Network::tni_of(VcqId id) const { return vcq_checked(id).tni; }
 void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
                   std::uint64_t src_off, Stadd dst_stadd, std::uint64_t dst_off,
                   std::uint64_t length, std::uint64_t edata, PutMode mode) {
+  check_aborted();
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
+  // Permanent faults sever the route for every mode — retransmits and
+  // control traffic ride the same wires, so the reliability protocol
+  // cannot paper over them (that is the failover ladder's job).
+  check_route(src.proc, dst.proc);
 
   // Validate both windows before touching any queue, even for length 0:
   // a put with a bogus STADD or offset is a programming error regardless
@@ -180,8 +211,10 @@ void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
 
 void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
                             PutMode mode) {
+  check_aborted();
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
+  check_route(src.proc, dst.proc);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   if (mode == PutMode::kRetransmit) {
     stats_.retransmit_puts.fetch_add(1, std::memory_order_relaxed);
@@ -232,8 +265,10 @@ void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
 void Network::get(VcqId src_vcq, VcqId dst_vcq, Stadd remote_stadd,
                   std::uint64_t remote_off, Stadd local_stadd,
                   std::uint64_t local_off, std::uint64_t length) {
+  check_aborted();
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
+  check_route(src.proc, dst.proc);
   const std::byte* from = window_checked(dst.proc, remote_stadd, remote_off,
                                          length, "get source");
   std::byte* to =
@@ -310,10 +345,12 @@ TcqEntry Network::wait_tcq(VcqId id, std::chrono::milliseconds deadline) {
   for (std::uint64_t spin = 0;; ++spin) {
     if (auto e = poll_tcq(id)) return *e;
     // Amortize the clock read: a syscall-free spin iteration is a few ns.
-    if ((spin & 0x3FF) == 0 &&
-        std::chrono::steady_clock::now() - start >= deadline) {
-      const Vcq& v = vcq_checked(id);
-      throw_wait_timeout("TCQ", id, v.proc, v.tni, deadline);
+    if ((spin & 0x3FF) == 0) {
+      check_aborted();
+      if (std::chrono::steady_clock::now() - start >= deadline) {
+        const Vcq& v = vcq_checked(id);
+        throw_wait_timeout("TCQ", id, v.proc, v.tni, deadline);
+      }
     }
     std::this_thread::yield();
   }
@@ -323,10 +360,12 @@ MrqEntry Network::wait_mrq(VcqId id, std::chrono::milliseconds deadline) {
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t spin = 0;; ++spin) {
     if (auto e = poll_mrq(id)) return *e;
-    if ((spin & 0x3FF) == 0 &&
-        std::chrono::steady_clock::now() - start >= deadline) {
-      const Vcq& v = vcq_checked(id);
-      throw_wait_timeout("MRQ", id, v.proc, v.tni, deadline);
+    if ((spin & 0x3FF) == 0) {
+      check_aborted();
+      if (std::chrono::steady_clock::now() - start >= deadline) {
+        const Vcq& v = vcq_checked(id);
+        throw_wait_timeout("MRQ", id, v.proc, v.tni, deadline);
+      }
     }
     std::this_thread::yield();
   }

@@ -36,6 +36,15 @@ class CommTimeoutError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The job was aborted (one rank hit an unrecoverable comm failure and
+/// is rolling the run back). Blocking waits and new puts throw this so
+/// every rank promptly unwinds to the failover path instead of spinning
+/// out its full deadline against a torn-down peer.
+class JobAbortedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Default ceiling on blocking completion waits. Generous — the host may
 /// oversubscribe cores heavily — but finite, so a lost notice produces a
 /// diagnostic instead of an infinite spin.
@@ -116,8 +125,22 @@ class Network {
   // --- fault injection ------------------------------------------------
   /// Attach a fault injector; pass nullptr to restore perfect delivery.
   /// Must be called before traffic starts (not synchronized with puts).
+  /// Resolves proc coordinates for the injector's permanent-fault model
+  /// (FaultInjector::map_procs).
   void set_fault_injector(std::shared_ptr<FaultInjector> injector);
   FaultInjector* fault_injector() const { return injector_.get(); }
+
+  // --- job abort --------------------------------------------------------
+  /// Mark the fabric as aborted: every subsequent put and every blocking
+  /// wait (including ones already spinning) throws JobAbortedError naming
+  /// `reason`. Idempotent (first reason wins); permanent for the lifetime
+  /// of this Network — a failover attempt builds a fresh fabric.
+  void abort_fabric(const std::string& reason);
+  bool fabric_aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  /// Throws JobAbortedError when the fabric has been aborted.
+  void check_aborted() const;
 
   // --- memory registration ------------------------------------------
   /// Register [base, base+len) of `proc` and return its STADD. Real
@@ -224,8 +247,17 @@ class Network {
   mutable std::mutex vcq_mu_;
   std::vector<std::unique_ptr<Vcq>> vcqs_;
 
+  /// Permanent-fault gate shared by put/put_piggyback/get: advances the
+  /// injector's onset clock, then throws UnreachableError if the route
+  /// is severed.
+  void check_route(int src_proc, int dst_proc) const;
+
   std::shared_ptr<FaultInjector> injector_;
   NetworkStats stats_;
+
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  std::string abort_reason_;
 };
 
 }  // namespace lmp::tofu

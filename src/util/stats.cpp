@@ -23,9 +23,21 @@ std::string format_health_table(const CommHealthReport& h) {
   row("payloads_corrupted", h.payloads_corrupted);
   row("tni_drops", h.tni_drops);
   row("retransmit_puts", h.retransmit_puts);
+  row("unreachable_puts", h.unreachable_puts);
+  row("fabric_puts", h.fabric_puts);
   t.add_row({"tnis_in_use", std::to_string(h.tnis_in_use)});
   t.add_row({"tnis_down", std::to_string(h.tnis_down)});
-  return t.to_string();
+  row("checkpoints_written", h.checkpoints_written);
+  t.add_row({"checkpoint_io_s", TablePrinter::fmt(h.checkpoint_io_seconds, 4)});
+  t.add_row({"escalations", std::to_string(h.escalations.size())});
+  std::string out = t.to_string();
+  // The recovery story: one line per failover, after the counter table.
+  for (const EscalationEvent& e : h.escalations) {
+    out += "escalation at step " + std::to_string(e.fail_step) + ": " +
+           e.from_variant + " -> " + e.to_variant + " (resumed from step " +
+           std::to_string(e.resume_step) + "; " + e.reason + ")\n";
+  }
+  return out;
 }
 
 void RunningStats::add(double x) {

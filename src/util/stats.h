@@ -8,6 +8,19 @@
 
 namespace lmp::util {
 
+/// One comm-variant escalation: the health monitor (or a hard comm
+/// error) retired `from_variant` at `fail_step`, the run rolled back to
+/// the checkpoint at `resume_step`, and continued under `to_variant`.
+/// `reason` carries the trigger — the typed error text or the exceeded
+/// threshold, including the counters that tripped it.
+struct EscalationEvent {
+  int fail_step = 0;
+  int resume_step = 0;
+  std::string from_variant;
+  std::string to_variant;
+  std::string reason;
+};
+
 /// End-of-run communication health summary: what the reliability layer
 /// and the fault injector saw. All zeros on a clean run — the acceptance
 /// bar for "no overhead on the clean path".
@@ -24,9 +37,15 @@ struct CommHealthReport {
   std::uint64_t payloads_corrupted = 0;
   std::uint64_t tni_drops = 0;            ///< puts swallowed by a dead TNI
   std::uint64_t retransmit_puts = 0;      ///< fabric-level replay puts
+  std::uint64_t unreachable_puts = 0;     ///< puts refused on severed routes
+  std::uint64_t fabric_puts = 0;          ///< total puts the fabric carried
   // Degradation state.
   int tnis_in_use = 0;
   int tnis_down = 0;
+  // Self-healing runtime (checkpoint/restart + failover ladder).
+  std::uint64_t checkpoints_written = 0;  ///< checkpoint emissions this run
+  double checkpoint_io_seconds = 0.0;     ///< wall time in checkpoint file I/O
+  std::vector<EscalationEvent> escalations;  ///< comm-variant failovers, in order
 
   CommHealthReport& operator+=(const CommHealthReport& o) {
     nacks_sent += o.nacks_sent;
@@ -39,18 +58,26 @@ struct CommHealthReport {
     payloads_corrupted += o.payloads_corrupted;
     tni_drops += o.tni_drops;
     retransmit_puts += o.retransmit_puts;
+    unreachable_puts += o.unreachable_puts;
+    fabric_puts += o.fabric_puts;
     tnis_in_use = tnis_in_use > o.tnis_in_use ? tnis_in_use : o.tnis_in_use;
     tnis_down = tnis_down > o.tnis_down ? tnis_down : o.tnis_down;
+    checkpoints_written += o.checkpoints_written;
+    checkpoint_io_seconds += o.checkpoint_io_seconds;
+    escalations.insert(escalations.end(), o.escalations.begin(),
+                       o.escalations.end());
     return *this;
   }
 
-  /// True when nothing abnormal happened (degradation state ignored).
+  /// True when nothing abnormal happened (degradation state and
+  /// checkpoint activity ignored — writing checkpoints is normal).
   bool clean() const {
     return nacks_sent == 0 && retransmits_served == 0 &&
            duplicates_dropped == 0 && crc_rejects == 0 &&
            notices_dropped == 0 && notices_delayed == 0 &&
            notices_duplicated == 0 && payloads_corrupted == 0 &&
-           tni_drops == 0 && retransmit_puts == 0;
+           tni_drops == 0 && retransmit_puts == 0 && unreachable_puts == 0 &&
+           escalations.empty();
   }
 };
 

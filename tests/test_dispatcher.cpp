@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "comm/dispatcher.h"
 
 namespace lmp::comm {
@@ -62,6 +66,38 @@ TEST(NoticeDispatcher, DoubleOutstandingChannelIsAProtocolError) {
   f.post(MsgKind::kExchange, 7, 1);
   f.post(MsgKind::kExchange, 7, 2);
   EXPECT_THROW(f.dispatch.wait(MsgKind::kBorder, 0), std::logic_error);
+}
+
+TEST(NoticeDispatcher, TeardownWithInFlightNackBackoff) {
+  // Failover regression: a dispatcher stuck in a reliable wait (NACKs
+  // firing, long deadline) must unblock via the fabric abort, and its
+  // counters must still be safely snapshot-able from another thread
+  // while the waiter is live — the relaxed-copy semantics of
+  // DispatcherCounters.
+  using namespace std::chrono_literals;
+  Fixture f;
+  std::atomic<int> nacks{0};
+  ReliabilityParams params;
+  params.nack_after = 1ms;
+  params.nack_max = 2ms;
+  params.wait_deadline = 10000ms;  // far longer than the test may take
+  f.dispatch.enable_reliability([&](MsgKind, int) { nacks.fetch_add(1); },
+                                params);
+
+  std::thread waiter([&] {
+    EXPECT_THROW(f.dispatch.wait(MsgKind::kForward, 0),
+                 tofu::JobAbortedError);
+  });
+  // Let the backoff machinery engage before pulling the plug.
+  while (nacks.load() < 3) std::this_thread::yield();
+  const DispatcherCounters snapshot = f.dispatch.counters();  // concurrent copy
+  EXPECT_EQ(snapshot.duplicates_dropped.load(), 0u);
+  f.net.abort_fabric("teardown test");
+  const auto t0 = std::chrono::steady_clock::now();
+  waiter.join();
+  // Prompt unblock: the 10 s deadline was never waited out.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+  EXPECT_GE(nacks.load(), 3);
 }
 
 TEST(NoticeDispatcher, DrainTcqConsumesSenderCompletion) {

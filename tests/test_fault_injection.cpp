@@ -107,6 +107,77 @@ TEST(FaultInjector, TniDownMask) {
   EXPECT_FALSE(inj.tni_down(63));
 }
 
+// --- permanent faults ----------------------------------------------------
+
+TEST(FaultInjector, LinkDownOnlyPlanArmsInjector) {
+  // A plan with *only* permanent faults must still count as enabled —
+  // otherwise the network never attaches the injector and a severed
+  // link would silently carry traffic.
+  tofu::FaultPlan plan;
+  plan.down_axes = {5};
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.permanent_faults());
+  EXPECT_FALSE(plan.message_faults());
+
+  tofu::FaultPlan crash;
+  crash.crashed_ranks = {3};
+  EXPECT_TRUE(crash.enabled());
+  EXPECT_TRUE(crash.permanent_faults());
+}
+
+TEST(FaultInjector, ValidatesPermanentFaultFields) {
+  tofu::FaultPlan bad;
+  bad.down_axes = {6};  // axes are 0..5
+  EXPECT_THROW(tofu::FaultInjector{bad}, std::invalid_argument);
+  bad = {};
+  bad.down_axes = {-1};
+  EXPECT_THROW(tofu::FaultInjector{bad}, std::invalid_argument);
+  bad = {};
+  bad.crashed_ranks = {-2};
+  EXPECT_THROW(tofu::FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST(FaultInjector, UnreachableNeedsMappedProcsAndOnset) {
+  tofu::FaultPlan plan;
+  plan.crashed_ranks = {1};
+  tofu::FaultInjector inj(plan);
+  inj.map_procs(4);
+  // Onset clock at zero: the fault has not manifested yet.
+  EXPECT_FALSE(inj.unreachable(0, 1));
+  inj.note_put();
+  EXPECT_TRUE(inj.unreachable(0, 1));
+  EXPECT_TRUE(inj.unreachable(1, 0));
+  EXPECT_FALSE(inj.unreachable(0, 2));
+  EXPECT_FALSE(inj.unreachable(2, 2));
+  EXPECT_FALSE(inj.unreachable(1, 1));  // self-route never leaves the node
+  const std::string why = inj.unreachable_reason(0, 1);
+  EXPECT_NE(why.find("crashed"), std::string::npos) << why;
+}
+
+TEST(NetworkFaults, AbortFabricUnblocksWaitsAndRefusesPuts) {
+  tofu::FaultPlan plan;  // no faults needed — abort is orthogonal
+  tofu::Network net(2);
+  std::vector<double> src(8, 1.0), dst(8, 0.0);
+  const tofu::Stadd ss = net.reg_mem(0, src.data(), 64);
+  const tofu::Stadd ds = net.reg_mem(1, dst.data(), 64);
+  const tofu::VcqId v0 = net.create_vcq(0, 0, 0);
+  const tofu::VcqId v1 = net.create_vcq(1, 0, 0);
+  (void)plan;
+  net.abort_fabric("rank 1 failed");
+  EXPECT_TRUE(net.fabric_aborted());
+  try {
+    net.put(v0, v1, ss, 0, ds, 0, 64, 7);
+    FAIL() << "expected JobAbortedError";
+  } catch (const tofu::JobAbortedError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1 failed"), std::string::npos);
+  }
+  // A wait with a long deadline returns promptly once aborted.
+  EXPECT_THROW(net.wait_mrq(v1, std::chrono::milliseconds(60000)),
+               tofu::JobAbortedError);
+  EXPECT_THROW(net.wait_tcq(v0, std::chrono::milliseconds(60000)),
+               tofu::JobAbortedError);
+}
+
 // --- msg codec reliability fields --------------------------------------
 
 TEST(MsgCodec, SeqAndCrcRoundTrip) {
@@ -155,6 +226,34 @@ struct NetFixture {
     v1 = net.create_vcq(1, dst_tni, 0);
   }
 };
+
+TEST(NetworkFaults, SeveredRouteThrowsForAllPutModes) {
+  tofu::FaultPlan plan;
+  plan.crashed_ranks = {1};
+  NetFixture f(plan);
+  // Data, retransmit, control, piggyback: a severed link carries nothing.
+  EXPECT_THROW(f.net.put(f.v0, f.v1, f.ss, 0, f.ds, 0, 64, 7),
+               tofu::UnreachableError);
+  EXPECT_THROW(f.net.put(f.v0, f.v1, f.ss, 0, f.ds, 0, 64, 7,
+                         tofu::PutMode::kRetransmit),
+               tofu::UnreachableError);
+  EXPECT_THROW(f.net.put_piggyback(f.v0, f.v1, 0x55, tofu::PutMode::kControl),
+               tofu::UnreachableError);
+  EXPECT_THROW(f.net.put_piggyback(f.v0, f.v1, 0x55), tofu::UnreachableError);
+  EXPECT_EQ(f.net.fault_injector()->stats().unreachable_puts.load(), 4u);
+  EXPECT_DOUBLE_EQ(f.dst[0], 0.0);
+}
+
+TEST(NetworkFaults, OnsetClockDelaysPermanentFault) {
+  tofu::FaultPlan plan;
+  plan.crashed_ranks = {1};
+  plan.fault_onset_puts = 2;  // the first two puts still get through
+  NetFixture f(plan);
+  EXPECT_NO_THROW(f.net.put_piggyback(f.v0, f.v1, 0x1));
+  EXPECT_NO_THROW(f.net.put_piggyback(f.v0, f.v1, 0x2));
+  EXPECT_THROW(f.net.put_piggyback(f.v0, f.v1, 0x3), tofu::UnreachableError);
+  EXPECT_EQ(f.net.fault_injector()->stats().fabric_puts.load(), 3u);
+}
 
 TEST(NetworkFaults, DropSwallowsNoticeButPostsTcq) {
   tofu::FaultPlan plan;

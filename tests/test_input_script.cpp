@@ -151,6 +151,53 @@ TEST(InputScript, BadValuesRejected) {
                std::invalid_argument);
 }
 
+TEST(InputScript, SelfHealingCommandsParse) {
+  const ParsedScript p = parse_input_script(R"(
+units lj
+checkpoint 20 /tmp/ck
+restart /tmp/ck.40
+failover_chain 4tni_p2p mpi_p2p ref
+health_threshold max_nacks 8 max_retransmits 16 min_tnis 4
+run 50
+)");
+  const SimOptions& o = p.options;
+  EXPECT_EQ(o.checkpoint_every, 20);
+  EXPECT_EQ(o.checkpoint_path, "/tmp/ck");
+  EXPECT_EQ(o.restart_file, "/tmp/ck.40");
+  ASSERT_EQ(o.failover_chain.size(), 3u);
+  EXPECT_EQ(o.failover_chain[0], "4tni_p2p");
+  EXPECT_EQ(o.failover_chain[2], "ref");
+  EXPECT_EQ(o.health.max_nacks, 8u);
+  EXPECT_EQ(o.health.max_retransmits, 16u);
+  EXPECT_EQ(o.health.max_crc_rejects, 0u);
+  EXPECT_EQ(o.health.min_tnis, 4);
+  EXPECT_TRUE(o.health.any());
+}
+
+TEST(InputScript, CheckpointWithoutPrefixStaysInMemory) {
+  const ParsedScript p =
+      parse_input_script("units lj\ncheckpoint 10\nrun 20\n");
+  EXPECT_EQ(p.options.checkpoint_every, 10);
+  EXPECT_TRUE(p.options.checkpoint_path.empty());
+}
+
+TEST(InputScript, SelfHealingCommandsValidated) {
+  EXPECT_THROW(parse_input_script("units lj\ncheckpoint 0\nrun 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_input_script("units lj\nfailover_chain warp_drive\nrun 1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_input_script("units lj\nhealth_threshold max_nacks\nrun 1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_input_script("units lj\nhealth_threshold max_nacks -1\nrun 1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_input_script("units lj\nhealth_threshold bogus 3\nrun 1\n"),
+      std::invalid_argument);
+}
+
 TEST(InputScript, RegionMustStartAtOrigin) {
   EXPECT_THROW(
       parse_input_script("units lj\nregion box block 1 6 0 6 0 6\nrun 1\n"),

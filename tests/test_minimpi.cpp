@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <thread>
 
 #include "minimpi/runtime.h"
 #include "minimpi/world.h"
@@ -148,6 +150,40 @@ TEST(World, MessageCount) {
 
 TEST(World, InvalidConstruction) {
   EXPECT_THROW(World(0), std::invalid_argument);
+}
+
+TEST(World, PoisonUnblocksBlockedRecv) {
+  World w(2);
+  run_ranks(2, [&](int rank) {
+    if (rank == 0) {
+      // Block on a message that will never come; the poison must wake us.
+      EXPECT_THROW(w.recv(0, 1, 99), PoisonedError);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      w.poison("rank 1 failed");
+    }
+  });
+}
+
+TEST(World, PoisonUnblocksBarrierAndRefusesSend) {
+  World w(3);
+  run_ranks(3, [&](int rank) {
+    if (rank == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      w.poison("rank 2 failed");
+      return;
+    }
+    try {
+      w.barrier(rank);  // only 2 of 3 arrive — poisoned wake-up
+      FAIL() << "barrier completed without rank 2";
+    } catch (const PoisonedError& e) {
+      EXPECT_NE(std::string(e.what()).find("rank 2 failed"),
+                std::string::npos);
+    }
+    EXPECT_THROW(w.send(rank, (rank + 1) % 3, 0, bytes_of(1.0)),
+                 PoisonedError);
+  });
+  EXPECT_TRUE(w.poisoned());
 }
 
 TEST(RunRanks, PropagatesExceptions) {
