@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "obs/report.h"
 #include "util/table_printer.h"
 
 namespace lmp::bench {
@@ -24,6 +26,23 @@ inline std::string us(double seconds, int precision = 2) {
 
 inline std::string pct(double fraction, int precision = 1) {
   return TablePrinter::fmt(fraction * 100.0, precision);
+}
+
+/// Persist one machine-readable result record as BENCH_<name>.json next
+/// to the binary (or under $LMP_BENCH_DIR when set), so sweeps over
+/// commits can diff numbers without scraping tables. Non-fatal on I/O
+/// failure: the human-readable tables remain the primary output.
+inline void emit_record(const obs::BenchRecord& rec) {
+  const char* dir = std::getenv("LMP_BENCH_DIR");
+  const std::string path =
+      (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/"
+                                        : std::string()) +
+      "BENCH_" + rec.name + ".json";
+  if (obs::write_text_file(path, rec.to_json())) {
+    std::printf("\nbench record written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
 }
 
 }  // namespace lmp::bench

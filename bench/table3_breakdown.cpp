@@ -38,6 +38,9 @@ int main() {
                          "Other", "total"});
   bench::TablePrinter pctt({"potential", "Pair%", "Neigh%", "Comm%", "Modify%",
                             "Other%"});
+  obs::BenchRecord rec;
+  rec.name = "table3_breakdown";
+  rec.labels = {{"nodes", "36864"}, {"steps", std::to_string(kSteps)}};
   for (const Row& r : rows) {
     const perf::Workload w = r.pot == perf::PotKind::kLj
                                  ? perf::Workload::lj(r.natoms, 36864)
@@ -56,6 +59,13 @@ int main() {
                   bench::pct(b.comm / b.total(), 2),
                   bench::pct(b.modify / b.total(), 2),
                   bench::pct(b.other / b.total(), 2)});
+    const std::string key = r.name;
+    rec.metrics.emplace_back(key + ".pair_s", b.pair * kSteps);
+    rec.metrics.emplace_back(key + ".neigh_s", b.neigh * kSteps);
+    rec.metrics.emplace_back(key + ".comm_s", b.comm * kSteps);
+    rec.metrics.emplace_back(key + ".modify_s", b.modify * kSteps);
+    rec.metrics.emplace_back(key + ".other_s", b.other * kSteps);
+    rec.metrics.emplace_back(key + ".total_s", b.total() * kSteps);
   }
   std::printf("\nelapsed for 99 steps, unit 0.01 s (Table 3 layout):\n");
   t.print();
@@ -63,5 +73,6 @@ int main() {
   pctt.print();
   std::printf("\npaper shares for reference — Comm: 64.85/43.67/33.50/20.02%%, "
               "Pair: 15.3/26.71/43.44/40.85%%, Other: 8.99/15.68/16.91/31.84%%\n");
+  bench::emit_record(rec);
   return 0;
 }

@@ -30,11 +30,47 @@ run_restart_smoke() {
   echo "restart smoke: bitwise-identical after restart from step 40"
 }
 
+# Trace smoke: run the melt example with tracing + report enabled and
+# validate the artifacts — the trace must parse as Chrome trace-event
+# JSON with at least one span per stage per rank, the report as the
+# versioned run-report schema.
+run_trace_smoke() {
+  local build_dir="$1"
+  echo "--- trace smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  "${build_dir}/examples/lmp_cli" examples/in.melt.lj \
+      --trace "${work}/melt.trace.json" --report "${work}/melt.report.json" \
+      > /dev/null
+  python3 - "${work}/melt.trace.json" "${work}/melt.report.json" <<'EOF'
+import json, sys, collections
+trace = json.load(open(sys.argv[1])); report = json.load(open(sys.argv[2]))
+spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+stages = {"stage:Pair", "stage:Neigh", "stage:Comm", "stage:Modify", "stage:Other"}
+per_rank = collections.defaultdict(set)
+for e in spans:
+    if e["name"] in stages:
+        per_rank[e["pid"]].add(e["name"])
+ranks = sorted(p for p in per_rank if p >= 0)
+assert ranks, "no rank emitted stage spans"
+for r in ranks:
+    missing = stages - per_rank[r]
+    assert not missing, f"rank {r} missing spans: {missing}"
+assert report["schema"] == "lmp-run-report" and report["version"] == 1
+total = report["stages"]["total_seconds"]
+sum_s = sum(v["seconds"] for k, v in report["stages"].items() if k != "total_seconds")
+assert abs(sum_s - total) < 1e-9, (sum_s, total)
+print(f"trace smoke: {len(spans)} spans across ranks {ranks}; report consistent")
+EOF
+}
+
 echo "=== pass 1: -Werror build + ctest ==="
 cmake -B build-ci -S . -DLMP_WERROR=ON
 cmake --build build-ci -j "${JOBS}"
 ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci
+run_trace_smoke build-ci
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "ci.sh: --fast: skipping sanitizer pass"
@@ -46,5 +82,11 @@ cmake -B build-ci-asan -S . -DLMP_WERROR=ON -DLMP_SANITIZE=address,undefined
 cmake --build build-ci-asan -j "${JOBS}"
 ctest --test-dir build-ci-asan --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci-asan
+run_trace_smoke build-ci-asan
+
+echo "=== pass 3: LMP_TRACE=OFF build (instrumentation compiles out) ==="
+cmake -B build-ci-notrace -S . -DLMP_WERROR=ON -DLMP_TRACE=OFF
+cmake --build build-ci-notrace -j "${JOBS}"
+ctest --test-dir build-ci-notrace --output-on-failure -j "${JOBS}"
 
 echo "ci.sh: all passes green"

@@ -9,12 +9,17 @@
 //   --restart <file>          resume from a checkpoint file
 //   --checkpoint-path <pfx>   write checkpoints as <pfx>.<step>
 //   --dump-final <file>       write final per-atom state (tag x y z vx vy vz)
+//   --trace <file>            write a Chrome/Perfetto trace JSON
+//                             (load in chrome://tracing or ui.perfetto.dev)
+//   --report <file>           write the machine-readable run report JSON
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "comm/comm_factory.h"
+#include "obs/report.h"
+#include "obs/tracer.h"
 #include "sim/input_script.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -26,7 +31,8 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <input-script> [comm-variant] [--restart <file>] "
-               "[--checkpoint-path <prefix>] [--dump-final <file>]\n",
+               "[--checkpoint-path <prefix>] [--dump-final <file>] "
+               "[--trace <file>] [--report <file>]\n",
                prog);
   std::fprintf(stderr, "  comm-variant: %s\n",
                comm::CommFactory::instance().catalog().c_str());
@@ -84,6 +90,14 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--dump-final");
       if (!v) return 1;
       dump_path = v;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      const char* v = flag_value("--trace");
+      if (!v) return 1;
+      script.trace_path = v;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      const char* v = flag_value("--report");
+      if (!v) return 1;
+      script.report_path = v;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return usage(argv[0]);
@@ -116,6 +130,18 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  if (!script.trace_path.empty()) {
+    if (!obs::trace_compiled_in()) {
+      std::fprintf(stderr,
+                   "error: --trace requires a build with LMP_TRACE=ON\n");
+      return 1;
+    }
+    obs::set_trace_categories(obs::kAllTraceCats);
+  }
+  if (!script.trace_path.empty() || !script.report_path.empty()) {
+    obs::set_metrics_enabled(true);
+  }
+
   sim::JobResult r;
   try {
     r = sim::run_simulation(o, script.run_steps);
@@ -144,20 +170,44 @@ int main(int argc, char** argv) {
   if (!r.health.clean() || r.health.checkpoints_written > 0) {
     std::printf("\n%s", util::format_health_table(r.health).c_str());
   }
+  const std::string latency = util::format_latency_table();
+  if (!latency.empty()) std::printf("\n%s", latency.c_str());
 
   const util::StageTimer stages = r.total_stages();
+  const double total = stages.total();  // one denominator for all rows
   std::printf("\nMPI task timing breakdown:\n");
-  for (const auto stage :
-       {util::Stage::kPair, util::Stage::kNeigh, util::Stage::kComm,
-        util::Stage::kModify, util::Stage::kOther}) {
+  for (const auto stage : util::all_stages()) {
     std::printf("  %-7s %8.4fs  %5.1f%%\n",
                 std::string(util::stage_name(stage)).c_str(),
-                stages.get(stage), stages.percent(stage));
+                stages.get(stage), stages.percent(stage, total));
   }
   if (r.health.checkpoints_written > 0) {
     std::printf("  Ckpt I/O %7.4fs  (%llu checkpoints)\n",
                 r.health.checkpoint_io_seconds,
                 static_cast<unsigned long long>(r.health.checkpoints_written));
+  }
+
+  if (!script.report_path.empty()) {
+    const obs::RunReport rep = sim::build_run_report(o, script.run_steps, r);
+    if (!obs::write_text_file(script.report_path, rep.to_json())) {
+      std::fprintf(stderr, "error: cannot write report %s\n",
+                   script.report_path.c_str());
+      return 1;
+    }
+    std::printf("\nRun report written to %s\n", script.report_path.c_str());
+  }
+  if (!script.trace_path.empty()) {
+    if (!obs::Tracer::instance().export_chrome_json_file(script.trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace %s\n",
+                   script.trace_path.c_str());
+      return 1;
+    }
+    std::printf("Trace written to %s (%llu events, %llu overwritten)\n",
+                script.trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    obs::Tracer::instance().events_recorded()),
+                static_cast<unsigned long long>(
+                    obs::Tracer::instance().events_dropped()));
   }
 
   if (!dump_path.empty() && !dump_final(dump_path, r)) return 1;

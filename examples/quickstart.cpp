@@ -40,14 +40,13 @@ int main() {
 
   // LAMMPS-style "MPI task timing breakdown".
   const util::StageTimer stages = result.total_stages();
+  const double total = stages.total();  // one denominator for all rows
   std::printf("\nMPI task timing breakdown (summed over ranks):\n");
   util::TablePrinter t({"Section", "time(s)", "%total"});
-  for (const auto stage :
-       {util::Stage::kPair, util::Stage::kNeigh, util::Stage::kComm,
-        util::Stage::kModify, util::Stage::kOther}) {
+  for (const auto stage : util::all_stages()) {
     t.add_row({std::string(util::stage_name(stage)),
                util::TablePrinter::fmt(stages.get(stage), 4),
-               util::TablePrinter::fmt(stages.percent(stage), 1)});
+               util::TablePrinter::fmt(stages.percent(stage, total), 1)});
   }
   t.print();
 

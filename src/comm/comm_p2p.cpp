@@ -9,6 +9,7 @@
 #include "comm/msg_codec.h"
 #include "comm/pack_kernels.h"
 #include "geom/ghost_algebra.h"
+#include "obs/tracer.h"
 
 namespace lmp::comm {
 
@@ -193,6 +194,7 @@ void CommP2p::send_nack(MsgKind kind, int dir) {
       peer.vcq[static_cast<std::size_t>(slot_of_dir_[static_cast<std::size_t>(sender_dir)])],
       ed.encode(), tofu::PutMode::kControl);
   nacks_sent_.fetch_add(1, std::memory_order_relaxed);
+  LMP_TRACE_INSTANT(obs::TraceCat::kComm, "nack.sent");
 }
 
 void CommP2p::serve_retransmit(MsgKind kind, std::uint8_t seq, int dir) {
@@ -213,6 +215,7 @@ void CommP2p::serve_retransmit(MsgKind kind, std::uint8_t seq, int dir) {
     return;
   }
   retransmits_served_.fetch_add(1, std::memory_order_relaxed);
+  LMP_TRACE_INSTANT(obs::TraceCat::kComm, "retransmit.served");
   const RankAddresses& peer = book_->of(p.peer);
   if (p.piggyback) {
     net_->put_piggyback(vcq_[static_cast<std::size_t>(p.my_slot)],
@@ -231,6 +234,7 @@ void CommP2p::progress_loop() {
   // assistant core): services retransmit requests on every owned VCQ so
   // a sender blocked elsewhere — or already past its last wait — still
   // answers NACKs.
+  LMP_TRACE_THREAD(ctx_.rank, 100, "progress");
   while (!stop_progress_.load(std::memory_order_acquire)) {
     bool served = false;
     try {
@@ -266,6 +270,7 @@ Edata CommP2p::wait_ring(MsgKind kind, int dir) {
             .as_doubles();
     if (e.crc == payload_crc(e.value, ring, e.value * sizeof(double))) return e;
     crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+    LMP_TRACE_INSTANT(obs::TraceCat::kComm, "crc.rejected");
     dispatch_[static_cast<std::size_t>(slot)].accept_retransmit(kind, dir);
     send_nack(kind, dir);
   }
@@ -277,6 +282,7 @@ Edata CommP2p::wait_piggyback(MsgKind kind, int dir) {
     const Edata e = dispatch_[static_cast<std::size_t>(slot)].wait(kind, dir);
     if (!reliable_ || e.crc == payload_crc(e.value, nullptr, 0)) return e;
     crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+    LMP_TRACE_INSTANT(obs::TraceCat::kComm, "crc.rejected");
     dispatch_[static_cast<std::size_t>(slot)].accept_retransmit(kind, dir);
     send_nack(kind, dir);
   }

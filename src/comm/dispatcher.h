@@ -10,9 +10,20 @@
 #include <thread>
 
 #include "comm/msg_codec.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "tofu/network.h"
 
 namespace lmp::comm {
+
+namespace detail {
+/// Wait-latency histogram, resolved once (registry lookups lock).
+inline obs::Histogram& notice_wait_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("comm.wait_ns");
+  return h;
+}
+}  // namespace detail
 
 inline constexpr int kKindCount = static_cast<int>(MsgKind::kCount);
 inline constexpr int kMaxDirs = 26;
@@ -116,6 +127,7 @@ class NoticeDispatcher {
       return e;
     }
     const auto start = std::chrono::steady_clock::now();
+    const std::int64_t wait_t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
     auto backoff = params_.nack_after;
     std::chrono::steady_clock::duration next_nack = params_.nack_after;
     for (std::uint64_t spin = 0;; ++spin) {
@@ -123,10 +135,15 @@ class NoticeDispatcher {
         const Edata e = Edata::decode(notice->edata);
         if (reliable_ && stale_or_dup(e)) {
           counters_.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+          LMP_TRACE_INSTANT(obs::TraceCat::kComm, "notice.dup_dropped");
           continue;
         }
         if (e.kind == kind && e.dir == dir) {
           bump_seq(e);
+          if (obs::metrics_enabled()) {
+            detail::notice_wait_hist().record(
+                static_cast<std::uint64_t>(obs::now_ns() - wait_t0));
+          }
           return e;
         }
         auto& other = stash_[static_cast<int>(e.kind)][e.dir];
@@ -136,6 +153,7 @@ class NoticeDispatcher {
             // a duplicate that raced past the seq filter via the stash.
             counters_.duplicates_dropped.fetch_add(1,
                                                    std::memory_order_relaxed);
+            LMP_TRACE_INSTANT(obs::TraceCat::kComm, "notice.dup_dropped");
             continue;
           }
           throw std::logic_error(
@@ -161,6 +179,7 @@ class NoticeDispatcher {
           throw tofu::CommTimeoutError(os.str());
         }
         if (reliable_ && nack_ && waited >= next_nack) {
+          LMP_TRACE_INSTANT(obs::TraceCat::kComm, "nack.issued");
           nack_(kind, dir);
           backoff = (std::min)(backoff * 2, params_.nack_max);
           next_nack = waited + backoff;

@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace lmp::obs {
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.mean = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+           static_cast<double>(s.count);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+
+  const auto quantile = [this, &s](double q) {
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(s.count) + 0.5);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += buckets_[b].load(std::memory_order_relaxed);
+      if (cum >= target && cum > 0) {
+        // Upper edge of bucket b ([2^(b-1), 2^b)), clamped to the
+        // exact observed range.
+        const std::uint64_t upper =
+            b == 0 ? 0 : (b >= 63 ? s.max : (1ull << b) - 1);
+        const std::uint64_t est =
+            upper < s.min ? s.min : (upper > s.max ? s.max : upper);
+        return static_cast<double>(est);
+      }
+    }
+    return static_cast<double>(s.max);
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct Slot {
+  MetricKind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct RegistryState {
+  mutable std::mutex mu;
+  std::map<std::string, Slot> slots;  ///< ordered: snapshots come out sorted
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState;  // immortal, like the tracer
+  return *s;
+}
+
+[[noreturn]] void kind_clash(const std::string& name) {
+  throw std::logic_error("metric '" + name +
+                         "' already registered as a different kind");
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry r;
+  return r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  RegistryState& s = state();
+  std::lock_guard lock(s.mu);
+  Slot& slot = s.slots[name];
+  if (slot.counter == nullptr) {
+    if (slot.gauge != nullptr || slot.histogram != nullptr) kind_clash(name);
+    slot.kind = MetricKind::kCounter;
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  RegistryState& s = state();
+  std::lock_guard lock(s.mu);
+  Slot& slot = s.slots[name];
+  if (slot.gauge == nullptr) {
+    if (slot.counter != nullptr || slot.histogram != nullptr) kind_clash(name);
+    slot.kind = MetricKind::kGauge;
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  RegistryState& s = state();
+  std::lock_guard lock(s.mu);
+  Slot& slot = s.slots[name];
+  if (slot.histogram == nullptr) {
+    if (slot.counter != nullptr || slot.gauge != nullptr) kind_clash(name);
+    slot.kind = MetricKind::kHistogram;
+    slot.histogram = std::make_unique<Histogram>();
+  }
+  return *slot.histogram;
+}
+
+void MetricsRegistry::reset_values() {
+  RegistryState& s = state();
+  std::lock_guard lock(s.mu);
+  for (auto& [name, slot] : s.slots) {
+    if (slot.counter) slot.counter->reset();
+    if (slot.gauge) slot.gauge->reset();
+    if (slot.histogram) slot.histogram->reset();
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  RegistryState& s = state();
+  std::lock_guard lock(s.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, slot] : s.slots) {
+    if (slot.counter) out.emplace_back(name, slot.counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::gauges()
+    const {
+  RegistryState& s = state();
+  std::lock_guard lock(s.mu);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& [name, slot] : s.slots) {
+    if (slot.gauge) out.emplace_back(name, slot.gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Summary>>
+MetricsRegistry::histograms() const {
+  RegistryState& s = state();
+  std::lock_guard lock(s.mu);
+  std::vector<std::pair<std::string, Histogram::Summary>> out;
+  for (const auto& [name, slot] : s.slots) {
+    if (slot.histogram) out.emplace_back(name, slot.histogram->summary());
+  }
+  return out;
+}
+
+}  // namespace lmp::obs

@@ -1,0 +1,235 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace lmp::obs {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.back()) out_ += ",";
+  first_in_scope_.back() = false;
+}
+
+void JsonWriter::escape(const std::string& s) {
+  out_ += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out_ += '\\';
+      out_ += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out_ += buf;
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += "{";
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += "}";
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += "[";
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += "]";
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  escape(k);
+  out_ += ":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  escape(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // %.17g prints bare "inf"/"nan", which is not JSON — null is.
+  for (const char* p = buf; *p != '\0'; ++p) {
+    if (*p == 'n' || *p == 'i' || *p == 'N' || *p == 'I') {
+      out_ += "null";
+      return *this;
+    }
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  return n == text.size() && rc == 0;
+}
+
+namespace {
+
+/// Shared metrics section: everything the registry accumulated during
+/// the run, so reports stay in sync with new instrumentation for free.
+/// `section` must differ from the caller's other keys — a BenchRecord
+/// already owns "metrics" for its headline numbers.
+void append_metrics(JsonWriter& w, const char* section) {
+  w.key(section).begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : MetricsRegistry::instance().counters()) {
+    w.kv(name, v);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : MetricsRegistry::instance().gauges()) {
+    w.kv(name, static_cast<std::int64_t>(v));
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, s] : MetricsRegistry::instance().histograms()) {
+    w.key(name).begin_object();
+    w.kv("count", s.count);
+    w.kv("mean", s.mean);
+    w.kv("p50", s.p50);
+    w.kv("p95", s.p95);
+    w.kv("p99", s.p99);
+    w.kv("min", s.count > 0 ? s.min : 0);
+    w.kv("max", s.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kRunReportSchema);
+  w.kv("version", kRunReportVersion);
+  w.kv("workload", workload);
+  w.kv("comm_requested", comm_requested);
+  w.kv("comm_final", comm_final);
+  w.kv("nsteps", nsteps);
+  w.kv("restart_step", restart_step);
+  w.kv("nranks", nranks);
+  w.kv("natoms", static_cast<std::int64_t>(natoms));
+
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config) w.kv(k, v);
+  w.end_object();
+
+  w.key("stages").begin_object();
+  for (const ReportStage& s : stages) {
+    w.key(s.name).begin_object();
+    w.kv("seconds", s.seconds);
+    w.kv("percent", s.percent);
+    w.end_object();
+  }
+  w.kv("total_seconds", stage_total_seconds);
+  w.end_object();
+
+  w.key("health").begin_object();
+  for (const auto& [k, v] : health_counters) w.kv(k, v);
+  w.kv("checkpoint_io_seconds", checkpoint_io_seconds);
+  w.key("escalations").begin_array();
+  for (const ReportEscalation& e : escalations) {
+    w.begin_object();
+    w.kv("fail_step", e.fail_step);
+    w.kv("resume_step", e.resume_step);
+    w.kv("from", e.from_variant);
+    w.kv("to", e.to_variant);
+    w.kv("reason", e.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("thermo_first").begin_object();
+  for (const auto& [k, v] : thermo_first) w.kv(k, v);
+  w.end_object();
+  w.key("thermo_last").begin_object();
+  for (const auto& [k, v] : thermo_last) w.kv(k, v);
+  w.end_object();
+
+  append_metrics(w, "metrics");
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string BenchRecord::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kBenchRecordSchema);
+  w.kv("version", kBenchRecordVersion);
+  w.kv("name", name);
+  w.key("labels").begin_object();
+  for (const auto& [k, v] : labels) w.kv(k, v);
+  w.end_object();
+  w.key("metrics").begin_object();
+  for (const auto& [k, v] : metrics) w.kv(k, v);
+  w.end_object();
+  append_metrics(w, "registry");
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace lmp::obs

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lmp::obs {
+
+/// Minimal streaming JSON writer (objects, arrays, scalar values) — the
+/// one home of JSON syntax for run reports, bench records, and anything
+/// else that must be machine-readable without external dependencies.
+/// Doubles are printed with %.17g so every value round-trips exactly.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  /// key + scalar in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  void escape(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> first_in_scope_{true};
+  bool after_key_ = false;
+};
+
+/// Write `text` to `path` (truncating); false on any I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+// --- run report ---------------------------------------------------------
+
+inline constexpr const char* kRunReportSchema = "lmp-run-report";
+inline constexpr int kRunReportVersion = 1;
+
+struct ReportStage {
+  std::string name;
+  double seconds = 0.0;
+  double percent = 0.0;
+};
+
+struct ReportEscalation {
+  int fail_step = 0;
+  int resume_step = 0;
+  std::string from_variant;
+  std::string to_variant;
+  std::string reason;
+};
+
+/// The full end-of-run picture, ready to serialize. Populated by
+/// `sim::build_run_report` (the obs layer stays ignorant of sim types);
+/// `to_json()` appends whatever the MetricsRegistry holds at write time
+/// (histogram summaries, counters, gauges).
+struct RunReport {
+  std::string workload;
+  std::string comm_requested;
+  std::string comm_final;
+  int nsteps = 0;
+  int restart_step = 0;
+  int nranks = 0;
+  long natoms = 0;
+  /// Config echo: key/value pairs, exactly as the run resolved them.
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Stage breakdown summed over ranks; `stage_total_seconds` is the
+  /// denominator used for every percent (computed once, not per row).
+  std::vector<ReportStage> stages;
+  double stage_total_seconds = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> health_counters;
+  double checkpoint_io_seconds = 0.0;
+  std::vector<ReportEscalation> escalations;
+  /// First/last thermo samples: (step, temperature, total energy).
+  std::vector<std::pair<std::string, double>> thermo_first;
+  std::vector<std::pair<std::string, double>> thermo_last;
+
+  std::string to_json() const;
+};
+
+// --- bench record -------------------------------------------------------
+
+inline constexpr const char* kBenchRecordSchema = "lmp-bench-record";
+inline constexpr int kBenchRecordVersion = 1;
+
+/// One BENCH_*.json-compatible result record: a named experiment with
+/// string labels (workload, variant, ...) and numeric metrics. The
+/// serialized form adds a "registry" section with whatever the
+/// MetricsRegistry holds at write time.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  std::string to_json() const;
+};
+
+}  // namespace lmp::obs

@@ -1,0 +1,187 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lmp::obs {
+
+/// Subsystem categories for runtime trace gating. Each instrumentation
+/// site names one; `set_trace_categories` turns categories on and off
+/// per subsystem without rebuilding.
+enum class TraceCat : std::uint32_t {
+  kSim = 1u << 0,   ///< per-step / per-stage spans (sim/)
+  kComm = 1u << 1,  ///< NACK/retransmit/CRC protocol events (comm/)
+  kTofu = 1u << 2,  ///< fabric puts and queue depths (tofu/)
+  kPool = 1u << 3,  ///< thread-pool dispatch/run (threadpool/)
+  kCkpt = 1u << 4,  ///< checkpoint and failover lifecycle (sim/)
+};
+
+inline constexpr std::uint32_t kAllTraceCats = 0x1Fu;
+
+const char* trace_cat_name(TraceCat c);
+
+/// Nanoseconds since the process-wide trace epoch (steady clock).
+std::int64_t now_ns();
+
+namespace detail {
+extern std::atomic<std::uint32_t> g_trace_cats;
+extern std::atomic<bool> g_metrics_on;
+}  // namespace detail
+
+/// Hot-path gates: one relaxed atomic load each. Instrumentation sites
+/// test these before touching the clock, so a disabled run pays a
+/// branch and nothing else.
+inline bool trace_enabled(TraceCat c) {
+  return (detail::g_trace_cats.load(std::memory_order_relaxed) &
+          static_cast<std::uint32_t>(c)) != 0;
+}
+inline bool metrics_enabled() {
+  return detail::g_metrics_on.load(std::memory_order_relaxed);
+}
+
+void set_trace_categories(std::uint32_t mask);  ///< OR of TraceCat bits
+void set_metrics_enabled(bool on);
+
+/// True when the tree was built with LMP_TRACE=ON (instrumentation
+/// macros expand to real code). With LMP_TRACE=OFF the tracer library
+/// still exists — it just never receives events.
+constexpr bool trace_compiled_in() {
+#if defined(LMP_TRACE_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// One trace record. `name` must be a string with static storage
+/// duration (a literal) — events store the pointer, never a copy, so
+/// the hot path performs no allocation.
+struct TraceEvent {
+  enum Kind : std::uint8_t { kSpan, kInstant, kCounter };
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;  ///< spans only
+  const char* name = nullptr;
+  TraceCat cat = TraceCat::kSim;
+  std::int64_t value = 0;  ///< counters only
+  Kind kind = kSpan;
+};
+
+/// Per-rank, per-thread event tracer.
+///
+/// Every emitting thread owns a private fixed-capacity ring buffer
+/// (single writer, no locks on the record path; the ring overwrites its
+/// oldest events when full, so a runaway subsystem can never exhaust
+/// memory). Threads announce who they are with `set_thread_identity`
+/// (pid = simulated rank, tid = worker index) so the exported
+/// Chrome/Perfetto `trace_event` JSON shows one process per rank and
+/// one track per worker/progress thread.
+///
+/// Export is not synchronized with live writers: drain only after the
+/// emitting threads have joined (the sim joins all rank/pool/progress
+/// threads before `run_simulation` returns).
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Bind the calling thread to (pid, tid) with a human-readable track
+  /// label. Replaces any previous identity of this thread. Threads that
+  /// emit without identifying themselves get pid -1 ("driver").
+  void set_thread_identity(int pid, int tid, const char* label);
+
+  /// Rank ("pid") of the calling thread, or -1 when unidentified. Used
+  /// to let helper threads (pool workers) inherit their creator's rank.
+  int current_pid();
+
+  void record_span(TraceCat c, const char* name, std::int64_t ts_ns,
+                   std::int64_t dur_ns);
+  void record_instant(TraceCat c, const char* name);
+  void record_counter(TraceCat c, const char* name, std::int64_t value);
+
+  /// Ring capacity (events) for buffers registered *after* this call.
+  void set_buffer_capacity(std::size_t events);
+
+  /// Drop every buffered event and registration; threads re-register on
+  /// their next event. For back-to-back runs in one process (tests).
+  void reset();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}), one pid per rank
+  /// with process/thread-name metadata, "X" spans, "i" instants, "C"
+  /// counters; timestamps in microseconds as the format requires.
+  std::string export_chrome_json() const;
+  bool export_chrome_json_file(const std::string& path) const;
+
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_dropped() const;  ///< overwritten by ring wrap
+
+ private:
+  Tracer() = default;
+};
+
+/// RAII span: stamps the start on construction (when its category is
+/// enabled) and records a complete event on destruction. With
+/// LMP_TRACE=OFF this collapses to an empty object.
+class TraceSpan {
+ public:
+#if defined(LMP_TRACE_ENABLED)
+  TraceSpan(TraceCat c, const char* name) {
+    if (trace_enabled(c)) {
+      cat_ = c;
+      name_ = name;
+      t0_ = now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer::instance().record_span(cat_, name_, t0_, now_ns() - t0_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCat cat_ = TraceCat::kSim;
+  const char* name_ = nullptr;
+  std::int64_t t0_ = 0;
+#else
+  constexpr TraceSpan(TraceCat, const char*) {}
+#endif
+};
+
+// --- instrumentation macros -------------------------------------------
+// Compile-time removable: LMP_TRACE=OFF turns every site into nothing.
+#if defined(LMP_TRACE_ENABLED)
+#define LMP_TRACE_CONCAT_INNER(a, b) a##b
+#define LMP_TRACE_CONCAT(a, b) LMP_TRACE_CONCAT_INNER(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define LMP_TRACE_SPAN(cat, name)                                      \
+  ::lmp::obs::TraceSpan LMP_TRACE_CONCAT(lmp_trace_span_, __COUNTER__)( \
+      cat, name)
+#define LMP_TRACE_INSTANT(cat, name)                             \
+  do {                                                           \
+    if (::lmp::obs::trace_enabled(cat))                          \
+      ::lmp::obs::Tracer::instance().record_instant(cat, name);  \
+  } while (0)
+#define LMP_TRACE_COUNTER(cat, name, value)                              \
+  do {                                                                   \
+    if (::lmp::obs::trace_enabled(cat))                                  \
+      ::lmp::obs::Tracer::instance().record_counter(cat, name, value);   \
+  } while (0)
+#define LMP_TRACE_THREAD(pid, tid, label) \
+  ::lmp::obs::Tracer::instance().set_thread_identity(pid, tid, label)
+#else
+#define LMP_TRACE_SPAN(cat, name) \
+  do {                            \
+  } while (0)
+#define LMP_TRACE_INSTANT(cat, name) \
+  do {                               \
+  } while (0)
+#define LMP_TRACE_COUNTER(cat, name, value) \
+  do {                                      \
+  } while (0)
+#define LMP_TRACE_THREAD(pid, tid, label) \
+  do {                                    \
+  } while (0)
+#endif
+
+}  // namespace lmp::obs

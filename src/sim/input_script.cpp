@@ -219,6 +219,12 @@ ParsedScript parse_input_script(const std::string& text) {
           fail(lineno, "unknown health_threshold keyword '" + key + "'");
         }
       }
+    } else if (cmd == "trace") {
+      need(1);
+      out.trace_path = w[1];
+    } else if (cmd == "report") {
+      need(1);
+      out.report_path = w[1];
     } else if (cmd == "run") {
       need(1);
       out.run_steps = to_int(w[1], lineno);

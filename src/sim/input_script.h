@@ -7,10 +7,12 @@
 namespace lmp::sim {
 
 /// Parsed outcome of a LAMMPS-style input script: the job options plus
-/// the `run N` step count.
+/// the `run N` step count and optional observability outputs.
 struct ParsedScript {
   SimOptions options;
   int run_steps = 0;
+  std::string trace_path;   ///< Chrome trace JSON destination ("" = off)
+  std::string report_path;  ///< run-report JSON destination ("" = off)
 };
 
 /// Parse a subset of the LAMMPS input-script language — enough to drive
@@ -45,6 +47,10 @@ struct ParsedScript {
 ///                                 max_nacks, max_retransmits,
 ///                                 max_crc_rejects, max_duplicates,
 ///                                 min_tnis)                         [ext]
+///   trace           <file>       (write a Chrome/Perfetto trace JSON
+///                                 after the run)                    [ext]
+///   report          <file>       (write the machine-readable run
+///                                 report JSON after the run)        [ext]
 ///   run             <steps>
 ///
 /// Lines starting with `#` and blank lines are ignored; `#` also starts

@@ -20,6 +20,7 @@
 #include "md/neighbor.h"
 #include "md/velocity.h"
 #include "minimpi/runtime.h"
+#include "obs/tracer.h"
 #include "sim/checkpoint.h"
 #include "threadpool/spin_pool.h"
 
@@ -157,6 +158,7 @@ struct JobShared {
     }
     ++ckpts_written;
     last_ckpt = std::move(st);
+    LMP_TRACE_INSTANT(obs::TraceCat::kCkpt, "checkpoint.commit");
   }
 
  private:
@@ -275,6 +277,7 @@ class RankSim {
     compute_forces();
 
     for (step_ = job_.start_step + 1; step_ <= nsteps; ++step_) {
+      LMP_TRACE_SPAN(obs::TraceCat::kSim, "step");
       {
         util::ScopedStage s(timer_, Stage::kModify);
         integrator_->initial_integrate(atoms_);
@@ -517,6 +520,7 @@ AttemptOutcome run_attempt(const SimOptions& options,
   const int nranks = job.decomp.nranks();
 
   const auto rank_main = [&](int rank) {
+    LMP_TRACE_THREAD(rank, 0, "rank");
     std::optional<RankSim> sim;
     try {
       sim.emplace(job, rank);
@@ -663,6 +667,7 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
       throw std::runtime_error("failover chain exhausted at variant '" +
                                variant + "': " + at.fail_reason);
     }
+    LMP_TRACE_INSTANT(obs::TraceCat::kCkpt, "failover.escalate");
     util::EscalationEvent ev;
     ev.fail_step = at.fail_step;
     ev.resume_step = resume ? resume->step : 0;
@@ -672,6 +677,83 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
     events.push_back(std::move(ev));
     ++idx;
   }
+}
+
+obs::RunReport build_run_report(const SimOptions& options, int nsteps,
+                                const JobResult& result) {
+  obs::RunReport rep;
+  rep.workload = options.config.name;
+  rep.comm_requested = options.comm;
+  rep.comm_final = result.final_comm;
+  rep.nsteps = nsteps;
+  rep.restart_step = result.restart_step;
+  rep.nranks = static_cast<int>(result.ranks.size());
+  rep.natoms = result.natoms;
+
+  const auto int3 = [](const util::Int3& v) {
+    return std::to_string(v.x) + "x" + std::to_string(v.y) + "x" +
+           std::to_string(v.z);
+  };
+  rep.config = {
+      {"cells", int3(options.cells)},
+      {"rank_grid", int3(options.rank_grid)},
+      {"seed", std::to_string(options.seed)},
+      {"thermo_every", std::to_string(options.thermo_every)},
+      {"checkpoint_every", std::to_string(options.checkpoint_every)},
+      {"newton", options.config.newton ? "on" : "off"},
+      {"dt", std::to_string(options.config.dt)},
+      {"cutoff", std::to_string(options.config.cutoff)},
+      {"skin", std::to_string(options.config.skin)},
+      {"use_border_bins", options.use_border_bins ? "yes" : "no"},
+      {"balanced_assignment", options.balanced_assignment ? "yes" : "no"},
+      {"faults", options.faults.enabled() ? "enabled" : "clean"},
+  };
+
+  const util::StageTimer stages = result.total_stages();
+  const double total = stages.total();  // one denominator for every row
+  rep.stage_total_seconds = total;
+  for (const util::Stage s : util::all_stages()) {
+    rep.stages.push_back({std::string(util::stage_name(s)), stages.get(s),
+                          stages.percent(s, total)});
+  }
+
+  const util::CommHealthReport& h = result.health;
+  rep.health_counters = {
+      {"nacks_sent", h.nacks_sent},
+      {"retransmits_served", h.retransmits_served},
+      {"duplicates_dropped", h.duplicates_dropped},
+      {"crc_rejects", h.crc_rejects},
+      {"notices_dropped", h.notices_dropped},
+      {"notices_delayed", h.notices_delayed},
+      {"notices_duplicated", h.notices_duplicated},
+      {"payloads_corrupted", h.payloads_corrupted},
+      {"tni_drops", h.tni_drops},
+      {"retransmit_puts", h.retransmit_puts},
+      {"unreachable_puts", h.unreachable_puts},
+      {"fabric_puts", h.fabric_puts},
+      {"tnis_in_use", static_cast<std::uint64_t>(h.tnis_in_use)},
+      {"tnis_down", static_cast<std::uint64_t>(h.tnis_down)},
+      {"checkpoints_written", h.checkpoints_written},
+  };
+  rep.checkpoint_io_seconds = h.checkpoint_io_seconds;
+  for (const util::EscalationEvent& e : h.escalations) {
+    rep.escalations.push_back(
+        {e.fail_step, e.resume_step, e.from_variant, e.to_variant, e.reason});
+  }
+
+  const auto thermo_kv = [](const ThermoSample& t) {
+    return std::vector<std::pair<std::string, double>>{
+        {"step", static_cast<double>(t.step)},
+        {"temperature", t.state.temperature},
+        {"pressure", t.state.pressure},
+        {"total_energy", t.state.total()},
+    };
+  };
+  if (!result.thermo.empty()) {
+    rep.thermo_first = thermo_kv(result.thermo.front());
+    rep.thermo_last = thermo_kv(result.thermo.back());
+  }
+  return rep;
 }
 
 }  // namespace lmp::sim

@@ -11,6 +11,7 @@
 #include "md/config.h"
 #include "md/thermo.h"
 #include "minimpi/world.h"
+#include "obs/report.h"
 #include "tofu/fault.h"
 #include "tofu/network.h"
 #include "util/stats.h"
@@ -125,5 +126,12 @@ struct JobResult {
 /// recorded as an EscalationEvent in the returned health report. The
 /// chain running dry rethrows the final failure as std::runtime_error.
 JobResult run_simulation(const SimOptions& options, int nsteps);
+
+/// Distill a finished job into the machine-readable run report: config
+/// echo, stage breakdown (seconds + percent over one hoisted total),
+/// health counters, escalation timeline, first/last thermo samples. The
+/// metrics section is appended by RunReport::to_json at write time.
+obs::RunReport build_run_report(const SimOptions& options, int nsteps,
+                                const JobResult& result);
 
 }  // namespace lmp::sim

@@ -2,9 +2,23 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace lmp::pool {
 
 namespace {
+
+obs::Histogram& dispatch_wait_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("pool.dispatch_wait_ns");
+  return h;
+}
+
+obs::Histogram& run_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("pool.run_ns");
+  return h;
+}
 /// Spin briefly, then yield — the pool must stay responsive even when the
 /// host has fewer hardware threads than pool workers.
 inline void relax(int& polls) {
@@ -21,6 +35,9 @@ inline void relax(int& polls) {
 
 SpinThreadPool::SpinThreadPool(int nthreads) : nthreads_(nthreads) {
   if (nthreads < 1) throw std::invalid_argument("pool needs >= 1 thread");
+  if (obs::trace_compiled_in()) {
+    creator_pid_ = obs::Tracer::instance().current_pid();
+  }
   workers_.reserve(static_cast<std::size_t>(nthreads - 1));
   for (int t = 1; t < nthreads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -34,6 +51,7 @@ SpinThreadPool::~SpinThreadPool() {
 }
 
 void SpinThreadPool::worker_loop(int tid) {
+  LMP_TRACE_THREAD(creator_pid_, tid, "worker");
   std::uint64_t seen = 0;
   int polls = 0;
   for (;;) {
@@ -42,6 +60,15 @@ void SpinThreadPool::worker_loop(int tid) {
     }
     seen = generation_.load(std::memory_order_acquire);
     if (stop_.load(std::memory_order_acquire)) return;
+
+    // publish_ns doubles as the "metrics were on at publish" flag, so
+    // every worker of one generation makes the same recording decision.
+    const std::int64_t published = job_.publish_ns;
+    const std::int64_t run_t0 = published != 0 ? obs::now_ns() : 0;
+    if (published != 0) {
+      dispatch_wait_hist().record(
+          static_cast<std::uint64_t>(run_t0 - published));
+    }
 
     if (job_.dynamic) {
       for (;;) {
@@ -52,15 +79,21 @@ void SpinThreadPool::worker_loop(int tid) {
     } else if (tid < job_.nwork) {
       (*job_.fn)(tid);
     }
+    if (published != 0) {
+      run_hist().record(static_cast<std::uint64_t>(obs::now_ns() - run_t0));
+    }
     outstanding_.fetch_sub(1, std::memory_order_release);
   }
 }
 
 void SpinThreadPool::run_generation() {
+  LMP_TRACE_SPAN(obs::TraceCat::kPool, "pool.parallel");
+  job_.publish_ns = obs::metrics_enabled() ? obs::now_ns() : 0;
   outstanding_.store(nthreads_ - 1, std::memory_order_release);
   generation_.fetch_add(1, std::memory_order_release);
 
   // The caller is worker 0.
+  const std::int64_t run_t0 = job_.publish_ns != 0 ? obs::now_ns() : 0;
   if (job_.dynamic) {
     for (;;) {
       const int i = job_.next.fetch_add(1, std::memory_order_relaxed);
@@ -69,6 +102,9 @@ void SpinThreadPool::run_generation() {
     }
   } else if (job_.nwork > 0) {
     (*job_.fn)(0);
+  }
+  if (job_.publish_ns != 0) {
+    run_hist().record(static_cast<std::uint64_t>(obs::now_ns() - run_t0));
   }
 
   int polls = 0;

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/tracer.h"
+
 namespace lmp::pool {
 
 /// Spin-lock thread pool (paper Sec. 3.3).
@@ -51,9 +53,15 @@ class SpinThreadPool {
     std::atomic<int> next{0};
     int nwork = 0;
     bool dynamic = true;
+    /// Publish timestamp (ns) when metrics are on, else 0. Workers use it
+    /// to measure dispatch latency without their own gating decision.
+    std::int64_t publish_ns = 0;
   };
 
   int nthreads_;
+  /// Rank of the constructing thread — workers inherit it as their trace
+  /// pid so their tracks group under the owning rank's process.
+  int creator_pid_ = -1;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> outstanding_{0};

@@ -6,7 +6,60 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
 namespace lmp::tofu {
+
+namespace {
+
+// Per-TNI instruments, cached once so the put hot path never touches the
+// registry mutex. Names are static storage (TraceSpan keeps the pointer).
+constexpr int kMaxInstrumentedTnis = 8;
+
+const char* put_span_name(int tni) {
+  static constexpr const char* kNames[kMaxInstrumentedTnis] = {
+      "put.tni0", "put.tni1", "put.tni2", "put.tni3",
+      "put.tni4", "put.tni5", "put.tni6", "put.tni7"};
+  return tni >= 0 && tni < kMaxInstrumentedTnis ? kNames[tni] : "put.tni?";
+}
+
+obs::Histogram& put_latency_hist(int tni) {
+  static obs::Histogram* hists[kMaxInstrumentedTnis] = {
+      &obs::MetricsRegistry::instance().histogram("tofu.tni0.put_ns"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni1.put_ns"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni2.put_ns"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni3.put_ns"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni4.put_ns"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni5.put_ns"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni6.put_ns"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni7.put_ns")};
+  return *hists[tni >= 0 && tni < kMaxInstrumentedTnis ? tni : 0];
+}
+
+obs::Histogram& mrq_depth_hist(int tni) {
+  static obs::Histogram* hists[kMaxInstrumentedTnis] = {
+      &obs::MetricsRegistry::instance().histogram("tofu.tni0.mrq_depth"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni1.mrq_depth"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni2.mrq_depth"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni3.mrq_depth"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni4.mrq_depth"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni5.mrq_depth"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni6.mrq_depth"),
+      &obs::MetricsRegistry::instance().histogram("tofu.tni7.mrq_depth")};
+  return *hists[tni >= 0 && tni < kMaxInstrumentedTnis ? tni : 0];
+}
+
+// Only referenced from LMP_TRACE_COUNTER sites, which compile out
+// entirely under LMP_TRACE=OFF.
+[[maybe_unused]] const char* mrq_depth_counter_name(int tni) {
+  static constexpr const char* kNames[kMaxInstrumentedTnis] = {
+      "mrq.tni0", "mrq.tni1", "mrq.tni2", "mrq.tni3",
+      "mrq.tni4", "mrq.tni5", "mrq.tni6", "mrq.tni7"};
+  return tni >= 0 && tni < kMaxInstrumentedTnis ? kNames[tni] : "mrq.tni?";
+}
+
+}  // namespace
 
 Network::Network(int nprocs, int tnis, int cqs)
     : nprocs_(nprocs), tnis_(tnis), cqs_(cqs) {
@@ -142,6 +195,8 @@ void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
   check_aborted();
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
+  const obs::TraceSpan put_span(obs::TraceCat::kTofu, put_span_name(src.tni));
+  const std::int64_t put_t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
   // Permanent faults sever the route for every mode — retransmits and
   // control traffic ride the same wires, so the reliability protocol
   // cannot paper over them (that is the failover ladder's job).
@@ -192,6 +247,7 @@ void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
 
   MrqEntry entry{dst_stadd, dst_off, length, edata, src.proc,
                  mode == PutMode::kControl};
+  std::size_t mrq_depth = 0;
   {
     std::lock_guard lock(dst.mu);
     if (fault.delay_polls > 0) {
@@ -202,7 +258,15 @@ void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
     // The duplicate races ahead of a delayed original: reordering is
     // exactly the hazard duplicates create on a real fabric.
     if (fault.duplicate) dst.mrq.push_back(entry);
+    mrq_depth = dst.mrq.size();
   }
+  if (obs::metrics_enabled()) {
+    mrq_depth_hist(dst.tni).record(mrq_depth);
+    put_latency_hist(src.tni).record(
+        static_cast<std::uint64_t>(obs::now_ns() - put_t0));
+  }
+  LMP_TRACE_COUNTER(obs::TraceCat::kTofu, mrq_depth_counter_name(dst.tni),
+                    static_cast<std::int64_t>(mrq_depth));
   if (mode == PutMode::kData) {
     std::lock_guard lock(src.mu);
     src.tcq.push_back({edata});
@@ -214,6 +278,8 @@ void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
   check_aborted();
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
+  const obs::TraceSpan put_span(obs::TraceCat::kTofu, put_span_name(src.tni));
+  const std::int64_t put_t0 = obs::metrics_enabled() ? obs::now_ns() : 0;
   check_route(src.proc, dst.proc);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   if (mode == PutMode::kRetransmit) {
@@ -247,6 +313,7 @@ void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
   }
 
   MrqEntry entry{0, 0, 0, delivered, src.proc, mode == PutMode::kControl};
+  std::size_t mrq_depth = 0;
   {
     std::lock_guard lock(dst.mu);
     if (fault.delay_polls > 0) {
@@ -255,7 +322,15 @@ void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
       dst.mrq.push_back(entry);
     }
     if (fault.duplicate) dst.mrq.push_back(entry);
+    mrq_depth = dst.mrq.size();
   }
+  if (obs::metrics_enabled()) {
+    mrq_depth_hist(dst.tni).record(mrq_depth);
+    put_latency_hist(src.tni).record(
+        static_cast<std::uint64_t>(obs::now_ns() - put_t0));
+  }
+  LMP_TRACE_COUNTER(obs::TraceCat::kTofu, mrq_depth_counter_name(dst.tni),
+                    static_cast<std::int64_t>(mrq_depth));
   if (mode == PutMode::kData) {
     std::lock_guard lock(src.mu);
     src.tcq.push_back({edata});

@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <tuple>
 
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 
 namespace lmp::util {
+
+void merge_escalations(std::vector<EscalationEvent>& into,
+                       const std::vector<EscalationEvent>& from) {
+  into.insert(into.end(), from.begin(), from.end());
+  std::stable_sort(into.begin(), into.end(),
+                   [](const EscalationEvent& a, const EscalationEvent& b) {
+                     return a.fail_step < b.fail_step;
+                   });
+  const auto same = [](const EscalationEvent& a, const EscalationEvent& b) {
+    return std::tie(a.fail_step, a.from_variant, a.to_variant) ==
+           std::tie(b.fail_step, b.from_variant, b.to_variant);
+  };
+  into.erase(std::unique(into.begin(), into.end(), same), into.end());
+}
 
 std::string format_health_table(const CommHealthReport& h) {
   TablePrinter t({"comm health", "count"});
@@ -28,7 +44,7 @@ std::string format_health_table(const CommHealthReport& h) {
   t.add_row({"tnis_in_use", std::to_string(h.tnis_in_use)});
   t.add_row({"tnis_down", std::to_string(h.tnis_down)});
   row("checkpoints_written", h.checkpoints_written);
-  t.add_row({"checkpoint_io_s", TablePrinter::fmt(h.checkpoint_io_seconds, 4)});
+  t.add_row({"checkpoint_io_s", TablePrinter::fmt(h.checkpoint_io_seconds, 3)});
   t.add_row({"escalations", std::to_string(h.escalations.size())});
   std::string out = t.to_string();
   // The recovery story: one line per failover, after the counter table.
@@ -40,7 +56,25 @@ std::string format_health_table(const CommHealthReport& h) {
   return out;
 }
 
+std::string format_latency_table() {
+  const auto hists = obs::MetricsRegistry::instance().histograms();
+  bool any = false;
+  for (const auto& [name, s] : hists) any = any || s.count > 0;
+  if (!any) return "";
+  TablePrinter t({"latency (us)", "count", "mean", "p50", "p95", "p99", "max"});
+  const auto us = [](double ns) { return TablePrinter::fmt(ns / 1000.0, 3); };
+  for (const auto& [name, s] : hists) {
+    if (s.count == 0) continue;
+    t.add_row({name, std::to_string(s.count), us(s.mean), us(s.p50), us(s.p95),
+               us(s.p99), us(static_cast<double>(s.max))});
+  }
+  return t.to_string();
+}
+
 void RunningStats::add(double x) {
+  if (std::isnan(x)) {
+    throw std::invalid_argument("RunningStats: NaN sample rejected");
+  }
   if (n_ == 0) {
     min_ = max_ = x;
   } else {
@@ -61,7 +95,15 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::span<const double> xs, double p) {
   if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (std::isnan(p) || p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p outside [0, 100]");
+  }
   std::vector<double> sorted(xs.begin(), xs.end());
+  for (double x : sorted) {
+    // NaN breaks the sort's strict weak ordering; the order statistics of
+    // a sample containing NaN are meaningless anyway.
+    if (std::isnan(x)) throw std::invalid_argument("percentile: NaN sample");
+  }
   std::sort(sorted.begin(), sorted.end());
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

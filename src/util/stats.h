@@ -21,6 +21,14 @@ struct EscalationEvent {
   std::string reason;
 };
 
+/// Merge `from` into `into`: the union is sorted by fail_step (stable,
+/// so same-step events keep their relative order) and events identical
+/// in (fail_step, from_variant, to_variant) collapse to the first one.
+/// Summing per-rank health reports would otherwise replicate each
+/// job-level escalation once per rank and interleave them out of order.
+void merge_escalations(std::vector<EscalationEvent>& into,
+                       const std::vector<EscalationEvent>& from);
+
 /// End-of-run communication health summary: what the reliability layer
 /// and the fault injector saw. All zeros on a clean run — the acceptance
 /// bar for "no overhead on the clean path".
@@ -64,8 +72,7 @@ struct CommHealthReport {
     tnis_down = tnis_down > o.tnis_down ? tnis_down : o.tnis_down;
     checkpoints_written += o.checkpoints_written;
     checkpoint_io_seconds += o.checkpoint_io_seconds;
-    escalations.insert(escalations.end(), o.escalations.begin(),
-                       o.escalations.end());
+    merge_escalations(escalations, o.escalations);
     return *this;
   }
 
@@ -84,6 +91,12 @@ struct CommHealthReport {
 /// Render the health report with the standard table layout (one counter
 /// per row) for end-of-run printing.
 std::string format_health_table(const CommHealthReport& h);
+
+/// Render the latency histograms the metrics registry collected this run
+/// (put latency per TNI, notice waits, pool dispatch/run, ...) as a
+/// table in microseconds, three decimals. Empty string when no histogram
+/// recorded anything (metrics off or clean idle run).
+std::string format_latency_table();
 
 /// Streaming mean/variance accumulator (Welford).
 class RunningStats {
@@ -106,7 +119,9 @@ class RunningStats {
 };
 
 /// Percentile of a sample set (linear interpolation between order stats).
-/// `p` in [0, 100]. The input span is copied; the original is untouched.
+/// `p` must be in [0, 100]; throws std::invalid_argument otherwise, on an
+/// empty sample, or when `p` or any sample is NaN. The input span is
+/// copied; the original is untouched.
 double percentile(std::span<const double> xs, double p);
 
 /// Mean of a sample set; 0 for an empty span.

@@ -20,4 +20,22 @@ std::string_view stage_name(Stage s) {
   return "?";
 }
 
+const char* stage_trace_name(Stage s) {
+  switch (s) {
+    case Stage::kPair:
+      return "stage:Pair";
+    case Stage::kNeigh:
+      return "stage:Neigh";
+    case Stage::kComm:
+      return "stage:Comm";
+    case Stage::kModify:
+      return "stage:Modify";
+    case Stage::kOther:
+      return "stage:Other";
+    case Stage::kCount:
+      break;
+  }
+  return "stage:?";
+}
+
 }  // namespace lmp::util

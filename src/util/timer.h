@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/tracer.h"
+
 namespace lmp::util {
 
 /// Monotonic wall-clock stopwatch.
@@ -35,7 +37,18 @@ enum class Stage : int { kPair = 0, kNeigh, kComm, kModify, kOther, kCount };
 
 constexpr int kStageCount = static_cast<int>(Stage::kCount);
 
+/// All stages in report order, for range-for iteration — replaces the
+/// hand-rolled `static_cast<int>` index loops in sim/bench/examples.
+constexpr std::array<Stage, kStageCount> all_stages() {
+  return {Stage::kPair, Stage::kNeigh, Stage::kComm, Stage::kModify,
+          Stage::kOther};
+}
+
 std::string_view stage_name(Stage s);
+
+/// Static-storage trace label for a stage ("stage:Pair", ...). TraceSpan
+/// stores name pointers, so labels must outlive every span.
+const char* stage_trace_name(Stage s);
 
 /// Accumulates wall (or modeled) seconds per LAMMPS stage.
 ///
@@ -52,9 +65,14 @@ class StageTimer {
     return t;
   }
   /// Percentage of total time spent in stage `s` (0 if nothing recorded).
-  double percent(Stage s) const {
-    const double t = total();
-    return t > 0.0 ? 100.0 * get(s) / t : 0.0;
+  /// Recomputes total() per call — when printing a full breakdown, hoist
+  /// the denominator once and use the two-argument overload instead.
+  double percent(Stage s) const { return percent(s, total()); }
+
+  /// Percentage of `total` spent in stage `s`, with the denominator
+  /// supplied by the caller (compute `total()` once per report).
+  double percent(Stage s, double total) const {
+    return total > 0.0 ? 100.0 * get(s) / total : 0.0;
   }
   void reset() { acc_.fill(0.0); }
 
@@ -68,9 +86,13 @@ class StageTimer {
 };
 
 /// RAII helper: measures a scope's wall time into a StageTimer stage.
+/// Doubles as a trace span: when the sim trace category is enabled the
+/// same scope appears as a "stage:*" span on the owning thread's track,
+/// so every existing timing site is a tracing site with no edits.
 class ScopedStage {
  public:
-  ScopedStage(StageTimer& t, Stage s) : timer_(t), stage_(s) {}
+  ScopedStage(StageTimer& t, Stage s)
+      : timer_(t), stage_(s), span_(obs::TraceCat::kSim, stage_trace_name(s)) {}
   ~ScopedStage() { timer_.add(stage_, watch_.seconds()); }
   ScopedStage(const ScopedStage&) = delete;
   ScopedStage& operator=(const ScopedStage&) = delete;
@@ -78,6 +100,7 @@ class ScopedStage {
  private:
   StageTimer& timer_;
   Stage stage_;
+  obs::TraceSpan span_;
   WallTimer watch_;
 };
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "util/stats.h"
@@ -24,6 +25,35 @@ TEST(RunningStats, SingleSampleHasZeroVariance) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunningStats, EmptyAccumulatorIsAllZeros) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleIsMinMeanAndMax) {
+  RunningStats s;
+  s.add(-7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), -7.5);
+  EXPECT_DOUBLE_EQ(s.min(), -7.5);
+  EXPECT_DOUBLE_EQ(s.max(), -7.5);
+}
+
+TEST(RunningStats, NanSampleRejected) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  // The rejected sample must not have corrupted the accumulator.
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+}
+
 TEST(Percentile, MedianOfOddSet) {
   const std::vector<double> xs{5, 1, 3};
   EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
@@ -42,6 +72,27 @@ TEST(Percentile, EndsClamp) {
 
 TEST(Percentile, EmptyThrows) {
   EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Percentile, SingleSampleIsEveryQuantile) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 42.0);
+}
+
+TEST(Percentile, OutOfRangePThrows) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(percentile(xs, -0.5), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 100.5), std::invalid_argument);
+}
+
+TEST(Percentile, NanInputsThrow) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> with_nan{1.0, nan, 3.0};
+  EXPECT_THROW(percentile(with_nan, 50), std::invalid_argument);
+  const std::vector<double> ok{1.0, 3.0};
+  EXPECT_THROW(percentile(ok, nan), std::invalid_argument);
 }
 
 TEST(Mean, Basic) {
@@ -83,6 +134,52 @@ TEST(RegressionSlope, TooFewPointsThrows) {
   const std::vector<double> x{1};
   const std::vector<double> y{1};
   EXPECT_THROW(regression_slope(x, y), std::invalid_argument);
+}
+
+EscalationEvent esc(int fail_step, const char* from, const char* to,
+                    int resume_step = 0) {
+  EscalationEvent e;
+  e.fail_step = fail_step;
+  e.resume_step = resume_step;
+  e.from_variant = from;
+  e.to_variant = to;
+  return e;
+}
+
+TEST(MergeEscalations, SortsByFailStep) {
+  std::vector<EscalationEvent> into{esc(50, "opt", "6tni_p2p")};
+  merge_escalations(into, {esc(10, "6tni_p2p", "p2p")});
+  ASSERT_EQ(into.size(), 2u);
+  EXPECT_EQ(into[0].fail_step, 10);
+  EXPECT_EQ(into[1].fail_step, 50);
+}
+
+TEST(MergeEscalations, DedupesIdenticalTransitions) {
+  // Summing N per-rank reports replicates each job-level escalation N
+  // times; the merged report must keep one copy.
+  std::vector<EscalationEvent> into{esc(30, "opt", "6tni_p2p", 20)};
+  merge_escalations(into, {esc(30, "opt", "6tni_p2p", 20)});
+  merge_escalations(into, {esc(30, "opt", "6tni_p2p", 20)});
+  ASSERT_EQ(into.size(), 1u);
+  EXPECT_EQ(into[0].from_variant, "opt");
+  EXPECT_EQ(into[0].to_variant, "6tni_p2p");
+}
+
+TEST(MergeEscalations, KeepsDistinctTransitionsAtSameStep) {
+  std::vector<EscalationEvent> into{esc(30, "opt", "6tni_p2p")};
+  merge_escalations(into, {esc(30, "6tni_p2p", "p2p")});
+  EXPECT_EQ(into.size(), 2u);
+}
+
+TEST(MergeEscalations, HealthReportSumMergesEscalations) {
+  CommHealthReport a;
+  a.escalations = {esc(40, "opt", "6tni_p2p")};
+  CommHealthReport b;
+  b.escalations = {esc(40, "opt", "6tni_p2p"), esc(10, "x", "y")};
+  a += b;
+  ASSERT_EQ(a.escalations.size(), 2u);
+  EXPECT_EQ(a.escalations[0].fail_step, 10);
+  EXPECT_EQ(a.escalations[1].fail_step, 40);
 }
 
 }  // namespace
