@@ -1,0 +1,320 @@
+// Perf-regression gate: diff a freshly generated BENCH_*.json against a
+// committed baseline and fail (exit 1) when any shared metric moved past
+// its tolerance in the bad direction.
+//
+//   ./bench_compare <baseline.json> <fresh.json> [--tol <percent>]
+//
+// Direction is inferred from the metric-key suffix:
+//   *us_step   lower is better  — regression when fresh > base * (1+tol)
+//   *speedup   higher is better — regression when fresh < base * (1-tol)
+//   otherwise  two-sided        — regression when |fresh-base| > tol*|base|
+//
+// Only the intersection of keys is compared, so adding a sweep point (or
+// trimming one with LMP_BENCH_QUICK) never breaks the gate; keys present
+// on one side only are listed as informational. A missing *baseline* is a
+// warning, not a failure (exit 0) — that is how the first run of a new
+// bench seeds CI before its baseline is committed. A missing or
+// unparsable *fresh* record is a hard error (exit 2), like a bad flag.
+//
+// The parser below is a deliberately minimal recursive-descent JSON
+// reader — just enough for the BenchRecord schema this repo emits
+// (obs::BenchRecord::to_json) — so the gate needs no external deps.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/table_printer.h"
+
+namespace {
+
+struct Record {
+  std::string name;
+  std::map<std::string, double> metrics;  // sorted -> stable report order
+};
+
+/// Minimal JSON scanner: walks the top-level object, keeps "name" and the
+/// flat numeric "metrics" object, structurally skips everything else
+/// (labels, registry). Throws std::runtime_error on malformed input.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : p_(text.c_str()) {}
+
+  Record parse_record() {
+    Record rec;
+    ws();
+    expect('{');
+    bool first = true;
+    while (!peek('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      ws();
+      expect(':');
+      if (key == "name") {
+        rec.name = parse_string();
+      } else if (key == "metrics") {
+        parse_metrics(rec.metrics);
+      } else {
+        skip_value();
+      }
+      ws();
+    }
+    expect('}');
+    return rec;
+  }
+
+ private:
+  void ws() {
+    while (std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  bool peek(char c) {
+    ws();
+    return *p_ == c;
+  }
+  void expect(char c) {
+    ws();
+    if (*p_ != c) {
+      const std::size_t tail = std::min<std::size_t>(std::strlen(p_), 20);
+      throw std::runtime_error(std::string("expected '") + c + "' near \"" +
+                               std::string(p_, tail) + "\"");
+    }
+    ++p_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (*p_ != '"') {
+      if (*p_ == '\0') throw std::runtime_error("unterminated string");
+      if (*p_ == '\\') {
+        ++p_;
+        // BenchRecord keys only ever need the two escapes JsonWriter
+        // emits; \uXXXX never appears in metric names.
+        if (*p_ == '\0') throw std::runtime_error("dangling escape");
+      }
+      out += *p_++;
+    }
+    ++p_;
+    return out;
+  }
+
+  double parse_number() {
+    ws();
+    char* end = nullptr;
+    const double v = std::strtod(p_, &end);
+    if (end == p_) throw std::runtime_error("expected a number");
+    p_ = end;
+    return v;
+  }
+
+  void parse_metrics(std::map<std::string, double>& out) {
+    expect('{');
+    bool first = true;
+    while (!peek('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      ws();
+      expect(':');
+      out[key] = parse_number();
+      ws();
+    }
+    expect('}');
+  }
+
+  void skip_value() {
+    ws();
+    switch (*p_) {
+      case '{': {
+        expect('{');
+        bool first = true;
+        while (!peek('}')) {
+          if (!first) expect(',');
+          first = false;
+          parse_string();
+          ws();
+          expect(':');
+          skip_value();
+          ws();
+        }
+        expect('}');
+        return;
+      }
+      case '[': {
+        expect('[');
+        bool first = true;
+        while (!peek(']')) {
+          if (!first) expect(',');
+          first = false;
+          skip_value();
+          ws();
+        }
+        expect(']');
+        return;
+      }
+      case '"':
+        parse_string();
+        return;
+      case 't':
+      case 'f':
+      case 'n': {
+        while (std::isalpha(static_cast<unsigned char>(*p_))) ++p_;
+        return;
+      }
+      default:
+        parse_number();
+        return;
+    }
+  }
+
+  const char* p_;
+};
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+enum class Direction { kLowerBetter, kHigherBetter, kTwoSided };
+
+Direction direction_of(const std::string& key) {
+  if (ends_with(key, "us_step")) return Direction::kLowerBetter;
+  if (ends_with(key, "speedup")) return Direction::kHigherBetter;
+  return Direction::kTwoSided;
+}
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <fresh.json> [--tol <percent>]\n"
+               "exit 0 = within tolerance (or baseline missing: warn only),\n"
+               "     1 = regression, 2 = usage / unreadable fresh record\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const char* baseline_path = argv[1];
+  const char* fresh_path = argv[2];
+  double tol = 0.02;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      tol = std::strtod(argv[++i], nullptr) / 100.0;
+      if (!(tol >= 0.0)) {
+        std::fprintf(stderr, "error: --tol must be a percentage >= 0\n");
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const auto slurp = [](const char* path, std::string& out) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+  };
+
+  std::string baseline_text;
+  if (!slurp(baseline_path, baseline_text)) {
+    std::printf("bench_compare: no baseline at %s — nothing to gate "
+                "(commit the fresh record to seed one)\n",
+                baseline_path);
+    return 0;
+  }
+  std::string fresh_text;
+  if (!slurp(fresh_path, fresh_text)) {
+    std::fprintf(stderr, "error: cannot read fresh record %s\n", fresh_path);
+    return 2;
+  }
+
+  Record base;
+  Record fresh;
+  try {
+    base = Parser(baseline_text).parse_record();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: baseline %s: %s\n", baseline_path, e.what());
+    return 2;
+  }
+  try {
+    fresh = Parser(fresh_text).parse_record();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: fresh record %s: %s\n", fresh_path, e.what());
+    return 2;
+  }
+  if (!base.name.empty() && !fresh.name.empty() && base.name != fresh.name) {
+    std::fprintf(stderr, "error: record mismatch: baseline '%s' vs fresh '%s'\n",
+                 base.name.c_str(), fresh.name.c_str());
+    return 2;
+  }
+
+  lmp::util::TablePrinter t(
+      {"metric", "baseline", "fresh", "delta(%)", "status"});
+  int regressions = 0;
+  int improvements = 0;
+  int compared = 0;
+  int only_one_side = 0;
+  for (const auto& [key, bv] : base.metrics) {
+    const auto it = fresh.metrics.find(key);
+    if (it == fresh.metrics.end()) {
+      ++only_one_side;
+      continue;
+    }
+    ++compared;
+    const double fv = it->second;
+    const double scale = std::max(std::fabs(bv), 1e-300);
+    const double rel = (fv - bv) / scale;  // signed: + means fresh larger
+    const Direction dir = direction_of(key);
+    bool regress = false;
+    bool improve = false;
+    switch (dir) {
+      case Direction::kLowerBetter:
+        regress = rel > tol;
+        improve = rel < -tol;
+        break;
+      case Direction::kHigherBetter:
+        regress = rel < -tol;
+        improve = rel > tol;
+        break;
+      case Direction::kTwoSided:
+        regress = std::fabs(rel) > tol;
+        break;
+    }
+    regressions += regress ? 1 : 0;
+    improvements += improve ? 1 : 0;
+    t.add_row({key, lmp::util::TablePrinter::fmt(bv, 3),
+               lmp::util::TablePrinter::fmt(fv, 3),
+               lmp::util::TablePrinter::fmt(rel * 100.0, 2),
+               regress ? "REGRESSED" : (improve ? "improved" : "ok")});
+  }
+  for (const auto& [key, fv] : fresh.metrics) {
+    if (base.metrics.find(key) == base.metrics.end()) ++only_one_side;
+  }
+
+  std::printf("bench_compare: %s vs %s (tolerance %.2f%%)\n", baseline_path,
+              fresh_path, tol * 100.0);
+  t.print();
+  std::printf("%d metric(s) compared: %d regressed, %d improved beyond "
+              "tolerance, %d present on one side only\n",
+              compared, regressions, improvements, only_one_side);
+  if (compared == 0) {
+    // An empty intersection gates nothing — treat like a schema break.
+    std::fprintf(stderr, "error: no shared metrics between the records\n");
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}

@@ -30,17 +30,20 @@ run_restart_smoke() {
   echo "restart smoke: bitwise-identical after restart from step 40"
 }
 
-# Trace smoke: run the melt example with tracing + report enabled and
-# validate the artifacts — the trace must parse as Chrome trace-event
-# JSON with at least one span per stage per rank, the report as the
-# versioned run-report schema.
+# Trace smoke: run the melt example (on the 6tni_p2p variant, whose
+# ghost exchange goes through the put/notice path that carries flow IDs)
+# with tracing + report enabled and validate the artifacts — the trace
+# must parse as Chrome trace-event JSON with at least one span per stage
+# per rank and causally consistent flow events (every flow start "s"
+# matched by a finish "f"), the report as the versioned run-report schema
+# with the v2 link-utilization section populated.
 run_trace_smoke() {
   local build_dir="$1"
   echo "--- trace smoke (${build_dir}) ---"
   local work
   work=$(mktemp -d)
   trap 'rm -rf "${work}"' RETURN
-  "${build_dir}/examples/lmp_cli" examples/in.melt.lj \
+  "${build_dir}/examples/lmp_cli" examples/in.melt.lj 6tni_p2p \
       --trace "${work}/melt.trace.json" --report "${work}/melt.report.json" \
       > /dev/null
   python3 - "${work}/melt.trace.json" "${work}/melt.report.json" <<'EOF'
@@ -57,12 +60,40 @@ assert ranks, "no rank emitted stage spans"
 for r in ranks:
     missing = stages - per_rank[r]
     assert not missing, f"rank {r} missing spans: {missing}"
-assert report["schema"] == "lmp-run-report" and report["version"] == 1
+starts = [e for e in trace["traceEvents"] if e.get("ph") == "s"]
+finishes = [e for e in trace["traceEvents"] if e.get("ph") == "f"]
+start_ids = {e["id"] for e in starts}
+finish_ids = {e["id"] for e in finishes}
+assert starts, "no flow events in a 6tni_p2p trace"
+assert start_ids <= finish_ids, f"flows started but never finished: {sorted(start_ids - finish_ids)[:5]}"
+keyed = [(e["ts"], e.get("pid", 0), e.get("tid", 0)) for e in trace["traceEvents"] if e.get("ph") != "M"]
+assert keyed == sorted(keyed), "trace events not sorted by (ts, pid, tid)"
+assert report["schema"] == "lmp-run-report" and report["version"] == 2
 total = report["stages"]["total_seconds"]
 sum_s = sum(v["seconds"] for k, v in report["stages"].items() if k != "total_seconds")
 assert abs(sum_s - total) < 1e-9, (sum_s, total)
-print(f"trace smoke: {len(spans)} spans across ranks {ranks}; report consistent")
+lu = report["link_utilization"]
+assert lu["puts_charged"] > 0 and lu["total_bytes"] > 0, lu
+assert lu["links_used"] >= len(lu["top_links"]) > 0, lu
+print(f"trace smoke: {len(spans)} spans, {len(starts)} flows (all finished) "
+      f"across ranks {ranks}; report v2 consistent")
 EOF
+}
+
+# Bench-compare smoke: regenerate the fig13 record in quick mode and gate
+# it against the committed baseline. A missing baseline only warns (that
+# is how a new bench seeds its first record); a tolerance breach fails CI.
+run_bench_compare_smoke() {
+  local build_dir="$1"
+  echo "--- bench-compare smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  LMP_BENCH_QUICK=1 LMP_BENCH_DIR="${work}" \
+      "${build_dir}/bench/fig13_strong_scaling" > /dev/null
+  "${build_dir}/bench/bench_compare" \
+      bench/baselines/BENCH_fig13_strong_scaling.json \
+      "${work}/BENCH_fig13_strong_scaling.json"
 }
 
 echo "=== pass 1: -Werror build + ctest ==="
@@ -71,6 +102,7 @@ cmake --build build-ci -j "${JOBS}"
 ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci
 run_trace_smoke build-ci
+run_bench_compare_smoke build-ci
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "ci.sh: --fast: skipping sanitizer pass"

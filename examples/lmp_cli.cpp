@@ -12,15 +12,21 @@
 //   --trace <file>            write a Chrome/Perfetto trace JSON
 //                             (load in chrome://tracing or ui.perfetto.dev)
 //   --report <file>           write the machine-readable run report JSON
+//   --metrics                 dump the full metrics registry + fabric
+//                             link-utilization tables at end of run
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "comm/comm_factory.h"
+#include "obs/critical_path.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 #include "sim/input_script.h"
+#include "tofu/link_telemetry.h"
+#include "tofu/topology.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
 
@@ -32,7 +38,7 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <input-script> [comm-variant] [--restart <file>] "
                "[--checkpoint-path <prefix>] [--dump-final <file>] "
-               "[--trace <file>] [--report <file>]\n",
+               "[--trace <file>] [--report <file>] [--metrics]\n",
                prog);
   std::fprintf(stderr, "  comm-variant: %s\n",
                comm::CommFactory::instance().catalog().c_str());
@@ -98,6 +104,8 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--report");
       if (!v) return 1;
       script.report_path = v;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      script.dump_metrics = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return usage(argv[0]);
@@ -138,7 +146,8 @@ int main(int argc, char** argv) {
     }
     obs::set_trace_categories(obs::kAllTraceCats);
   }
-  if (!script.trace_path.empty() || !script.report_path.empty()) {
+  if (!script.trace_path.empty() || !script.report_path.empty() ||
+      script.dump_metrics) {
     obs::set_metrics_enabled(true);
   }
 
@@ -173,6 +182,23 @@ int main(int argc, char** argv) {
   const std::string latency = util::format_latency_table();
   if (!latency.empty()) std::printf("\n%s", latency.c_str());
 
+  // Post-run analyses. The critical-path breakdown needs the tracer's
+  // event snapshot, so it lives here (not in build_run_report).
+  const int nranks = o.rank_grid.x * o.rank_grid.y * o.rank_grid.z;
+  obs::CriticalPathReport cp;
+  if (!script.trace_path.empty()) {
+    cp = obs::analyze_critical_path(obs::Tracer::instance().snapshot_events());
+    const std::string cpt = obs::format_critical_path_table(cp);
+    if (!cpt.empty()) std::printf("\n%s", cpt.c_str());
+  }
+  if (script.dump_metrics) {
+    const std::string fabric = tofu::format_fabric_table(
+        tofu::Topology::for_nodes(std::max(1, nranks)), r.fabric);
+    if (!fabric.empty()) std::printf("\n%s", fabric.c_str());
+    const std::string metrics = util::format_metrics_table();
+    if (!metrics.empty()) std::printf("\n%s", metrics.c_str());
+  }
+
   const util::StageTimer stages = r.total_stages();
   const double total = stages.total();  // one denominator for all rows
   std::printf("\nMPI task timing breakdown:\n");
@@ -188,7 +214,13 @@ int main(int argc, char** argv) {
   }
 
   if (!script.report_path.empty()) {
-    const obs::RunReport rep = sim::build_run_report(o, script.run_steps, r);
+    obs::RunReport rep = sim::build_run_report(o, script.run_steps, r);
+    if (!cp.empty()) {
+      for (const obs::CriticalPathRow& row : cp.rows) {
+        rep.critical_path.push_back({row.name, row.seconds, row.percent});
+      }
+      rep.critical_path_total_seconds = cp.step_seconds_total;
+    }
     if (!obs::write_text_file(script.report_path, rep.to_json())) {
       std::fprintf(stderr, "error: cannot write report %s\n",
                    script.report_path.c_str());

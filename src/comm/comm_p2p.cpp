@@ -157,13 +157,14 @@ void CommP2p::record_pending(MsgKind kind, int dir, bool piggyback,
                              const void* payload, std::uint64_t bytes,
                              int peer, int my_slot, int peer_slot,
                              tofu::Stadd dst_stadd, std::uint64_t dst_off,
-                             std::uint64_t edata) {
+                             std::uint64_t edata, std::uint64_t flow) {
   std::lock_guard lock(pending_mu_);
   PendingSend& p =
       pending_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(dir)];
   p.valid = true;
   p.piggyback = piggyback;
   p.edata = edata;
+  p.flow = flow;
   p.peer = peer;
   p.my_slot = my_slot;
   p.peer_slot = peer_slot;
@@ -217,15 +218,17 @@ void CommP2p::serve_retransmit(MsgKind kind, std::uint8_t seq, int dir) {
   retransmits_served_.fetch_add(1, std::memory_order_relaxed);
   LMP_TRACE_INSTANT(obs::TraceCat::kComm, "retransmit.served");
   const RankAddresses& peer = book_->of(p.peer);
+  // The replay carries the original flow id: in the trace, the NACKed
+  // message and its retransmit read as one flow with several segments.
   if (p.piggyback) {
     net_->put_piggyback(vcq_[static_cast<std::size_t>(p.my_slot)],
                         peer.vcq[static_cast<std::size_t>(p.peer_slot)],
-                        p.edata, tofu::PutMode::kRetransmit);
+                        p.edata, tofu::PutMode::kRetransmit, p.flow);
   } else {
     net_->put(vcq_[static_cast<std::size_t>(p.my_slot)],
               peer.vcq[static_cast<std::size_t>(p.peer_slot)], p.copy.stadd(),
               0, p.dst_stadd, p.dst_off, p.length, p.edata,
-              tofu::PutMode::kRetransmit);
+              tofu::PutMode::kRetransmit, p.flow);
   }
 }
 
@@ -321,19 +324,20 @@ void CommP2p::send_ring(MsgKind kind, int dir, std::size_t ndoubles) {
   const std::uint64_t bytes = ndoubles * sizeof(double);
   const double* buf = st.send_buf.as_doubles();
   Edata ed{kind, tag, slot, static_cast<std::uint32_t>(ndoubles)};
+  const std::uint64_t flow = next_flow();
   if (reliable_) {
     ed.seq = next_seq(kind, dir);
     ed.crc = payload_crc(ed.value, buf, bytes);
     record_pending(kind, dir, false, buf, bytes, peer_rank, my_slot,
                    peer_slot,
                    peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)],
-                   0, ed.encode());
+                   0, ed.encode(), flow);
   }
   net_->put(vcq_[static_cast<std::size_t>(my_slot)],
             peer.vcq[static_cast<std::size_t>(peer_slot)],
             st.send_buf.stadd(), 0,
             peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
-            bytes, ed.encode());
+            bytes, ed.encode(), tofu::PutMode::kData, flow);
   dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
 }
 
@@ -366,8 +370,10 @@ void CommP2p::borders() {
     const std::vector<int>& list = plan_.send_list(d);
     check_fits(list.size() * kBorderDoubles);
     DirState& st = dir_[static_cast<std::size_t>(d)];
-    const std::size_t n =
-        pack_border(atoms, list, plan_.shift(d), st.send_buf.as_doubles());
+    const std::size_t n = [&] {
+      const obs::TraceSpan pack_span(obs::TraceCat::kComm, "pack.border");
+      return pack_border(atoms, list, plan_.shift(d), st.send_buf.as_doubles());
+    }();
     send_ring(MsgKind::kBorder, d, n);
   });
   for (const int d : plan_.send_channels()) {
@@ -406,15 +412,16 @@ void CommP2p::borders() {
     const RankAddresses& peer = book_->of(peer_rank);
     Edata ed{MsgKind::kBorderAck, tag, 0,
              static_cast<std::uint32_t>(plan_.ghost_start(u))};
+    const std::uint64_t flow = next_flow();
     if (reliable_) {
       ed.seq = next_seq(MsgKind::kBorderAck, u);
       ed.crc = payload_crc(ed.value, nullptr, 0);
       record_pending(MsgKind::kBorderAck, u, true, nullptr, 0, peer_rank,
-                     my_slot, peer_slot, 0, 0, ed.encode());
+                     my_slot, peer_slot, 0, 0, ed.encode(), flow);
     }
     net_->put_piggyback(vcq_[static_cast<std::size_t>(my_slot)],
                         peer.vcq[static_cast<std::size_t>(peer_slot)],
-                        ed.encode());
+                        ed.encode(), tofu::PutMode::kData, flow);
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
   });
   for_dirs(plan_.send_channels(), [&](int d) {
@@ -441,8 +448,10 @@ void CommP2p::forward_positions() {
       const std::vector<int>& list = plan_.send_list(d);
       check_fits(list.size() * kPositionDoubles);
       DirState& st = dir_[static_cast<std::size_t>(d)];
-      const std::size_t n =
-          pack_positions(x, list, plan_.shift(d), st.send_buf.as_doubles());
+      const std::size_t n = [&] {
+        const obs::TraceSpan pack_span(obs::TraceCat::kComm, "pack.forward");
+        return pack_positions(x, list, plan_.shift(d), st.send_buf.as_doubles());
+      }();
       send_ring(MsgKind::kForward, d, n);
     });
     for (const int d : plan_.send_channels()) {
@@ -468,8 +477,10 @@ void CommP2p::forward_positions() {
     // position array at the acked ghost offset (Fig. 9a) — no receive
     // buffer, no unpack on the far side.
     double* out = st.send_buf.as_doubles();
-    const std::size_t w =
-        pack_positions(atoms.x(), list, plan_.shift(d), out);
+    const std::size_t w = [&] {
+      const obs::TraceSpan pack_span(obs::TraceCat::kComm, "pack.forward");
+      return pack_positions(atoms.x(), list, plan_.shift(d), out);
+    }();
     const int tag = opposite(d);
     const int my_slot = slot_of_dir_[static_cast<std::size_t>(d)];
     const int peer_slot = slot_of_dir_[static_cast<std::size_t>(tag)];
@@ -480,16 +491,18 @@ void CommP2p::forward_positions() {
         static_cast<std::uint64_t>(st.remote_offset) * 3 * sizeof(double);
     Edata ed{MsgKind::kForward, tag, 0,
              static_cast<std::uint32_t>(list.size())};
+    const std::uint64_t flow = next_flow();
     if (reliable_) {
       ed.seq = next_seq(MsgKind::kForward, d);
       ed.crc = payload_crc(ed.value, out, bytes);
       record_pending(MsgKind::kForward, d, false, out, bytes, peer_rank,
-                     my_slot, peer_slot, peer.x_stadd, dst_off, ed.encode());
+                     my_slot, peer_slot, peer.x_stadd, dst_off, ed.encode(),
+                     flow);
     }
     net_->put(vcq_[static_cast<std::size_t>(my_slot)],
               peer.vcq[static_cast<std::size_t>(peer_slot)],
               st.send_buf.stadd(), 0, peer.x_stadd, dst_off, bytes,
-              ed.encode());
+              ed.encode(), tofu::PutMode::kData, flow);
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
   });
   for (const int d : plan_.send_channels()) {
@@ -547,6 +560,7 @@ void CommP2p::reverse_forces() {
         static_cast<std::uint64_t>(ghost_start) * 3 * sizeof(double);
     Edata ed{MsgKind::kReverse, tag, slot,
              static_cast<std::uint32_t>(ghost_count * 3)};
+    const std::uint64_t flow = next_flow();
     if (reliable_) {
       ed.seq = next_seq(MsgKind::kReverse, u);
       ed.crc = payload_crc(ed.value, atoms.f() + 3 * ghost_start, bytes);
@@ -554,13 +568,13 @@ void CommP2p::reverse_forces() {
                      atoms.f() + 3 * ghost_start, bytes, peer_rank, my_slot,
                      peer_slot,
                      peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)],
-                     0, ed.encode());
+                     0, ed.encode(), flow);
     }
     net_->put(vcq_[static_cast<std::size_t>(my_slot)],
               peer.vcq[static_cast<std::size_t>(peer_slot)],
               mine.f_stadd, src_off,
               peer.ring[static_cast<std::size_t>(tag)][static_cast<std::size_t>(slot)], 0,
-              bytes, ed.encode());
+              bytes, ed.encode(), tofu::PutMode::kData, flow);
     dispatch_[static_cast<std::size_t>(my_slot)].drain_tcq();
   });
   for (const int u : plan_.recv_channels()) {
@@ -582,8 +596,10 @@ void CommP2p::forward(double* per_atom) {
     const std::vector<int>& list = plan_.send_list(d);
     check_fits(list.size());
     DirState& st = dir_[static_cast<std::size_t>(d)];
-    const std::size_t n =
-        pack_scalar(per_atom, list, st.send_buf.as_doubles());
+    const std::size_t n = [&] {
+      const obs::TraceSpan pack_span(obs::TraceCat::kComm, "pack.scalar");
+      return pack_scalar(per_atom, list, st.send_buf.as_doubles());
+    }();
     send_ring(MsgKind::kScalarFwd, d, n);
   });
   for (const int d : plan_.send_channels()) {
@@ -642,8 +658,11 @@ void CommP2p::exchange() {
     const std::vector<int>& leavers = mig.by_dir[static_cast<std::size_t>(d)];
     check_fits(leavers.size() * kExchangeDoubles);
     DirState& st = dir_[static_cast<std::size_t>(d)];
-    const std::size_t n = pack_exchange(atoms, leavers, plan_.shift(d),
-                                        st.send_buf.as_doubles());
+    const std::size_t n = [&] {
+      const obs::TraceSpan pack_span(obs::TraceCat::kComm, "pack.exchange");
+      return pack_exchange(atoms, leavers, plan_.shift(d),
+                           st.send_buf.as_doubles());
+    }();
     send_ring(MsgKind::kExchange, d, n);
   });
   for (const int d : all26) {

@@ -134,6 +134,7 @@ class CommP2p final : public Comm {
     tofu::Stadd dst_stadd = 0;
     std::uint64_t dst_off = 0;
     std::uint64_t length = 0;     ///< payload bytes
+    std::uint64_t flow = 0;       ///< trace flow id — replays chain onto it
     tofu::RegisteredBuffer copy;
   };
 
@@ -158,10 +159,21 @@ class CommP2p final : public Comm {
   std::uint8_t next_seq(MsgKind kind, int dir) {
     return ++seq_out_[static_cast<int>(kind)][static_cast<std::size_t>(dir)];
   }
+  /// Causal-trace flow id for one outgoing message: rank in the high
+  /// half, a per-engine counter in the low half — unique across the job
+  /// without coordination. 0 (= untraced) when the comm category is off,
+  /// so the disabled path neither touches the counter nor perturbs
+  /// anything downstream.
+  std::uint64_t next_flow() {
+    if (!obs::trace_enabled(obs::TraceCat::kComm)) return 0;
+    return (static_cast<std::uint64_t>(ctx_.rank + 1) << 32) |
+           (flow_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
   void record_pending(MsgKind kind, int dir, bool piggyback,
                       const void* payload, std::uint64_t bytes, int peer,
                       int my_slot, int peer_slot, tofu::Stadd dst_stadd,
-                      std::uint64_t dst_off, std::uint64_t edata);
+                      std::uint64_t dst_off, std::uint64_t edata,
+                      std::uint64_t flow);
   /// NACK the sender of the (kind, dir) channel this rank receives on.
   void send_nack(MsgKind kind, int dir);
   /// Replay the pending send on (kind, dir) iff its seq matches `seq`.
@@ -198,6 +210,7 @@ class CommP2p final : public Comm {
   std::atomic<std::uint64_t> nacks_sent_{0};
   std::atomic<std::uint64_t> retransmits_served_{0};
   std::atomic<std::uint64_t> crc_rejects_{0};
+  std::atomic<std::uint64_t> flow_seq_{0};
 };
 
 }  // namespace lmp::comm

@@ -23,6 +23,22 @@ inline obs::Histogram& notice_wait_hist() {
       obs::MetricsRegistry::instance().histogram("comm.wait_ns");
   return h;
 }
+
+/// Static-storage span name per awaited channel kind (TraceSpan keeps the
+/// pointer; the "wait." prefix is what the critical-path analyzer keys on).
+inline const char* wait_span_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kBorder: return "wait.border";
+    case MsgKind::kBorderAck: return "wait.border_ack";
+    case MsgKind::kForward: return "wait.forward";
+    case MsgKind::kReverse: return "wait.reverse";
+    case MsgKind::kScalarFwd: return "wait.scalar_fwd";
+    case MsgKind::kScalarRev: return "wait.scalar_rev";
+    case MsgKind::kExchange: return "wait.exchange";
+    case MsgKind::kRetransmitReq: return "wait.retransmit_req";
+    default: return "wait.?";
+  }
+}
 }  // namespace detail
 
 inline constexpr int kKindCount = static_cast<int>(MsgKind::kCount);
@@ -120,9 +136,17 @@ class NoticeDispatcher {
   /// VCQ and channel) once `wait_deadline` is exceeded, and
   /// JobAbortedError as soon as the fabric is aborted by a failing rank.
   Edata wait(MsgKind kind, int dir) {
+    // The notice-wait span: what the sender's flow-start visually binds
+    // to once the flow-finish below lands inside it.
+    const obs::TraceSpan wait_span(obs::TraceCat::kComm,
+                                   detail::wait_span_name(kind));
     auto& slot = stash_[static_cast<int>(kind)][dir];
     if (slot) {
-      const Edata e = *slot;
+      const Edata e = slot->e;
+      if (slot->flow != 0) {
+        LMP_TRACE_FLOW(obs::TraceCat::kComm, obs::kMsgFlowName, slot->flow,
+                       obs::TraceEvent::kFlowFinish);
+      }
       slot.reset();
       return e;
     }
@@ -144,11 +168,15 @@ class NoticeDispatcher {
             detail::notice_wait_hist().record(
                 static_cast<std::uint64_t>(obs::now_ns() - wait_t0));
           }
+          if (notice->flow_id != 0) {
+            LMP_TRACE_FLOW(obs::TraceCat::kComm, obs::kMsgFlowName,
+                           notice->flow_id, obs::TraceEvent::kFlowFinish);
+          }
           return e;
         }
         auto& other = stash_[static_cast<int>(e.kind)][e.dir];
         if (other) {
-          if (reliable_ && other->seq == e.seq) {
+          if (reliable_ && other->e.seq == e.seq) {
             // Same message delivered twice with the stash still full —
             // a duplicate that raced past the seq filter via the stash.
             counters_.duplicates_dropped.fetch_add(1,
@@ -161,7 +189,7 @@ class NoticeDispatcher {
               "ordering violated");
         }
         bump_seq(e);
-        other = e;
+        other = Stashed{e, notice->flow_id};
         continue;
       }
       if ((spin & 0x3FF) == 0) {
@@ -216,9 +244,16 @@ class NoticeDispatcher {
     }
   }
 
+  /// A reordered notice parked for a later wait, with the trace flow id
+  /// that arrived alongside it (closed when the wait consumes it).
+  struct Stashed {
+    Edata e;
+    std::uint64_t flow = 0;
+  };
+
   tofu::Network* net_ = nullptr;
   tofu::VcqId vcq_ = tofu::kInvalidVcq;
-  std::optional<Edata> stash_[kKindCount][kMaxDirs] = {};
+  std::optional<Stashed> stash_[kKindCount][kMaxDirs] = {};
   std::uint8_t last_seq_[kKindCount][kMaxDirs];
   bool seq_seen_[kKindCount][kMaxDirs];
   bool reliable_ = false;

@@ -1,0 +1,138 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "util/table_printer.h"
+
+namespace lmp::obs {
+
+namespace {
+
+bool has_prefix(const char* name, const char* prefix) {
+  return name != nullptr && std::strncmp(name, prefix, std::strlen(prefix)) == 0;
+}
+
+/// One rank-step window with its per-bucket accumulators (nanoseconds).
+struct StepWindow {
+  std::int64_t ts = 0;
+  std::int64_t end = 0;
+  std::int64_t pack = 0;
+  std::int64_t wait = 0;
+  std::int64_t wire = 0;
+};
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(
+    const std::vector<CollectedEvent>& events) {
+  // Pass 1: the step windows of every rank, and each flow's start time.
+  std::map<int, std::vector<StepWindow>> windows;  // pid -> sorted windows
+  std::unordered_map<std::uint64_t, std::int64_t> flow_start;
+  for (const CollectedEvent& ce : events) {
+    const TraceEvent& e = ce.event;
+    if (e.kind == TraceEvent::kSpan && e.cat == TraceCat::kSim &&
+        e.name != nullptr && std::strcmp(e.name, "step") == 0) {
+      windows[ce.pid].push_back({e.ts_ns, e.ts_ns + e.dur_ns, 0, 0, 0});
+    } else if (e.kind == TraceEvent::kFlowStart) {
+      // Keep the earliest start (a retransmitted flow re-announces via
+      // kFlowStep, which never resets the origin).
+      flow_start.emplace(static_cast<std::uint64_t>(e.value), e.ts_ns);
+    }
+  }
+  for (auto& [pid, w] : windows) {
+    std::sort(w.begin(), w.end(), [](const StepWindow& a, const StepWindow& b) {
+      return a.ts < b.ts;
+    });
+  }
+
+  // The step window of `pid` containing time `t`, or nullptr. Windows of
+  // one rank never overlap (the rank thread emits them back to back).
+  const auto window_at = [&windows](int pid, std::int64_t t) -> StepWindow* {
+    const auto it = windows.find(pid);
+    if (it == windows.end()) return nullptr;
+    auto& w = it->second;
+    auto pos = std::upper_bound(
+        w.begin(), w.end(), t,
+        [](std::int64_t v, const StepWindow& s) { return v < s.ts; });
+    if (pos == w.begin()) return nullptr;
+    --pos;
+    return t <= pos->end ? &*pos : nullptr;
+  };
+
+  // Pass 2: attribute spans and flow finishes to their enclosing window.
+  for (const CollectedEvent& ce : events) {
+    const TraceEvent& e = ce.event;
+    if (e.kind == TraceEvent::kSpan) {
+      const bool pack =
+          has_prefix(e.name, "pack.") || has_prefix(e.name, "put.tni");
+      const bool wait = !pack && has_prefix(e.name, "wait.");
+      if (!pack && !wait) continue;
+      StepWindow* w = window_at(ce.pid, e.ts_ns + e.dur_ns);
+      if (w == nullptr) continue;
+      (pack ? w->pack : w->wait) += e.dur_ns;
+    } else if (e.kind == TraceEvent::kFlowFinish) {
+      const auto s = flow_start.find(static_cast<std::uint64_t>(e.value));
+      if (s == flow_start.end() || e.ts_ns < s->second) continue;
+      StepWindow* w = window_at(ce.pid, e.ts_ns);
+      if (w == nullptr) continue;
+      w->wire += e.ts_ns - s->second;
+    }
+  }
+
+  // Reduce: per-window capping, then job-wide sums.
+  CriticalPathReport r;
+  std::int64_t step_ns = 0, pack_ns = 0, wait_ns = 0, wire_ns = 0;
+  for (const auto& [pid, w] : windows) {
+    r.nranks += 1;
+    r.nsteps = std::max(r.nsteps, static_cast<int>(w.size()));
+    for (const StepWindow& s : w) {
+      const std::int64_t dur = s.end - s.ts;
+      const std::int64_t wire = std::min(s.wire, s.wait);
+      step_ns += dur;
+      pack_ns += std::min(s.pack, dur);
+      wait_ns += std::min(s.wait, dur);
+      wire_ns += wire;
+    }
+  }
+  if (step_ns == 0) return r;
+
+  const double to_s = 1e-9;
+  r.step_seconds_total = static_cast<double>(step_ns) * to_s;
+  const std::int64_t imb_ns = wait_ns - wire_ns;
+  const std::int64_t compute_ns = std::max<std::int64_t>(
+      0, step_ns - pack_ns - wait_ns);
+  const auto row = [&](const char* name, std::int64_t ns) {
+    r.rows.push_back({name, static_cast<double>(ns) * to_s,
+                      100.0 * static_cast<double>(ns) /
+                          static_cast<double>(step_ns)});
+  };
+  row("compute", compute_ns);
+  row("pack", pack_ns);
+  row("wire_transit", wire_ns);
+  row("imbalance", imb_ns);
+  row("notice_wait", wait_ns);
+  return r;
+}
+
+std::string format_critical_path_table(const CriticalPathReport& r) {
+  if (r.empty() || r.rows.empty()) return "";
+  std::string out = "critical path (";
+  out += std::to_string(r.nranks);
+  out += " ranks x ";
+  out += std::to_string(r.nsteps);
+  out += " steps, ";
+  out += util::TablePrinter::fmt(r.step_seconds_total, 3);
+  out += " s summed step time)\n";
+  util::TablePrinter t({"bucket", "seconds", "percent"});
+  for (const CriticalPathRow& row : r.rows) {
+    t.add_row({row.name, util::TablePrinter::fmt(row.seconds, 4),
+               util::TablePrinter::fmt(row.percent, 1)});
+  }
+  out += t.to_string();
+  return out;
+}
+
+}  // namespace lmp::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace lmp::obs {
+
+/// One attribution bucket of the per-step time breakdown.
+struct CriticalPathRow {
+  std::string name;
+  double seconds = 0.0;
+  double percent = 0.0;  ///< of the summed step time
+};
+
+/// Where the timesteps spent their time, summed over every rank's "step"
+/// spans. `rows` holds the four disjoint buckets (compute, pack,
+/// wire_transit, imbalance) followed by the informational notice_wait
+/// row (= wire_transit + imbalance, the part of a step spent inside
+/// dispatcher waits).
+struct CriticalPathReport {
+  std::vector<CriticalPathRow> rows;
+  double step_seconds_total = 0.0;  ///< percent denominator
+  int nsteps = 0;                   ///< step spans per rank (max over ranks)
+  int nranks = 0;                   ///< ranks that recorded step spans
+
+  bool empty() const { return nsteps == 0; }
+};
+
+/// Walk spans + flow edges and attribute each rank's step windows:
+///
+///   pack         = spans named "pack.*" or "put.tni*" inside the window
+///   notice_wait  = spans named "wait.*" inside the window
+///   wire_transit = flow-finish minus flow-start time, for flows that
+///                  finish inside the window, capped at notice_wait (a
+///                  wait cannot be *more* than fully explained by wire
+///                  time; transit overlapped by compute is free)
+///   imbalance    = notice_wait - wire_transit (the sender was late, not
+///                  the fabric slow)
+///   compute      = step duration - pack - notice_wait, floored at 0
+///
+/// A span or flow is attributed to the step window of its own pid that
+/// contains its end timestamp; events outside any step window (setup,
+/// teardown) are ignored. Expects `snapshot_events()` order (sorted by
+/// ts, pid, tid).
+CriticalPathReport analyze_critical_path(
+    const std::vector<CollectedEvent>& events);
+
+/// Render the report with the standard table layout; empty string when
+/// no step spans were recorded (tracing off or no sim run).
+std::string format_critical_path_table(const CriticalPathReport& r);
+
+}  // namespace lmp::obs

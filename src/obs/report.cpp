@@ -203,6 +203,39 @@ std::string RunReport::to_json() const {
   w.end_array();
   w.end_object();
 
+  w.key("link_utilization").begin_object();
+  w.kv("total_bytes", fabric_total_bytes);
+  w.kv("total_packets", fabric_total_packets);
+  w.kv("puts_charged", fabric_puts_charged);
+  w.kv("links_used", fabric_links_used);
+  w.kv("max_link_bytes", fabric_max_link_bytes);
+  w.kv("mean_link_bytes", fabric_mean_link_bytes);
+  w.key("top_links").begin_array();
+  for (const ReportLink& l : top_links) {
+    w.begin_object();
+    w.kv("from", l.from);
+    w.kv("to", l.to);
+    w.kv("axis", l.axis);
+    w.kv("bytes", l.bytes);
+    w.kv("packets", l.packets);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("hop_histogram").begin_array();
+  for (const std::uint64_t h : hop_histogram) w.value(h);
+  w.end_array();
+  w.end_object();
+
+  w.key("critical_path").begin_object();
+  for (const ReportStage& s : critical_path) {
+    w.key(s.name).begin_object();
+    w.kv("seconds", s.seconds);
+    w.kv("percent", s.percent);
+    w.end_object();
+  }
+  w.kv("total_seconds", critical_path_total_seconds);
+  w.end_object();
+
   w.key("thermo_first").begin_object();
   for (const auto& [k, v] : thermo_first) w.kv(k, v);
   w.end_object();

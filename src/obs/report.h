@@ -50,7 +50,8 @@ bool write_text_file(const std::string& path, const std::string& text);
 // --- run report ---------------------------------------------------------
 
 inline constexpr const char* kRunReportSchema = "lmp-run-report";
-inline constexpr int kRunReportVersion = 1;
+/// v2 added the "link_utilization" and "critical_path" sections.
+inline constexpr int kRunReportVersion = 2;
 
 struct ReportStage {
   std::string name;
@@ -64,6 +65,16 @@ struct ReportEscalation {
   std::string from_variant;
   std::string to_variant;
   std::string reason;
+};
+
+/// One hot fabric link in the v2 link-utilization section, endpoints
+/// already rendered as 6D coordinate strings.
+struct ReportLink {
+  std::string from;
+  std::string to;
+  std::string axis;  ///< "X+", "B-", ... (axis and direction)
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
 };
 
 /// The full end-of-run picture, ready to serialize. Populated by
@@ -87,6 +98,18 @@ struct RunReport {
   std::vector<std::pair<std::string, std::uint64_t>> health_counters;
   double checkpoint_io_seconds = 0.0;
   std::vector<ReportEscalation> escalations;
+  // --- v2: fabric link utilization (all zero when metrics were off) ---
+  std::uint64_t fabric_total_bytes = 0;    ///< bytes x hops over all puts
+  std::uint64_t fabric_total_packets = 0;  ///< packets x hops
+  std::uint64_t fabric_puts_charged = 0;
+  std::uint64_t fabric_links_used = 0;
+  std::uint64_t fabric_max_link_bytes = 0;
+  double fabric_mean_link_bytes = 0.0;
+  std::vector<ReportLink> top_links;            ///< hottest first
+  std::vector<std::uint64_t> hop_histogram;     ///< index = hop count
+  // --- v2: critical-path breakdown (empty when tracing was off) -------
+  std::vector<ReportStage> critical_path;
+  double critical_path_total_seconds = 0.0;
   /// First/last thermo samples: (step, temperature, total energy).
   std::vector<std::pair<std::string, double>> thermo_first;
   std::vector<std::pair<std::string, double>> thermo_last;

@@ -180,6 +180,17 @@ void Tracer::record_counter(TraceCat c, const char* name, std::int64_t value) {
   current_buffer().write(e);
 }
 
+void Tracer::record_flow(TraceCat c, const char* name, std::uint64_t flow_id,
+                         TraceEvent::Kind phase) {
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.name = name;
+  e.cat = c;
+  e.value = static_cast<std::int64_t>(flow_id);
+  e.kind = phase;
+  current_buffer().write(e);
+}
+
 void Tracer::set_buffer_capacity(std::size_t events) {
   state().capacity.store(events > 0 ? events : 1, std::memory_order_relaxed);
 }
@@ -211,9 +222,36 @@ std::uint64_t Tracer::events_dropped() const {
   return n;
 }
 
-std::string Tracer::export_chrome_json() const {
+std::vector<CollectedEvent> Tracer::snapshot_events() const {
   TracerState& s = state();
   std::lock_guard lock(s.mu);
+  std::vector<CollectedEvent> events;
+  for (const auto& b : s.buffers) {
+    const std::size_t n = std::min<std::uint64_t>(b->count, b->ring.size());
+    // Oldest surviving event first: when the ring wrapped, that is the
+    // slot the next write would overwrite.
+    const std::size_t start = b->count > b->ring.size() ? b->head : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      events.push_back({b->pid, b->tid, b->ring[(start + i) % b->ring.size()]});
+    }
+  }
+  // Deterministic export order: registration order of the thread buffers
+  // depends on thread scheduling, so sort globally. Stable keeps one
+  // thread's equal-timestamp events (e.g. back-to-back instants) in
+  // their recorded order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CollectedEvent& a, const CollectedEvent& b) {
+                     if (a.event.ts_ns != b.event.ts_ns) {
+                       return a.event.ts_ns < b.event.ts_ns;
+                     }
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+std::string Tracer::export_chrome_json() const {
+  const std::vector<CollectedEvent> events = snapshot_events();
 
   std::string out;
   out.reserve(1 << 16);
@@ -227,69 +265,95 @@ std::string Tracer::export_chrome_json() const {
   };
   char buf[256];
 
-  // Metadata: one process per rank, one named track per thread.
+  // Metadata: one process per rank, one named track per thread. Sorted
+  // by (pid, tid) — like the events — so the whole file is diffable.
+  struct TrackId {
+    int pid;
+    int tid;
+    const char* label;
+  };
+  std::vector<TrackId> tracks;
+  {
+    TracerState& s = state();
+    std::lock_guard lock(s.mu);
+    for (const auto& b : s.buffers) {
+      if (b->count == 0) continue;
+      tracks.push_back({b->pid, b->tid, b->label});
+    }
+  }
+  std::sort(tracks.begin(), tracks.end(), [](const TrackId& a, const TrackId& b) {
+    return a.pid != b.pid ? a.pid < b.pid : a.tid < b.tid;
+  });
   std::vector<int> pids_seen;
-  for (const auto& b : s.buffers) {
-    if (b->count == 0) continue;
-    if (std::find(pids_seen.begin(), pids_seen.end(), b->pid) ==
+  for (const TrackId& t : tracks) {
+    if (std::find(pids_seen.begin(), pids_seen.end(), t.pid) ==
         pids_seen.end()) {
-      pids_seen.push_back(b->pid);
-      std::string name =
-          b->pid >= 0 ? "rank " + std::to_string(b->pid) : "driver";
+      pids_seen.push_back(t.pid);
+      std::string name = t.pid >= 0 ? "rank " + std::to_string(t.pid) : "driver";
       std::snprintf(buf, sizeof buf,
                     "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
                     "\"args\":{\"name\":\"%s\"}}",
-                    b->pid, name.c_str());
+                    t.pid, name.c_str());
       emit(buf);
     }
     std::string label;
-    json_escape_into(label, b->label);
+    json_escape_into(label, t.label);
     std::snprintf(buf, sizeof buf,
                   "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
                   "\"thread_name\",\"args\":{\"name\":\"%s %d\"}}",
-                  b->pid, b->tid, label.c_str(), b->tid);
+                  t.pid, t.tid, label.c_str(), t.tid);
     emit(buf);
   }
 
-  for (const auto& b : s.buffers) {
-    const std::size_t n =
-        std::min<std::uint64_t>(b->count, b->ring.size());
-    // Oldest surviving event first: when the ring wrapped, that is the
-    // slot the next write would overwrite.
-    const std::size_t start = b->count > b->ring.size() ? b->head : 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const TraceEvent& e = b->ring[(start + i) % b->ring.size()];
-      std::string name;
-      json_escape_into(name, e.name);
-      const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
-      switch (e.kind) {
-        case TraceEvent::kSpan: {
-          const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
-          std::snprintf(buf, sizeof buf,
-                        "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
-                        "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"%s\"}",
-                        b->pid, b->tid, ts_us, dur_us, name.c_str(),
-                        trace_cat_name(e.cat));
-          break;
-        }
-        case TraceEvent::kInstant:
-          std::snprintf(buf, sizeof buf,
-                        "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
-                        "\"name\":\"%s\",\"cat\":\"%s\",\"s\":\"t\"}",
-                        b->pid, b->tid, ts_us, name.c_str(),
-                        trace_cat_name(e.cat));
-          break;
-        case TraceEvent::kCounter:
-          std::snprintf(buf, sizeof buf,
-                        "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
-                        "\"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"value\":"
-                        "%" PRId64 "}}",
-                        b->pid, b->tid, ts_us, name.c_str(),
-                        trace_cat_name(e.cat), e.value);
-          break;
+  for (const CollectedEvent& ce : events) {
+    const TraceEvent& e = ce.event;
+    std::string name;
+    json_escape_into(name, e.name);
+    const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+    switch (e.kind) {
+      case TraceEvent::kSpan: {
+        const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                      "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"%s\"}",
+                      ce.pid, ce.tid, ts_us, dur_us, name.c_str(),
+                      trace_cat_name(e.cat));
+        break;
       }
-      emit(buf);
+      case TraceEvent::kInstant:
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                      "\"name\":\"%s\",\"cat\":\"%s\",\"s\":\"t\"}",
+                      ce.pid, ce.tid, ts_us, name.c_str(),
+                      trace_cat_name(e.cat));
+        break;
+      case TraceEvent::kCounter:
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                      "\"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"value\":"
+                      "%" PRId64 "}}",
+                      ce.pid, ce.tid, ts_us, name.c_str(),
+                      trace_cat_name(e.cat), e.value);
+        break;
+      case TraceEvent::kFlowStart:
+      case TraceEvent::kFlowStep:
+      case TraceEvent::kFlowFinish: {
+        const char* ph = e.kind == TraceEvent::kFlowStart
+                             ? "s"
+                             : e.kind == TraceEvent::kFlowStep ? "t" : "f";
+        // bp:e on the finish binds it to the enclosing slice (the
+        // receiver's notice-wait span) instead of the next slice.
+        const char* bind = e.kind == TraceEvent::kFlowFinish ? ",\"bp\":\"e\"" : "";
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"%s\"%s,\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                      "\"name\":\"%s\",\"cat\":\"%s\",\"id\":\"0x%" PRIx64 "\"}",
+                      ph, bind, ce.pid, ce.tid, ts_us, name.c_str(),
+                      trace_cat_name(e.cat),
+                      static_cast<std::uint64_t>(e.value));
+        break;
+      }
     }
+    emit(buf);
   }
   out += "\n]}\n";
   return out;

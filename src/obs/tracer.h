@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace lmp::obs {
 
@@ -58,14 +59,34 @@ constexpr bool trace_compiled_in() {
 /// duration (a literal) — events store the pointer, never a copy, so
 /// the hot path performs no allocation.
 struct TraceEvent {
-  enum Kind : std::uint8_t { kSpan, kInstant, kCounter };
+  enum Kind : std::uint8_t {
+    kSpan,
+    kInstant,
+    kCounter,
+    kFlowStart,   ///< Perfetto flow phase "s" (binds to enclosing span)
+    kFlowStep,    ///< phase "t" — e.g. a retransmit on the same flow
+    kFlowFinish,  ///< phase "f" with bp:e (binds to enclosing span)
+  };
   std::int64_t ts_ns = 0;
   std::int64_t dur_ns = 0;  ///< spans only
   const char* name = nullptr;
   TraceCat cat = TraceCat::kSim;
-  std::int64_t value = 0;  ///< counters only
+  std::int64_t value = 0;  ///< counters: the sample; flow events: the flow id
   Kind kind = kSpan;
 };
+
+/// One exported event with the identity of the thread that recorded it.
+/// What `Tracer::snapshot_events` hands to post-run analyzers.
+struct CollectedEvent {
+  int pid = -1;
+  int tid = 0;
+  TraceEvent event;
+};
+
+/// The one name every message-flow event carries: Perfetto binds flow
+/// phases s/t/f together only when id, cat, AND name all match, so the
+/// sender (tofu put) and receiver (comm dispatcher) sides must agree.
+inline constexpr const char* kMsgFlowName = "msg";
 
 /// Per-rank, per-thread event tracer.
 ///
@@ -97,6 +118,12 @@ class Tracer {
                    std::int64_t dur_ns);
   void record_instant(TraceCat c, const char* name);
   void record_counter(TraceCat c, const char* name, std::int64_t value);
+  /// Flow phase event (`phase` one of kFlowStart/kFlowStep/kFlowFinish).
+  /// Emit it while the span it should visually bind to is open on the
+  /// calling thread — Perfetto attaches a flow phase to the slice that
+  /// encloses its timestamp on (pid, tid).
+  void record_flow(TraceCat c, const char* name, std::uint64_t flow_id,
+                   TraceEvent::Kind phase);
 
   /// Ring capacity (events) for buffers registered *after* this call.
   void set_buffer_capacity(std::size_t events);
@@ -105,9 +132,16 @@ class Tracer {
   /// their next event. For back-to-back runs in one process (tests).
   void reset();
 
+  /// Every surviving event across all thread buffers, sorted by
+  /// (ts_ns, pid, tid) — the stable order the JSON export emits and the
+  /// input the critical-path analyzer walks.
+  std::vector<CollectedEvent> snapshot_events() const;
+
   /// Chrome trace-event JSON ({"traceEvents": [...]}), one pid per rank
   /// with process/thread-name metadata, "X" spans, "i" instants, "C"
-  /// counters; timestamps in microseconds as the format requires.
+  /// counters, and flow phases "s"/"t"/"f" bound by id; timestamps in
+  /// microseconds as the format requires. Events are sorted by
+  /// (timestamp, pid, tid) so equal-seed runs produce diffable traces.
   std::string export_chrome_json() const;
   bool export_chrome_json_file(const std::string& path) const;
 
@@ -169,6 +203,12 @@ class TraceSpan {
   } while (0)
 #define LMP_TRACE_THREAD(pid, tid, label) \
   ::lmp::obs::Tracer::instance().set_thread_identity(pid, tid, label)
+/// Flow phase (s/t/f) with `id`; `phase` is a TraceEvent::Kind flow kind.
+#define LMP_TRACE_FLOW(cat, name, id, phase)                                \
+  do {                                                                     \
+    if (::lmp::obs::trace_enabled(cat))                                     \
+      ::lmp::obs::Tracer::instance().record_flow(cat, name, id, phase);     \
+  } while (0)
 #else
 #define LMP_TRACE_SPAN(cat, name) \
   do {                            \
@@ -181,6 +221,9 @@ class TraceSpan {
   } while (0)
 #define LMP_TRACE_THREAD(pid, tid, label) \
   do {                                    \
+  } while (0)
+#define LMP_TRACE_FLOW(cat, name, id, phase) \
+  do {                                       \
   } while (0)
 #endif
 

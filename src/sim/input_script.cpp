@@ -225,6 +225,8 @@ ParsedScript parse_input_script(const std::string& text) {
     } else if (cmd == "report") {
       need(1);
       out.report_path = w[1];
+    } else if (cmd == "metrics") {
+      out.dump_metrics = true;
     } else if (cmd == "run") {
       need(1);
       out.run_steps = to_int(w[1], lineno);

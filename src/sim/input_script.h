@@ -13,6 +13,7 @@ struct ParsedScript {
   int run_steps = 0;
   std::string trace_path;   ///< Chrome trace JSON destination ("" = off)
   std::string report_path;  ///< run-report JSON destination ("" = off)
+  bool dump_metrics = false;  ///< print the full metrics registry at exit
 };
 
 /// Parse a subset of the LAMMPS input-script language — enough to drive
@@ -51,6 +52,8 @@ struct ParsedScript {
 ///                                 after the run)                    [ext]
 ///   report          <file>       (write the machine-readable run
 ///                                 report JSON after the run)        [ext]
+///   metrics                      (dump the full metrics registry as a
+///                                 plain-text table after the run)   [ext]
 ///   run             <steps>
 ///
 /// Lines starting with `#` and blank lines are ignored; `#` also starts

@@ -486,6 +486,9 @@ struct AttemptOutcome {
   /// failure, so the final health report tells the whole story — the
   /// unreachable puts happened on the *retired* variant's fabric).
   util::CommHealthReport fabric;
+  /// Link-utilization totals of this attempt's network (same rationale:
+  /// traffic up to the failure crossed real wires).
+  tofu::FabricSnapshot links;
   JobResult result;
 };
 
@@ -575,6 +578,7 @@ AttemptOutcome run_attempt(const SimOptions& options,
     out.ckpt_io_seconds = job.ckpt_io_seconds;
     out.ckpts_written = job.ckpts_written;
     harvest_fabric_stats(job, out.fabric);
+    out.links = job.net.link_telemetry().snapshot();
     return out;
   }
   if (job.fatal) std::rethrow_exception(job.fatal);
@@ -597,6 +601,7 @@ AttemptOutcome run_attempt(const SimOptions& options,
             [](const AtomState& a, const AtomState& b) { return a.tag < b.tag; });
   for (const auto& r : res.ranks) res.health += r.health;
   harvest_fabric_stats(job, out.fabric);
+  out.links = job.net.link_telemetry().snapshot();
   res.health += out.fabric;
   return out;
 }
@@ -638,6 +643,7 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
 
   std::vector<util::EscalationEvent> events;
   util::CommHealthReport carry;  // fabric counters of failed attempts
+  tofu::FabricSnapshot link_carry;  // link traffic of failed attempts
   double io_seconds = 0.0;
   std::uint64_t written = 0;
 
@@ -651,6 +657,8 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
       JobResult res = std::move(at.result);
       res.restart_step = resume ? resume->step : 0;
       res.final_comm = variant;
+      res.fabric = std::move(at.links);
+      res.fabric += link_carry;
       res.health += carry;
       res.health.checkpoint_io_seconds += io_seconds;
       res.health.checkpoints_written += written;
@@ -658,6 +666,7 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
       return res;
     }
     carry += at.fabric;
+    link_carry += at.links;
     // Roll back to the newest snapshot this attempt produced; without
     // one, resume stays at the previous rollback point (or a fresh
     // start when there has never been a checkpoint).
@@ -739,6 +748,31 @@ obs::RunReport build_run_report(const SimOptions& options, int nsteps,
   for (const util::EscalationEvent& e : h.escalations) {
     rep.escalations.push_back(
         {e.fail_step, e.resume_step, e.from_variant, e.to_variant, e.reason});
+  }
+
+  // v2: fabric link utilization. The topology is reconstructed the same
+  // way the telemetry built it (linear proc -> node over for_nodes), so
+  // node ids resolve to the coordinates the traffic actually crossed.
+  const tofu::FabricSnapshot& fs = result.fabric;
+  rep.fabric_total_bytes = fs.total_bytes;
+  rep.fabric_total_packets = fs.total_packets;
+  rep.fabric_puts_charged = fs.puts_charged;
+  rep.fabric_links_used = fs.links.size();
+  rep.fabric_max_link_bytes = fs.max_link_bytes();
+  rep.fabric_mean_link_bytes = fs.mean_link_bytes();
+  rep.hop_histogram = fs.hop_histogram;
+  if (!fs.links.empty()) {
+    const tofu::Topology topo =
+        tofu::Topology::for_nodes(std::max(1, rep.nranks));
+    const std::size_t top_k = std::min<std::size_t>(10, fs.links.size());
+    for (std::size_t i = 0; i < top_k; ++i) {
+      const tofu::FabricLinkStat& l = fs.links[i];
+      rep.top_links.push_back({topo.coord_of(l.from_node).to_string(),
+                               topo.coord_of(l.to_node).to_string(),
+                               std::string(tofu::axis_name(l.axis)) +
+                                   (l.negative ? "-" : "+"),
+                               l.bytes, l.packets});
+    }
   }
 
   const auto thermo_kv = [](const ThermoSample& t) {

@@ -13,6 +13,7 @@
 #include "minimpi/world.h"
 #include "obs/report.h"
 #include "tofu/fault.h"
+#include "tofu/link_telemetry.h"
 #include "tofu/network.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -104,6 +105,9 @@ struct JobResult {
   /// Variant that actually finished the run — differs from
   /// SimOptions::comm when the degradation ladder was walked.
   std::string final_comm;
+  /// Fabric link-utilization totals, accumulated over every attempt's
+  /// network (empty when metrics collection was off).
+  tofu::FabricSnapshot fabric;
 
   util::StageTimer total_stages() const;
 };

@@ -62,7 +62,12 @@ obs::Histogram& mrq_depth_hist(int tni) {
 }  // namespace
 
 Network::Network(int nprocs, int tnis, int cqs)
-    : nprocs_(nprocs), tnis_(tnis), cqs_(cqs) {
+      // Clamp the telemetry shape so the explicit validation below owns
+      // the error for a degenerate network shape.
+    : nprocs_(nprocs),
+      tnis_(tnis),
+      cqs_(cqs),
+      links_(nprocs > 0 ? nprocs : 1, tnis > 0 ? tnis : 1) {
   if (nprocs < 1 || tnis < 1 || cqs < 1) {
     throw std::invalid_argument("network shape must be >= 1 everywhere");
   }
@@ -191,7 +196,8 @@ int Network::tni_of(VcqId id) const { return vcq_checked(id).tni; }
 
 void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
                   std::uint64_t src_off, Stadd dst_stadd, std::uint64_t dst_off,
-                  std::uint64_t length, std::uint64_t edata, PutMode mode) {
+                  std::uint64_t length, std::uint64_t edata, PutMode mode,
+                  std::uint64_t flow) {
   check_aborted();
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
@@ -217,19 +223,35 @@ void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
   } else if (mode == PutMode::kControl) {
     stats_.control_puts.fetch_add(1, std::memory_order_relaxed);
   }
+  // Open (or extend, for a retransmit replaying the same id) the message
+  // flow inside this put's span. Emitted before the fault gauntlet: the
+  // sender considers the message injected either way.
+  if (flow != 0) {
+    LMP_TRACE_FLOW(obs::TraceCat::kComm, obs::kMsgFlowName, flow,
+                   mode == PutMode::kRetransmit
+                       ? obs::TraceEvent::kFlowStep
+                       : obs::TraceEvent::kFlowStart);
+  }
 
   FaultDecision fault;
   if (mode == PutMode::kData && injector_) {
     if (injector_->tni_down(src.tni) || injector_->tni_down(dst.tni)) {
       // The message never leaves the NIC; the sender still observes a
       // local completion (injection into a dead link is not detectable
-      // from the TCQ on real hardware either).
+      // from the TCQ on real hardware either). No link is charged.
       injector_->stats().tni_drops.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard lock(src.mu);
       src.tcq.push_back({edata});
       return;
     }
     fault = injector_->decide(src.proc, dst.proc, edata);
+  }
+
+  // Dropped/corrupted/delayed puts still entered the fabric and crossed
+  // every link on the route; a duplicate crossed each of them twice.
+  if (obs::metrics_enabled()) {
+    links_.charge(src.proc, dst.proc, src.tni, length,
+                  fault.duplicate ? 2 : 1);
   }
 
   if (fault.drop) {
@@ -246,7 +268,7 @@ void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
   }
 
   MrqEntry entry{dst_stadd, dst_off, length, edata, src.proc,
-                 mode == PutMode::kControl};
+                 mode == PutMode::kControl, flow};
   std::size_t mrq_depth = 0;
   {
     std::lock_guard lock(dst.mu);
@@ -274,7 +296,7 @@ void Network::put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd,
 }
 
 void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
-                            PutMode mode) {
+                            PutMode mode, std::uint64_t flow) {
   check_aborted();
   Vcq& src = vcq_checked(src_vcq);
   Vcq& dst = vcq_checked(dst_vcq);
@@ -287,6 +309,12 @@ void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
   } else if (mode == PutMode::kControl) {
     stats_.control_puts.fetch_add(1, std::memory_order_relaxed);
   }
+  if (flow != 0) {
+    LMP_TRACE_FLOW(obs::TraceCat::kComm, obs::kMsgFlowName, flow,
+                   mode == PutMode::kRetransmit
+                       ? obs::TraceEvent::kFlowStep
+                       : obs::TraceEvent::kFlowStart);
+  }
 
   FaultDecision fault;
   if (mode == PutMode::kData && injector_) {
@@ -297,6 +325,12 @@ void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
       return;
     }
     fault = injector_->decide(src.proc, dst.proc, edata);
+  }
+
+  // A piggyback put moves no payload but its descriptor packet still
+  // crosses every link on the route.
+  if (obs::metrics_enabled()) {
+    links_.charge(src.proc, dst.proc, src.tni, 0, fault.duplicate ? 2 : 1);
   }
 
   if (fault.drop) {
@@ -312,7 +346,7 @@ void Network::put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
     delivered ^= 1ULL << (fault.corrupt_pos % 32);
   }
 
-  MrqEntry entry{0, 0, 0, delivered, src.proc, mode == PutMode::kControl};
+  MrqEntry entry{0, 0, 0, delivered, src.proc, mode == PutMode::kControl, flow};
   std::size_t mrq_depth = 0;
   {
     std::lock_guard lock(dst.mu);

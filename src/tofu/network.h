@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tofu/fault.h"
+#include "tofu/link_telemetry.h"
 
 namespace lmp::tofu {
 
@@ -74,6 +75,10 @@ struct MrqEntry {
   std::uint64_t edata = 0;
   std::int32_t src_proc = -1;
   bool control = false;  ///< reliability-protocol message (PutMode::kControl)
+  /// Causal-trace flow id the sender allocated for this message (0 = not
+  /// traced). Rides next to `edata` exactly as a trace-side channel: the
+  /// receiver's dispatcher closes the Perfetto flow with it.
+  std::uint64_t flow_id = 0;
 };
 
 /// Counters for ablation benches and tests (how many registrations did a
@@ -168,14 +173,18 @@ class Network {
   /// TCQ entry locally and an MRQ entry (carrying `edata`) remotely.
   /// Both windows are validated up front — even for length 0 — so an
   /// invalid STADD or an out-of-region offset is always a hard error.
+  /// `flow` is the sender-allocated causal-trace id (0 = untraced); it is
+  /// delivered in the MRQ notice and triggers a Perfetto flow-start (or
+  /// flow-step for retransmits) inside this put's span.
   void put(VcqId src_vcq, VcqId dst_vcq, Stadd src_stadd, std::uint64_t src_off,
            Stadd dst_stadd, std::uint64_t dst_off, std::uint64_t length,
-           std::uint64_t edata = 0, PutMode mode = PutMode::kData);
+           std::uint64_t edata = 0, PutMode mode = PutMode::kData,
+           std::uint64_t flow = 0);
 
   /// Piggyback-only put: delivers just the 8-byte `edata` through the MRQ
   /// descriptor, no buffer write (paper Sec. 3.4's offset exchange).
   void put_piggyback(VcqId src_vcq, VcqId dst_vcq, std::uint64_t edata,
-                     PutMode mode = PutMode::kData);
+                     PutMode mode = PutMode::kData, std::uint64_t flow = 0);
 
   /// RDMA get: copy from the remote region into the local region; posts a
   /// TCQ entry locally when "complete" (no remote MRQ, as in TofuD gets).
@@ -203,6 +212,11 @@ class Network {
 
   const NetworkStats& stats() const { return stats_; }
   void reset_stats();
+
+  /// Per-link / per-TNI transit accounting. Puts are charged only when
+  /// `obs::metrics_enabled()`; a disabled run pays one branch per put.
+  const LinkTelemetry& link_telemetry() const { return links_; }
+  LinkTelemetry& link_telemetry() { return links_; }
 
  private:
   struct Region {
@@ -254,6 +268,7 @@ class Network {
 
   std::shared_ptr<FaultInjector> injector_;
   NetworkStats stats_;
+  LinkTelemetry links_;
 
   std::atomic<bool> aborted_{false};
   mutable std::mutex abort_mu_;

@@ -71,6 +71,44 @@ std::string format_latency_table() {
   return t.to_string();
 }
 
+std::string format_metrics_table() {
+  const auto counters = obs::MetricsRegistry::instance().counters();
+  const auto gauges = obs::MetricsRegistry::instance().gauges();
+  const auto hists = obs::MetricsRegistry::instance().histograms();
+  std::string out;
+  bool any_counter = false;
+  for (const auto& [name, v] : counters) any_counter = any_counter || v > 0;
+  if (any_counter) {
+    TablePrinter t({"counter", "value"});
+    for (const auto& [name, v] : counters) t.add_row({name, std::to_string(v)});
+    out += t.to_string();
+  }
+  bool any_gauge = false;
+  for (const auto& [name, g] : gauges) any_gauge = any_gauge || g != 0;
+  if (any_gauge) {
+    TablePrinter t({"gauge", "value"});
+    for (const auto& [name, v] : gauges) t.add_row({name, std::to_string(v)});
+    out += t.to_string();
+  }
+  bool any_hist = false;
+  for (const auto& [name, s] : hists) any_hist = any_hist || s.count > 0;
+  if (any_hist) {
+    // Raw units (ns for latencies, entries for depths) — the curated
+    // microsecond view is format_latency_table.
+    TablePrinter t({"histogram", "count", "mean", "p50", "p95", "p99", "min",
+                    "max"});
+    for (const auto& [name, s] : hists) {
+      if (s.count == 0) continue;
+      t.add_row({name, std::to_string(s.count), TablePrinter::fmt(s.mean, 1),
+                 TablePrinter::fmt(s.p50, 1), TablePrinter::fmt(s.p95, 1),
+                 TablePrinter::fmt(s.p99, 1), std::to_string(s.min),
+                 std::to_string(s.max)});
+    }
+    out += t.to_string();
+  }
+  return out;
+}
+
 void RunningStats::add(double x) {
   if (std::isnan(x)) {
     throw std::invalid_argument("RunningStats: NaN sample rejected");

@@ -98,6 +98,13 @@ std::string format_health_table(const CommHealthReport& h);
 /// recorded anything (metrics off or clean idle run).
 std::string format_latency_table();
 
+/// Render the FULL metrics registry — every counter, gauge (value and
+/// high-water mark), and histogram in its raw units — as plain-text
+/// tables. The `--metrics` / script `metrics` dump; format_latency_table
+/// remains the curated microsecond subset. Empty string when nothing was
+/// recorded.
+std::string format_metrics_table();
+
 /// Streaming mean/variance accumulator (Welford).
 class RunningStats {
  public:

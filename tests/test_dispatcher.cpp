@@ -100,6 +100,57 @@ TEST(NoticeDispatcher, TeardownWithInFlightNackBackoff) {
   EXPECT_GE(nacks.load(), 3);
 }
 
+TEST(NoticeDispatcher, RetransmitKeepsOneFlowAcrossSegments) {
+  // Satellite guarantee of the causal tracing: a CRC-rejected message
+  // and its NACKed replay must read as ONE flow in the trace — the
+  // original put emits "s", the retransmit "t", and every delivery "f"
+  // on the same id — not as two unrelated flows.
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "built with LMP_TRACE=OFF";
+  obs::Tracer::instance().reset();
+  obs::set_trace_categories(static_cast<std::uint32_t>(obs::TraceCat::kComm));
+  struct CatsOff {
+    ~CatsOff() {
+      obs::set_trace_categories(0);
+      obs::Tracer::instance().reset();
+    }
+  } guard;
+
+  Fixture f;
+  f.dispatch.enable_reliability([](MsgKind, int) {});
+  const std::uint64_t flow = (1ull << 32) | 7;
+
+  // Original data-mode put carries the flow id end to end.
+  f.net.put_piggyback(f.sender, f.receiver,
+                      Edata{MsgKind::kForward, 2, 1, 5}.encode(),
+                      tofu::PutMode::kData, flow);
+  EXPECT_EQ(f.dispatch.wait(MsgKind::kForward, 2).value, 5u);
+
+  // Receiver-side CRC reject: re-admit the seq and have the sender
+  // replay — the retransmit put travels under the SAME flow id.
+  f.dispatch.accept_retransmit(MsgKind::kForward, 2);
+  f.net.put_piggyback(f.sender, f.receiver,
+                      Edata{MsgKind::kForward, 2, 1, 5}.encode(),
+                      tofu::PutMode::kRetransmit, flow);
+  EXPECT_EQ(f.dispatch.wait(MsgKind::kForward, 2).value, 5u);
+
+  int starts = 0;
+  int steps = 0;
+  int finishes = 0;
+  for (const obs::CollectedEvent& e : obs::Tracer::instance().snapshot_events()) {
+    if (e.event.kind == obs::TraceEvent::kFlowStart ||
+        e.event.kind == obs::TraceEvent::kFlowStep ||
+        e.event.kind == obs::TraceEvent::kFlowFinish) {
+      EXPECT_EQ(static_cast<std::uint64_t>(e.event.value), flow);
+      starts += e.event.kind == obs::TraceEvent::kFlowStart ? 1 : 0;
+      steps += e.event.kind == obs::TraceEvent::kFlowStep ? 1 : 0;
+      finishes += e.event.kind == obs::TraceEvent::kFlowFinish ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(starts, 1);    // exactly one flow began
+  EXPECT_EQ(steps, 1);     // the retransmit is a segment, not a new flow
+  EXPECT_EQ(finishes, 2);  // both deliveries closed onto the same flow
+}
+
 TEST(NoticeDispatcher, DrainTcqConsumesSenderCompletion) {
   Fixture f;
   NoticeDispatcher send_side(&f.net, f.sender);

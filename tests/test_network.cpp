@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "tofu/network.h"
 
 namespace lmp::tofu {
@@ -177,6 +178,94 @@ TEST(Network, ConcurrentPutsAreOrderedPerVcq) {
     EXPECT_EQ(e.edata, static_cast<std::uint64_t>(i));
   }
   sender.join();
+}
+
+/// Restore the global metrics gate no matter how a test exits.
+class MetricsGuard {
+ public:
+  MetricsGuard() { obs::set_metrics_enabled(true); }
+  ~MetricsGuard() { obs::set_metrics_enabled(false); }
+};
+
+TEST(LinkTelemetry, DimensionOrderRouteMatchesTopologyHops) {
+  // 24 procs -> two 2x3x2 cells; the B axis is always a 3-torus, A and C
+  // are 2-meshes, so specific wraparound behavior is pinned down.
+  LinkTelemetry lt(24, 6);
+  const Topology& topo = lt.topology();
+  ASSERT_EQ(topo.nnodes(), 24);
+
+  // Node ids order c fastest, then b, a, x, y, z: node 4 differs from
+  // node 0 only in b (0 -> 2). On the 3-torus going backward (b 0 -> 2
+  // via the wrap) is 1 hop; dimension-order routing must take it instead
+  // of two forward hops.
+  const TofuCoord c4 = topo.coord_of(4);
+  EXPECT_EQ(c4[Axis::kB], 2);
+  const auto wrap = lt.route(0, 4);
+  ASSERT_EQ(wrap.size(), 1u);
+  EXPECT_EQ(wrap[0].from_node, 0);
+  EXPECT_EQ(wrap[0].to_node, 4);
+  EXPECT_EQ(wrap[0].axis, Axis::kB);
+  EXPECT_TRUE(wrap[0].negative);
+  EXPECT_EQ(topo.hops(0, 4), 1);
+
+  // Corner-to-corner route: every step moves one axis, steps chain, axes
+  // appear in dimension order, and the length equals the topology's
+  // dimension-order hop count.
+  const auto steps = lt.route(0, 23);
+  ASSERT_EQ(static_cast<int>(steps.size()), topo.hops(0, 23));
+  EXPECT_EQ(steps.front().from_node, 0);
+  EXPECT_EQ(steps.back().to_node, 23);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].from_node, steps[i - 1].to_node);
+    EXPECT_GE(steps[i].axis, steps[i - 1].axis);
+  }
+}
+
+TEST(LinkTelemetry, NetworkChargesExactlyTheRoutedLinks) {
+  const MetricsGuard guard;
+  Network net(24);
+  std::vector<double> src{1.0, 2.0, 3.0};
+  std::vector<double> dst(3, 0.0);
+  const Stadd ss = net.reg_mem(0, src.data(), 24);
+  const Stadd ds = net.reg_mem(4, dst.data(), 24);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v4 = net.create_vcq(4, 0, 0);
+  net.put(v0, v4, ss, 0, ds, 0, 24);
+
+  FabricSnapshot s = net.link_telemetry().snapshot();
+  EXPECT_EQ(s.puts_charged, 1u);
+  EXPECT_EQ(s.total_packets, 1u);   // 1 packet x 1 hop
+  EXPECT_EQ(s.total_bytes, 24u);    // 24 bytes x 1 hop
+  ASSERT_EQ(s.links.size(), 1u);    // exactly the one B-wrap link
+  EXPECT_EQ(s.links[0].from_node, 0);
+  EXPECT_EQ(s.links[0].to_node, 4);
+  EXPECT_EQ(s.links[0].axis, Axis::kB);
+  EXPECT_TRUE(s.links[0].negative);
+  ASSERT_EQ(s.hop_histogram.size(), 2u);
+  EXPECT_EQ(s.hop_histogram[1], 1u);
+  ASSERT_GE(s.tnis.size(), 1u);
+  EXPECT_EQ(s.tnis[0].bytes, 24u);
+
+  // A piggyback put crosses the wires too: packets charged, zero bytes.
+  // Proc 23 sits at the far corner, so its hop count lands in the bucket
+  // the Topology promises for that pair.
+  const VcqId v23 = net.create_vcq(23, 0, 0);
+  net.put_piggyback(v0, v23, 7);
+  s = net.link_telemetry().snapshot();
+  const int far = net.link_telemetry().topology().hops(0, 23);
+  EXPECT_EQ(s.puts_charged, 2u);
+  EXPECT_EQ(s.total_bytes, 24u);  // unchanged — piggyback carries 0 bytes
+  ASSERT_GT(static_cast<int>(s.hop_histogram.size()), far);
+  EXPECT_EQ(s.hop_histogram[static_cast<std::size_t>(far)], 1u);
+}
+
+TEST(LinkTelemetry, NoChargeWhenMetricsDisabled) {
+  obs::set_metrics_enabled(false);
+  Network net(2);
+  const VcqId v0 = net.create_vcq(0, 0, 0);
+  const VcqId v1 = net.create_vcq(1, 0, 0);
+  net.put_piggyback(v0, v1, 1);
+  EXPECT_EQ(net.link_telemetry().snapshot().puts_charged, 0u);
 }
 
 }  // namespace

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <tuple>
+#include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
@@ -96,6 +100,115 @@ TEST(Tracer, RingOverwritesOldestKeepsNewest) {
   const std::string json = Tracer::instance().export_chrome_json();
   EXPECT_EQ(json.find("obs.test.old"), std::string::npos);
   EXPECT_NE(json.find("obs.test.new"), std::string::npos);
+}
+
+TEST(Tracer, ExportIsSortedByTimestampRegardlessOfRecordOrder) {
+  if (!trace_compiled_in()) GTEST_SKIP() << "built with LMP_TRACE=OFF";
+  const TracerSandbox guard;
+  set_trace_categories(kAllTraceCats);
+  // Record out of timestamp order — export must still be time-sorted so
+  // equal-seed runs produce byte-diffable traces.
+  Tracer::instance().record_span(TraceCat::kSim, "obs.test.late", 5000, 10);
+  Tracer::instance().record_span(TraceCat::kSim, "obs.test.early", 1000, 10);
+  const std::string json = Tracer::instance().export_chrome_json();
+  const std::size_t early = json.find("obs.test.early");
+  const std::size_t late = json.find("obs.test.late");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);
+
+  const auto events = Tracer::instance().snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].event.ts_ns, events[i].event.ts_ns);
+  }
+}
+
+TEST(Tracer, FlowPhasesExportWithSharedId) {
+  if (!trace_compiled_in()) GTEST_SKIP() << "built with LMP_TRACE=OFF";
+  const TracerSandbox guard;
+  set_trace_categories(kAllTraceCats);
+  const std::uint64_t id = (7ull << 32) | 42;
+  Tracer::instance().record_flow(TraceCat::kComm, kMsgFlowName, id,
+                                 TraceEvent::kFlowStart);
+  Tracer::instance().record_flow(TraceCat::kComm, kMsgFlowName, id,
+                                 TraceEvent::kFlowStep);
+  Tracer::instance().record_flow(TraceCat::kComm, kMsgFlowName, id,
+                                 TraceEvent::kFlowFinish);
+  const std::string json = Tracer::instance().export_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // The finish phase must carry bp:e (bind to enclosing slice) and every
+  // phase the same hex id — Perfetto joins s/t/f on (id, cat, name).
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  std::size_t id_hits = 0;
+  for (std::size_t p = json.find("\"id\":\"0x70000002a\"");
+       p != std::string::npos;
+       p = json.find("\"id\":\"0x70000002a\"", p + 1)) {
+    ++id_hits;
+  }
+  EXPECT_EQ(id_hits, 3u);
+}
+
+TEST(CriticalPath, AttributesStepWindowBuckets) {
+  // Hand-built event stream, one rank, one 1000 ns step:
+  //   pack.border 100..200 (100 ns), wait.forward 300..700 (400 ns),
+  //   a flow started at 350 finishing at 500 (150 ns on the wire).
+  // Expected: pack 100, notice_wait 400, wire 150, imbalance 250,
+  // compute 1000 - 100 - 400 = 500.
+  const auto span = [](int pid, TraceCat cat, const char* name,
+                       std::int64_t ts, std::int64_t dur) {
+    CollectedEvent e;
+    e.pid = pid;
+    e.event = TraceEvent{ts, dur, name, cat, 0, TraceEvent::kSpan};
+    return e;
+  };
+  const auto flow = [](int pid, std::int64_t ts, TraceEvent::Kind k) {
+    CollectedEvent e;
+    e.pid = pid;
+    e.event = TraceEvent{ts, 0, kMsgFlowName, TraceCat::kComm, 99, k};
+    return e;
+  };
+  std::vector<CollectedEvent> events = {
+      span(0, TraceCat::kSim, "step", 0, 1000),
+      span(0, TraceCat::kComm, "pack.border", 100, 100),
+      flow(1, 350, TraceEvent::kFlowStart),
+      span(0, TraceCat::kComm, "wait.forward", 300, 400),
+      flow(0, 500, TraceEvent::kFlowFinish),
+  };
+  // Spans end-attribute, so wait.forward (ends 700) sorting after the
+  // flow finish is irrelevant; keep snapshot order (ts, pid, tid).
+  std::sort(events.begin(), events.end(),
+            [](const CollectedEvent& a, const CollectedEvent& b) {
+              return std::tie(a.event.ts_ns, a.pid, a.tid) <
+                     std::tie(b.event.ts_ns, b.pid, b.tid);
+            });
+  const CriticalPathReport rep = analyze_critical_path(events);
+  ASSERT_FALSE(rep.empty());
+  EXPECT_EQ(rep.nranks, 1);
+  EXPECT_EQ(rep.nsteps, 1);
+  EXPECT_DOUBLE_EQ(rep.step_seconds_total, 1000e-9);
+  ASSERT_EQ(rep.rows.size(), 5u);
+  const auto row = [&](const std::string& name) {
+    for (const CriticalPathRow& r : rep.rows) {
+      if (r.name == name) return r.seconds;
+    }
+    ADD_FAILURE() << "missing row " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(row("compute"), 500e-9);
+  EXPECT_DOUBLE_EQ(row("pack"), 100e-9);
+  EXPECT_DOUBLE_EQ(row("wire_transit"), 150e-9);
+  EXPECT_DOUBLE_EQ(row("imbalance"), 250e-9);
+  EXPECT_DOUBLE_EQ(row("notice_wait"), 400e-9);
+  // The four disjoint buckets cover the whole step.
+  EXPECT_DOUBLE_EQ(row("compute") + row("pack") + row("wire_transit") +
+                       row("imbalance"),
+                   1000e-9);
+
+  EXPECT_TRUE(analyze_critical_path({}).empty());
+  EXPECT_EQ(format_critical_path_table(analyze_critical_path({})), "");
 }
 
 TEST(Histogram, SingleSampleIsEveryQuantile) {
@@ -228,7 +341,11 @@ TEST(RunReport, StagesMatchTimerAndSerializeExactly) {
             std::string::npos);
   EXPECT_NE(json.find(g17(total)), std::string::npos);
   EXPECT_NE(json.find("\"schema\":\"lmp-run-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
+  // v2 sections serialize even when empty (metrics were off here), so
+  // downstream parsers can rely on the keys existing.
+  EXPECT_NE(json.find("\"link_utilization\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
   EXPECT_EQ(rep.nranks, 2);
   EXPECT_EQ(rep.natoms, r.natoms);
   EXPECT_EQ(rep.comm_final, r.final_comm);
