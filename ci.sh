@@ -80,6 +80,124 @@ print(f"trace smoke: {len(spans)} spans, {len(starts)} flows (all finished) "
 EOF
 }
 
+# Serve smoke: boot the job server on a workload that exercises every
+# admission outcome (two good jobs, a 1 ms deadline that must be missed,
+# and a banned tenant whose submit must draw a structured quota
+# rejection), SIGKILL the server once the long job has checkpointed a
+# few slices, then rerun the identical command. The rerun must recover
+# the journal (all three journaled jobs visible, the in-flight one
+# requeued), re-attach idempotently to the existing jobs, finish the
+# long job from its durable checkpoint, and emit a schema-valid run
+# report per completed job.
+run_serve_smoke() {
+  local build_dir="$1"
+  echo "--- serve smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  mkdir -p "${work}/wd"
+  local script
+  for script in quick:10 long:1000 ; do
+    cat > "${work}/in.${script%%:*}.lj" <<EOF
+units lj
+lattice fcc 0.8442
+region box block 0 4 0 4 0 4
+create_box 1 box
+create_atoms 1 box
+mass 1 1.0
+velocity all create 1.44 87287
+pair_style lj/cut 2.5
+pair_coeff 1 1 1.0 1.0
+neighbor 0.3 bin
+neigh_modify every 5 check no
+fix 1 all nve
+timestep 0.005
+thermo 10
+comm_variant ref
+run ${script##*:}
+EOF
+  done
+  cat > "${work}/jobs.txt" <<EOF
+acme quick ${work}/in.quick.lj          # finishes before the kill
+acme long ${work}/in.long.lj            # killed mid-flight, must resume
+acme slow ${work}/in.long.lj 1          # 1 ms deadline: must be missed
+banned probe ${work}/in.quick.lj        # tenant quota 0 running: rejected
+EOF
+  local serve_cmd=("${build_dir}/examples/lmp_serve"
+      --journal "${work}/journal.bin" --workdir "${work}/wd"
+      --jobs "${work}/jobs.txt" --workers 1 --slice 20
+      --quota banned=0,0 --chunks)
+
+  "${serve_cmd[@]}" > "${work}/run1.log" 2>&1 &
+  local pid=$!
+  # Kill once the long job (id 2) has a few durable checkpoints behind
+  # it — mid-flight, with ~95% of its steps still to go.
+  local waited=0
+  while ! ls "${work}"/wd/job-2.ck.4? > /dev/null 2>&1; do
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "serve smoke: server exited before the kill window"
+      cat "${work}/run1.log"
+      return 1
+    fi
+    sleep 0.02
+    waited=$((waited + 1))
+    if [[ ${waited} -gt 3000 ]]; then
+      echo "serve smoke: job 2 never checkpointed"
+      kill -9 "${pid}" 2>/dev/null || true
+      return 1
+    fi
+  done
+  kill -9 "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+
+  # Identical command after the crash: recovery + idempotent re-submit.
+  "${serve_cmd[@]}" > "${work}/run2.log" 2>&1 \
+      || { echo "serve smoke: post-crash run failed"; cat "${work}/run2.log"; return 1; }
+  local check
+  for check in \
+      '^journal: 3 jobs, [1-9] requeued' \
+      'rejected reason=tenant-running-quota' \
+      '(already known)' \
+      '^job 1 acme/quick state=done' \
+      '^job 2 acme/long state=done' \
+      '^job 3 acme/slow state=failed .*deadline' ; do
+    grep -Eq -- "${check}" "${work}/run2.log" || {
+      echo "serve smoke: missing '${check}' in post-crash output"
+      cat "${work}/run2.log"
+      return 1
+    }
+  done
+  python3 - "${work}/wd/job-1.report.json" "${work}/wd/job-2.report.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    r = json.load(open(path))
+    assert r["schema"] == "lmp-run-report" and r["version"] == 2, path
+    total = r["stages"]["total_seconds"]
+    sum_s = sum(v["seconds"] for k, v in r["stages"].items() if k != "total_seconds")
+    assert abs(sum_s - total) < 1e-9, (path, sum_s, total)
+print(f"serve smoke: survived kill -9; {len(sys.argv) - 1} job reports valid")
+EOF
+  # Bitwise proof: the resumed job's streamed thermo (which restarts
+  # from the checkpointed history, so the post-crash incarnation always
+  # streams the complete series) must equal the stream of an
+  # uninterrupted server run of the same script at the same cadence.
+  echo "acme long ${work}/in.long.lj" > "${work}/jobs-ref.txt"
+  mkdir -p "${work}/wd-ref"
+  "${build_dir}/examples/lmp_serve" --journal "${work}/journal-ref.bin" \
+      --workdir "${work}/wd-ref" --jobs "${work}/jobs-ref.txt" \
+      --workers 1 --slice 20 --chunks > "${work}/ref.log" 2>&1 \
+      || { echo "serve smoke: reference run failed"; cat "${work}/ref.log"; return 1; }
+  awk '/^job 2 acme\/long /{f=1;next} /^job /{f=0} f && /^[0-9]+ /' \
+      "${work}/run2.log" > "${work}/thermo.resumed"
+  awk '/^job 1 acme\/long /{f=1;next} /^job /{f=0} f && /^[0-9]+ /' \
+      "${work}/ref.log" > "${work}/thermo.ref"
+  [[ -s "${work}/thermo.resumed" ]] \
+      || { echo "serve smoke: resumed job streamed no thermo"; return 1; }
+  diff "${work}/thermo.ref" "${work}/thermo.resumed" \
+      || { echo "serve smoke: recovered thermo stream diverged"; return 1; }
+  echo "serve smoke: recovered thermo bitwise-identical ($(wc -l < "${work}/thermo.resumed") samples)"
+}
+
 # Bench-compare smoke: regenerate the fig13 record in quick mode and gate
 # it against the committed baseline. A missing baseline only warns (that
 # is how a new bench seeds its first record); a tolerance breach fails CI.
@@ -102,6 +220,7 @@ cmake --build build-ci -j "${JOBS}"
 ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci
 run_trace_smoke build-ci
+run_serve_smoke build-ci
 run_bench_compare_smoke build-ci
 
 if [[ "${1:-}" == "--fast" ]]; then
@@ -115,6 +234,7 @@ cmake --build build-ci-asan -j "${JOBS}"
 ctest --test-dir build-ci-asan --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci-asan
 run_trace_smoke build-ci-asan
+run_serve_smoke build-ci-asan
 
 echo "=== pass 3: LMP_TRACE=OFF build (instrumentation compiles out) ==="
 cmake -B build-ci-notrace -S . -DLMP_WERROR=ON -DLMP_TRACE=OFF

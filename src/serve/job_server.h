@@ -1,0 +1,185 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_journal.h"
+#include "serve/serve_protocol.h"
+#include "tofu/fault.h"
+#include "util/stats.h"
+
+namespace lmp::serve {
+
+/// Per-tenant admission limits. `max_queued` bounds pending + retrying
+/// jobs; `max_running` bounds concurrently executing jobs (enforced by
+/// the scheduler — the tenant's queued jobs wait, they are not
+/// rejected). `max_running == 0` disables the tenant outright:
+/// submissions are rejected with kTenantRunningQuota.
+struct TenantQuota {
+  int max_queued = 8;
+  int max_running = 2;
+};
+
+/// How stop() leaves the server.
+enum class StopMode {
+  /// Graceful: stop admitting, let running jobs finish (journaled),
+  /// leave queued jobs pending in the journal for the next incarnation.
+  kDrain,
+  /// Crash rehearsal: workers abandon after the current slice and
+  /// nothing further is journaled — the on-disk state is exactly what a
+  /// kill -9 would leave. Used by the chaos tests; a real deployment
+  /// uses kDrain.
+  kAbandon,
+};
+
+struct ServerConfig {
+  std::string journal_path;  ///< required: the durable job journal
+  std::string work_dir;      ///< required: checkpoints/reports/dumps live here
+  /// Worker lanes == max concurrent warm fabrics. 0 is valid and means
+  /// admission-only (nothing executes): the deterministic mode the
+  /// overload tests use to fill the queue without racing the scheduler.
+  int workers = 1;
+  int queue_capacity = 32;   ///< bounded admission queue (pending+retrying)
+  TenantQuota default_quota{};
+  std::map<std::string, TenantQuota> tenant_quotas;  ///< overrides by tenant
+  std::uint32_t default_deadline_ms = 0;  ///< 0 = no deadline
+  std::uint16_t default_max_attempts = 3;
+  /// Preferred checkpoint/slice cadence (steps) when the script does not
+  /// set `checkpoint`. The actual slice quantum is rounded up to a
+  /// common multiple of checkpoint_every and thermo_every so sliced and
+  /// uninterrupted runs produce bitwise-identical thermo series.
+  int slice_steps = 10;
+  std::uint32_t retry_backoff_ms = 10;      ///< doubles per retry...
+  std::uint32_t retry_backoff_max_ms = 200; ///< ...capped here
+  bool write_reports = true;  ///< job-<id>.report.json on completion
+  bool write_dumps = false;   ///< job-<id>.dump final atoms on completion
+  /// Fault plan applied to every attempt (chaos runs). The seeded,
+  /// message-identity-deterministic injector exercises the reliability
+  /// protocol and failover ladder inside run_simulation; the default
+  /// all-clean plan changes nothing.
+  tofu::FaultPlan fault_plan{};
+  /// Test hook, called before each attempt starts executing (outside the
+  /// server lock). Throwing std::runtime_error injects a transient fault
+  /// that exercises the retry path.
+  std::function<void(std::uint64_t job_id, int attempt)> before_attempt_hook;
+};
+
+/// Long-lived in-process simulation job server.
+///
+/// Lifecycle: construct with a config, start() (opens + recovers the
+/// journal, spawns workers), then drive it through submit/status/fetch/
+/// cancel/stats — or hand it raw protocol bytes via handle_frames().
+/// stop(kDrain) for a graceful shutdown, stop(kAbandon) to rehearse a
+/// crash. A new JobServer started on the same journal_path continues
+/// where the last one stopped: terminal jobs stay terminal, in-flight
+/// jobs are requeued and resume from their newest journaled checkpoint
+/// to bitwise-identical results.
+///
+/// Robustness contract: submit() never blocks and never throws on
+/// overload — it returns a structured rejection (queue full, quota,
+/// bad script, shutting down) in bounded time. Rejections are counted,
+/// not stored, so an abusive client cannot grow server memory.
+class JobServer {
+ public:
+  explicit JobServer(ServerConfig config);
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Opens (and recovers) the journal, spawns the worker lanes. Throws
+  /// std::runtime_error on journal I/O failure or corruption.
+  void start();
+  bool running() const;
+
+  /// Stops the server (idempotent). See StopMode.
+  void stop(StopMode mode);
+
+  // --- client surface (thread-safe) -------------------------------------
+  SubmitReply submit(const SubmitRequest& req);
+  std::optional<JobStatus> status(std::uint64_t job_id) const;
+  ChunksReply fetch(const FetchRequest& req) const;
+  CancelReply cancel(std::uint64_t job_id);
+  util::ServeStats stats() const;
+
+  /// All journaled jobs' current status, in id order (for end-of-run
+  /// summaries and the chaos test's invariant checks).
+  std::vector<JobStatus> jobs() const;
+
+  /// Blocks until every known job is terminal (queue drained, nothing
+  /// running) or `timeout_ms` elapsed; true when drained. Pass 0 to
+  /// poll.
+  bool wait_all_terminal(std::uint64_t timeout_ms) const;
+
+  /// Protocol endpoint: decodes the frames in [data, data+len), applies
+  /// them in order, and returns the concatenated reply frames. Malformed
+  /// payloads and unknown types get kError replies; an undecodable
+  /// stream (bad magic/CRC, truncation) stops processing at the broken
+  /// frame. `consumed`, when given, receives how many input bytes were
+  /// processed. Never throws on client bytes.
+  std::vector<char> handle_frames(const char* data, std::size_t len,
+                                  std::size_t* consumed = nullptr);
+
+  const RecoveryInfo& recovery() const { return journal_.recovery(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// In-memory job: the journaled core plus runtime-only scheduling and
+  /// streaming state (lost on restart by design — chunks are transport,
+  /// the journal and report files are the durable artifacts).
+  struct Job {
+    JournalJob j;
+    std::int32_t total_steps = 0;  ///< run N from the script (0 if unknown)
+    Clock::time_point admitted_at{};
+    Clock::time_point ready_at{};    ///< retry backoff gate
+    Clock::time_point deadline_at{}; ///< valid when has_deadline
+    bool has_deadline = false;
+    bool cancel_requested = false;
+    std::vector<std::string> chunks;  ///< thermo text, one per slice
+    /// Highest thermo step already streamed into `chunks`; -1 so the
+    /// first slice after admission OR recovery streams the full series
+    /// (a resumed run's result carries its checkpointed history, which
+    /// the new incarnation has not streamed yet).
+    int last_thermo_step = -1;
+  };
+
+  void worker_loop();
+  /// Returns the id of a dispatchable job (marks it running) or 0;
+  /// `next_wake` gets the earliest future ready_at when only backoff
+  /// holds jobs back. Caller holds mu_.
+  std::uint64_t pick_and_mark_running(std::unique_lock<std::mutex>& lk,
+                                      Clock::time_point& next_wake);
+  void run_one(std::uint64_t id);
+  void finish_terminal(std::unique_lock<std::mutex>& lk, Job& job,
+                       JobState state, const std::string& detail);
+  void release_lane_locked(const std::string& tenant);
+  JobStatus status_of_locked(const Job& job) const;
+  const TenantQuota& quota_for(const std::string& tenant) const;
+  int queue_depth_locked() const;
+
+  ServerConfig cfg_;
+  JobJournal journal_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::map<std::string, std::uint64_t> by_key_;  ///< tenant + '\0' + name -> id
+  std::map<std::string, int> tenant_running_;
+  util::ServeStats stats_;
+  bool started_ = false;
+  bool accepting_ = false;
+  bool stop_requested_ = false;
+  bool abandon_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lmp::serve

@@ -1,0 +1,263 @@
+#include "serve/serve_protocol.h"
+
+#include <cstring>
+
+namespace lmp::serve {
+
+namespace {
+
+// One helper per direction so every encoder stays a flat field list and
+// the frame append (type + CRC) lives in one place.
+void finish(std::vector<char>& out, MsgType type, const WireWriter& w) {
+  comm::append_frame(out, static_cast<std::uint16_t>(type),
+                     w.bytes().data(), w.bytes().size());
+}
+
+}  // namespace
+
+JobState to_job_state(std::uint8_t v) {
+  if (v >= static_cast<std::uint8_t>(JobState::kCount)) {
+    throw ProtocolError("serve: job state out of range: " + std::to_string(v));
+  }
+  return static_cast<JobState>(v);
+}
+
+RejectReason to_reject_reason(std::uint8_t v) {
+  if (v >= static_cast<std::uint8_t>(RejectReason::kCount)) {
+    throw ProtocolError("serve: reject reason out of range: " +
+                        std::to_string(v));
+  }
+  return static_cast<RejectReason>(v);
+}
+
+void encode_submit(std::vector<char>& out, const SubmitRequest& m) {
+  WireWriter w;
+  w.str(m.tenant);
+  w.str(m.name);
+  w.str(m.script);
+  w.u32(m.deadline_ms);
+  w.u16(m.max_attempts);
+  finish(out, MsgType::kSubmit, w);
+}
+
+SubmitRequest decode_submit(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "submit");
+  SubmitRequest m;
+  m.tenant = r.str();
+  m.name = r.str();
+  m.script = r.str();
+  m.deadline_ms = r.u32();
+  m.max_attempts = r.u16();
+  r.expect_done();
+  return m;
+}
+
+void encode_submit_reply(std::vector<char>& out, const SubmitReply& m) {
+  WireWriter w;
+  w.u8(m.accepted ? 1 : 0);
+  w.u8(m.already_known ? 1 : 0);
+  w.u64(m.job_id);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  w.u8(static_cast<std::uint8_t>(m.reject));
+  w.str(m.detail);
+  finish(out, MsgType::kSubmitReply, w);
+}
+
+SubmitReply decode_submit_reply(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "submit reply");
+  SubmitReply m;
+  m.accepted = r.u8() != 0;
+  m.already_known = r.u8() != 0;
+  m.job_id = r.u64();
+  m.state = to_job_state(r.u8());
+  m.reject = to_reject_reason(r.u8());
+  m.detail = r.str();
+  r.expect_done();
+  return m;
+}
+
+void encode_status(std::vector<char>& out, const StatusRequest& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  finish(out, MsgType::kStatus, w);
+}
+
+StatusRequest decode_status(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "status");
+  StatusRequest m;
+  m.job_id = r.u64();
+  r.expect_done();
+  return m;
+}
+
+void encode_status_reply(std::vector<char>& out, const JobStatus& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  w.str(m.tenant);
+  w.str(m.name);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  w.u16(m.attempts);
+  w.i32(m.total_steps);
+  w.i32(m.completed_steps);
+  w.u32(m.chunks_available);
+  w.str(m.detail);
+  finish(out, MsgType::kStatusReply, w);
+}
+
+JobStatus decode_status_reply(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "status reply");
+  JobStatus m;
+  m.job_id = r.u64();
+  m.tenant = r.str();
+  m.name = r.str();
+  m.state = to_job_state(r.u8());
+  m.attempts = r.u16();
+  m.total_steps = r.i32();
+  m.completed_steps = r.i32();
+  m.chunks_available = r.u32();
+  m.detail = r.str();
+  r.expect_done();
+  return m;
+}
+
+void encode_fetch(std::vector<char>& out, const FetchRequest& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  w.u32(m.from_chunk);
+  w.u32(m.max_chunks);
+  finish(out, MsgType::kFetchChunks, w);
+}
+
+FetchRequest decode_fetch(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "fetch");
+  FetchRequest m;
+  m.job_id = r.u64();
+  m.from_chunk = r.u32();
+  m.max_chunks = r.u32();
+  r.expect_done();
+  return m;
+}
+
+void encode_chunks_reply(std::vector<char>& out, const ChunksReply& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  w.u32(m.from_chunk);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  w.u8(m.terminal ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.chunks.size()));
+  for (const std::string& c : m.chunks) w.str(c);
+  finish(out, MsgType::kChunksReply, w);
+}
+
+ChunksReply decode_chunks_reply(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "chunks reply");
+  ChunksReply m;
+  m.job_id = r.u64();
+  m.from_chunk = r.u32();
+  m.state = to_job_state(r.u8());
+  m.terminal = r.u8() != 0;
+  const std::uint32_t n = r.u32();
+  m.chunks.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.chunks.push_back(r.str());
+  r.expect_done();
+  return m;
+}
+
+void encode_cancel(std::vector<char>& out, const CancelRequest& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  finish(out, MsgType::kCancel, w);
+}
+
+CancelRequest decode_cancel(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "cancel");
+  CancelRequest m;
+  m.job_id = r.u64();
+  r.expect_done();
+  return m;
+}
+
+void encode_cancel_reply(std::vector<char>& out, const CancelReply& m) {
+  WireWriter w;
+  w.u64(m.job_id);
+  w.u8(m.found ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(m.state));
+  finish(out, MsgType::kCancelReply, w);
+}
+
+CancelReply decode_cancel_reply(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "cancel reply");
+  CancelReply m;
+  m.job_id = r.u64();
+  m.found = r.u8() != 0;
+  m.state = to_job_state(r.u8());
+  r.expect_done();
+  return m;
+}
+
+void encode_stats(std::vector<char>& out) {
+  WireWriter w;
+  finish(out, MsgType::kStats, w);
+}
+
+void encode_stats_reply(std::vector<char>& out, const util::ServeStats& m) {
+  WireWriter w;
+  w.u64(m.submitted);
+  w.u64(m.admitted);
+  w.u64(m.rejected_queue_full);
+  w.u64(m.rejected_quota);
+  w.u64(m.rejected_bad_script);
+  w.u64(m.rejected_shutdown);
+  w.u64(m.duplicate_submits);
+  w.u64(m.retries);
+  w.u64(m.deadline_missed);
+  w.u64(m.completed);
+  w.u64(m.failed);
+  w.u64(m.cancelled);
+  w.u64(m.recovered);
+  w.u64(m.journal_torn_bytes);
+  w.i64(m.queue_depth);
+  w.i64(m.queue_depth_peak);
+  w.i64(m.running);
+  finish(out, MsgType::kStatsReply, w);
+}
+
+util::ServeStats decode_stats_reply(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "stats reply");
+  util::ServeStats m;
+  m.submitted = r.u64();
+  m.admitted = r.u64();
+  m.rejected_queue_full = r.u64();
+  m.rejected_quota = r.u64();
+  m.rejected_bad_script = r.u64();
+  m.rejected_shutdown = r.u64();
+  m.duplicate_submits = r.u64();
+  m.retries = r.u64();
+  m.deadline_missed = r.u64();
+  m.completed = r.u64();
+  m.failed = r.u64();
+  m.cancelled = r.u64();
+  m.recovered = r.u64();
+  m.journal_torn_bytes = r.u64();
+  m.queue_depth = r.i64();
+  m.queue_depth_peak = r.i64();
+  m.running = r.i64();
+  r.expect_done();
+  return m;
+}
+
+void encode_error(std::vector<char>& out, const ErrorReply& m) {
+  WireWriter w;
+  w.str(m.detail);
+  finish(out, MsgType::kError, w);
+}
+
+ErrorReply decode_error(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "error reply");
+  ErrorReply m;
+  m.detail = r.str();
+  r.expect_done();
+  return m;
+}
+
+}  // namespace lmp::serve

@@ -1,10 +1,12 @@
 #include "sim/checkpoint.h"
 
-#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "comm/msg_codec.h"
+#include "util/durable_file.h"
 
 namespace lmp::sim {
 
@@ -19,18 +21,6 @@ constexpr std::uint32_t kTagThermo = 3;
 constexpr std::uint32_t kTagEnd = 0xFFFFFFFFu;
 
 constexpr char kMagic[8] = {'L', 'M', 'P', 'C', 'K', 'P', 'T', '1'};
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> t{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    t[i] = c;
-  }
-  return t;
-}
 
 /// Append-only little binary writer (host-endian raw bytes).
 class Encoder {
@@ -214,13 +204,9 @@ void append_section(std::vector<char>& out, std::uint32_t tag,
 }  // namespace
 
 std::uint32_t checkpoint_crc32(const void* data, std::size_t len) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  // One CRC-32 for the whole tree: checkpoints, journal records, and
+  // wire frames all share comm::crc32 (same polynomial, same tables).
+  return comm::crc32(data, len);
 }
 
 void write_checkpoint(const std::string& path, const CheckpointState& st) {
@@ -248,19 +234,10 @@ void write_checkpoint(const std::string& path, const CheckpointState& st) {
   }
   append_section(file, kTagEnd, {});
 
-  // Atomic publish: never expose a half-written file under `path`.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("checkpoint: cannot open " + tmp);
-    os.write(file.data(), static_cast<std::streamsize>(file.size()));
-    os.close();
-    if (!os) throw std::runtime_error("checkpoint: write failed for " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: rename to " + path + " failed");
-  }
+  // Atomic, durable publish: tmp + fsync + rename + parent-dir fsync,
+  // so a checkpoint that the journal (or a restart) points at survives
+  // power loss — never a half-written or unlinked file under `path`.
+  util::write_file_durable(path, file.data(), file.size());
 }
 
 CheckpointState read_checkpoint(const std::string& path) {

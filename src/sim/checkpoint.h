@@ -38,9 +38,11 @@ struct CheckpointState {
 /// integrity check of the checkpoint format.
 std::uint32_t checkpoint_crc32(const void* data, std::size_t len);
 
-/// Writes `st` to `path` atomically: serialize to `path + ".tmp"`, fsync
-/// via stream close, then std::rename over the destination, so a crash
-/// mid-write never leaves a truncated file under the final name. Throws
+/// Writes `st` to `path` atomically and durably: serialize to
+/// `path + ".tmp"`, fsync the file, rename over the destination, fsync
+/// the parent directory (util::write_file_durable) — a crash or power
+/// loss mid-write never leaves a truncated file under the final name,
+/// and a published checkpoint survives the machine dying. Throws
 /// std::runtime_error on any I/O failure.
 void write_checkpoint(const std::string& path, const CheckpointState& st);
 

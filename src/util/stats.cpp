@@ -56,6 +56,31 @@ std::string format_health_table(const CommHealthReport& h) {
   return out;
 }
 
+std::string format_server_table(const ServeStats& s) {
+  TablePrinter t({"server", "count"});
+  const auto row = [&t](const char* name, std::uint64_t v) {
+    t.add_row({name, std::to_string(v)});
+  };
+  row("submitted", s.submitted);
+  row("admitted", s.admitted);
+  row("rejected_queue_full", s.rejected_queue_full);
+  row("rejected_quota", s.rejected_quota);
+  row("rejected_bad_script", s.rejected_bad_script);
+  row("rejected_shutdown", s.rejected_shutdown);
+  row("duplicate_submits", s.duplicate_submits);
+  row("retries", s.retries);
+  row("deadline_missed", s.deadline_missed);
+  row("completed", s.completed);
+  row("failed", s.failed);
+  row("cancelled", s.cancelled);
+  row("recovered", s.recovered);
+  row("journal_torn_bytes", s.journal_torn_bytes);
+  t.add_row({"queue_depth", std::to_string(s.queue_depth)});
+  t.add_row({"queue_depth_peak", std::to_string(s.queue_depth_peak)});
+  t.add_row({"running", std::to_string(s.running)});
+  return t.to_string();
+}
+
 std::string format_latency_table() {
   const auto hists = obs::MetricsRegistry::instance().histograms();
   bool any = false;

@@ -92,6 +92,41 @@ struct CommHealthReport {
 /// per row) for end-of-run printing.
 std::string format_health_table(const CommHealthReport& h);
 
+/// End-of-run summary of a job-server session: the admission-control and
+/// retry/deadline counters the serving layer accumulates, plus queue
+/// gauges. All zeros for an idle server. Rendered by
+/// format_server_table in the same style as the health table, so
+/// `lmp_serve` output matches the rest of the tooling.
+struct ServeStats {
+  std::uint64_t submitted = 0;          ///< submissions received (any outcome)
+  std::uint64_t admitted = 0;           ///< entered the run queue
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_quota = 0;     ///< per-tenant queued/running quota
+  std::uint64_t rejected_bad_script = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t duplicate_submits = 0;  ///< idempotent resubmits answered
+  std::uint64_t retries = 0;            ///< attempts re-run after a failure
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t recovered = 0;          ///< jobs requeued from the journal
+  std::uint64_t journal_torn_bytes = 0; ///< tail truncated during recovery
+  std::int64_t queue_depth = 0;
+  std::int64_t queue_depth_peak = 0;
+  std::int64_t running = 0;
+
+  std::uint64_t rejected_total() const {
+    return rejected_queue_full + rejected_quota + rejected_bad_script +
+           rejected_shutdown;
+  }
+};
+
+/// Render the server section of the end-of-run tables (jobs admitted /
+/// rejected / retried / deadline-missed, queue gauges), matching the
+/// established fixed-width layout.
+std::string format_server_table(const ServeStats& s);
+
 /// Render the latency histograms the metrics registry collected this run
 /// (put latency per TNI, notice waits, pool dispatch/run, ...) as a
 /// table in microseconds, three decimals. Empty string when no histogram

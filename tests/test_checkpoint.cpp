@@ -7,6 +7,7 @@
 
 #include "sim/checkpoint.h"
 #include "sim/simulation.h"
+#include "util/durable_file.h"
 
 namespace lmp {
 namespace {
@@ -90,6 +91,19 @@ TEST(Checkpoint, WriteIsAtomicNoTmpLeftBehind) {
   sim::write_checkpoint(path, sample_state());
   std::ifstream tmp(path + ".tmp");
   EXPECT_FALSE(tmp.good());  // published via rename, staging file gone
+  EXPECT_NO_THROW(sim::read_checkpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WriteIsDurableFsyncsFileAndParentDir) {
+  if (!util::fsync_supported()) GTEST_SKIP() << "no fsync on this platform";
+  const std::string path = tmp_path("ckpt_durable.bin");
+  const std::uint64_t before = util::fsyncs_issued();
+  sim::write_checkpoint(path, sample_state());
+  const std::uint64_t after = util::fsyncs_issued();
+  // One fsync for the tmp file's data, one for the parent directory
+  // entry after the rename — both are required for power-loss safety.
+  EXPECT_GE(after - before, 2u);
   EXPECT_NO_THROW(sim::read_checkpoint(path));
   std::remove(path.c_str());
 }
