@@ -25,13 +25,19 @@ std::string job_key(const std::string& tenant, const std::string& name) {
 /// unconditionally) coincides with the regular `step % thermo_every`
 /// schedule — a sliced run's thermo series is bitwise-identical to an
 /// uninterrupted one.
-int slice_quantum(int checkpoint_every, int thermo_every, int preferred) {
-  const int te = std::max(1, thermo_every);
-  const int ck = std::max(1, checkpoint_every);
-  const int l = std::lcm(ck, te);
-  int q = l;
-  while (q < preferred) q += l;
-  return q;
+///
+/// Computed in 64-bit and clamped to `total`: the cadences are
+/// client-controlled, and an lcm like lcm(1999999999, 2000000000)
+/// overflows int. Any quantum >= total means one full-run slice, which
+/// is always correct (the final boundary records thermo regardless).
+int slice_quantum(int checkpoint_every, int thermo_every, int preferred,
+                  int total) {
+  const long long cap = std::max(total, 1);
+  const long long l = std::lcm(static_cast<long long>(std::max(1, checkpoint_every)),
+                               static_cast<long long>(std::max(1, thermo_every)));
+  if (l >= cap) return static_cast<int>(cap);
+  const long long q = (std::max(preferred, 1) + l - 1) / l * l;
+  return static_cast<int>(std::min(q, cap));
 }
 
 std::string format_thermo_chunk(const std::vector<sim::ThermoSample>& thermo,
@@ -122,6 +128,8 @@ void JobServer::start() {
   accepting_ = true;
   stop_requested_ = false;
   abandon_ = false;
+  journal_failed_ = false;
+  journal_error_.clear();
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -183,7 +191,10 @@ SubmitReply JobServer::submit(const SubmitRequest& req) {
 
   if (!accepting_) {
     ++stats_.rejected_shutdown;
-    return reject(RejectReason::kShuttingDown, "server is shutting down");
+    return reject(RejectReason::kShuttingDown,
+                  journal_failed_
+                      ? "journal failed, not accepting jobs: " + journal_error_
+                      : "server is shutting down");
   }
 
   // Idempotent resubmit: same (tenant, name) answers with the existing
@@ -244,7 +255,15 @@ SubmitReply JobServer::submit(const SubmitRequest& req) {
       req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
   jj.max_attempts =
       req.max_attempts > 0 ? req.max_attempts : cfg_.default_max_attempts;
-  journal_.record_submit(jj);  // write-ahead: durable before visible
+  try {
+    if (cfg_.journal_fault_hook) cfg_.journal_fault_hook();
+    journal_.record_submit(jj);  // write-ahead: durable before visible
+  } catch (const std::exception& e) {
+    journal_io_failed_locked(e);
+    ++stats_.rejected_shutdown;
+    return reject(RejectReason::kShuttingDown,
+                  std::string("journal write failed: ") + e.what());
+  }
 
   Job job;
   job.j = journal_.jobs().at(jj.id);
@@ -372,14 +391,34 @@ bool JobServer::wait_all_terminal(std::uint64_t timeout_ms) const {
   return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), all_terminal);
 }
 
+void JobServer::journal_io_failed_locked(const std::exception& e) {
+  if (!journal_failed_) {
+    journal_failed_ = true;
+    journal_error_ = e.what();
+    metric("serve.journal_io_errors").add();
+  }
+  accepting_ = false;  // further admissions could not be made durable
+}
+
+bool JobServer::record_state_locked(const Job& job) {
+  if (abandon_ || journal_failed_) return false;
+  try {
+    if (cfg_.journal_fault_hook) cfg_.journal_fault_hook();
+    journal_.record_state(job.j.id, job.j.state, job.j.attempts,
+                          job.j.completed_steps, job.j.restart_file,
+                          job.j.detail);
+    return true;
+  } catch (const std::exception& e) {
+    journal_io_failed_locked(e);
+    return false;
+  }
+}
+
 void JobServer::finish_terminal(std::unique_lock<std::mutex>&, Job& job,
                                 JobState state, const std::string& detail) {
   job.j.state = state;
   job.j.detail = detail;
-  if (!abandon_) {
-    journal_.record_state(job.j.id, state, job.j.attempts,
-                          job.j.completed_steps, job.j.restart_file, detail);
-  }
+  record_state_locked(job);
   switch (state) {
     case JobState::kDone:
       ++stats_.completed;
@@ -432,9 +471,7 @@ std::uint64_t JobServer::pick_and_mark_running(std::unique_lock<std::mutex>& lk,
     job.j.state = JobState::kRunning;
     ++job.j.attempts;
     ++tenant_running_[job.j.tenant];
-    journal_.record_state(id, JobState::kRunning, job.j.attempts,
-                          job.j.completed_steps, job.j.restart_file,
-                          job.j.detail);
+    record_state_locked(job);
     stats_.queue_depth = queue_depth_locked();
     obs::MetricsRegistry::instance().gauge("serve.queue_depth")
         .set(stats_.queue_depth);
@@ -486,7 +523,7 @@ void JobServer::run_one(std::uint64_t id) {
     sim::ParsedScript parsed = sim::parse_input_script(script);
     const int quantum =
         slice_quantum(parsed.options.checkpoint_every,
-                      parsed.options.thermo_every, cfg_.slice_steps);
+                      parsed.options.thermo_every, cfg_.slice_steps, total);
     const int ck = parsed.options.checkpoint_every > 0
                        ? parsed.options.checkpoint_every
                        : quantum;
@@ -521,8 +558,23 @@ void JobServer::run_one(std::uint64_t id) {
         from = job.j.completed_steps;
         restart = job.j.restart_file;
       }
-      if (from >= total) break;
-      const int target = std::min(total, (from / quantum + 1) * quantum);
+      if (from >= total) {
+        if (done || total <= 0) break;
+        // Recovered job whose last incarnation crashed between the final
+        // slice's progress record and the terminal record: the journal
+        // says all steps completed, but this incarnation has streamed no
+        // thermo and written no artifacts. Fall through with a
+        // target == total slice: run_simulation restores the newest
+        // checkpoint (a zero-step resume when it sits at `total`, at
+        // most the final partial slice otherwise — or a full
+        // deterministic re-run when no checkpoint was ever cut) and its
+        // result carries the complete thermo history, so kDone is only
+        // journaled after the report/dump exist and the full series is
+        // fetchable.
+      }
+      const int target = static_cast<int>(std::min<long long>(
+          total, (static_cast<long long>(from) / quantum + 1) *
+                     static_cast<long long>(quantum)));
 
       sim::SimOptions opts = parsed.options;
       opts.checkpoint_every = ck;
@@ -543,13 +595,9 @@ void JobServer::run_one(std::uint64_t id) {
       if (target % ck == 0) {
         job.j.restart_file = prefix + "." + std::to_string(target);
       }
-      if (!abandon_) {
-        // Progress WAL: a crash after this point resumes from `target`,
-        // not from the attempt's start.
-        journal_.record_state(id, JobState::kRunning, job.j.attempts,
-                              job.j.completed_steps, job.j.restart_file,
-                              job.j.detail);
-      }
+      // Progress WAL: a crash after this point resumes from `target`,
+      // not from the attempt's start.
+      record_state_locked(job);
       if (target >= total) {
         final_opts = opts;
         final_result = std::move(result);
@@ -601,9 +649,7 @@ void JobServer::run_one(std::uint64_t id) {
       job.j.state = JobState::kRetrying;
       job.j.detail = failure;
       job.ready_at = Clock::now() + std::chrono::milliseconds(backoff);
-      journal_.record_state(id, JobState::kRetrying, job.j.attempts,
-                            job.j.completed_steps, job.j.restart_file,
-                            failure);
+      record_state_locked(job);
       cv_.notify_all();
     }
   }

@@ -70,6 +70,11 @@ struct ServerConfig {
   /// server lock). Throwing std::runtime_error injects a transient fault
   /// that exercises the retry path.
   std::function<void(std::uint64_t job_id, int attempt)> before_attempt_hook;
+  /// Test hook, called immediately before every post-start journal
+  /// append (submit records and state transitions alike). Throwing
+  /// simulates a journal I/O failure (disk full, fsync error) and
+  /// exercises the degraded mode described on JobServer.
+  std::function<void()> journal_fault_hook;
 };
 
 /// Long-lived in-process simulation job server.
@@ -87,6 +92,15 @@ struct ServerConfig {
 /// overload — it returns a structured rejection (queue full, quota,
 /// bad script, shutting down) in bounded time. Rejections are counted,
 /// not stored, so an abusive client cannot grow server memory.
+///
+/// Journal I/O failure after start() (disk full, fsync error) degrades
+/// the server deliberately instead of killing it: the first failed
+/// append flips it into a non-accepting mode (new jobs could not be
+/// made durable, so submissions get a structured kShuttingDown
+/// rejection naming the error), while jobs already admitted run to a
+/// terminal state in memory — clients can still drain status, chunks
+/// and stats, and stop() still shuts down cleanly. No journal error
+/// ever escapes a worker thread (which would std::terminate).
 class JobServer {
  public:
   explicit JobServer(ServerConfig config);
@@ -161,6 +175,14 @@ class JobServer {
   void run_one(std::uint64_t id);
   void finish_terminal(std::unique_lock<std::mutex>& lk, Job& job,
                        JobState state, const std::string& detail);
+  /// Journals the job's current state (no-op under kAbandon or once the
+  /// journal has failed). A throwing append is absorbed here: it flips
+  /// the server into the degraded non-accepting mode instead of letting
+  /// the exception escape a worker thread. Returns whether the record
+  /// was made durable. Caller holds mu_.
+  bool record_state_locked(const Job& job);
+  /// Marks the journal dead after an append failure. Caller holds mu_.
+  void journal_io_failed_locked(const std::exception& e);
   void release_lane_locked(const std::string& tenant);
   JobStatus status_of_locked(const Job& job) const;
   const TenantQuota& quota_for(const std::string& tenant) const;
@@ -179,6 +201,8 @@ class JobServer {
   bool accepting_ = false;
   bool stop_requested_ = false;
   bool abandon_ = false;
+  bool journal_failed_ = false;   ///< degraded: appends lost, nothing admitted
+  std::string journal_error_;     ///< first append failure (for rejections)
   std::vector<std::thread> workers_;
 };
 

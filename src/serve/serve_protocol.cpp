@@ -1,5 +1,6 @@
 #include "serve/serve_protocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace lmp::serve {
@@ -157,7 +158,12 @@ ChunksReply decode_chunks_reply(const char* payload, std::size_t len) {
   m.state = to_job_state(r.u8());
   m.terminal = r.u8() != 0;
   const std::uint32_t n = r.u32();
-  m.chunks.reserve(n);
+  // Every chunk costs at least its 4-byte length prefix, so a count a
+  // forged frame can actually back is bounded by len/4 — clamp the
+  // reserve to that instead of trusting the declared count (which could
+  // otherwise demand a multi-GB allocation before the per-string bounds
+  // checks get to reject the payload).
+  m.chunks.reserve(std::min<std::size_t>(n, len / 4));
   for (std::uint32_t i = 0; i < n; ++i) m.chunks.push_back(r.str());
   r.expect_done();
   return m;

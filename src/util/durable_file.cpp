@@ -140,10 +140,18 @@ void AppendLog::open(const std::string& path) {
 #else
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (!f) io_fail("open", path);
-  const long at = std::ftell(f);
   std::fclose(f);
+  // ftell on a freshly opened append stream is implementation-defined
+  // before the first write; measure the size with an explicit
+  // seek-to-end on a read handle instead.
+  std::FILE* r = std::fopen(path.c_str(), "rb");
+  if (!r) io_fail("open", path);
+  long at = -1;
+  if (std::fseek(r, 0, SEEK_END) == 0) at = std::ftell(r);
+  std::fclose(r);
+  if (at < 0) io_fail("size", path);
   fd_ = 0;  // marker: "open" in the fallback
-  size_ = at < 0 ? 0 : static_cast<std::uint64_t>(at);
+  size_ = static_cast<std::uint64_t>(at);
   path_ = path;
 #endif
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -195,6 +196,20 @@ TEST(ServeProtocol, RepliesRoundTrip) {
   EXPECT_EQ(st2.rejected_queue_full, 1u);
   EXPECT_EQ(st2.queue_depth, 3);
   EXPECT_EQ(off + f.consumed, buf.size());
+}
+
+TEST(ServeProtocol, ForgedChunkCountRejectedWithoutHugeAllocation) {
+  // A 22-byte payload declaring 2^32-1 chunks: the decoder must fail
+  // with the structured ProtocolError (truncated first string), not
+  // attempt a multi-GB vector reserve for the forged count.
+  WireWriter w;
+  w.u64(7);
+  w.u32(0);
+  w.u8(static_cast<std::uint8_t>(JobState::kDone));
+  w.u8(1);
+  w.u32(0xFFFFFFFFu);
+  const std::vector<char>& b = w.bytes();
+  EXPECT_THROW(decode_chunks_reply(b.data(), b.size()), ProtocolError);
 }
 
 TEST(ServeProtocol, TruncatedPayloadThrowsStructured) {
@@ -475,6 +490,161 @@ TEST(JobServer, HandleFramesEndpointAnswersAndSurvivesGarbage) {
   EXPECT_EQ(static_cast<MsgType>(f.type), MsgType::kError);
 
   ASSERT_TRUE(server.wait_all_terminal(60000));
+  server.stop(StopMode::kDrain);
+}
+
+TEST(JobServer, HugeCadencesDegradeToOneSliceInsteadOfOverflowing) {
+  // lcm(1999999999, 2000000000) overflows 32-bit; before the 64-bit
+  // clamp this wedged the worker in an unbreakable quantum-search loop
+  // (signed-overflow UB), so one bad-but-valid script hung the server
+  // and its destructor. Now the quantum degrades to a single full-run
+  // slice and the job completes normally.
+  ServerConfig cfg = base_config("hugecadence");
+  JobServer server(cfg);
+  server.start();
+
+  const std::string script =
+      melt_script(10, 2000000000, "checkpoint 1999999999\n");
+  const SubmitReply r = server.submit(make_submit("acme", "huge", script));
+  ASSERT_TRUE(r.accepted) << r.detail;
+  ASSERT_TRUE(server.wait_all_terminal(60000));
+
+  const std::optional<JobStatus> s = server.status(r.job_id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kDone) << s->detail;
+  EXPECT_EQ(s->completed_steps, 10);
+  // Still bitwise-identical to the uninterrupted reference run with the
+  // script's own (never-firing) checkpoint cadence.
+  EXPECT_EQ(all_chunks(server, r.job_id), reference_thermo(script, 1999999999));
+  server.stop(StopMode::kDrain);
+}
+
+TEST(JobServer, JournalWriteFailureDegradesServerInsteadOfTerminating) {
+  // A journal append that throws on a worker thread used to escape into
+  // std::terminate. It must instead flip the server into the degraded
+  // non-accepting mode: the in-flight job finishes in memory, clients
+  // keep their status/chunk access, new submissions get a structured
+  // rejection naming the journal, and shutdown stays orderly.
+  ServerConfig cfg = base_config("journalfail");
+  std::atomic<bool> fail{false};
+  cfg.journal_fault_hook = [&fail] {
+    if (fail.load()) throw std::runtime_error("injected journal I/O failure");
+  };
+  // Arm the fault only once the job is running, so the failure lands on
+  // the worker's progress-WAL append, not on the submit path.
+  cfg.before_attempt_hook = [&fail](std::uint64_t, int) { fail.store(true); };
+  JobServer server(cfg);
+  server.start();
+
+  const std::string script = melt_script(20);
+  const SubmitReply r = server.submit(make_submit("acme", "degrade", script));
+  ASSERT_TRUE(r.accepted) << r.detail;
+  ASSERT_TRUE(server.wait_all_terminal(60000));
+
+  const std::optional<JobStatus> s = server.status(r.job_id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kDone) << s->detail;
+  EXPECT_EQ(all_chunks(server, r.job_id), reference_thermo(script, 10));
+  EXPECT_TRUE(server.running());
+
+  const SubmitReply after = server.submit(make_submit("acme", "late", script));
+  EXPECT_FALSE(after.accepted);
+  EXPECT_EQ(after.reject, RejectReason::kShuttingDown);
+  EXPECT_NE(after.detail.find("journal"), std::string::npos) << after.detail;
+  EXPECT_EQ(server.stats().completed, 1u);
+  server.stop(StopMode::kDrain);
+
+  // Same failure on the submit path: the write-ahead append throws, the
+  // submission is rejected (never half-admitted), and the server lives.
+  ServerConfig cfg2 = base_config("journalfail2");
+  cfg2.journal_fault_hook = [] {
+    throw std::runtime_error("injected journal I/O failure");
+  };
+  JobServer server2(cfg2);
+  server2.start();
+  const SubmitReply r2 = server2.submit(make_submit("acme", "never", script));
+  EXPECT_FALSE(r2.accepted);
+  EXPECT_EQ(r2.reject, RejectReason::kShuttingDown);
+  EXPECT_NE(r2.detail.find("journal"), std::string::npos) << r2.detail;
+  EXPECT_EQ(server2.jobs().size(), 0u);
+  server2.stop(StopMode::kDrain);
+}
+
+TEST(JobServer, RecoveredFullyProgressedJobStillStreamsAndWritesReport) {
+  // Crash window: the final slice's progress record landed but the
+  // terminal record did not. Recovery requeues the job with
+  // completed_steps == total; the next incarnation must still produce
+  // the report and stream the complete thermo series before journaling
+  // kDone — not short-circuit into an artifact-less terminal state.
+  const std::string script = melt_script(20);
+  const std::string reference = reference_thermo(script, 10);
+
+  // Variant 1: no checkpoint survived (crash before the first cadence
+  // multiple would be rare but legal) — a full deterministic re-run.
+  ServerConfig cfg = base_config("tornfinal");
+  {
+    JobJournal j;
+    j.open(cfg.journal_path);
+    JournalJob jj;
+    jj.id = j.next_id();
+    jj.tenant = "acme";
+    jj.name = "torn";
+    jj.script = script;
+    jj.max_attempts = 3;
+    j.record_submit(jj);
+    j.record_state(jj.id, JobState::kRunning, 1, 20, "", "");
+    j.close();
+  }
+  std::uint64_t job_id = 0;
+  {
+    JobServer server(cfg);
+    server.start();
+    ASSERT_TRUE(server.wait_all_terminal(60000));
+    const std::vector<JobStatus> jobs = server.jobs();
+    ASSERT_EQ(jobs.size(), 1u);
+    job_id = jobs[0].job_id;
+    EXPECT_EQ(jobs[0].state, JobState::kDone) << jobs[0].detail;
+    EXPECT_EQ(jobs[0].completed_steps, 20);
+    EXPECT_EQ(all_chunks(server, job_id), reference);
+    server.stop(StopMode::kDrain);
+  }
+  const std::string report_path =
+      cfg.work_dir + "/job-" + std::to_string(job_id) + ".report.json";
+  EXPECT_TRUE(std::ifstream(report_path).good());
+
+  // Variant 2: the journaled checkpoint sits exactly at `total` (the
+  // common case — the final progress record and the checkpoint land at
+  // the same boundary): a zero-step resume must regenerate the report
+  // from the checkpoint and stream its thermo history.
+  std::remove(report_path.c_str());
+  const std::string ck_at_total =
+      cfg.work_dir + "/job-" + std::to_string(job_id) + ".ck.20";
+  ASSERT_TRUE(std::ifstream(ck_at_total).good());
+  ServerConfig cfg2 = base_config("tornfinal2");
+  cfg2.work_dir = cfg.work_dir;
+  {
+    JobJournal j;
+    j.open(cfg2.journal_path);
+    JournalJob jj;
+    jj.id = j.next_id();
+    jj.tenant = "acme";
+    jj.name = "torn-ck";
+    jj.script = script;
+    jj.max_attempts = 3;
+    j.record_submit(jj);
+    j.record_state(jj.id, JobState::kRunning, 1, 20, ck_at_total, "");
+    j.close();
+  }
+  JobServer server(cfg2);
+  server.start();
+  ASSERT_TRUE(server.wait_all_terminal(60000));
+  const std::vector<JobStatus> jobs = server.jobs();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].state, JobState::kDone) << jobs[0].detail;
+  EXPECT_EQ(all_chunks(server, jobs[0].job_id), reference);
+  EXPECT_TRUE(std::ifstream(cfg2.work_dir + "/job-" +
+                            std::to_string(jobs[0].job_id) + ".report.json")
+                  .good());
   server.stop(StopMode::kDrain);
 }
 
