@@ -198,9 +198,58 @@ EOF
   echo "serve smoke: recovered thermo bitwise-identical ($(wc -l < "${work}/thermo.resumed") samples)"
 }
 
-# Bench-compare smoke: regenerate the fig13 record in quick mode and gate
-# it against the committed baseline. A missing baseline only warns (that
-# is how a new bench seeds its first record); a tolerance breach fails CI.
+# Executor smoke: the async task-graph executor must reproduce the
+# barrier executor's trajectory bit for bit on the golden melt (the
+# 6tni_p2p engine, whose per-direction forward channels the step DAG
+# genuinely overlaps with interior force groups), and its traced
+# notice_wait attribution must come in below the barrier run's — the
+# overlap fills dispatcher-wait time with interior force work. Wait
+# times are wall-clock on a shared host, so a near-tie gets ONE retry
+# before it counts as a regression.
+run_executor_smoke() {
+  local build_dir="$1"
+  echo "--- executor smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  local attempt
+  for attempt in 1 2; do
+    "${build_dir}/examples/lmp_cli" examples/in.melt.lj 6tni_p2p \
+        --executor barrier --dump-final "${work}/barrier.dump" \
+        --trace "${work}/barrier.trace.json" \
+        --report "${work}/barrier.report.json" > /dev/null
+    "${build_dir}/examples/lmp_cli" examples/in.melt.lj 6tni_p2p \
+        --executor async --dump-final "${work}/async.dump" \
+        --trace "${work}/async.trace.json" \
+        --report "${work}/async.report.json" > /dev/null
+    diff "${work}/barrier.dump" "${work}/async.dump" \
+        || { echo "executor smoke: async trajectory diverged from barrier"; return 1; }
+    if python3 - "${work}/barrier.report.json" "${work}/async.report.json" <<'EOF'
+import json, sys
+waits = []
+for path in sys.argv[1:]:
+    cp = json.load(open(path)).get("critical_path", {})
+    assert "notice_wait" in cp, f"{path}: traced report lacks notice_wait"
+    waits.append(cp["notice_wait"]["seconds"])
+b, a = waits
+print(f"executor smoke: trajectories bitwise-identical; notice_wait "
+      f"barrier={b*1e3:.2f}ms async={a*1e3:.2f}ms "
+      f"({'below' if a < b else 'NOT below'})")
+sys.exit(0 if a < b else 1)
+EOF
+    then
+      return 0
+    fi
+    echo "executor smoke: async notice_wait not below barrier (attempt ${attempt})"
+  done
+  return 1
+}
+
+# Bench-compare smoke: regenerate the fig13 and overlap records in quick
+# mode and gate them against the committed baselines. A missing baseline
+# only warns (that is how a new bench seeds its first record); a
+# tolerance breach fails CI. The overlap gate runs wide open (50%):
+# its metric is a wall-clock ratio of two runs on a shared host.
 run_bench_compare_smoke() {
   local build_dir="$1"
   echo "--- bench-compare smoke (${build_dir}) ---"
@@ -212,6 +261,11 @@ run_bench_compare_smoke() {
   "${build_dir}/bench/bench_compare" \
       bench/baselines/BENCH_fig13_strong_scaling.json \
       "${work}/BENCH_fig13_strong_scaling.json"
+  LMP_BENCH_QUICK=1 LMP_BENCH_DIR="${work}" \
+      "${build_dir}/bench/bench_overlap" > /dev/null
+  "${build_dir}/bench/bench_compare" \
+      bench/baselines/BENCH_overlap.json \
+      "${work}/BENCH_overlap.json" --tol 50
 }
 
 echo "=== pass 1: -Werror build + ctest ==="
@@ -220,6 +274,7 @@ cmake --build build-ci -j "${JOBS}"
 ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci
 run_trace_smoke build-ci
+run_executor_smoke build-ci
 run_serve_smoke build-ci
 run_bench_compare_smoke build-ci
 
@@ -234,7 +289,18 @@ cmake --build build-ci-asan -j "${JOBS}"
 ctest --test-dir build-ci-asan --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci-asan
 run_trace_smoke build-ci-asan
+run_executor_smoke build-ci-asan
 run_serve_smoke build-ci-asan
+
+echo "=== pass 2b: TSan build + concurrency test slice ==="
+# TSan cannot share a process with ASan, so it gets its own tree; the
+# slice covers the code that actually shares memory across threads —
+# the spin/fork-join pools, the task-graph scheduler, and the notice
+# dispatcher (the async executor's moving parts).
+cmake -B build-ci-tsan -S . -DLMP_WERROR=ON -DLMP_SANITIZE=thread
+cmake --build build-ci-tsan -j "${JOBS}" --target lmp_tests
+ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" \
+    -R 'TaskGraph|SpinThreadPool|ForkJoin|NoticeDispatcher'
 
 echo "=== pass 3: LMP_TRACE=OFF build (instrumentation compiles out) ==="
 cmake -B build-ci-notrace -S . -DLMP_WERROR=ON -DLMP_TRACE=OFF

@@ -6,6 +6,9 @@
 //   ./lmp_cli <input-script> [comm_variant_override] [flags]
 //
 // Flags (after the positional args, any order):
+//   --executor <name>         step runtime: barrier (default) or async
+//                             (task-DAG overlap of ghost exchange and
+//                             interior force work; bitwise-identical)
 //   --restart <file>          resume from a checkpoint file
 //   --checkpoint-path <pfx>   write checkpoints as <pfx>.<step>
 //   --dump-final <file>       write final per-atom state (tag x y z vx vy vz)
@@ -36,7 +39,8 @@ namespace {
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s <input-script> [comm-variant] [--restart <file>] "
+               "usage: %s <input-script> [comm-variant] "
+               "[--executor barrier|async] [--restart <file>] "
                "[--checkpoint-path <prefix>] [--dump-final <file>] "
                "[--trace <file>] [--report <file>] [--metrics]\n",
                prog);
@@ -84,7 +88,15 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--restart") == 0) {
+    if (std::strcmp(argv[i], "--executor") == 0) {
+      const char* v = flag_value("--executor");
+      if (!v) return 1;
+      if (std::strcmp(v, "barrier") != 0 && std::strcmp(v, "async") != 0) {
+        std::fprintf(stderr, "error: --executor wants barrier|async\n");
+        return 1;
+      }
+      script.options.executor = v;
+    } else if (std::strcmp(argv[i], "--restart") == 0) {
       const char* v = flag_value("--restart");
       if (!v) return 1;
       script.options.restart_file = v;
@@ -128,6 +140,10 @@ int main(int argc, char** argv) {
               4 * o.cells.x * o.cells.y * o.cells.z,
               o.rank_grid.x * o.rank_grid.y * o.rank_grid.z, o.rank_grid.x,
               o.rank_grid.y, o.rank_grid.z, o.comm.c_str());
+  if (o.executor != "barrier") {
+    std::printf("  executor %s (%d workers/rank)\n", o.executor.c_str(),
+                o.executor_threads);
+  }
   std::printf("  cutoff %.3f skin %.2f dt %.4g newton %s neigh every %d "
               "check %s\n",
               o.config.cutoff, o.config.skin, o.config.dt,

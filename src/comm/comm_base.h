@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "geom/box.h"
 #include "geom/decomposition.h"
@@ -58,6 +59,41 @@ class Comm : public md::GhostDataComm {
 
   /// Push updated owner positions into all ghost copies.
   virtual void forward_positions() = 0;
+
+  // --- split forward exchange (asynchronous step runtime) ---------------
+  //
+  // forward_begin() issues this step's sends, forward_complete(ch)
+  // blocks until receive channel `ch`'s ghost block has landed. The step
+  // DAG calls forward_begin() first, then overlaps interior force tasks
+  // with one forward_complete() per entry of forward_channels(); border
+  // tasks reading a direction depend on that direction's completion.
+  //
+  // Eager implementations (blocking sendrecv loops, where send and
+  // receive cannot be separated) keep the defaults: forward_begin() runs
+  // the whole exchange and forward_complete() is a no-op, with
+  // forward_channels() empty — the DAG then simply gates every border
+  // task on the forward node. forward_begin() + forward_complete(ch) for
+  // every listed channel must be exactly equivalent to
+  // forward_positions(), counters included.
+
+  /// Start the forward exchange (send side; eager default: all of it).
+  virtual void forward_begin() { forward_positions(); }
+
+  /// Complete one receive channel started by forward_begin().
+  virtual void forward_complete(int /*ch*/) {}
+
+  /// Receive channels forward_complete() must be called for, in the
+  /// canonical (serial) completion order. Empty for eager implementations.
+  virtual const std::vector<int>& forward_channels() const {
+    static const std::vector<int> kNone;
+    return kNone;
+  }
+
+  /// Exclusivity key for a channel's completion: completions sharing a
+  /// key consume the same underlying queue (e.g. one VCQ's dispatcher)
+  /// and must not run concurrently — the DAG chains them in
+  /// forward_channels() order. Distinct keys may complete in parallel.
+  virtual int forward_channel_key(int ch) const { return ch; }
 
   /// Send forces accumulated on ghosts back to their owners and add them.
   virtual void reverse_forces() = 0;

@@ -431,6 +431,11 @@ void CommP2p::borders() {
 }
 
 void CommP2p::forward_positions() {
+  forward_begin();
+  for_dirs(plan_.recv_channels(), [&](int u) { complete_forward_dir(u); });
+}
+
+void CommP2p::forward_begin() {
   md::Atoms& atoms = *ctx_.atoms;
 
   // Direct writes into the peer's position array are only safe when the
@@ -458,14 +463,6 @@ void CommP2p::forward_positions() {
       account(counters_, MsgKind::kForward,
               plan_.send_list(d).size() * kPositionDoubles);
     }
-    for_dirs(plan_.recv_channels(), [&](int u) {
-      std::uint32_t n = 0;
-      const std::span<const double> in = wait_payload(MsgKind::kForward, u, &n);
-      if (static_cast<int>(n) != plan_.ghost_count(u) * 3) {
-        throw std::logic_error("forward ghost count changed since borders()");
-      }
-      unpack_positions(x, plan_.ghost_start(u), in);
-    });
     return;
   }
 
@@ -509,34 +506,48 @@ void CommP2p::forward_positions() {
     account(counters_, MsgKind::kForward,
             plan_.send_list(d).size() * kPositionDoubles);
   }
+}
 
-  // The data lands in place; we only consume the arrival notices — but
+void CommP2p::complete_forward_dir(int u) {
+  md::Atoms& atoms = *ctx_.atoms;
+
+  if (!ctx_.newton) {
+    std::uint32_t n = 0;
+    const std::span<const double> in = wait_payload(MsgKind::kForward, u, &n);
+    if (static_cast<int>(n) != plan_.ghost_count(u) * 3) {
+      throw std::logic_error("forward ghost count changed since borders()");
+    }
+    unpack_positions(atoms.x(), plan_.ghost_start(u), in);
+    return;
+  }
+
+  // The data lands in place; we only consume the arrival notice — but
   // under fault injection the landed bytes are CRC-verified against the
   // descriptor before the pair stage may read them.
-  for_dirs(plan_.recv_channels(), [&](int u) {
-    const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
-    for (;;) {
-      const Edata e =
-          dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kForward, u);
-      if (reliable_) {
-        const double* region = atoms.x() + 3 * plan_.ghost_start(u);
-        const std::uint64_t bytes =
-            static_cast<std::uint64_t>(e.value) * 3 * sizeof(double);
-        if (e.crc != payload_crc(e.value, region, bytes)) {
-          crc_rejects_.fetch_add(1, std::memory_order_relaxed);
-          dispatch_[static_cast<std::size_t>(slot)].accept_retransmit(
-              MsgKind::kForward, u);
-          send_nack(MsgKind::kForward, u);
-          continue;
-        }
+  const int slot = slot_of_dir_[static_cast<std::size_t>(u)];
+  for (;;) {
+    const Edata e =
+        dispatch_[static_cast<std::size_t>(slot)].wait(MsgKind::kForward, u);
+    if (reliable_) {
+      const double* region = atoms.x() + 3 * plan_.ghost_start(u);
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(e.value) * 3 * sizeof(double);
+      if (e.crc != payload_crc(e.value, region, bytes)) {
+        crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+        dispatch_[static_cast<std::size_t>(slot)].accept_retransmit(
+            MsgKind::kForward, u);
+        send_nack(MsgKind::kForward, u);
+        continue;
       }
-      if (static_cast<int>(e.value) != plan_.ghost_count(u)) {
-        throw std::logic_error("forward ghost count changed since borders()");
-      }
-      break;
     }
-  });
+    if (static_cast<int>(e.value) != plan_.ghost_count(u)) {
+      throw std::logic_error("forward ghost count changed since borders()");
+    }
+    break;
+  }
 }
+
+void CommP2p::forward_complete(int ch) { complete_forward_dir(ch); }
 
 void CommP2p::reverse_forces() {
   if (!ctx_.newton) return;  // full lists never accumulate ghost forces

@@ -97,6 +97,17 @@ class CommP2p final : public Comm {
   void forward_positions() override;
   void reverse_forces() override;
 
+  // Split forward exchange: the RDMA puts of forward_begin() land
+  // directly in the receiver's arrays, so each receive direction can be
+  // completed independently as soon as its notice arrives. Channels on
+  // the same VCQ share a dispatcher and report vcq_slot() as their key.
+  void forward_begin() override;
+  void forward_complete(int ch) override;
+  const std::vector<int>& forward_channels() const override {
+    return plan_.recv_channels();
+  }
+  int forward_channel_key(int ch) const override { return vcq_slot(ch); }
+
   // md::GhostDataComm (EAM mid-pair scalar comm)
   void forward(double* per_atom) override;
   void reverse_add(double* per_atom) override;
@@ -142,6 +153,11 @@ class CommP2p final : public Comm {
   /// threads by the slot map (or serially for single-thread variants).
   void for_dirs(const std::vector<int>& dirs,
                 const std::function<void(int)>& fn);
+
+  /// Receive side of the forward exchange for one direction: dispatcher
+  /// wait (+ CRC/NACK under reliability) and ghost-count check; ring
+  /// unpack on the non-Newton path.
+  void complete_forward_dir(int u);
 
   /// Throws when a payload of `ndoubles` cannot fit the preregistered
   /// rings — checked *before* packing into the registered send buffer.

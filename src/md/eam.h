@@ -39,7 +39,28 @@ class Eam final : public Potential {
   /// densities of the last evaluation.
   const std::vector<double>& last_rho() const { return rho_; }
 
+  // Staged split evaluation: pass 0 accumulates per-group densities,
+  // split_join(0) reduces them canonically and runs the two mid-pair
+  // communications (rho reverse-add, fp forward) plus the embedding
+  // term; pass 1 accumulates per-group forces reading the shared fp.
+  int split_passes() const override { return 2; }
+  void split_begin(Atoms& atoms, const NeighborList& list, bool newton,
+                   const ForceGroups* groups) override;
+  void split_group(int pass, int g) override;
+  void split_join(int pass, GhostDataComm* ghost_comm) override;
+  ForceResult split_finish() override;
+
  private:
+  /// compute()'s density-pass body over an explicit row set, into a
+  /// group-private density buffer.
+  void rho_rows(const std::vector<int>& rows, const double* x, double* rho,
+                const NeighborList& list, bool newton, int nlocal) const;
+  /// compute()'s force-pass body over an explicit row set, into a
+  /// group-private force buffer; reads the shared fp_ (read-only here).
+  void force_rows(const std::vector<int>& rows, const double* x, double* f,
+                  const NeighborList& list, bool newton, int nlocal,
+                  ForceResult& out) const;
+
   double cutoff_;
   double cut2_;
   UniformSpline frho_;
@@ -47,6 +68,16 @@ class Eam final : public Potential {
   UniformSpline z2r_;
   std::vector<double> rho_;
   std::vector<double> fp_;
+
+  // Split-evaluation state (bound by split_begin, valid for one step).
+  Atoms* satoms_ = nullptr;
+  const NeighborList* slist_ = nullptr;
+  const ForceGroups* sgroups_ = nullptr;
+  bool snewton_ = true;
+  std::vector<std::vector<double>> grho_;    ///< per group, ntotal
+  std::vector<std::vector<double>> gforce_;  ///< per group, 3*ntotal
+  std::vector<ForceResult> gpartial_;
+  ForceResult stotal_;
 };
 
 }  // namespace lmp::md

@@ -1,0 +1,48 @@
+#include "md/force_split.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace lmp::md {
+
+ForceGroups ForceGroups::build(const Atoms& atoms, const geom::Box& sub,
+                               double rc) {
+  if (rc <= 0) throw std::invalid_argument("ForceGroups: rc must be > 0");
+  ForceGroups out;
+  out.nlocal = atoms.nlocal();
+  const double* x = atoms.x();
+
+  // 64 possible masks (each axis: none/low/high/both); bucket indices,
+  // then emit non-empty buckets in ascending mask order. Ascending local
+  // index within a bucket falls out of the forward scan.
+  std::array<std::vector<int>, 64> buckets;
+  for (int i = 0; i < out.nlocal; ++i) {
+    const double xi = x[3 * i], yi = x[3 * i + 1], zi = x[3 * i + 2];
+    int mask = 0;
+    if (xi < sub.lo.x + rc) mask |= kLowX;
+    if (xi > sub.hi.x - rc) mask |= kHighX;
+    if (yi < sub.lo.y + rc) mask |= kLowY;
+    if (yi > sub.hi.y - rc) mask |= kHighY;
+    if (zi < sub.lo.z + rc) mask |= kLowZ;
+    if (zi > sub.hi.z - rc) mask |= kHighZ;
+    buckets[static_cast<std::size_t>(mask)].push_back(i);
+  }
+  for (int m = 0; m < 64; ++m) {
+    if (buckets[static_cast<std::size_t>(m)].empty()) continue;
+    out.groups.push_back({m, std::move(buckets[static_cast<std::size_t>(m)])});
+  }
+  return out;
+}
+
+bool group_reads_dir(int mask, int dx, int dy, int dz) {
+  if (dx == -1 && !(mask & kLowX)) return false;
+  if (dx == +1 && !(mask & kHighX)) return false;
+  if (dy == -1 && !(mask & kLowY)) return false;
+  if (dy == +1 && !(mask & kHighY)) return false;
+  if (dz == -1 && !(mask & kLowZ)) return false;
+  if (dz == +1 && !(mask & kHighZ)) return false;
+  return true;
+}
+
+}  // namespace lmp::md

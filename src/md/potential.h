@@ -1,6 +1,7 @@
 #pragma once
 
 #include "md/atoms.h"
+#include "md/force_split.h"
 #include "md/neighbor.h"
 
 namespace lmp::md {
@@ -41,6 +42,49 @@ class Potential {
 
   /// True if compute() communicates mid-evaluation (EAM).
   virtual bool needs_mid_comm() const { return false; }
+
+  // --- staged split evaluation (asynchronous step runtime) -------------
+  //
+  // The split contract decomposes one force evaluation into per-group
+  // tasks the step DAG can schedule against in-flight ghost exchange:
+  //
+  //   split_begin(atoms, list, newton, groups)
+  //   for pass in [0, split_passes()):
+  //     split_group(pass, g)   for every group   (any order / concurrent)
+  //     split_join(pass, ghost_comm)             (serial, canonical)
+  //   result = split_finish()
+  //
+  // Each split_group call writes only that group's private accumulation
+  // buffer (never atoms.f()), so concurrent groups cannot race;
+  // split_join reduces the buffers in ascending group order — a fixed
+  // arithmetic order, which is what makes the barrier and async
+  // executors bitwise-identical. Interior groups (mask 0) read no ghost
+  // data in pass 0 and may run before the forward exchange completes;
+  // border groups may run as soon as every direction they read
+  // (group_reads_dir) has landed. Executing the sequence above serially
+  // is exactly what the barrier executor does.
+
+  /// Number of split passes: 1 for plain pair styles, 2 for EAM (density
+  /// then force, with the mid-pair comm inside split_join(0)). 0 means
+  /// the potential does not support the split path.
+  virtual int split_passes() const { return 0; }
+
+  /// Bind one evaluation's inputs and zero the per-group buffers.
+  /// `groups` must outlive the evaluation (rebuilt per neighbor epoch).
+  virtual void split_begin(Atoms& /*atoms*/, const NeighborList& /*list*/,
+                           bool /*newton*/, const ForceGroups* /*groups*/) {}
+
+  /// Compute group `g`'s contribution to pass `pass` into its private
+  /// buffer. Thread-safe across distinct groups of the same pass.
+  virtual void split_group(int /*pass*/, int /*g*/) {}
+
+  /// Reduce pass `pass` in ascending group order and run any mid-pass
+  /// ghost communication (EAM rho reverse-add / fp forward). Serial.
+  virtual void split_join(int /*pass*/, GhostDataComm* /*ghost_comm*/) {}
+
+  /// Energy/virial of the completed evaluation (summed per-group in
+  /// ascending group order).
+  virtual ForceResult split_finish() { return {}; }
 };
 
 }  // namespace lmp::md

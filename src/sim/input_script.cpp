@@ -179,6 +179,19 @@ ParsedScript parse_input_script(const std::string& text) {
                          comm::CommFactory::instance().catalog() + ")");
       }
       o.comm = w[1];
+    } else if (cmd == "executor") {
+      // executor barrier|async [nthreads] — step-runtime selection.
+      need(1);
+      if (w[1] != "barrier" && w[1] != "async") {
+        fail(lineno, "executor wants barrier|async");
+      }
+      o.executor = w[1];
+      if (w.size() > 2) {
+        o.executor_threads = to_int(w[2], lineno);
+        if (o.executor_threads < 1) {
+          fail(lineno, "executor threads must be >= 1");
+        }
+      }
     } else if (cmd == "checkpoint") {
       // checkpoint N [prefix] — cut a snapshot every N steps; with a
       // prefix, also publish it as <prefix>.<step> on disk.

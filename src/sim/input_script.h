@@ -39,6 +39,12 @@ struct ParsedScript {
 ///   comm_variant    <name>       (any name in the CommFactory catalog,
 ///                                 e.g. ref, mpi_p2p, utofu_3stage,
 ///                                 4tni_p2p, 6tni_p2p, opt)       [ext]
+///   executor        barrier|async [<nthreads>]  (step runtime: classic
+///                                 verlet sequence, or the task-DAG
+///                                 runtime that overlaps the ghost
+///                                 exchange with interior force work;
+///                                 trajectories are bitwise-identical
+///                                 either way)                       [ext]
 ///   checkpoint      <N> [<prefix>]   (snapshot every N steps; with a
 ///                                 prefix, also write <prefix>.<step>) [ext]
 ///   restart         <file>       (resume from a checkpoint file)    [ext]

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -13,6 +14,7 @@
 #include <utility>
 
 #include "comm/comm_factory.h"
+#include "comm/directions.h"
 #include "geom/lattice.h"
 #include "md/eam.h"
 #include "md/integrate.h"
@@ -23,6 +25,7 @@
 #include "obs/tracer.h"
 #include "sim/checkpoint.h"
 #include "threadpool/spin_pool.h"
+#include "threadpool/task_graph.h"
 
 namespace lmp::sim {
 
@@ -261,6 +264,16 @@ class RankSim {
     neighbor_ = std::make_unique<md::NeighborBuilder>(rc);
     integrator_ = std::make_unique<md::VerletNve>(
         cfg.dt, cfg.mass, 1.0 / cfg.units.mvv2e);
+
+    // --- step executor ------------------------------------------------
+    sub_ = sub;
+    rc_ = rc;
+    exec_async_ =
+        job.opt.executor == "async" && potential_->split_passes() > 0;
+    if (exec_async_) {
+      dag_pool_ = std::make_unique<pool::SpinThreadPool>(
+          std::max(1, job.opt.executor_threads));
+    }
   }
 
   int current_step() const { return step_; }
@@ -300,13 +313,21 @@ class RankSim {
       }
 
       if (do_rebuild) {
+        // Rebuild steps exchanged ghosts already; the force evaluation
+        // runs serially in canonical order under both executors.
         rebuild();
+        compute_forces();
+      } else if (exec_async_) {
+        // The step DAG issues the forward exchange itself and overlaps
+        // interior force tasks with the in-flight ghost data.
+        compute_forces_async();
       } else {
-        util::ScopedStage s(timer_, Stage::kComm);
-        comm_->forward_positions();
+        {
+          util::ScopedStage s(timer_, Stage::kComm);
+          comm_->forward_positions();
+        }
+        compute_forces();
       }
-
-      compute_forces();
 
       {
         util::ScopedStage s(timer_, Stage::kModify);
@@ -353,22 +374,148 @@ class RankSim {
       list_ = cfg.newton ? neighbor_->build_half(atoms_, half_rule_)
                          : neighbor_->build_full(atoms_);
       snapshot_positions();
+      // The band partition and the step DAG are functions of the
+      // neighbor epoch: atoms keep their group until the next rebuild
+      // (the list is frozen, so interior rows cannot grow ghost
+      // neighbors mid-epoch).
+      if (potential_->split_passes() > 0) {
+        groups_ = md::ForceGroups::build(atoms_, sub_, rc_);
+        if (exec_async_) build_step_graph();
+      }
     }
   }
 
   void compute_forces() {
     {
-      // EAM's mid-pair rho/fp exchanges happen inside compute() and are
-      // therefore charged to Pair, matching the paper's accounting.
+      // EAM's mid-pair rho/fp exchanges happen inside the pair stage and
+      // are therefore charged to Pair, matching the paper's accounting.
       util::ScopedStage s(timer_, Stage::kPair);
       atoms_.zero_forces();
-      last_force_ = potential_->compute(atoms_, list_, job_.opt.config.newton,
-                                        comm_.get());
+      if (potential_->split_passes() > 0) {
+        // Serial canonical split — the exact task sequence the async
+        // DAG runs, executed in its canonical order, which is what
+        // makes the two executors bitwise-identical.
+        potential_->split_begin(atoms_, list_, job_.opt.config.newton,
+                                &groups_);
+        for (int pass = 0; pass < potential_->split_passes(); ++pass) {
+          for (int g = 0; g < groups_.ngroups(); ++g) {
+            potential_->split_group(pass, g);
+          }
+          potential_->split_join(pass, comm_.get());
+        }
+        last_force_ = potential_->split_finish();
+      } else {
+        last_force_ = potential_->compute(atoms_, list_,
+                                          job_.opt.config.newton, comm_.get());
+      }
     }
     if (job_.opt.config.newton) {
       // Ghost-force return is a Comm-stage cost in LAMMPS accounting.
       util::ScopedStage r(timer_, Stage::kComm);
       comm_->reverse_forces();
+    }
+  }
+
+  /// Async non-rebuild step: the DAG carries the forward exchange, so
+  /// the whole thing is charged to Pair — overlapped communication is
+  /// hidden time by design (the trace spans keep the full attribution;
+  /// see DESIGN.md section 12).
+  void compute_forces_async() {
+    {
+      util::ScopedStage s(timer_, Stage::kPair);
+      atoms_.zero_forces();
+      potential_->split_begin(atoms_, list_, job_.opt.config.newton,
+                              &groups_);
+      graph_->run(dag_pool_.get());
+      last_force_ = potential_->split_finish();
+    }
+    if (job_.opt.config.newton) {
+      util::ScopedStage r(timer_, Stage::kComm);
+      comm_->reverse_forces();
+    }
+  }
+
+  /// Build this epoch's step DAG (async executor). Nodes:
+  ///
+  ///   task.fwd              forward_begin() — all sends on the wire
+  ///   task.wait (xN)        forward_complete(ch), one per recv channel,
+  ///                         chained per forward_channel_key (channels
+  ///                         sharing a dispatcher must not race)
+  ///   task.interior (mask 0) / task.border (per band group), pass 0;
+  ///                         border groups gate on the waits of every
+  ///                         direction they read (group_reads_dir)
+  ///   task.mid / task.reduce  split_join(0): canonical reduction (+ EAM
+  ///                         mid-pair comm), after all groups and waits
+  ///   task.force (xG)       EAM pass-1 groups, after the mid join
+  ///   task.reduce           EAM split_join(1)
+  ///
+  /// Eager comm variants expose no channels: every border group then
+  /// gates directly on task.fwd, which ran the whole blocking exchange.
+  void build_step_graph() {
+    graph_ = std::make_unique<pool::TaskGraph>();
+    const int fwd = graph_->add("task.fwd", [this] { comm_->forward_begin(); });
+
+    const std::vector<int>& chans = comm_->forward_channels();
+    std::vector<int> waits;
+    waits.reserve(chans.size());
+    std::map<int, int> last_of_key;
+    for (const int ch : chans) {
+      const int w =
+          graph_->add("task.wait", [this, ch] { comm_->forward_complete(ch); });
+      graph_->depend(w, fwd);
+      const int key = comm_->forward_channel_key(ch);
+      const auto it = last_of_key.find(key);
+      if (it != last_of_key.end()) graph_->depend(w, it->second);
+      last_of_key[key] = w;
+      waits.push_back(w);
+    }
+
+    std::vector<int> pass0;
+    pass0.reserve(static_cast<std::size_t>(groups_.ngroups()));
+    for (int g = 0; g < groups_.ngroups(); ++g) {
+      const int mask = groups_.groups[static_cast<std::size_t>(g)].mask;
+      const int node =
+          graph_->add(mask == 0 ? "task.interior" : "task.border",
+                      [this, g] { potential_->split_group(0, g); });
+      if (mask != 0) {
+        bool gated = false;
+        for (std::size_t i = 0; i < chans.size(); ++i) {
+          const util::Int3 d = comm::all_dirs()[static_cast<std::size_t>(chans[i])];
+          if (md::group_reads_dir(mask, d.x, d.y, d.z)) {
+            graph_->depend(node, waits[i]);
+            gated = true;
+          }
+        }
+        // No matching channel (eager comm, or a band whose ghost side
+        // never receives under Newton half-shell): gate on the forward
+        // node itself — conservative and always correct.
+        if (!gated) graph_->depend(node, fwd);
+      }
+      pass0.push_back(node);
+    }
+
+    // Every wait feeds the join even when no group reads it: the notice
+    // must be consumed this step, and the next step's forward must not
+    // start before this one's exchange fully landed.
+    const int npasses = potential_->split_passes();
+    const int join0 =
+        graph_->add(npasses == 2 ? "task.mid" : "task.reduce",
+                    [this] { potential_->split_join(0, comm_.get()); });
+    for (const int n : pass0) graph_->depend(join0, n);
+    for (const int w : waits) graph_->depend(join0, w);
+
+    if (npasses == 2) {
+      std::vector<int> pass1;
+      pass1.reserve(static_cast<std::size_t>(groups_.ngroups()));
+      for (int g = 0; g < groups_.ngroups(); ++g) {
+        const int node = graph_->add(
+            "task.force", [this, g] { potential_->split_group(1, g); });
+        graph_->depend(node, join0);
+        pass1.push_back(node);
+      }
+      const int join1 = graph_->add(
+          "task.reduce", [this] { potential_->split_join(1, comm_.get()); });
+      for (const int n : pass1) graph_->depend(join1, n);
     }
   }
 
@@ -452,6 +599,14 @@ class RankSim {
   md::ForceResult last_force_;
   std::vector<double> hold_;
   util::StageTimer timer_;
+
+  // --- step executor state --------------------------------------------
+  geom::Box sub_;
+  double rc_ = 0.0;
+  bool exec_async_ = false;
+  md::ForceGroups groups_;                     ///< rebuilt per epoch
+  std::unique_ptr<pool::TaskGraph> graph_;     ///< rebuilt per epoch
+  std::unique_ptr<pool::SpinThreadPool> dag_pool_;  ///< async only
 };
 
 /// Classify a rank failure: failover triggers are the typed comm errors
@@ -611,6 +766,14 @@ AttemptOutcome run_attempt(const SimOptions& options,
 JobResult run_simulation(const SimOptions& options, int nsteps) {
   SimOptions opt = options;
 
+  if (opt.executor != "barrier" && opt.executor != "async") {
+    throw std::runtime_error("unknown executor '" + opt.executor +
+                             "' (expected 'barrier' or 'async')");
+  }
+  if (opt.executor_threads < 1) {
+    throw std::runtime_error("executor_threads must be >= 1");
+  }
+
   // Resolve every variant the run might touch up front, so an unknown
   // name fails on the calling thread with the full catalog — not three
   // failovers deep inside a rank thread.
@@ -713,6 +876,7 @@ obs::RunReport build_run_report(const SimOptions& options, int nsteps,
       {"dt", std::to_string(options.config.dt)},
       {"cutoff", std::to_string(options.config.cutoff)},
       {"skin", std::to_string(options.config.skin)},
+      {"executor", options.executor},
       {"use_border_bins", options.use_border_bins ? "yes" : "no"},
       {"balanced_assignment", options.balanced_assignment ? "yes" : "no"},
       {"faults", options.faults.enabled() ? "enabled" : "clean"},

@@ -40,6 +40,17 @@ struct SimOptions {
   /// reliability protocol; the default (all-clean) plan changes nothing.
   tofu::FaultPlan faults{};
 
+  // --- step executor ---------------------------------------------------
+  /// `barrier` runs the classic verlet sequence (forward exchange, then
+  /// the pair stage); `async` runs each step as a task DAG that overlaps
+  /// interior force work with the in-flight ghost exchange. Both use the
+  /// same partitioned force evaluation with a canonical reduction order,
+  /// so their trajectories are bitwise-identical. Unknown names make
+  /// run_simulation throw.
+  std::string executor = "barrier";
+  /// Worker count of the per-rank DAG pool (async executor only).
+  int executor_threads = 2;
+
   // --- self-healing runtime -------------------------------------------
   /// Cut a checkpoint at the end of every Nth step (0 disables). The
   /// in-memory snapshot always feeds failover rollback; a file is also

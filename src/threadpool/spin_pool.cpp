@@ -19,6 +19,16 @@ obs::Histogram& run_hist() {
       obs::MetricsRegistry::instance().histogram("pool.run_ns");
   return h;
 }
+
+/// Per-worker views of the same two instruments ("pool.run_ns.w3"),
+/// so async-executor idle time is attributable to a specific worker —
+/// the aggregated histograms above stay as the roll-up. Registration
+/// (mutex) happens once per distinct tid; hot paths use the cached
+/// reference handed out here.
+obs::Histogram& per_worker_hist(const char* base, int tid) {
+  return obs::MetricsRegistry::instance().histogram(
+      std::string(base) + ".w" + std::to_string(tid));
+}
 /// Spin briefly, then yield — the pool must stay responsive even when the
 /// host has fewer hardware threads than pool workers.
 inline void relax(int& polls) {
@@ -37,6 +47,12 @@ SpinThreadPool::SpinThreadPool(int nthreads) : nthreads_(nthreads) {
   if (nthreads < 1) throw std::invalid_argument("pool needs >= 1 thread");
   if (obs::trace_compiled_in()) {
     creator_pid_ = obs::Tracer::instance().current_pid();
+  }
+  per_worker_.resize(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    per_worker_[static_cast<std::size_t>(t)] = {
+        &per_worker_hist("pool.dispatch_wait_ns", t),
+        &per_worker_hist("pool.run_ns", t)};
   }
   workers_.reserve(static_cast<std::size_t>(nthreads - 1));
   for (int t = 1; t < nthreads; ++t) {
@@ -66,8 +82,9 @@ void SpinThreadPool::worker_loop(int tid) {
     const std::int64_t published = job_.publish_ns;
     const std::int64_t run_t0 = published != 0 ? obs::now_ns() : 0;
     if (published != 0) {
-      dispatch_wait_hist().record(
-          static_cast<std::uint64_t>(run_t0 - published));
+      const auto wait_ns = static_cast<std::uint64_t>(run_t0 - published);
+      dispatch_wait_hist().record(wait_ns);
+      per_worker_[static_cast<std::size_t>(tid)].wait->record(wait_ns);
     }
 
     if (job_.dynamic) {
@@ -80,7 +97,9 @@ void SpinThreadPool::worker_loop(int tid) {
       (*job_.fn)(tid);
     }
     if (published != 0) {
-      run_hist().record(static_cast<std::uint64_t>(obs::now_ns() - run_t0));
+      const auto ns = static_cast<std::uint64_t>(obs::now_ns() - run_t0);
+      run_hist().record(ns);
+      per_worker_[static_cast<std::size_t>(tid)].run->record(ns);
     }
     outstanding_.fetch_sub(1, std::memory_order_release);
   }
@@ -104,7 +123,9 @@ void SpinThreadPool::run_generation() {
     (*job_.fn)(0);
   }
   if (job_.publish_ns != 0) {
-    run_hist().record(static_cast<std::uint64_t>(obs::now_ns() - run_t0));
+    const auto ns = static_cast<std::uint64_t>(obs::now_ns() - run_t0);
+    run_hist().record(ns);
+    per_worker_[0].run->record(ns);  // the caller is worker 0
   }
 
   int polls = 0;

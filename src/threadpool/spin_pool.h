@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 
 namespace lmp::pool {
@@ -58,10 +59,20 @@ class SpinThreadPool {
     std::int64_t publish_ns = 0;
   };
 
+  /// Cached per-worker instruments (dispatch-wait and run time per tid),
+  /// resolved once at construction so the hot path never touches the
+  /// registry mutex. The aggregated "pool.dispatch_wait_ns"/"pool.run_ns"
+  /// histograms remain the roll-up view.
+  struct WorkerMetrics {
+    obs::Histogram* wait = nullptr;
+    obs::Histogram* run = nullptr;
+  };
+
   int nthreads_;
   /// Rank of the constructing thread — workers inherit it as their trace
   /// pid so their tracks group under the owning rank's process.
   int creator_pid_ = -1;
+  std::vector<WorkerMetrics> per_worker_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> outstanding_{0};

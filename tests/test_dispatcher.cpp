@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <numeric>
+#include <random>
 #include <thread>
+#include <vector>
 
 #include "comm/dispatcher.h"
 
@@ -56,6 +60,45 @@ TEST(NoticeDispatcher, ReordersAcrossDirections) {
   for (int d = 4; d >= 0; --d) {
     EXPECT_EQ(f.dispatch.wait(MsgKind::kBorder, d).value,
               static_cast<std::uint32_t>(d * 10));
+  }
+}
+
+TEST(NoticeDispatcher, ShuffledPerDirectionWaitsAllComplete) {
+  // Async-executor regression: the step DAG completes forward waits in
+  // whatever order workers claim them, not in channel order, and the
+  // notices themselves can land late relative to the first wait. The
+  // dispatcher must route every (kind, dir) to its waiter regardless of
+  // either ordering. Seeded shuffles keep failures reproducible.
+  std::mt19937 rng(1234u);
+  for (int round = 0; round < 10; ++round) {
+    Fixture f;
+    std::vector<int> dirs(13);
+    std::iota(dirs.begin(), dirs.end(), 0);
+
+    // Half the notices are posted up front, the other half trickle in
+    // from a "peer" thread while the waits are already in progress.
+    std::vector<int> early(dirs.begin(), dirs.begin() + 6);
+    std::vector<int> late(dirs.begin() + 6, dirs.end());
+    std::shuffle(early.begin(), early.end(), rng);
+    std::shuffle(late.begin(), late.end(), rng);
+    for (const int d : early) {
+      f.post(MsgKind::kForward, d, static_cast<std::uint32_t>(1000 + d));
+    }
+    std::thread peer([&] {
+      for (const int d : late) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        f.post(MsgKind::kForward, d, static_cast<std::uint32_t>(1000 + d));
+      }
+    });
+
+    // Consume in a shuffled order unrelated to the post order.
+    std::vector<int> wait_order = dirs;
+    std::shuffle(wait_order.begin(), wait_order.end(), rng);
+    for (const int d : wait_order) {
+      EXPECT_EQ(f.dispatch.wait(MsgKind::kForward, d).value,
+                static_cast<std::uint32_t>(1000 + d));
+    }
+    peer.join();
   }
 }
 

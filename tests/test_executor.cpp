@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "md/config.h"
+#include "sim/simulation.h"
+
+namespace lmp::sim {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Assert two finished jobs have bitwise-identical trajectories: the
+/// tag-sorted final positions and velocities of every atom, plus every
+/// thermo sample. This is the acceptance bar for the async executor —
+/// overlap must change timing only, never a single bit of physics.
+void expect_bitwise_equal(const JobResult& a, const JobResult& b) {
+  ASSERT_EQ(a.atoms.size(), b.atoms.size());
+  for (std::size_t i = 0; i < a.atoms.size(); ++i) {
+    ASSERT_EQ(a.atoms[i].tag, b.atoms[i].tag) << "atom " << i;
+    ASSERT_EQ(bits(a.atoms[i].pos.x), bits(b.atoms[i].pos.x)) << "atom " << i;
+    ASSERT_EQ(bits(a.atoms[i].pos.y), bits(b.atoms[i].pos.y)) << "atom " << i;
+    ASSERT_EQ(bits(a.atoms[i].pos.z), bits(b.atoms[i].pos.z)) << "atom " << i;
+    ASSERT_EQ(bits(a.atoms[i].vel.x), bits(b.atoms[i].vel.x)) << "atom " << i;
+    ASSERT_EQ(bits(a.atoms[i].vel.y), bits(b.atoms[i].vel.y)) << "atom " << i;
+    ASSERT_EQ(bits(a.atoms[i].vel.z), bits(b.atoms[i].vel.z)) << "atom " << i;
+  }
+  ASSERT_EQ(a.thermo.size(), b.thermo.size());
+  for (std::size_t i = 0; i < a.thermo.size(); ++i) {
+    ASSERT_EQ(a.thermo[i].step, b.thermo[i].step);
+    ASSERT_EQ(bits(a.thermo[i].state.temperature),
+              bits(b.thermo[i].state.temperature));
+    ASSERT_EQ(bits(a.thermo[i].state.pressure),
+              bits(b.thermo[i].state.pressure));
+    ASSERT_EQ(bits(a.thermo[i].state.total()), bits(b.thermo[i].state.total()));
+  }
+}
+
+SimOptions lj_case(const std::string& variant) {
+  SimOptions o;
+  o.config = md::SimConfig::lj_melt();
+  o.cells = {6, 6, 6};
+  o.rank_grid = {2, 2, 1};
+  o.comm = variant;
+  o.thermo_every = 5;
+  return o;
+}
+
+SimOptions eam_case(const std::string& variant) {
+  SimOptions o;
+  o.config = md::SimConfig::eam_copper();
+  o.cells = {4, 4, 4};
+  o.rank_grid = {2, 1, 1};
+  o.comm = variant;
+  o.thermo_every = 5;
+  return o;
+}
+
+TEST(Executor, AsyncMatchesBarrierBitwiseLjRef) {
+  SimOptions o = lj_case("ref");
+  const JobResult barrier = run_simulation(o, 30);
+  o.executor = "async";
+  const JobResult async = run_simulation(o, 30);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, AsyncMatchesBarrierBitwiseLjP2p) {
+  // 6tni_p2p exposes real per-direction forward channels, so the DAG
+  // genuinely overlaps waits with interior groups here.
+  SimOptions o = lj_case("6tni_p2p");
+  const JobResult barrier = run_simulation(o, 30);
+  o.executor = "async";
+  o.executor_threads = 3;
+  const JobResult async = run_simulation(o, 30);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, AsyncMatchesBarrierBitwiseEamRef) {
+  SimOptions o = eam_case("ref");
+  const JobResult barrier = run_simulation(o, 20);
+  o.executor = "async";
+  const JobResult async = run_simulation(o, 20);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, AsyncMatchesBarrierBitwiseEamP2p) {
+  // EAM on the p2p engine exercises the full DAG shape: per-direction
+  // waits, the mid join's rho reverse-add + fp forward, and pass 1.
+  SimOptions o = eam_case("6tni_p2p");
+  const JobResult barrier = run_simulation(o, 20);
+  o.executor = "async";
+  o.executor_threads = 3;
+  const JobResult async = run_simulation(o, 20);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, AsyncNewtonOffUsesRingForward) {
+  // Newton-off routes the forward through the payload rings (unpack on
+  // the receive side) — the other complete_forward_dir code path.
+  SimOptions o = lj_case("6tni_p2p");
+  o.config.newton = false;
+  const JobResult barrier = run_simulation(o, 20);
+  o.executor = "async";
+  o.executor_threads = 3;
+  const JobResult async = run_simulation(o, 20);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, AsyncWorksWithCheckpointRebuilds) {
+  // Checkpoint steps force rebuilds mid-run; the DAG must be rebuilt
+  // per epoch and the serial rebuild-step path must stay consistent.
+  // (Deliberately a single-comm-thread variant: "opt" fans its reverse
+  // accumulation across 6 threads whose add order is not reproducible
+  // run-to-run, so no bitwise claim can be made there by any executor.)
+  SimOptions o = lj_case("6tni_p2p");
+  o.checkpoint_every = 7;
+  const JobResult barrier = run_simulation(o, 21);
+  o.executor = "async";
+  const JobResult async = run_simulation(o, 21);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, SingleWorkerAsyncStillIdentical) {
+  // executor_threads 1 drains the DAG inline — degenerate but legal.
+  SimOptions o = lj_case("6tni_p2p");
+  o.executor = "async";
+  o.executor_threads = 1;
+  const JobResult one = run_simulation(o, 15);
+  o.executor_threads = 4;
+  const JobResult four = run_simulation(o, 15);
+  expect_bitwise_equal(one, four);
+}
+
+TEST(Executor, UnknownExecutorNameThrows) {
+  SimOptions o = lj_case("ref");
+  o.executor = "speculative";
+  EXPECT_THROW(run_simulation(o, 1), std::runtime_error);
+  o.executor = "async";
+  o.executor_threads = 0;
+  EXPECT_THROW(run_simulation(o, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lmp::sim

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "geom/box.h"
+#include "md/eam.h"
+#include "md/eam_table.h"
+#include "md/force_split.h"
+#include "md/lj.h"
+#include "md/neighbor.h"
+
+namespace lmp::md {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Pseudo-random cluster of `n` local atoms inside [0, span]^3.
+Atoms cluster(int n, double span, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, span);
+  Atoms a;
+  a.reserve_capacity(n);
+  for (int i = 0; i < n; ++i) {
+    a.add_local({u(rng), u(rng), u(rng)}, {0, 0, 0}, i);
+  }
+  return a;
+}
+
+TEST(ForceGroups, InteriorAtomsFormSingleMaskZeroGroup) {
+  Atoms a = cluster(40, 4.0, 7u);
+  // Sub-box far larger than the cluster: nothing is within rc of a face.
+  const geom::Box sub{{-100, -100, -100}, {100, 100, 100}};
+  const ForceGroups fg = ForceGroups::build(a, sub, 2.5);
+  ASSERT_EQ(fg.ngroups(), 1);
+  EXPECT_EQ(fg.groups[0].mask, 0);
+  EXPECT_EQ(static_cast<int>(fg.groups[0].atoms.size()), a.nlocal());
+  EXPECT_EQ(fg.nlocal, a.nlocal());
+}
+
+TEST(ForceGroups, BandClassificationAndCanonicalOrder) {
+  Atoms a;
+  a.reserve_capacity(8);
+  // Box [0,10]^3, rc 1: one interior atom, one in each x band, one corner.
+  a.add_local({5, 5, 5}, {0, 0, 0}, 0);      // interior
+  a.add_local({0.5, 5, 5}, {0, 0, 0}, 1);    // low-x band
+  a.add_local({9.5, 5, 5}, {0, 0, 0}, 2);    // high-x band
+  a.add_local({0.5, 0.5, 5}, {0, 0, 0}, 3);  // low-x + low-y
+  a.add_local({6, 5, 5}, {0, 0, 0}, 4);      // interior (second)
+  const geom::Box sub{{0, 0, 0}, {10, 10, 10}};
+  const ForceGroups fg = ForceGroups::build(a, sub, 1.0);
+
+  ASSERT_EQ(fg.ngroups(), 4);
+  // Ascending mask order, ascending atom indices inside each group.
+  EXPECT_EQ(fg.groups[0].mask, 0);
+  EXPECT_EQ(fg.groups[0].atoms, (std::vector<int>{0, 4}));
+  EXPECT_EQ(fg.groups[1].mask, kLowX);
+  EXPECT_EQ(fg.groups[1].atoms, (std::vector<int>{1}));
+  EXPECT_EQ(fg.groups[2].mask, kHighX);
+  EXPECT_EQ(fg.groups[2].atoms, (std::vector<int>{2}));
+  EXPECT_EQ(fg.groups[3].mask, kLowX | kLowY);
+  EXPECT_EQ(fg.groups[3].atoms, (std::vector<int>{3}));
+}
+
+TEST(ForceGroups, InvalidCutoffThrows) {
+  Atoms a = cluster(2, 1.0, 1u);
+  const geom::Box sub{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_THROW(ForceGroups::build(a, sub, 0.0), std::invalid_argument);
+}
+
+TEST(GroupReadsDir, MatchesBandMaskSemantics) {
+  // Interior reads no direction at all.
+  EXPECT_FALSE(group_reads_dir(0, 1, 0, 0));
+  EXPECT_FALSE(group_reads_dir(0, -1, 1, 0));
+  // A high-x band atom reads the high-x face, nothing else.
+  EXPECT_TRUE(group_reads_dir(kHighX, 1, 0, 0));
+  EXPECT_FALSE(group_reads_dir(kHighX, -1, 0, 0));
+  EXPECT_FALSE(group_reads_dir(kHighX, 1, 1, 0));  // lacks high-y
+  // A high-x + high-y edge atom reads the face dirs and their edge.
+  const int edge = kHighX | kHighY;
+  EXPECT_TRUE(group_reads_dir(edge, 1, 0, 0));
+  EXPECT_TRUE(group_reads_dir(edge, 0, 1, 0));
+  EXPECT_TRUE(group_reads_dir(edge, 1, 1, 0));
+  EXPECT_FALSE(group_reads_dir(edge, 1, -1, 0));
+  EXPECT_FALSE(group_reads_dir(edge, 1, 1, 1));  // lacks high-z
+}
+
+TEST(LjSplit, SingleGroupMatchesMonolithicBitwise) {
+  // One all-interior group runs the identical loop over the identical
+  // rows into a zeroed buffer: forces, energy and virial must match the
+  // monolithic kernel bit for bit.
+  LennardJones lj_a(1.0, 1.0, 2.5), lj_b(1.0, 1.0, 2.5);
+  Atoms a = cluster(60, 5.0, 42u);
+  Atoms b = cluster(60, 5.0, 42u);
+  const NeighborBuilder nb(2.8);
+  const NeighborList la = nb.build_half(a, HalfRule::kCoordTieBreak);
+  const NeighborList lb = nb.build_half(b, HalfRule::kCoordTieBreak);
+
+  a.zero_forces();
+  const ForceResult mono = lj_a.compute(a, la, true, nullptr);
+
+  const geom::Box sub{{-100, -100, -100}, {100, 100, 100}};
+  const ForceGroups fg = ForceGroups::build(b, sub, 2.8);
+  ASSERT_EQ(fg.ngroups(), 1);
+  b.zero_forces();
+  lj_b.split_begin(b, lb, true, &fg);
+  lj_b.split_group(0, 0);
+  lj_b.split_join(0, nullptr);
+  const ForceResult split = lj_b.split_finish();
+
+  for (int k = 0; k < 3 * a.ntotal(); ++k) {
+    ASSERT_EQ(bits(a.f()[k]), bits(b.f()[k])) << "force component " << k;
+  }
+  EXPECT_EQ(bits(mono.energy), bits(split.energy));
+  EXPECT_EQ(bits(mono.virial), bits(split.virial));
+}
+
+TEST(LjSplit, GroupExecutionOrderDoesNotChangeBits) {
+  // Groups write private buffers and the join reduces in ascending
+  // order, so running split_group in any order gives identical bits —
+  // the async executor's determinism argument, in miniature.
+  LennardJones lj_a(1.0, 1.0, 2.5), lj_b(1.0, 1.0, 2.5);
+  Atoms a = cluster(80, 6.0, 9u);
+  Atoms b = cluster(80, 6.0, 9u);
+  const NeighborBuilder nb(2.8);
+  const NeighborList la = nb.build_half(a, HalfRule::kCoordTieBreak);
+  const NeighborList lb = nb.build_half(b, HalfRule::kCoordTieBreak);
+  const geom::Box sub{{0, 0, 0}, {6, 6, 6}};
+  const ForceGroups fga = ForceGroups::build(a, sub, 2.0);
+  const ForceGroups fgb = ForceGroups::build(b, sub, 2.0);
+  ASSERT_GT(fga.ngroups(), 2);
+
+  a.zero_forces();
+  lj_a.split_begin(a, la, true, &fga);
+  for (int g = 0; g < fga.ngroups(); ++g) lj_a.split_group(0, g);
+  lj_a.split_join(0, nullptr);
+  const ForceResult fwd = lj_a.split_finish();
+
+  b.zero_forces();
+  lj_b.split_begin(b, lb, true, &fgb);
+  for (int g = fgb.ngroups() - 1; g >= 0; --g) lj_b.split_group(0, g);
+  lj_b.split_join(0, nullptr);
+  const ForceResult rev = lj_b.split_finish();
+
+  for (int k = 0; k < 3 * a.ntotal(); ++k) {
+    ASSERT_EQ(bits(a.f()[k]), bits(b.f()[k]));
+  }
+  EXPECT_EQ(bits(fwd.energy), bits(rev.energy));
+  EXPECT_EQ(bits(fwd.virial), bits(rev.virial));
+}
+
+TEST(EamSplit, SingleGroupForcesAndRhoBitwiseEnergyNear) {
+  const EamTable table =
+      parse_funcfl(to_funcfl(make_cu_like_table(2000, 2000, 4.95)));
+  Eam eam_a(table), eam_b(table);
+  Atoms a = cluster(40, 8.0, 11u);
+  Atoms b = cluster(40, 8.0, 11u);
+  const NeighborBuilder nb(5.3);
+  const NeighborList la = nb.build_half(a, HalfRule::kCoordTieBreak);
+  const NeighborList lb = nb.build_half(b, HalfRule::kCoordTieBreak);
+
+  a.zero_forces();
+  const ForceResult mono = eam_a.compute(a, la, true, nullptr);
+
+  const geom::Box sub{{-100, -100, -100}, {100, 100, 100}};
+  const ForceGroups fg = ForceGroups::build(b, sub, 5.3);
+  ASSERT_EQ(fg.ngroups(), 1);
+  b.zero_forces();
+  eam_b.split_begin(b, lb, true, &fg);
+  eam_b.split_group(0, 0);
+  eam_b.split_join(0, nullptr);
+  eam_b.split_group(1, 0);
+  eam_b.split_join(1, nullptr);
+  const ForceResult split = eam_b.split_finish();
+
+  ASSERT_EQ(eam_a.last_rho().size(), eam_b.last_rho().size());
+  for (std::size_t i = 0; i < eam_a.last_rho().size(); ++i) {
+    ASSERT_EQ(bits(eam_a.last_rho()[i]), bits(eam_b.last_rho()[i]));
+  }
+  for (int k = 0; k < 3 * a.ntotal(); ++k) {
+    ASSERT_EQ(bits(a.f()[k]), bits(b.f()[k])) << "force component " << k;
+  }
+  // The split accumulates embedding and pair energy in separate sums
+  // (different association than the interleaved monolithic loop), so
+  // energy agrees to rounding, not bitwise.
+  EXPECT_NEAR(split.energy, mono.energy,
+              1e-12 * std::max(1.0, std::abs(mono.energy)));
+  EXPECT_NEAR(split.virial, mono.virial,
+              1e-12 * std::max(1.0, std::abs(mono.virial)));
+}
+
+TEST(EamSplit, GroupExecutionOrderDoesNotChangeBits) {
+  const EamTable table =
+      parse_funcfl(to_funcfl(make_cu_like_table(2000, 2000, 4.95)));
+  Eam eam_a(table), eam_b(table);
+  Atoms a = cluster(60, 9.0, 23u);
+  Atoms b = cluster(60, 9.0, 23u);
+  const NeighborBuilder nb(5.3);
+  const NeighborList la = nb.build_half(a, HalfRule::kCoordTieBreak);
+  const NeighborList lb = nb.build_half(b, HalfRule::kCoordTieBreak);
+  const geom::Box sub{{0, 0, 0}, {9, 9, 9}};
+  const ForceGroups fga = ForceGroups::build(a, sub, 3.0);
+  const ForceGroups fgb = ForceGroups::build(b, sub, 3.0);
+  ASSERT_GT(fga.ngroups(), 1);
+
+  const auto run = [](Eam& eam, Atoms& at, const NeighborList& l,
+                      const ForceGroups& fg, bool reverse) {
+    at.zero_forces();
+    eam.split_begin(at, l, true, &fg);
+    for (int pass = 0; pass < 2; ++pass) {
+      if (reverse) {
+        for (int g = fg.ngroups() - 1; g >= 0; --g) eam.split_group(pass, g);
+      } else {
+        for (int g = 0; g < fg.ngroups(); ++g) eam.split_group(pass, g);
+      }
+      eam.split_join(pass, nullptr);
+    }
+    return eam.split_finish();
+  };
+  const ForceResult fwd = run(eam_a, a, la, fga, false);
+  const ForceResult rev = run(eam_b, b, lb, fgb, true);
+
+  for (int k = 0; k < 3 * a.ntotal(); ++k) {
+    ASSERT_EQ(bits(a.f()[k]), bits(b.f()[k]));
+  }
+  EXPECT_EQ(bits(fwd.energy), bits(rev.energy));
+  EXPECT_EQ(bits(fwd.virial), bits(rev.virial));
+}
+
+}  // namespace
+}  // namespace lmp::md

@@ -95,6 +95,25 @@ TEST(InputScript, NeighModifyDelayAccepted) {
   EXPECT_TRUE(p.options.config.neigh.check);
 }
 
+TEST(InputScript, ExecutorCommandParses) {
+  const ParsedScript d = parse_input_script("units lj\nrun 1\n");
+  EXPECT_EQ(d.options.executor, "barrier");  // default
+
+  const ParsedScript p =
+      parse_input_script("units lj\nexecutor async 4\nrun 1\n");
+  EXPECT_EQ(p.options.executor, "async");
+  EXPECT_EQ(p.options.executor_threads, 4);
+
+  const ParsedScript q = parse_input_script("units lj\nexecutor async\nrun 1\n");
+  EXPECT_EQ(q.options.executor, "async");
+  EXPECT_EQ(q.options.executor_threads, 2);  // default worker count
+
+  EXPECT_THROW(parse_input_script("units lj\nexecutor eager\nrun 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_input_script("units lj\nexecutor async 0\nrun 1\n"),
+               std::invalid_argument);
+}
+
 TEST(InputScript, AllVariantNamesParse) {
   // Whatever is registered with the factory must be accepted verbatim —
   // a new variant needs no parser change.

@@ -118,6 +118,31 @@ TEST(ForkJoinPool, InvalidSizeThrows) {
   EXPECT_THROW(ForkJoinPool(0), std::invalid_argument);
 }
 
+TEST(SpinThreadPool, PerWorkerMetricsRecorded) {
+  // Beyond the aggregated pool.dispatch_wait_ns / pool.run_ns roll-ups,
+  // each worker records its own dispatch-wait and run time so a stuck
+  // or starved worker is visible in the latency table.
+  obs::set_metrics_enabled(true);
+  struct MetricsOff {
+    ~MetricsOff() { obs::set_metrics_enabled(false); }
+  } guard;
+
+  SpinThreadPool pool(3);
+  auto& reg = obs::MetricsRegistry::instance();
+  const std::uint64_t run0 = reg.histogram("pool.run_ns.w0").count();
+  const std::uint64_t run1 = reg.histogram("pool.run_ns.w1").count();
+  const std::uint64_t run2 = reg.histogram("pool.run_ns.w2").count();
+  const std::uint64_t wait1 = reg.histogram("pool.dispatch_wait_ns.w1").count();
+
+  for (int i = 0; i < 5; ++i) pool.parallel_static([](int) {});
+
+  // Worker 0 is the caller: it records run time but never dispatch-waits.
+  EXPECT_EQ(reg.histogram("pool.run_ns.w0").count(), run0 + 5);
+  EXPECT_EQ(reg.histogram("pool.run_ns.w1").count(), run1 + 5);
+  EXPECT_EQ(reg.histogram("pool.run_ns.w2").count(), run2 + 5);
+  EXPECT_EQ(reg.histogram("pool.dispatch_wait_ns.w1").count(), wait1 + 5);
+}
+
 TEST(PoolOverheads, SpinPoolDispatchCheaperThanForkJoin) {
   // The paper's Sec. 3.3 motivation: pool dispatch (1.1 us on A64FX)
   // beats OpenMP fork-join (5.8 us). The ordering only shows when the
