@@ -68,15 +68,17 @@ assert starts, "no flow events in a 6tni_p2p trace"
 assert start_ids <= finish_ids, f"flows started but never finished: {sorted(start_ids - finish_ids)[:5]}"
 keyed = [(e["ts"], e.get("pid", 0), e.get("tid", 0)) for e in trace["traceEvents"] if e.get("ph") != "M"]
 assert keyed == sorted(keyed), "trace events not sorted by (ts, pid, tid)"
-assert report["schema"] == "lmp-run-report" and report["version"] == 2
+assert report["schema"] == "lmp-run-report" and report["version"] == 3
 total = report["stages"]["total_seconds"]
 sum_s = sum(v["seconds"] for k, v in report["stages"].items() if k != "total_seconds")
 assert abs(sum_s - total) < 1e-9, (sum_s, total)
 lu = report["link_utilization"]
 assert lu["puts_charged"] > 0 and lu["total_bytes"] > 0, lu
 assert lu["links_used"] >= len(lu["top_links"]) > 0, lu
+integ = report["integrity"]
+assert integ["detections"] == 0 and integ["rollbacks"] == 0, integ
 print(f"trace smoke: {len(spans)} spans, {len(starts)} flows (all finished) "
-      f"across ranks {ranks}; report v2 consistent")
+      f"across ranks {ranks}; report v3 consistent")
 EOF
 }
 
@@ -171,7 +173,7 @@ EOF
 import json, sys
 for path in sys.argv[1:]:
     r = json.load(open(path))
-    assert r["schema"] == "lmp-run-report" and r["version"] == 2, path
+    assert r["schema"] == "lmp-run-report" and r["version"] == 3, path
     total = r["stages"]["total_seconds"]
     sum_s = sum(v["seconds"] for k, v in r["stages"].items() if k != "total_seconds")
     assert abs(sum_s - total) < 1e-9, (path, sum_s, total)
@@ -196,6 +198,45 @@ EOF
   diff "${work}/thermo.ref" "${work}/thermo.resumed" \
       || { echo "serve smoke: recovered thermo stream diverged"; return 1; }
   echo "serve smoke: recovered thermo bitwise-identical ($(wc -l < "${work}/thermo.resumed") samples)"
+}
+
+# Integrity smoke: the silent-corruption guards against the restart
+# example. A transient velocity bit flip at a guard step must be
+# detected within one cadence, rolled back, and recomputed — the run
+# exits 0, reports the rollback, and its final dump is bitwise-identical
+# to a fault-free guarded run. The same flip marked persistent re-fires
+# on the recompute, which must terminate the run with the structured
+# persistent-corruption error instead of emitting a corrupt trajectory.
+run_integrity_smoke() {
+  local build_dir="$1"
+  echo "--- integrity smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  "${build_dir}/examples/lmp_cli" examples/in.restart.lj \
+      --integrity 10 --dump-final "${work}/clean.dump" \
+      > "${work}/clean.log" \
+      || { echo "integrity smoke: fault-free guarded run failed"; return 1; }
+  "${build_dir}/examples/lmp_cli" examples/in.restart.lj \
+      --integrity 10 --flip 30:0:vel:7:62 \
+      --dump-final "${work}/healed.dump" > "${work}/transient.log" \
+      || { echo "integrity smoke: transient flip was not healed"
+           cat "${work}/transient.log"; return 1; }
+  grep -q "integrity rollback at step 30" "${work}/transient.log" \
+      || { echo "integrity smoke: rollback not reported"
+           cat "${work}/transient.log"; return 1; }
+  diff "${work}/clean.dump" "${work}/healed.dump" \
+      || { echo "integrity smoke: healed trajectory diverged"; return 1; }
+  if "${build_dir}/examples/lmp_cli" examples/in.restart.lj \
+      --integrity 10 --flip 30:0:vel:7:62:persistent \
+      > "${work}/persistent.log" 2>&1; then
+    echo "integrity smoke: persistent fault did not terminate the run"
+    return 1
+  fi
+  grep -q "persistent corruption" "${work}/persistent.log" \
+      || { echo "integrity smoke: persistent fault lacks structured error"
+           cat "${work}/persistent.log"; return 1; }
+  echo "integrity smoke: transient flip healed bitwise, persistent flip escalated"
 }
 
 # Executor smoke: the async task-graph executor must reproduce the
@@ -274,6 +315,7 @@ cmake --build build-ci -j "${JOBS}"
 ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci
 run_trace_smoke build-ci
+run_integrity_smoke build-ci
 run_executor_smoke build-ci
 run_serve_smoke build-ci
 run_bench_compare_smoke build-ci
@@ -289,6 +331,7 @@ cmake --build build-ci-asan -j "${JOBS}"
 ctest --test-dir build-ci-asan --output-on-failure -j "${JOBS}"
 run_restart_smoke build-ci-asan
 run_trace_smoke build-ci-asan
+run_integrity_smoke build-ci-asan
 run_executor_smoke build-ci-asan
 run_serve_smoke build-ci-asan
 

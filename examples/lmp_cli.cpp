@@ -11,6 +11,12 @@
 //                             interior force work; bitwise-identical)
 //   --restart <file>          resume from a checkpoint file
 //   --checkpoint-path <pfx>   write checkpoints as <pfx>.<step>
+//   --checkpoint-keep <K>     keep only the newest K on-disk checkpoints
+//   --integrity <N>           run silent-corruption guards every N steps
+//   --flip <spec>             inject a seeded memory bit flip (repeatable);
+//                             spec = step:rank:target:word:bit[:persistent]
+//                             with target pos|vel|force|ghost, rank -1 =
+//                             every rank
 //   --dump-final <file>       write final per-atom state (tag x y z vx vy vz)
 //   --trace <file>            write a Chrome/Perfetto trace JSON
 //                             (load in chrome://tracing or ui.perfetto.dev)
@@ -19,9 +25,12 @@
 //                             link-utilization tables at end of run
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "comm/comm_factory.h"
 #include "obs/critical_path.h"
@@ -41,7 +50,10 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <input-script> [comm-variant] "
                "[--executor barrier|async] [--restart <file>] "
-               "[--checkpoint-path <prefix>] [--dump-final <file>] "
+               "[--checkpoint-path <prefix>] [--checkpoint-keep <K>] "
+               "[--integrity <N>] "
+               "[--flip step:rank:target:word:bit[:persistent]] "
+               "[--dump-final <file>] "
                "[--trace <file>] [--report <file>] [--metrics]\n",
                prog);
   std::fprintf(stderr, "  comm-variant: %s\n",
@@ -63,6 +75,50 @@ bool dump_final(const std::string& path, const sim::JobResult& r) {
                  a.vel.x, a.vel.y, a.vel.z);
   }
   std::fclose(f);
+  return true;
+}
+
+/// Parse a --flip spec (step:rank:target:word:bit[:persistent]) into a
+/// deterministic memory fault. Returns false on any malformed field.
+bool parse_flip(const std::string& spec, tofu::MemFault* out) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 5 || parts.size() > 6) return false;
+  try {
+    std::size_t used = 0;
+    out->step = std::stoi(parts[0], &used);
+    if (used != parts[0].size() || out->step < 0) return false;
+    out->rank = std::stoi(parts[1], &used);
+    if (used != parts[1].size() || out->rank < -1) return false;
+    if (parts[2] == "pos") {
+      out->target = static_cast<int>(tofu::MemTarget::kPos);
+    } else if (parts[2] == "vel") {
+      out->target = static_cast<int>(tofu::MemTarget::kVel);
+    } else if (parts[2] == "force") {
+      out->target = static_cast<int>(tofu::MemTarget::kForce);
+    } else if (parts[2] == "ghost") {
+      out->target = static_cast<int>(tofu::MemTarget::kGhostPos);
+    } else {
+      return false;
+    }
+    out->word = std::stoull(parts[3], &used);
+    if (used != parts[3].size()) return false;
+    out->bit = std::stoi(parts[4], &used);
+    if (used != parts[4].size() || out->bit < 0 || out->bit > 63) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (parts.size() == 6) {
+    if (parts[5] != "persistent") return false;
+    out->persistent = true;
+  }
   return true;
 }
 
@@ -104,6 +160,33 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--checkpoint-path");
       if (!v) return 1;
       script.options.checkpoint_path = v;
+    } else if (std::strcmp(argv[i], "--checkpoint-keep") == 0) {
+      const char* v = flag_value("--checkpoint-keep");
+      if (!v) return 1;
+      script.options.checkpoint_keep = std::atoi(v);
+      if (script.options.checkpoint_keep < 1) {
+        std::fprintf(stderr, "error: --checkpoint-keep wants K >= 1\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--integrity") == 0) {
+      const char* v = flag_value("--integrity");
+      if (!v) return 1;
+      script.options.integrity.cadence = std::atoi(v);
+      if (script.options.integrity.cadence < 1) {
+        std::fprintf(stderr, "error: --integrity wants a cadence >= 1\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--flip") == 0) {
+      const char* v = flag_value("--flip");
+      if (!v) return 1;
+      tofu::MemFault flip;
+      if (!parse_flip(v, &flip)) {
+        std::fprintf(stderr,
+                     "error: --flip wants step:rank:target:word:bit"
+                     "[:persistent] with target pos|vel|force|ghost\n");
+        return 1;
+      }
+      script.options.faults.mem_faults.push_back(flip);
     } else if (std::strcmp(argv[i], "--dump-final") == 0) {
       const char* v = flag_value("--dump-final");
       if (!v) return 1;
@@ -151,6 +234,14 @@ int main(int argc, char** argv) {
               o.config.neigh.check ? "yes" : "no");
   if (!o.restart_file.empty()) {
     std::printf("  restarting from %s\n", o.restart_file.c_str());
+  }
+  if (o.integrity.enabled()) {
+    std::printf("  integrity guards every %d steps (energy tol %.3g)\n",
+                o.integrity.cadence, o.integrity.energy_tol);
+  }
+  if (o.faults.memory_faults()) {
+    std::printf("  memory fault plan: %zu deterministic flip(s), rate %.3g\n",
+                o.faults.mem_faults.size(), o.faults.mem_flip_rate);
   }
   std::printf("\n");
 

@@ -42,6 +42,9 @@ int usage(const char* argv0) {
       "  --quota T=Q,R       tenant T: max Q queued, R running (repeatable)\n"
       "  --default-quota Q,R default tenant quota (default 8,2)\n"
       "  --slice N           preferred checkpoint/slice cadence (default 10)\n"
+      "  --keep N            keep only the newest N on-disk checkpoints per\n"
+      "                      job (default: keep everything)\n"
+      "  --integrity N       run silent-corruption guards every N steps\n"
       "  --deadline-ms N     default per-job deadline (default none)\n"
       "  --max-attempts N    default attempt budget (default 3)\n"
       "  --dumps             write job-<id>.dump final atoms\n"
@@ -133,6 +136,12 @@ int main(int argc, char** argv) {
       cfg.queue_capacity = std::atoi(v);
     } else if (a == "--slice" && (v = next())) {
       cfg.slice_steps = std::atoi(v);
+    } else if (a == "--keep" && (v = next())) {
+      cfg.checkpoint_keep = std::atoi(v);
+      if (cfg.checkpoint_keep < 1) return usage(argv[0]);
+    } else if (a == "--integrity" && (v = next())) {
+      cfg.integrity_cadence = std::atoi(v);
+      if (cfg.integrity_cadence < 1) return usage(argv[0]);
     } else if (a == "--deadline-ms" && (v = next())) {
       cfg.default_deadline_ms = static_cast<std::uint32_t>(std::atol(v));
     } else if (a == "--max-attempts" && (v = next())) {

@@ -593,13 +593,31 @@ void CommP2p::reverse_forces() {
             static_cast<std::size_t>(plan_.ghost_count(u)) * 3);
   }
 
-  // Receive: unpack-add into the atoms we sent out as ghosts.
+  // Receive: unpack-add into the atoms we sent out as ghosts. Send
+  // lists of different directions overlap on edge/corner owners, so
+  // with several comm threads the adds must not land in timing order —
+  // float addition does not commute bitwise. Phase A settles each
+  // payload into its per-direction staging copy in parallel; Phase B
+  // accumulates serially in canonical channel order. Single-threaded
+  // comm keeps the zero-copy inline add.
   double* f = atoms.f();
+  if (opt_.comm_threads == 1) {
+    for_dirs(plan_.send_channels(), [&](int d) {
+      std::uint32_t n = 0;
+      const std::span<const double> in = wait_payload(MsgKind::kReverse, d, &n);
+      add_forces(f, plan_.send_list(d), in);
+    });
+    return;
+  }
   for_dirs(plan_.send_channels(), [&](int d) {
     std::uint32_t n = 0;
     const std::span<const double> in = wait_payload(MsgKind::kReverse, d, &n);
-    add_forces(f, plan_.send_list(d), in);
+    reverse_stage_[static_cast<std::size_t>(d)].assign(in.begin(), in.end());
   });
+  for (const int d : plan_.send_channels()) {
+    add_forces(f, plan_.send_list(d),
+               reverse_stage_[static_cast<std::size_t>(d)]);
+  }
 }
 
 void CommP2p::forward(double* per_atom) {
@@ -638,11 +656,27 @@ void CommP2p::reverse_add(double* per_atom) {
     account(counters_, MsgKind::kScalarRev,
             static_cast<std::size_t>(plan_.ghost_count(u)));
   }
+  // Same stage-then-settle discipline as reverse_forces: canonical-order
+  // accumulation keeps the EAM rho sums bitwise reproducible under
+  // multi-threaded comm.
+  if (opt_.comm_threads == 1) {
+    for_dirs(plan_.send_channels(), [&](int d) {
+      std::uint32_t n = 0;
+      const std::span<const double> in =
+          wait_payload(MsgKind::kScalarRev, d, &n);
+      add_scalar(per_atom, plan_.send_list(d), in);
+    });
+    return;
+  }
   for_dirs(plan_.send_channels(), [&](int d) {
     std::uint32_t n = 0;
     const std::span<const double> in = wait_payload(MsgKind::kScalarRev, d, &n);
-    add_scalar(per_atom, plan_.send_list(d), in);
+    reverse_stage_[static_cast<std::size_t>(d)].assign(in.begin(), in.end());
   });
+  for (const int d : plan_.send_channels()) {
+    add_scalar(per_atom, plan_.send_list(d),
+               reverse_stage_[static_cast<std::size_t>(d)]);
+  }
 }
 
 void CommP2p::exchange() {

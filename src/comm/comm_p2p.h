@@ -215,6 +215,10 @@ class CommP2p final : public Comm {
   std::array<DirState, kNumDirs> dir_{};
   std::array<std::array<tofu::RegisteredBuffer, kRingSlots>, kNumDirs> rings_;
   std::size_t ring_doubles_ = 0;
+  /// Per-direction staging copies for multi-threaded reverse receives:
+  /// payloads settle here in parallel, then accumulate serially in
+  /// canonical channel order so the float sums reproduce bitwise.
+  std::array<std::vector<double>, kNumDirs> reverse_stage_;
 
   bool reliable_ = false;
   int tnis_in_use_ = 0;

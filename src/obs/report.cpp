@@ -203,6 +203,23 @@ std::string RunReport::to_json() const {
   w.end_array();
   w.end_object();
 
+  w.key("integrity").begin_object();
+  w.kv("checks", integrity_checks);
+  w.kv("detections", integrity_detections);
+  w.kv("rollbacks", integrity_rollbacks);
+  w.kv("mem_flips_injected", mem_flips_injected);
+  w.key("events").begin_array();
+  for (const ReportIntegrityEvent& e : integrity_events) {
+    w.begin_object();
+    w.kv("detect_step", e.detect_step);
+    w.kv("resume_step", e.resume_step);
+    w.kv("verdict", e.verdict);
+    w.kv("reason", e.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
   w.key("link_utilization").begin_object();
   w.kv("total_bytes", fabric_total_bytes);
   w.kv("total_packets", fabric_total_packets);

@@ -50,8 +50,9 @@ bool write_text_file(const std::string& path, const std::string& text);
 // --- run report ---------------------------------------------------------
 
 inline constexpr const char* kRunReportSchema = "lmp-run-report";
-/// v2 added the "link_utilization" and "critical_path" sections.
-inline constexpr int kRunReportVersion = 2;
+/// v2 added the "link_utilization" and "critical_path" sections;
+/// v3 added the "integrity" section (silent-corruption guards).
+inline constexpr int kRunReportVersion = 3;
 
 struct ReportStage {
   std::string name;
@@ -65,6 +66,14 @@ struct ReportEscalation {
   std::string from_variant;
   std::string to_variant;
   std::string reason;
+};
+
+/// One healed silent-corruption episode in the v3 integrity section.
+struct ReportIntegrityEvent {
+  int detect_step = 0;
+  int resume_step = 0;
+  std::string reason;
+  std::string verdict;  ///< "transient" — persistent faults abort the run
 };
 
 /// One hot fabric link in the v2 link-utilization section, endpoints
@@ -98,6 +107,12 @@ struct RunReport {
   std::vector<std::pair<std::string, std::uint64_t>> health_counters;
   double checkpoint_io_seconds = 0.0;
   std::vector<ReportEscalation> escalations;
+  // --- v3: silent-corruption guard results ----------------------------
+  std::uint64_t integrity_checks = 0;
+  std::uint64_t integrity_detections = 0;
+  std::uint64_t integrity_rollbacks = 0;
+  std::uint64_t mem_flips_injected = 0;
+  std::vector<ReportIntegrityEvent> integrity_events;
   // --- v2: fabric link utilization (all zero when metrics were off) ---
   std::uint64_t fabric_total_bytes = 0;    ///< bytes x hops over all puts
   std::uint64_t fabric_total_packets = 0;  ///< packets x hops

@@ -14,7 +14,8 @@ constexpr std::uint16_t kRecHeader = 0x4A00;
 constexpr std::uint16_t kRecSubmit = 0x4A01;
 constexpr std::uint16_t kRecState = 0x4A02;
 
-constexpr std::uint32_t kJournalVersion = 1;
+// v2 added the per-job integrity counters to submit and state records.
+constexpr std::uint32_t kJournalVersion = 2;
 
 void encode_job(WireWriter& w, const JournalJob& j) {
   w.u64(j.id);
@@ -28,6 +29,8 @@ void encode_job(WireWriter& w, const JournalJob& j) {
   w.i32(j.completed_steps);
   w.str(j.restart_file);
   w.str(j.detail);
+  w.u64(j.integrity_detections);
+  w.u64(j.integrity_rollbacks);
 }
 
 JournalJob decode_job(const char* payload, std::size_t len) {
@@ -44,6 +47,8 @@ JournalJob decode_job(const char* payload, std::size_t len) {
   j.completed_steps = r.i32();
   j.restart_file = r.str();
   j.detail = r.str();
+  j.integrity_detections = r.u64();
+  j.integrity_rollbacks = r.u64();
   r.expect_done();
   return j;
 }
@@ -131,6 +136,8 @@ void JobJournal::open(const std::string& path) {
         const std::int32_t steps = r.i32();
         const std::string restart = r.str();
         const std::string detail = r.str();
+        const std::uint64_t detections = r.u64();
+        const std::uint64_t rollbacks = r.u64();
         r.expect_done();
         auto it = jobs_.find(id);
         if (it == jobs_.end()) {
@@ -143,6 +150,8 @@ void JobJournal::open(const std::string& path) {
         it->second.completed_steps = steps;
         it->second.restart_file = restart;
         it->second.detail = detail;
+        it->second.integrity_detections = detections;
+        it->second.integrity_rollbacks = rollbacks;
         break;
       }
       default:
@@ -205,7 +214,9 @@ void JobJournal::record_state(std::uint64_t id, JobState state,
                               std::uint16_t attempts,
                               std::int32_t completed_steps,
                               const std::string& restart_file,
-                              const std::string& detail) {
+                              const std::string& detail,
+                              std::uint64_t integrity_detections,
+                              std::uint64_t integrity_rollbacks) {
   if (!log_.is_open()) throw std::runtime_error("job journal: not open");
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
@@ -219,6 +230,8 @@ void JobJournal::record_state(std::uint64_t id, JobState state,
   w.i32(completed_steps);
   w.str(restart_file);
   w.str(detail);
+  w.u64(integrity_detections);
+  w.u64(integrity_rollbacks);
   std::vector<char> frame;
   comm::append_frame(frame, kRecState, w.bytes().data(), w.bytes().size());
   log_.append(frame.data(), frame.size(), /*sync=*/true);  // write-ahead
@@ -227,6 +240,8 @@ void JobJournal::record_state(std::uint64_t id, JobState state,
   it->second.completed_steps = completed_steps;
   it->second.restart_file = restart_file;
   it->second.detail = detail;
+  it->second.integrity_detections = integrity_detections;
+  it->second.integrity_rollbacks = integrity_rollbacks;
 }
 
 }  // namespace lmp::serve

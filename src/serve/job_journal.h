@@ -28,6 +28,11 @@ struct JournalJob {
   std::int32_t completed_steps = 0;
   std::string restart_file;  ///< newest durable checkpoint ("" = from scratch)
   std::string detail;        ///< terminal outcome / last failure text
+  // Per-job silent-corruption history (journal v2), accumulated over
+  // every slice of every incarnation: how often the integrity guards
+  // tripped and how many rollback+recompute cycles healed the job.
+  std::uint64_t integrity_detections = 0;
+  std::uint64_t integrity_rollbacks = 0;
 };
 
 /// What recovery found when the journal was opened.
@@ -80,12 +85,14 @@ class JobJournal {
   /// The job must have a fresh id; state is forced to kPending.
   void record_submit(const JournalJob& job);
 
-  /// Durably records a transition for an existing id. `restart_file` and
-  /// `detail` overwrite the stored values (pass the previous ones to
-  /// keep them).
+  /// Durably records a transition for an existing id. `restart_file`,
+  /// `detail`, and the integrity counters overwrite the stored values
+  /// (pass the previous ones to keep them).
   void record_state(std::uint64_t id, JobState state, std::uint16_t attempts,
                     std::int32_t completed_steps,
-                    const std::string& restart_file, const std::string& detail);
+                    const std::string& restart_file, const std::string& detail,
+                    std::uint64_t integrity_detections = 0,
+                    std::uint64_t integrity_rollbacks = 0);
 
   void close() { log_.close(); }
 

@@ -114,7 +114,8 @@ void JobServer::start() {
         job.j.detail = "journaled script no longer parses";
         journal_.record_state(id, job.j.state, job.j.attempts,
                               job.j.completed_steps, job.j.restart_file,
-                              job.j.detail);
+                              job.j.detail, job.j.integrity_detections,
+                              job.j.integrity_rollbacks);
       }
     }
     by_key_[job_key(jj.tenant, jj.name)] = id;
@@ -406,7 +407,8 @@ bool JobServer::record_state_locked(const Job& job) {
     if (cfg_.journal_fault_hook) cfg_.journal_fault_hook();
     journal_.record_state(job.j.id, job.j.state, job.j.attempts,
                           job.j.completed_steps, job.j.restart_file,
-                          job.j.detail);
+                          job.j.detail, job.j.integrity_detections,
+                          job.j.integrity_rollbacks);
     return true;
   } catch (const std::exception& e) {
     journal_io_failed_locked(e);
@@ -518,6 +520,10 @@ void JobServer::run_one(std::uint64_t id) {
   std::string failure;
   sim::SimOptions final_opts;
   sim::JobResult final_result;
+  // Whole-job integrity totals for the report (the final slice's result
+  // only covers itself; the job has been accumulating across slices).
+  std::uint64_t job_checks = 0, job_detections = 0, job_rollbacks = 0;
+  std::uint64_t job_flips = 0;
   try {
     if (cfg_.before_attempt_hook) cfg_.before_attempt_hook(id, attempt);
     sim::ParsedScript parsed = sim::parse_input_script(script);
@@ -580,7 +586,11 @@ void JobServer::run_one(std::uint64_t id) {
       opts.checkpoint_every = ck;
       opts.checkpoint_path = prefix;
       opts.restart_file = restart;
-      if (cfg_.fault_plan.enabled()) opts.faults = cfg_.fault_plan;
+      if (opts.checkpoint_keep == 0) opts.checkpoint_keep = cfg_.checkpoint_keep;
+      if (opts.integrity.cadence == 0) {
+        opts.integrity.cadence = cfg_.integrity_cadence;
+      }
+      if (cfg_.fault_plan.any_faults()) opts.faults = cfg_.fault_plan;
       sim::JobResult result = sim::run_simulation(opts, target);
 
       std::unique_lock<std::mutex> lk(mu_);
@@ -595,6 +605,25 @@ void JobServer::run_one(std::uint64_t id) {
       if (target % ck == 0) {
         job.j.restart_file = prefix + "." + std::to_string(target);
       }
+      // Integrity bookkeeping: detections/rollbacks ride the journal
+      // (durable per-job history), checks/flips feed stats and reports.
+      const util::CommHealthReport& sh = result.health;
+      job.j.integrity_detections += sh.integrity_detections;
+      job.j.integrity_rollbacks += sh.integrity_rollbacks;
+      job.integrity_checks += sh.integrity_checks;
+      job.mem_flips_injected += sh.mem_flips_injected;
+      stats_.integrity_checks += sh.integrity_checks;
+      stats_.integrity_detections += sh.integrity_detections;
+      stats_.integrity_rollbacks += sh.integrity_rollbacks;
+      stats_.mem_flips_injected += sh.mem_flips_injected;
+      metric("serve.integrity_checks").add(sh.integrity_checks);
+      metric("serve.integrity_detections").add(sh.integrity_detections);
+      metric("serve.integrity_rollbacks").add(sh.integrity_rollbacks);
+      metric("serve.mem_flips_injected").add(sh.mem_flips_injected);
+      job_checks = job.integrity_checks;
+      job_detections = job.j.integrity_detections;
+      job_rollbacks = job.j.integrity_rollbacks;
+      job_flips = job.mem_flips_injected;
       // Progress WAL: a crash after this point resumes from `target`,
       // not from the attempt's start.
       record_state_locked(job);
@@ -610,6 +639,11 @@ void JobServer::run_one(std::uint64_t id) {
   }
 
   if (done) {
+    // The report covers the whole job, not just the final slice.
+    final_result.health.integrity_checks = job_checks;
+    final_result.health.integrity_detections = job_detections;
+    final_result.health.integrity_rollbacks = job_rollbacks;
+    final_result.health.mem_flips_injected = job_flips;
     // Durable artifacts before the terminal journal record: a report
     // that exists implies the journal says done, never the reverse.
     if (cfg_.write_reports) {

@@ -57,6 +57,13 @@ struct ServerConfig {
   /// common multiple of checkpoint_every and thermo_every so sliced and
   /// uninterrupted runs produce bitwise-identical thermo series.
   int slice_steps = 10;
+  /// On-disk checkpoint retention per job: keep only the newest K
+  /// checkpoint files (0 = keep everything, the pre-retention behavior).
+  int checkpoint_keep = 0;
+  /// Server-wide integrity-guard cadence applied to every job whose
+  /// script does not set its own (0 = guards off unless the script
+  /// asks). See sim::IntegrityOptions.
+  int integrity_cadence = 0;
   std::uint32_t retry_backoff_ms = 10;      ///< doubles per retry...
   std::uint32_t retry_backoff_max_ms = 200; ///< ...capped here
   bool write_reports = true;  ///< job-<id>.report.json on completion
@@ -164,6 +171,10 @@ class JobServer {
     /// (a resumed run's result carries its checkpointed history, which
     /// the new incarnation has not streamed yet).
     int last_thermo_step = -1;
+    /// Runtime-only integrity accumulators (detections/rollbacks are
+    /// journaled in `j`; these two only feed the report and ServeStats).
+    std::uint64_t integrity_checks = 0;
+    std::uint64_t mem_flips_injected = 0;
   };
 
   void worker_loop();

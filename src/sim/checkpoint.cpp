@@ -1,11 +1,15 @@
 #include "sim/checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "comm/msg_codec.h"
+#include "sim/integrity.h"
 #include "util/durable_file.h"
 
 namespace lmp::sim {
@@ -207,6 +211,63 @@ std::uint32_t checkpoint_crc32(const void* data, std::size_t len) {
   // One CRC-32 for the whole tree: checkpoints, journal records, and
   // wire frames all share comm::crc32 (same polynomial, same tables).
   return comm::crc32(data, len);
+}
+
+std::uint64_t checkpoint_content_hash(const CheckpointState& st) {
+  // Chain per-rank atom sections so both the bytes and their section
+  // boundaries are covered. AtomState is padding-free (int64 + 6
+  // doubles), so hashing the array bytes hashes exactly the physics.
+  static_assert(sizeof(AtomState) == sizeof(std::int64_t) + 6 * sizeof(double),
+                "AtomState must be padding-free for byte hashing");
+  std::uint64_t h = hash64(&st.step, sizeof st.step, 0x1f1a6ULL);
+  for (const auto& atoms : st.rank_atoms) {
+    const std::uint64_t n = atoms.size();
+    h = hash64(&n, sizeof n, h);
+    h = hash64(atoms.data(), atoms.size() * sizeof(AtomState), h);
+  }
+  for (const ThermoSample& s : st.thermo) {
+    h = hash64(&s.step, sizeof s.step, h);
+    h = hash64(&s.state, sizeof s.state, h);
+  }
+  return h;
+}
+
+int prune_checkpoints(const std::string& prefix, int keep) {
+  if (keep <= 0) return 0;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path pfx(prefix);
+  fs::path dir = pfx.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string base = pfx.filename().string() + ".";
+
+  // Collect `<prefix>.<digits>` files; anything else (including the
+  // atomic-write `.tmp` staging names) is not ours to delete.
+  std::vector<std::pair<long long, fs::path>> found;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= base.size() || name.compare(0, base.size(), base) != 0) {
+      continue;
+    }
+    const std::string tail = name.substr(base.size());
+    if (tail.find_first_not_of("0123456789") != std::string::npos) continue;
+    errno = 0;
+    char* endp = nullptr;
+    const long long step = std::strtoll(tail.c_str(), &endp, 10);
+    if (errno != 0 || endp == tail.c_str() || *endp != '\0') continue;
+    found.emplace_back(step, it->path());
+  }
+  if (static_cast<int>(found.size()) <= keep) return 0;
+
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  int removed = 0;
+  for (std::size_t i = static_cast<std::size_t>(keep); i < found.size(); ++i) {
+    std::error_code rm_ec;
+    if (fs::remove(found[i].second, rm_ec) && !rm_ec) ++removed;
+  }
+  return removed;
 }
 
 void write_checkpoint(const std::string& path, const CheckpointState& st) {

@@ -38,6 +38,22 @@ struct CheckpointState {
 /// integrity check of the checkpoint format.
 std::uint32_t checkpoint_crc32(const void* data, std::size_t len);
 
+/// 64-bit content checksum over a checkpoint's physics payload (per-rank
+/// atom sections chained, then step/thermo), computed with the
+/// sim/integrity xxhash-style mixer. Recorded when an in-memory rollback
+/// target is committed and re-verified before the attempt loop reuses
+/// it, so a bit flip that lands in the parked rollback state itself is
+/// detected instead of silently recomputed from corrupt data. (Not
+/// serialized: the on-disk sections already carry CRC-32.)
+std::uint64_t checkpoint_content_hash(const CheckpointState& st);
+
+/// Best-effort keep-last-K rotation for on-disk checkpoints written as
+/// `prefix.<step>`: removes the oldest files (by step number) beyond the
+/// newest `keep`. `keep <= 0` disables pruning. In-flight `.tmp` files
+/// and unrelated names are never touched; I/O errors are swallowed (a
+/// failed cleanup must not fail the run). Returns files removed.
+int prune_checkpoints(const std::string& prefix, int keep);
+
 /// Writes `st` to `path` atomically and durably: serialize to
 /// `path + ".tmp"`, fsync the file, rename over the destination, fsync
 /// the parent directory (util::write_file_durable) — a crash or power

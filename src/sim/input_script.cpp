@@ -193,12 +193,35 @@ ParsedScript parse_input_script(const std::string& text) {
         }
       }
     } else if (cmd == "checkpoint") {
-      // checkpoint N [prefix] — cut a snapshot every N steps; with a
-      // prefix, also publish it as <prefix>.<step> on disk.
+      // checkpoint N [prefix] [keep K] — cut a snapshot every N steps;
+      // with a prefix, also publish it as <prefix>.<step> on disk,
+      // retaining only the newest K files when `keep` is given.
       need(1);
       o.checkpoint_every = to_int(w[1], lineno);
       if (o.checkpoint_every < 1) fail(lineno, "checkpoint interval must be >= 1");
-      if (w.size() > 2) o.checkpoint_path = w[2];
+      std::size_t i = 2;
+      if (i < w.size() && w[i] != "keep") o.checkpoint_path = w[i++];
+      if (i < w.size()) {
+        if (w[i] != "keep" || i + 1 >= w.size()) {
+          fail(lineno, "checkpoint wants: checkpoint N [prefix] [keep K]");
+        }
+        o.checkpoint_keep = to_int(w[i + 1], lineno);
+        if (o.checkpoint_keep < 1) fail(lineno, "checkpoint keep must be >= 1");
+        i += 2;
+      }
+      if (i < w.size()) fail(lineno, "trailing junk after checkpoint");
+    } else if (cmd == "integrity") {
+      // integrity N [tol] — run the silent-corruption guards every N
+      // steps; `tol` overrides the relative energy-drift window.
+      need(1);
+      o.integrity.cadence = to_int(w[1], lineno);
+      if (o.integrity.cadence < 1) fail(lineno, "integrity cadence must be >= 1");
+      if (w.size() > 2) {
+        o.integrity.energy_tol = to_num(w[2], lineno);
+        if (o.integrity.energy_tol <= 0) {
+          fail(lineno, "integrity tolerance must be > 0");
+        }
+      }
     } else if (cmd == "restart") {
       need(1);
       o.restart_file = w[1];

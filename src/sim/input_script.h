@@ -45,8 +45,17 @@ struct ParsedScript {
 ///                                 exchange with interior force work;
 ///                                 trajectories are bitwise-identical
 ///                                 either way)                       [ext]
-///   checkpoint      <N> [<prefix>]   (snapshot every N steps; with a
-///                                 prefix, also write <prefix>.<step>) [ext]
+///   checkpoint      <N> [<prefix>] [keep <K>]  (snapshot every N steps;
+///                                 with a prefix, also write
+///                                 <prefix>.<step>, retaining only the
+///                                 newest K files under `keep`)       [ext]
+///   integrity       <N> [<tol>]  (silent-corruption guards every N
+///                                 steps: NaN/Inf and box-escape scans,
+///                                 momentum/energy sentinels, section
+///                                 checksums; a trip rolls back to the
+///                                 last good checkpoint and recomputes.
+///                                 `tol` overrides the relative
+///                                 energy-drift window, default 0.05) [ext]
 ///   restart         <file>       (resume from a checkpoint file)    [ext]
 ///   failover_chain  <v1> [<v2> ...]  (degradation ladder tried after
 ///                                 the active variant fails)         [ext]

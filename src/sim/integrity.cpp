@@ -1,0 +1,105 @@
+#include "sim/integrity.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace lmp::sim {
+
+namespace {
+
+constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kP3 = 0x165667B19E3779F9ULL;
+
+std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+}  // namespace
+
+std::uint64_t hash64(const void* data, std::size_t len, std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed + kP3 + static_cast<std::uint64_t>(len);
+  while (len >= 8) {
+    std::uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = rotl(h ^ (rotl(k * kP1, 31) * kP2), 27) * kP1 + kP3;
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    h = rotl(h ^ (static_cast<std::uint64_t>(*p) * kP1), 11) * kP2;
+    ++p;
+    --len;
+  }
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+RankScan scan_atoms(const md::Atoms& atoms, double mass, const geom::Box& box,
+                    double margin) {
+  RankScan s;
+  const auto note = [&s](const std::string& why) {
+    if (s.reason.empty()) s.reason = why;
+  };
+  const auto finite3 = [](const util::Vec3& v) {
+    return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+  };
+  const auto inside = [&](const util::Vec3& p) {
+    return p.x >= box.lo.x - margin && p.x <= box.hi.x + margin &&
+           p.y >= box.lo.y - margin && p.y <= box.hi.y + margin &&
+           p.z >= box.lo.z - margin && p.z <= box.hi.z + margin;
+  };
+
+  // Positions of owned AND ghost atoms: a ghost slab flip (corruption
+  // landing after the wire CRC passed) shows up here before it has even
+  // contaminated a force.
+  for (int i = 0; i < atoms.ntotal(); ++i) {
+    const util::Vec3 p = atoms.pos(i);
+    const bool ghost = i >= atoms.nlocal();
+    if (!finite3(p)) {
+      s.nonfinite = true;
+      std::ostringstream os;
+      os << "nonfinite " << (ghost ? "ghost " : "") << "position at index "
+         << i << " (tag " << atoms.tag(i) << ")";
+      note(os.str());
+    } else if (!inside(p)) {
+      s.escaped = true;
+      std::ostringstream os;
+      os << (ghost ? "ghost " : "") << "position at index " << i << " (tag "
+         << atoms.tag(i) << ") escaped box by more than " << margin;
+      note(os.str());
+    }
+  }
+
+  // Velocities and forces exist only for owned atoms.
+  for (int i = 0; i < atoms.nlocal(); ++i) {
+    const util::Vec3 v = atoms.vel(i);
+    if (!finite3(v)) {
+      s.nonfinite = true;
+      std::ostringstream os;
+      os << "nonfinite velocity at index " << i << " (tag " << atoms.tag(i)
+         << ")";
+      note(os.str());
+    }
+    const util::Vec3 f = atoms.force(i);
+    if (!finite3(f)) {
+      s.nonfinite = true;
+      std::ostringstream os;
+      os << "nonfinite force at index " << i << " (tag " << atoms.tag(i)
+         << ")";
+      note(os.str());
+    }
+    s.px += mass * v.x;
+    s.py += mass * v.y;
+    s.pz += mass * v.z;
+  }
+  return s;
+}
+
+}  // namespace lmp::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "geom/box.h"
+#include "md/atoms.h"
+
+namespace lmp::sim {
+
+/// Knobs for the silent-corruption guards. With `cadence` 0 the guards
+/// never run and the step loop is exactly the pre-guard code path.
+struct IntegrityOptions {
+  /// Scan every N steps (also at every checkpoint step and the final
+  /// step, so no committed checkpoint can carry unexamined state).
+  int cadence = 0;
+  /// Relative total-energy drift tolerated against the reference energy
+  /// captured at the start of the run. NVE leapfrog drifts O(dt^2); an
+  /// exponent-bit flip moves energy by orders of magnitude, so a loose
+  /// 5% window separates the two with a wide margin.
+  double energy_tol = 0.05;
+  /// Per-atom momentum budget: the run starts with net momentum zeroed,
+  /// and pure pair forces conserve it to rounding, so |sum m*v| must
+  /// stay below momentum_tol * natoms.
+  double momentum_tol = 1e-8;
+  /// Rollback-and-recompute attempts before the job gives up with an
+  /// IntegrityError even when each detection lands on a fresh step.
+  int max_rollbacks = 4;
+
+  bool enabled() const { return cadence > 0; }
+};
+
+/// Terminal verdict: corruption that recompute could not clear (a
+/// stuck-at fault, a corrupt rollback target, or an exhausted rollback
+/// budget). Carries the detection step so callers can report where the
+/// trajectory stopped being trustworthy.
+class IntegrityError : public std::runtime_error {
+ public:
+  IntegrityError(int step, const std::string& msg)
+      : std::runtime_error(msg), step_(step) {}
+  int step() const { return step_; }
+
+ private:
+  int step_;
+};
+
+/// xxhash-style 64-bit section checksum over a byte range. Used for the
+/// per-array SoA slab checksums recorded at checkpoint commit and
+/// re-verified before a rollback reuses the state.
+std::uint64_t hash64(const void* data, std::size_t len,
+                     std::uint64_t seed = 0);
+
+/// Local (single-rank) guard verdict; the collective verdict ORs the
+/// boolean trips and sums the momentum across ranks.
+struct RankScan {
+  bool nonfinite = false;  ///< NaN/Inf in pos/vel/force
+  bool escaped = false;    ///< position outside box +/- margin
+  double px = 0.0, py = 0.0, pz = 0.0;  ///< local sum of m*v
+  std::string reason;      ///< first violation, empty when locally clean
+
+  bool tripped() const { return nonfinite || escaped; }
+};
+
+/// Scan one rank's arrays: NaN/Inf over owned pos/vel/force and ghost
+/// positions, box-escape bounds over all positions (`margin` must cover
+/// the legitimate ghost halo, i.e. cutoff + skin), and the local
+/// momentum partial sums. Pure read-only — a guarded run stays bitwise
+/// identical to an unguarded one.
+RankScan scan_atoms(const md::Atoms& atoms, double mass, const geom::Box& box,
+                    double margin);
+
+}  // namespace lmp::sim

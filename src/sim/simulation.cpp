@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -48,6 +49,16 @@ class FailoverSignal : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Variant of the failover signal raised by a tripped integrity guard.
+/// It rides the same teardown/rendezvous machinery (every rank throws
+/// after the guard allreduce), but run_simulation classifies it
+/// separately: a corruption verdict retries the SAME variant after a
+/// rollback — the fabric is healthy, the data was not.
+class IntegritySignal : public FailoverSignal {
+ public:
+  using FailoverSignal::FailoverSignal;
+};
+
 /// Shared job state every rank thread sees. One JobShared per *attempt*:
 /// a poisoned World / aborted Network is permanent, so each failover
 /// builds a fresh fabric instead of trying to scrub the old one.
@@ -80,6 +91,15 @@ struct JobShared {
   std::shared_ptr<const CheckpointState> last_ckpt;  ///< rollback target
   double ckpt_io_seconds = 0.0;
   std::uint64_t ckpts_written = 0;
+  /// Content checksum of `last_ckpt`, recorded at commit and re-verified
+  /// before the attempt loop resumes from it (integrity guards only).
+  std::uint64_t last_ckpt_hash = 0;
+
+  // --- silent-corruption guards ---------------------------------------
+  /// Owned by run_simulation so transient-flip history survives the
+  /// rollback/recompute attempts; null when no memory faults are planned.
+  tofu::MemFaultInjector* mem = nullptr;
+  std::atomic<std::uint64_t> integrity_checks{0};  ///< rank 0 counts guards
 
   // --- failure rendezvous ---------------------------------------------
   std::atomic<bool> abort_requested{false};
@@ -87,17 +107,19 @@ struct JobShared {
   std::mutex fail_mu;
   int fail_step = 0;
   std::string fail_reason;
+  bool fail_integrity = false;  ///< root cause was a tripped guard
   std::exception_ptr fatal;  ///< genuine bug — rethrown, never failed over
 
   JobShared(const SimOptions& o, std::string variant_name,
-            const CheckpointState* rst)
+            const CheckpointState* rst, tofu::MemFaultInjector* mem_inj)
       : opt(o),
         variant(std::move(variant_name)),
         restart(rst),
         world(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
         net(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
         book(o.rank_grid.x * o.rank_grid.y * o.rank_grid.z),
-        monitor(o.health) {
+        monitor(o.health),
+        mem(mem_inj) {
     if (o.faults.enabled()) {
       net.set_fault_injector(std::make_shared<tofu::FaultInjector>(o.faults));
     }
@@ -132,6 +154,18 @@ struct JobShared {
     fail_reason = "rank " + std::to_string(rank) + ": " + reason;
   }
 
+  /// Like note_failure, but marks the root cause as a corruption
+  /// verdict. Ranks with a local violation call this *before* the guard
+  /// allreduce, so the detailed reason always beats the generic note
+  /// clean peers record afterwards.
+  void note_integrity(int rank, int step, const std::string& reason) {
+    std::lock_guard lock(fail_mu);
+    if (!fail_reason.empty()) return;
+    fail_step = step;
+    fail_reason = "rank " + std::to_string(rank) + ": " + reason;
+    fail_integrity = true;
+  }
+
   void note_fatal(std::exception_ptr ep) {
     std::lock_guard lock(fail_mu);
     if (!fatal) fatal = ep;
@@ -155,11 +189,15 @@ struct JobShared {
     if (!opt.checkpoint_path.empty()) {
       const auto t0 = std::chrono::steady_clock::now();
       write_checkpoint(opt.checkpoint_path + "." + std::to_string(step), *st);
+      prune_checkpoints(opt.checkpoint_path, opt.checkpoint_keep);
       ckpt_io_seconds +=
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
     }
     ++ckpts_written;
+    // Fingerprint the parked rollback target so a flip landing in the
+    // parked state itself is caught before it gets recomputed from.
+    last_ckpt_hash = opt.integrity.enabled() ? checkpoint_content_hash(*st) : 0;
     last_ckpt = std::move(st);
     LMP_TRACE_INSTANT(obs::TraceCat::kCkpt, "checkpoint.commit");
   }
@@ -282,6 +320,7 @@ class RankSim {
   void run(int nsteps) {
     const md::SimConfig& cfg = job_.opt.config;
     const int ckpt_every = job_.opt.checkpoint_every;
+    nsteps_ = nsteps;
 
     comm_->setup();
     job_.world.barrier(rank_);  // addresses published on every rank
@@ -289,12 +328,21 @@ class RankSim {
     rebuild();
     compute_forces();
 
+    if (job_.opt.integrity.enabled()) {
+      // Collective energy reference for the drift sentinel. The
+      // allreduced value is identical on every rank, so the verdict
+      // derived from it is too.
+      energy_ref_ = reduce_state().total();
+      have_energy_ref_ = true;
+    }
+
     for (step_ = job_.start_step + 1; step_ <= nsteps; ++step_) {
       LMP_TRACE_SPAN(obs::TraceCat::kSim, "step");
       {
         util::ScopedStage s(timer_, Stage::kModify);
         integrator_->initial_integrate(atoms_);
       }
+      inject_owned(step_);  // planned pos/vel bit flips land here
 
       // Checkpoint steps force a rebuild (skipping the check-yes
       // allreduce): the snapshot must be post-exchange so a restarted
@@ -316,18 +364,22 @@ class RankSim {
         // Rebuild steps exchanged ghosts already; the force evaluation
         // runs serially in canonical order under both executors.
         rebuild();
+        inject_ghosts(step_);
         compute_forces();
       } else if (exec_async_) {
         // The step DAG issues the forward exchange itself and overlaps
-        // interior force tasks with the in-flight ghost data.
+        // interior force tasks with the in-flight ghost data (ghost
+        // flips land via the DAG's task.inject node).
         compute_forces_async();
       } else {
         {
           util::ScopedStage s(timer_, Stage::kComm);
           comm_->forward_positions();
         }
+        inject_ghosts(step_);
         compute_forces();
       }
+      inject_force(step_);  // planned force flips land here
 
       {
         util::ScopedStage s(timer_, Stage::kModify);
@@ -338,6 +390,11 @@ class RankSim {
         util::ScopedStage s(timer_, Stage::kOther);
         record_thermo(step_);
       }
+
+      // Guards run BEFORE the checkpoint is staged: a state that fails
+      // them never becomes a rollback target, which is what makes the
+      // transient-recovery recompute bitwise-identical to a clean run.
+      if (guard_step(step_)) check_integrity(step_);
 
       if (ckpt_step) {
         stage_checkpoint(step_);
@@ -408,6 +465,9 @@ class RankSim {
         last_force_ = potential_->compute(atoms_, list_,
                                           job_.opt.config.newton, comm_.get());
       }
+      // Same data point as the async DAG's task.guard node, so both
+      // executors feed check_integrity an identical verdict.
+      if (job_.opt.integrity.enabled()) guard_prescan();
     }
     if (job_.opt.config.newton) {
       // Ghost-force return is a Comm-stage cost in LAMMPS accounting.
@@ -470,6 +530,17 @@ class RankSim {
       waits.push_back(w);
     }
 
+    // Silent-corruption hook: ghost flips must land after ALL forward
+    // traffic and before ANY ghost reader — the ordering the barrier
+    // executor gets by injecting after its blocking forward. The node
+    // (and its overlap cost) exists only when memory faults are planned.
+    int inject = -1;
+    if (job_.mem && job_.mem->enabled()) {
+      inject = graph_->add("task.inject", [this] { inject_ghosts(step_); });
+      graph_->depend(inject, fwd);
+      for (const int w : waits) graph_->depend(inject, w);
+    }
+
     std::vector<int> pass0;
     pass0.reserve(static_cast<std::size_t>(groups_.ngroups()));
     for (int g = 0; g < groups_.ngroups(); ++g) {
@@ -490,6 +561,7 @@ class RankSim {
         // never receives under Newton half-shell): gate on the forward
         // node itself — conservative and always correct.
         if (!gated) graph_->depend(node, fwd);
+        if (inject >= 0) graph_->depend(node, inject);
       }
       pass0.push_back(node);
     }
@@ -503,7 +575,9 @@ class RankSim {
                     [this] { potential_->split_join(0, comm_.get()); });
     for (const int n : pass0) graph_->depend(join0, n);
     for (const int w : waits) graph_->depend(join0, w);
+    if (inject >= 0) graph_->depend(join0, inject);
 
+    int final_join = join0;
     if (npasses == 2) {
       std::vector<int> pass1;
       pass1.reserve(static_cast<std::size_t>(groups_.ngroups()));
@@ -516,6 +590,15 @@ class RankSim {
       const int join1 = graph_->add(
           "task.reduce", [this] { potential_->split_join(1, comm_.get()); });
       for (const int n : pass1) graph_->depend(join1, n);
+      final_join = join1;
+    }
+
+    // The guard rides the DAG as its canonical terminal join: the
+    // nonfinite-force prescan runs right where the reduced forces are
+    // born, and check_integrity consumes its flag after the step.
+    if (job_.opt.integrity.enabled()) {
+      const int guard = graph_->add("task.guard", [this] { guard_prescan(); });
+      graph_->depend(guard, final_join);
     }
   }
 
@@ -536,7 +619,8 @@ class RankSim {
     hold_.assign(atoms_.x(), atoms_.x() + 3 * atoms_.nlocal());
   }
 
-  void record_thermo(int step) {
+  /// Collective thermo reduction — every rank returns the same state.
+  md::ThermoState reduce_state() {
     const md::ThermoPartials local = md::local_thermo(
         atoms_, job_.opt.config.mass, last_force_.energy, last_force_.virial);
     md::ThermoPartials global;
@@ -545,8 +629,12 @@ class RankSim {
     global.virial = job_.world.allreduce_sum(rank_, local.virial);
     global.natoms = job_.world.allreduce_sum(
         rank_, static_cast<std::int64_t>(local.natoms));
-    const md::ThermoState state =
-        md::reduce_thermo(global, job_.opt.config.units, job_.global.volume());
+    return md::reduce_thermo(global, job_.opt.config.units,
+                             job_.global.volume());
+  }
+
+  void record_thermo(int step) {
+    const md::ThermoState state = reduce_state();
     if (rank_ == 0) job_.thermo.push_back({step, state});
   }
 
@@ -585,6 +673,138 @@ class RankSim {
     if (any) throw FailoverSignal("health threshold tripped");
   }
 
+  // --- silent-corruption machinery -------------------------------------
+
+  /// Planned bit flips into the owned position/velocity slabs, right
+  /// after the half-kick moved them — the earliest point where this
+  /// step's state exists to corrupt.
+  void inject_owned(int step) {
+    if (!job_.mem) return;
+    job_.mem->apply(rank_, step, tofu::MemTarget::kPos, atoms_.x(),
+                    static_cast<std::size_t>(3 * atoms_.nlocal()));
+    job_.mem->apply(rank_, step, tofu::MemTarget::kVel, atoms_.v(),
+                    static_cast<std::size_t>(3 * atoms_.nlocal()));
+  }
+
+  /// Flips into the landed ghost block of the position array: received
+  /// data corrupted *after* the wire CRC passed. Runs once all forward
+  /// traffic for the step has landed (after borders / forward; in the
+  /// async executor via the DAG's task.inject node gated on every wait).
+  void inject_ghosts(int step) {
+    if (!job_.mem || atoms_.nghost() == 0) return;
+    job_.mem->apply(rank_, step, tofu::MemTarget::kGhostPos,
+                    atoms_.x() + 3 * atoms_.nlocal(),
+                    static_cast<std::size_t>(3 * atoms_.nghost()));
+  }
+
+  /// Flips into the freshly reduced force slab, before the closing
+  /// half-kick consumes it.
+  void inject_force(int step) {
+    if (!job_.mem) return;
+    job_.mem->apply(rank_, step, tofu::MemTarget::kForce, atoms_.f(),
+                    static_cast<std::size_t>(3 * atoms_.nlocal()));
+  }
+
+  /// Guards run on the cadence, at every checkpoint step (nothing may be
+  /// committed unexamined) and at the final step (nothing unexamined may
+  /// be returned).
+  bool guard_step(int step) const {
+    const IntegrityOptions& integ = job_.opt.integrity;
+    if (!integ.enabled()) return false;
+    if (step % integ.cadence == 0 || step == nsteps_) return true;
+    const int every = job_.opt.checkpoint_every;
+    return every > 0 && step % every == 0;
+  }
+
+  /// Canonical-join guard hook: a cheap nonfinite scan over the reduced
+  /// forces, run as the DAG's terminal task.guard node (async) or inline
+  /// after the canonical split loop (barrier) — the same data point in
+  /// both executors, so the verdicts they feed check_integrity match.
+  void guard_prescan() {
+    if (!guard_step(step_)) return;
+    const double* f = atoms_.f();
+    for (int i = 0; i < 3 * atoms_.nlocal(); ++i) {
+      if (!std::isfinite(f[i])) {
+        prescan_bad_ = true;
+        return;
+      }
+    }
+  }
+
+  /// The integrity guard proper: local NaN/box scan, collective momentum
+  /// and energy sentinels, then an allreduce'd verdict so every rank
+  /// agrees before anyone tears down. Read-only on the physics state —
+  /// a guarded clean run is bitwise-identical to an unguarded one.
+  void check_integrity(int step) {
+    util::ScopedStage s(timer_, Stage::kOther);
+    const IntegrityOptions& integ = job_.opt.integrity;
+    const md::SimConfig& cfg = job_.opt.config;
+
+    // Legitimate ghosts live up to one neighbor cutoff outside the box;
+    // owned atoms drift less than half a skin between rebuilds.
+    const RankScan scan = scan_atoms(atoms_, cfg.mass, job_.global,
+                                     rc_ + cfg.skin);
+    bool bad = scan.tripped();
+    std::string reason = scan.reason;
+    if (prescan_bad_) {
+      bad = true;
+      if (reason.empty()) reason = "nonfinite force at the task.guard join";
+      prescan_bad_ = false;
+    }
+
+    // Total momentum: zeroed at t=0 and conserved by the pair forces to
+    // rounding, so the budget scales with system size and mass.
+    const double px = job_.world.allreduce_sum(rank_, scan.px);
+    const double py = job_.world.allreduce_sum(rank_, scan.py);
+    const double pz = job_.world.allreduce_sum(rank_, scan.pz);
+    const double pcap = integ.momentum_tol *
+                        static_cast<double>(job_.natoms_total) *
+                        std::max(cfg.mass, 1.0);
+    if (!(std::abs(px) <= pcap && std::abs(py) <= pcap &&
+          std::abs(pz) <= pcap)) {  // negated so NaN momentum trips too
+      bad = true;
+      if (reason.empty()) {
+        std::ostringstream os;
+        os << "net momentum (" << px << ", " << py << ", " << pz
+           << ") exceeds budget " << pcap;
+        reason = os.str();
+      }
+    }
+
+    // Energy drift against the collective reference captured at the
+    // start of the attempt. NVE drifts O(dt^2); a flip moves orders of
+    // magnitude, so the window separates them with a wide margin.
+    const double e_now = reduce_state().total();
+    if (have_energy_ref_) {
+      const double span = integ.energy_tol *
+                          std::max(std::abs(energy_ref_), 1.0);
+      if (!(std::abs(e_now - energy_ref_) <= span)) {  // NaN trips
+        bad = true;
+        if (reason.empty()) {
+          std::ostringstream os;
+          os << "total energy " << e_now << " drifted from reference "
+             << energy_ref_ << " beyond tolerance " << integ.energy_tol;
+          reason = os.str();
+        }
+      }
+    }
+
+    if (rank_ == 0) {
+      job_.integrity_checks.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Local detail is noted BEFORE the verdict allreduce, so it always
+    // beats the generic note clean peers record afterwards.
+    if (bad) job_.note_integrity(rank_, step, "integrity: " + reason);
+    const bool any = job_.world.allreduce_lor(rank_, bad);
+    if (any) {
+      if (!bad) {
+        job_.note_integrity(rank_, step, "integrity guard tripped on a peer");
+      }
+      throw IntegritySignal("integrity guard tripped at step " +
+                            std::to_string(step));
+    }
+  }
+
   JobShared& job_;
   int rank_;
   int step_ = 0;
@@ -599,6 +819,12 @@ class RankSim {
   md::ForceResult last_force_;
   std::vector<double> hold_;
   util::StageTimer timer_;
+
+  // --- integrity guard state ------------------------------------------
+  int nsteps_ = 0;
+  double energy_ref_ = 0.0;
+  bool have_energy_ref_ = false;
+  bool prescan_bad_ = false;  ///< set by the task.guard join node
 
   // --- step executor state --------------------------------------------
   geom::Box sub_;
@@ -634,7 +860,12 @@ struct AttemptOutcome {
   bool ok = false;
   int fail_step = 0;
   std::string fail_reason;
+  /// The attempt fell to a tripped integrity guard (not a comm fault):
+  /// the retry policy is rollback-and-recompute on the SAME variant.
+  bool integrity = false;
+  std::uint64_t integrity_checks = 0;
   std::shared_ptr<const CheckpointState> last_ckpt;
+  std::uint64_t last_ckpt_hash = 0;
   double ckpt_io_seconds = 0.0;
   std::uint64_t ckpts_written = 0;
   /// Fabric-side fault counters of this attempt (also harvested on
@@ -673,8 +904,8 @@ void harvest_fabric_stats(const JobShared& job, util::CommHealthReport& h) {
 AttemptOutcome run_attempt(const SimOptions& options,
                            const std::string& variant,
                            const std::shared_ptr<const CheckpointState>& from,
-                           int nsteps) {
-  JobShared job(options, variant, from.get());
+                           int nsteps, tofu::MemFaultInjector* mem) {
+  JobShared job(options, variant, from.get(), mem);
   const int nranks = job.decomp.nranks();
 
   const auto rank_main = [&](int rank) {
@@ -728,8 +959,12 @@ AttemptOutcome run_attempt(const SimOptions& options,
       out.fail_step = job.fail_step;
       out.fail_reason =
           job.fail_reason.empty() ? "unknown failure" : job.fail_reason;
+      out.integrity = job.fail_integrity;
     }
+    out.integrity_checks =
+        job.integrity_checks.load(std::memory_order_relaxed);
     out.last_ckpt = job.last_ckpt;
+    out.last_ckpt_hash = job.last_ckpt_hash;
     out.ckpt_io_seconds = job.ckpt_io_seconds;
     out.ckpts_written = job.ckpts_written;
     harvest_fabric_stats(job, out.fabric);
@@ -739,7 +974,9 @@ AttemptOutcome run_attempt(const SimOptions& options,
   if (job.fatal) std::rethrow_exception(job.fatal);
 
   out.ok = true;
+  out.integrity_checks = job.integrity_checks.load(std::memory_order_relaxed);
   out.last_ckpt = job.last_ckpt;
+  out.last_ckpt_hash = job.last_ckpt_hash;
   out.ckpt_io_seconds = job.ckpt_io_seconds;
   out.ckpts_written = job.ckpts_written;
 
@@ -773,6 +1010,25 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
   if (opt.executor_threads < 1) {
     throw std::runtime_error("executor_threads must be >= 1");
   }
+  if (opt.integrity.cadence < 0) {
+    throw std::runtime_error("integrity cadence must be >= 0");
+  }
+  if (opt.integrity.enabled() &&
+      (opt.integrity.energy_tol <= 0 || opt.integrity.momentum_tol <= 0 ||
+       opt.integrity.max_rollbacks < 0)) {
+    throw std::runtime_error("integrity tolerances must be > 0 and "
+                             "max_rollbacks >= 0");
+  }
+  if (opt.checkpoint_keep < 0) {
+    throw std::runtime_error("checkpoint_keep must be >= 0");
+  }
+
+  // The transient-flip fire history must survive the rollback attempts:
+  // one injector outlives every JobShared this call builds.
+  std::shared_ptr<tofu::MemFaultInjector> mem;
+  if (opt.faults.memory_faults()) {
+    mem = std::make_shared<tofu::MemFaultInjector>(opt.faults);
+  }
 
   // Resolve every variant the run might touch up front, so an unknown
   // name fails on the calling thread with the full catalog — not three
@@ -805,17 +1061,23 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
                                 : opt.max_failovers;
 
   std::vector<util::EscalationEvent> events;
+  std::vector<util::IntegrityEvent> recoveries;
   util::CommHealthReport carry;  // fabric counters of failed attempts
   tofu::FabricSnapshot link_carry;  // link traffic of failed attempts
   double io_seconds = 0.0;
   std::uint64_t written = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t resume_hash = 0;
+  int rollbacks = 0;
+  int last_detect_step = -1;
 
   std::size_t idx = 0;
   for (;;) {
     const std::string& variant = chain[idx];
-    AttemptOutcome at = run_attempt(opt, variant, resume, nsteps);
+    AttemptOutcome at = run_attempt(opt, variant, resume, nsteps, mem.get());
     io_seconds += at.ckpt_io_seconds;
     written += at.ckpts_written;
+    checks += at.integrity_checks;
     if (at.ok) {
       JobResult res = std::move(at.result);
       res.restart_step = resume ? resume->step : 0;
@@ -826,14 +1088,75 @@ JobResult run_simulation(const SimOptions& options, int nsteps) {
       res.health.checkpoint_io_seconds += io_seconds;
       res.health.checkpoints_written += written;
       res.health.escalations = std::move(events);
+      res.health.integrity_checks += checks;
+      res.health.integrity_detections +=
+          static_cast<std::uint64_t>(recoveries.size());
+      res.health.integrity_rollbacks += static_cast<std::uint64_t>(rollbacks);
+      res.health.integrity_events = std::move(recoveries);
+      if (mem) {
+        res.health.mem_flips_injected +=
+            mem->stats().flips_injected.load(std::memory_order_relaxed);
+      }
       return res;
     }
     carry += at.fabric;
     link_carry += at.links;
+
+    if (at.integrity) {
+      // Corruption verdict: the fabric is fine — roll back to the last
+      // guarded checkpoint and recompute on the SAME variant. The
+      // trajectory is deterministic, so a recompute that trips at the
+      // same step again means the fault is stuck in place, not a
+      // one-off flip: escalate to a structured terminal error instead
+      // of looping forever (or worse, emitting a corrupt trajectory).
+      if (at.fail_step == last_detect_step) {
+        throw IntegrityError(
+            at.fail_step,
+            "persistent corruption: recompute diverged again at step " +
+                std::to_string(at.fail_step) + " (" + at.fail_reason + ")");
+      }
+      if (rollbacks >= opt.integrity.max_rollbacks) {
+        throw IntegrityError(
+            at.fail_step, "integrity rollback budget (" +
+                              std::to_string(opt.integrity.max_rollbacks) +
+                              ") exhausted at step " +
+                              std::to_string(at.fail_step) + " (" +
+                              at.fail_reason + ")");
+      }
+      // Re-verify the rollback target's content checksum before reuse:
+      // recomputing from silently corrupted parked state would launder
+      // the corruption into a "clean" trajectory.
+      std::shared_ptr<const CheckpointState> target =
+          at.last_ckpt ? at.last_ckpt : resume;
+      const std::uint64_t want =
+          at.last_ckpt ? at.last_ckpt_hash : resume_hash;
+      if (target && want != 0 && checkpoint_content_hash(*target) != want) {
+        throw IntegrityError(
+            at.fail_step,
+            "rollback checkpoint of step " + std::to_string(target->step) +
+                " failed its content checksum — parked state corrupted");
+      }
+      resume = std::move(target);
+      resume_hash = want;
+      ++rollbacks;
+      last_detect_step = at.fail_step;
+      util::IntegrityEvent ev;
+      ev.detect_step = at.fail_step;
+      ev.resume_step = resume ? resume->step : 0;
+      ev.reason = at.fail_reason;
+      ev.verdict = "transient";
+      recoveries.push_back(std::move(ev));
+      LMP_TRACE_INSTANT(obs::TraceCat::kCkpt, "integrity.rollback");
+      continue;  // same variant — this was not the comm layer's fault
+    }
+
     // Roll back to the newest snapshot this attempt produced; without
     // one, resume stays at the previous rollback point (or a fresh
     // start when there has never been a checkpoint).
-    if (at.last_ckpt) resume = at.last_ckpt;
+    if (at.last_ckpt) {
+      resume = at.last_ckpt;
+      resume_hash = at.last_ckpt_hash;
+    }
     if (idx + 1 >= chain.size() ||
         static_cast<int>(events.size()) >= max_failovers) {
       throw std::runtime_error("failover chain exhausted at variant '" +
@@ -879,7 +1202,9 @@ obs::RunReport build_run_report(const SimOptions& options, int nsteps,
       {"executor", options.executor},
       {"use_border_bins", options.use_border_bins ? "yes" : "no"},
       {"balanced_assignment", options.balanced_assignment ? "yes" : "no"},
-      {"faults", options.faults.enabled() ? "enabled" : "clean"},
+      {"faults", options.faults.any_faults() ? "enabled" : "clean"},
+      {"integrity_cadence", std::to_string(options.integrity.cadence)},
+      {"checkpoint_keep", std::to_string(options.checkpoint_keep)},
   };
 
   const util::StageTimer stages = result.total_stages();
@@ -912,6 +1237,16 @@ obs::RunReport build_run_report(const SimOptions& options, int nsteps,
   for (const util::EscalationEvent& e : h.escalations) {
     rep.escalations.push_back(
         {e.fail_step, e.resume_step, e.from_variant, e.to_variant, e.reason});
+  }
+
+  // v3: silent-corruption guard results.
+  rep.integrity_checks = h.integrity_checks;
+  rep.integrity_detections = h.integrity_detections;
+  rep.integrity_rollbacks = h.integrity_rollbacks;
+  rep.mem_flips_injected = h.mem_flips_injected;
+  for (const util::IntegrityEvent& e : h.integrity_events) {
+    rep.integrity_events.push_back(
+        {e.detect_step, e.resume_step, e.reason, e.verdict});
   }
 
   // v2: fabric link utilization. The topology is reconstructed the same

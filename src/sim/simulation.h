@@ -12,6 +12,7 @@
 #include "md/thermo.h"
 #include "minimpi/world.h"
 #include "obs/report.h"
+#include "sim/integrity.h"
 #include "tofu/fault.h"
 #include "tofu/link_telemetry.h"
 #include "tofu/network.h"
@@ -73,6 +74,15 @@ struct SimOptions {
   comm::HealthThresholds health;
   /// Cap on comm-variant failovers; -1 means "rest of the chain".
   int max_failovers = -1;
+  /// Keep only the newest K on-disk checkpoints under `checkpoint_path`
+  /// (0 = keep everything). Pruned after each successful write.
+  int checkpoint_keep = 0;
+
+  // --- silent-corruption guards ---------------------------------------
+  /// Cadenced NaN/box/momentum/energy sentinels with an allreduce'd
+  /// verdict; a tripped guard rolls back to the last good checkpoint and
+  /// recomputes. See IntegrityOptions.
+  IntegrityOptions integrity;
 };
 
 /// One thermo sample (identical on every rank after the reduction).

@@ -1,6 +1,7 @@
 #include "tofu/fault.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 
@@ -146,6 +147,68 @@ FaultDecision FaultInjector::decide(int src_proc, int dst_proc,
     stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
   }
   return d;
+}
+
+MemFaultInjector::MemFaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  if (plan_.mem_flip_rate < 0.0 || plan_.mem_flip_rate > 1.0) {
+    throw std::invalid_argument("mem_flip_rate must be in [0, 1]");
+  }
+  if (plan_.mem_flip_onset_step < 0) {
+    throw std::invalid_argument("mem_flip_onset_step must be >= 0");
+  }
+  for (const MemFault& f : plan_.mem_faults) {
+    if (f.step < 0) throw std::invalid_argument("mem fault step must be >= 0");
+    if (f.bit < 0 || f.bit > 63) {
+      throw std::invalid_argument("mem fault bit must be in [0, 63]");
+    }
+    if (f.target < 0 || f.target > static_cast<int>(MemTarget::kGhostPos)) {
+      throw std::invalid_argument("mem fault target must be a MemTarget");
+    }
+  }
+  applied_.assign(plan_.mem_faults.size(), 0);
+}
+
+int MemFaultInjector::apply(int rank, int step, MemTarget target, double* data,
+                            std::size_t nwords) {
+  if (nwords == 0 || data == nullptr) return 0;
+  int applied = 0;
+  const auto flip = [&](std::size_t word, int bit) {
+    std::uint64_t v = std::bit_cast<std::uint64_t>(data[word]);
+    v ^= 1ULL << (bit & 63);
+    data[word] = std::bit_cast<double>(v);
+    ++applied;
+    stats_.flips_injected.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < plan_.mem_faults.size(); ++i) {
+    const MemFault& f = plan_.mem_faults[i];
+    if (f.step != step || f.target != static_cast<int>(target)) continue;
+    if (f.rank >= 0 && f.rank != rank) continue;
+    if (!f.persistent && applied_[i]) {
+      stats_.flips_suppressed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    flip(static_cast<std::size_t>(f.word % nwords), f.bit);
+    applied_[i] = 1;
+  }
+
+  if (plan_.mem_flip_rate > 0 && step > plan_.mem_flip_onset_step) {
+    // Pure hash of (seed, rank, step, slab): the same chaos plan flips
+    // the same words in every run. Restricted to high exponent bits so
+    // every flip is a physics-visible explosion the guards must catch —
+    // a mantissa-tail flip would "pass" trivially and test nothing.
+    std::uint64_t h = mix(plan_.seed ^ 0x6d656d666c6970ULL);  // "memflip"
+    h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank))
+                 << 32 |
+                 static_cast<std::uint32_t>(step)));
+    h = mix(h ^ static_cast<std::uint64_t>(target));
+    if (to_unit(mix(h + 1)) < plan_.mem_flip_rate && fired_.insert(h).second) {
+      flip(static_cast<std::size_t>(mix(h + 2) % nwords),
+           56 + static_cast<int>(mix(h + 3) % 7));  // bits 56..62
+    }
+  }
+  return applied;
 }
 
 }  // namespace lmp::tofu

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -18,6 +21,34 @@ namespace lmp::tofu {
 class UnreachableError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Which per-rank SoA slab a memory fault lands in. `kGhostPos` is the
+/// ghost block of the position array right after the forward exchange
+/// landed — i.e. received data corrupted *after* the wire CRC passed,
+/// the silent-corruption mode the reliability layer cannot see.
+enum class MemTarget : int {
+  kPos = 0,
+  kVel = 1,
+  kForce = 2,
+  kGhostPos = 3,
+};
+
+/// One deliberately injected memory bit flip. `step` is the onset clock:
+/// the flip fires when the owning rank's integration reaches that step
+/// (mirroring `fault_onset_puts` for the fabric faults). A transient
+/// flip fires exactly once for the injector's lifetime — a rollback +
+/// recompute passes the step clean, so recovery can heal it. A
+/// `persistent` flip is stuck-at: it re-fires on every visit of the
+/// step, so a recompute diverges again and the guard layer can tell the
+/// two apart.
+struct MemFault {
+  int step = 0;
+  int rank = -1;                ///< owning rank; -1 = every rank
+  int target = 0;               ///< MemTarget value
+  std::uint64_t word = 0;       ///< word index into the slab, pre-modulo
+  int bit = 62;                 ///< bit to flip (0..63); 62 explodes the exponent
+  bool persistent = false;
 };
 
 /// Declarative description of the faults a run should experience.
@@ -57,6 +88,17 @@ struct FaultPlan {
   /// test can model a link that dies mid-run. 0 = down from the start.
   std::uint64_t fault_onset_puts = 0;
 
+  // --- silent memory corruption -----------------------------------------
+  /// Targeted bit flips with per-fault onset steps (see MemFault).
+  std::vector<MemFault> mem_faults;
+  /// Stochastic flips: per (rank, step, slab) probability of one seeded
+  /// exponent-bit flip. Like the message rates these derive from `seed`
+  /// and the identity alone, so a chaos run replays the same flips.
+  double mem_flip_rate = 0.0;
+  /// Stochastic flips fire only after this step (onset clock). 0 = from
+  /// the start.
+  int mem_flip_onset_step = 0;
+
   bool message_faults() const {
     return drop_rate > 0 || delay_rate > 0 || duplicate_rate > 0 ||
            corrupt_rate > 0;
@@ -64,9 +106,15 @@ struct FaultPlan {
   bool permanent_faults() const {
     return !down_axes.empty() || !crashed_ranks.empty();
   }
+  bool memory_faults() const {
+    return !mem_faults.empty() || mem_flip_rate > 0;
+  }
+  /// Fabric-side faults only — memory flips never touch the wire, so
+  /// the network keeps its injector off unless this is true.
   bool enabled() const {
     return message_faults() || !dead_tnis.empty() || permanent_faults();
   }
+  bool any_faults() const { return enabled() || memory_faults(); }
 };
 
 /// What the injector decided for one message.
@@ -143,6 +191,46 @@ class FaultInjector {
   std::uint64_t down_axis_mask_ = 0;   ///< severed 6D axes
   std::vector<TofuCoord> proc_coords_; ///< filled by map_procs
   mutable FaultStats stats_;
+};
+
+/// Counters of injected memory flips.
+struct MemFaultStats {
+  std::atomic<std::uint64_t> flips_injected{0};
+  /// Transient flips whose (identity) already fired — the recompute
+  /// after a rollback passing the flip step clean shows up here.
+  std::atomic<std::uint64_t> flips_suppressed{0};
+};
+
+/// Seeded silent-corruption source: flips bits in the per-rank SoA slabs
+/// (positions, velocities, forces, landed ghost positions) behind the
+/// CRC's back. The simulation calls `apply` once per (rank, step, slab)
+/// visit; flips due at that identity are XORed into the array in place.
+///
+/// The injector must OUTLIVE the rollback/recompute attempt loop: the
+/// applied-state for transient flips is what makes a recomputed step run
+/// clean, so a fresh injector per attempt would turn every transient
+/// flip into an apparent stuck-at fault.
+class MemFaultInjector {
+ public:
+  explicit MemFaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.memory_faults(); }
+
+  /// Flip every bit due at (rank, step, target) into data[0..nwords).
+  /// Thread-safe; deterministic in its arguments plus the fire history.
+  /// Returns the number of flips applied on this visit.
+  int apply(int rank, int step, MemTarget target, double* data,
+            std::size_t nwords);
+
+  MemFaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<char> applied_;       ///< per plan_.mem_faults entry
+  std::set<std::uint64_t> fired_;   ///< stochastic identities already fired
+  std::mutex mu_;
+  mutable MemFaultStats stats_;
 };
 
 }  // namespace lmp::tofu

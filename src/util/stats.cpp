@@ -24,6 +24,20 @@ void merge_escalations(std::vector<EscalationEvent>& into,
   into.erase(std::unique(into.begin(), into.end(), same), into.end());
 }
 
+void merge_integrity_events(std::vector<IntegrityEvent>& into,
+                            const std::vector<IntegrityEvent>& from) {
+  into.insert(into.end(), from.begin(), from.end());
+  std::stable_sort(into.begin(), into.end(),
+                   [](const IntegrityEvent& a, const IntegrityEvent& b) {
+                     return a.detect_step < b.detect_step;
+                   });
+  const auto same = [](const IntegrityEvent& a, const IntegrityEvent& b) {
+    return std::tie(a.detect_step, a.resume_step, a.verdict) ==
+           std::tie(b.detect_step, b.resume_step, b.verdict);
+  };
+  into.erase(std::unique(into.begin(), into.end(), same), into.end());
+}
+
 std::string format_health_table(const CommHealthReport& h) {
   TablePrinter t({"comm health", "count"});
   const auto row = [&t](const char* name, std::uint64_t v) {
@@ -46,12 +60,22 @@ std::string format_health_table(const CommHealthReport& h) {
   row("checkpoints_written", h.checkpoints_written);
   t.add_row({"checkpoint_io_s", TablePrinter::fmt(h.checkpoint_io_seconds, 3)});
   t.add_row({"escalations", std::to_string(h.escalations.size())});
+  row("integrity_checks", h.integrity_checks);
+  row("integrity_detections", h.integrity_detections);
+  row("integrity_rollbacks", h.integrity_rollbacks);
+  row("mem_flips_injected", h.mem_flips_injected);
   std::string out = t.to_string();
   // The recovery story: one line per failover, after the counter table.
   for (const EscalationEvent& e : h.escalations) {
     out += "escalation at step " + std::to_string(e.fail_step) + ": " +
            e.from_variant + " -> " + e.to_variant + " (resumed from step " +
            std::to_string(e.resume_step) + "; " + e.reason + ")\n";
+  }
+  // One line per healed corruption, in the same grep-able style.
+  for (const IntegrityEvent& e : h.integrity_events) {
+    out += "integrity rollback at step " + std::to_string(e.detect_step) +
+           ": resumed from step " + std::to_string(e.resume_step) +
+           " (verdict=" + e.verdict + "; " + e.reason + ")\n";
   }
   return out;
 }
@@ -75,6 +99,10 @@ std::string format_server_table(const ServeStats& s) {
   row("cancelled", s.cancelled);
   row("recovered", s.recovered);
   row("journal_torn_bytes", s.journal_torn_bytes);
+  row("integrity_checks", s.integrity_checks);
+  row("integrity_detections", s.integrity_detections);
+  row("integrity_rollbacks", s.integrity_rollbacks);
+  row("mem_flips_injected", s.mem_flips_injected);
   t.add_row({"queue_depth", std::to_string(s.queue_depth)});
   t.add_row({"queue_depth_peak", std::to_string(s.queue_depth_peak)});
   t.add_row({"running", std::to_string(s.running)});

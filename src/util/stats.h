@@ -29,6 +29,23 @@ struct EscalationEvent {
 void merge_escalations(std::vector<EscalationEvent>& into,
                        const std::vector<EscalationEvent>& from);
 
+/// One silent-corruption recovery episode: an integrity guard tripped at
+/// `detect_step`, the run rolled back to the checkpoint at `resume_step`
+/// and recomputed. `verdict` is "transient" for a healed flip (the
+/// recompute passed the step clean); a persistent fault never produces
+/// an event — it terminates the run with sim::IntegrityError instead.
+struct IntegrityEvent {
+  int detect_step = 0;
+  int resume_step = 0;
+  std::string reason;
+  std::string verdict;
+};
+
+/// Same dedupe-and-sort rationale as merge_escalations, keyed on
+/// (detect_step, resume_step, verdict).
+void merge_integrity_events(std::vector<IntegrityEvent>& into,
+                            const std::vector<IntegrityEvent>& from);
+
 /// End-of-run communication health summary: what the reliability layer
 /// and the fault injector saw. All zeros on a clean run — the acceptance
 /// bar for "no overhead on the clean path".
@@ -54,6 +71,12 @@ struct CommHealthReport {
   std::uint64_t checkpoints_written = 0;  ///< checkpoint emissions this run
   double checkpoint_io_seconds = 0.0;     ///< wall time in checkpoint file I/O
   std::vector<EscalationEvent> escalations;  ///< comm-variant failovers, in order
+  // Silent-corruption guards (sim/integrity).
+  std::uint64_t integrity_checks = 0;      ///< guard evaluations run
+  std::uint64_t integrity_detections = 0;  ///< guard verdicts that tripped
+  std::uint64_t integrity_rollbacks = 0;   ///< rollback+recompute launched
+  std::uint64_t mem_flips_injected = 0;    ///< bit flips the chaos plan landed
+  std::vector<IntegrityEvent> integrity_events;  ///< recoveries, in order
 
   CommHealthReport& operator+=(const CommHealthReport& o) {
     nacks_sent += o.nacks_sent;
@@ -73,18 +96,26 @@ struct CommHealthReport {
     checkpoints_written += o.checkpoints_written;
     checkpoint_io_seconds += o.checkpoint_io_seconds;
     merge_escalations(escalations, o.escalations);
+    integrity_checks += o.integrity_checks;
+    integrity_detections += o.integrity_detections;
+    integrity_rollbacks += o.integrity_rollbacks;
+    mem_flips_injected += o.mem_flips_injected;
+    merge_integrity_events(integrity_events, o.integrity_events);
     return *this;
   }
 
-  /// True when nothing abnormal happened (degradation state and
-  /// checkpoint activity ignored — writing checkpoints is normal).
+  /// True when nothing abnormal happened (degradation state, checkpoint
+  /// activity, and guard evaluations ignored — running guards is normal;
+  /// a guard *detection* or an injected flip is not).
   bool clean() const {
     return nacks_sent == 0 && retransmits_served == 0 &&
            duplicates_dropped == 0 && crc_rejects == 0 &&
            notices_dropped == 0 && notices_delayed == 0 &&
            notices_duplicated == 0 && payloads_corrupted == 0 &&
            tni_drops == 0 && retransmit_puts == 0 && unreachable_puts == 0 &&
-           escalations.empty();
+           escalations.empty() && integrity_detections == 0 &&
+           integrity_rollbacks == 0 && mem_flips_injected == 0 &&
+           integrity_events.empty();
   }
 };
 
@@ -112,6 +143,11 @@ struct ServeStats {
   std::uint64_t cancelled = 0;
   std::uint64_t recovered = 0;          ///< jobs requeued from the journal
   std::uint64_t journal_torn_bytes = 0; ///< tail truncated during recovery
+  // Silent-corruption guards, summed over every slice of every job.
+  std::uint64_t integrity_checks = 0;
+  std::uint64_t integrity_detections = 0;
+  std::uint64_t integrity_rollbacks = 0;
+  std::uint64_t mem_flips_injected = 0;
   std::int64_t queue_depth = 0;
   std::int64_t queue_depth_peak = 0;
   std::int64_t running = 0;

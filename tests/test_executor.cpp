@@ -111,14 +111,42 @@ TEST(Executor, AsyncNewtonOffUsesRingForward) {
 TEST(Executor, AsyncWorksWithCheckpointRebuilds) {
   // Checkpoint steps force rebuilds mid-run; the DAG must be rebuilt
   // per epoch and the serial rebuild-step path must stay consistent.
-  // (Deliberately a single-comm-thread variant: "opt" fans its reverse
-  // accumulation across 6 threads whose add order is not reproducible
-  // run-to-run, so no bitwise claim can be made there by any executor.)
   SimOptions o = lj_case("6tni_p2p");
   o.checkpoint_every = 7;
   const JobResult barrier = run_simulation(o, 21);
   o.executor = "async";
   const JobResult async = run_simulation(o, 21);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, OptVariantIsRunToRunReproducible) {
+  // "opt" fans its reverse accumulation across 6 comm threads; the
+  // staged canonical-order settle makes the add order (and hence the
+  // trajectory) independent of thread timing, so two identical runs
+  // must agree to the bit.
+  SimOptions o = lj_case("opt");
+  const JobResult first = run_simulation(o, 30);
+  const JobResult second = run_simulation(o, 30);
+  expect_bitwise_equal(first, second);
+}
+
+TEST(Executor, AsyncMatchesBarrierBitwiseLjOpt) {
+  SimOptions o = lj_case("opt");
+  const JobResult barrier = run_simulation(o, 30);
+  o.executor = "async";
+  o.executor_threads = 3;
+  const JobResult async = run_simulation(o, 30);
+  expect_bitwise_equal(barrier, async);
+}
+
+TEST(Executor, AsyncMatchesBarrierBitwiseEamOpt) {
+  // EAM adds the scalar rho reverse-add to the multi-threaded reverse
+  // path; same staged-settle determinism requirement as forces.
+  SimOptions o = eam_case("opt");
+  const JobResult barrier = run_simulation(o, 20);
+  o.executor = "async";
+  o.executor_threads = 3;
+  const JobResult async = run_simulation(o, 20);
   expect_bitwise_equal(barrier, async);
 }
 

@@ -80,6 +80,35 @@ TEST(JobJournal, SubmitAndStateSurviveReopen) {
   EXPECT_TRUE(two.script.empty());
 }
 
+TEST(JobJournal, IntegrityCountersSurviveReopenAndAccumulate) {
+  const std::string path = tmp_path("jj_integrity.journal");
+  {
+    JobJournal j;
+    j.open(path);
+    JournalJob job = sample_job(1);
+    job.integrity_detections = 2;  // carried over from a prior incarnation
+    job.integrity_rollbacks = 2;
+    j.record_submit(job);
+    // Two slices, each adding one detection+rollback to the history.
+    j.record_state(1, JobState::kRunning, 1, 10, "ck.10", "", 3, 3);
+    j.record_state(1, JobState::kDone, 1, 20, "", "ok", 4, 4);
+  }
+  JobJournal j;
+  j.open(path);
+  ASSERT_EQ(j.jobs().size(), 1u);
+  const JournalJob& one = j.jobs().at(1);
+  EXPECT_EQ(one.state, JobState::kDone);
+  EXPECT_EQ(one.integrity_detections, 4u);
+  EXPECT_EQ(one.integrity_rollbacks, 4u);
+
+  // Compaction (the reopen rewrote the file) must preserve them too.
+  j.close();
+  JobJournal j2;
+  j2.open(path);
+  EXPECT_EQ(j2.jobs().at(1).integrity_detections, 4u);
+  EXPECT_EQ(j2.jobs().at(1).integrity_rollbacks, 4u);
+}
+
 TEST(JobJournal, TornTailIsTruncatedNotFatal) {
   const std::string path = tmp_path("jj_torn.journal");
   {

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -261,6 +262,58 @@ TEST(JobServer, RunsJobStreamsBitwiseIdenticalThermoAndWritesReport) {
   const std::string table = util::format_server_table(st);
   EXPECT_NE(table.find("completed"), std::string::npos);
   EXPECT_NE(table.find("server"), std::string::npos);
+  server.stop(StopMode::kDrain);
+}
+
+TEST(JobServer, HealsInjectedMemoryFlipAndSurfacesIntegrityCounters) {
+  ServerConfig cfg = base_config("integrity");
+  cfg.integrity_cadence = 5;
+  // One transient velocity flip in the job's second slice. The guards
+  // must detect it, roll back within the slice, and finish the job —
+  // the tenant sees a completed run plus an honest integrity history.
+  tofu::MemFault flip;
+  flip.step = 15;
+  flip.rank = 0;
+  flip.target = static_cast<int>(tofu::MemTarget::kVel);
+  flip.word = 7;
+  flip.bit = 62;
+  cfg.fault_plan.mem_faults.push_back(flip);
+  JobServer server(cfg);
+  server.start();
+
+  const std::string script = melt_script(20);
+  const SubmitReply r = server.submit(make_submit("acme", "flipped", script));
+  ASSERT_TRUE(r.accepted);
+  ASSERT_TRUE(server.wait_all_terminal(60000));
+
+  const std::optional<JobStatus> s = server.status(r.job_id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kDone);
+  EXPECT_EQ(s->completed_steps, 20);
+
+  // The healed stream still matches the fault-free reference bitwise.
+  EXPECT_EQ(all_chunks(server, r.job_id), reference_thermo(script, 10));
+
+  const util::ServeStats st = server.stats();
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_GT(st.integrity_checks, 0u);
+  EXPECT_EQ(st.integrity_detections, 1u);
+  EXPECT_EQ(st.integrity_rollbacks, 1u);
+  EXPECT_EQ(st.mem_flips_injected, 1u);
+  const std::string table = util::format_server_table(st);
+  EXPECT_NE(table.find("integrity_detections"), std::string::npos);
+
+  // The whole-job totals land in the report's integrity section.
+  std::ifstream rep(cfg.work_dir + "job-" + std::to_string(r.job_id) +
+                    ".report.json");
+  ASSERT_TRUE(rep.good());
+  std::stringstream ss;
+  ss << rep.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"integrity\""), std::string::npos);
+  EXPECT_NE(json.find("\"detections\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rollbacks\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mem_flips_injected\":1"), std::string::npos);
   server.stop(StopMode::kDrain);
 }
 

@@ -341,11 +341,12 @@ TEST(RunReport, StagesMatchTimerAndSerializeExactly) {
             std::string::npos);
   EXPECT_NE(json.find(g17(total)), std::string::npos);
   EXPECT_NE(json.find("\"schema\":\"lmp-run-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
-  // v2 sections serialize even when empty (metrics were off here), so
+  EXPECT_NE(json.find("\"version\":3"), std::string::npos);
+  // v2/v3 sections serialize even when empty (metrics were off here), so
   // downstream parsers can rely on the keys existing.
   EXPECT_NE(json.find("\"link_utilization\""), std::string::npos);
   EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"integrity\""), std::string::npos);
   EXPECT_EQ(rep.nranks, 2);
   EXPECT_EQ(rep.natoms, r.natoms);
   EXPECT_EQ(rep.comm_final, r.final_comm);
