@@ -286,6 +286,127 @@ EOF
   return 1
 }
 
+# Telemetry smoke: boot lmp_serve with the stream endpoint on a
+# two-tenant workload — acme on the utofu_3stage fabric (so the per-TNI
+# series carry real bytes) and beta with a 1 ms deadline that must be
+# missed — then drive the `stats` verb over the socket with lmp_top
+# --once --json while the server lingers. The snapshot must parse, carry
+# a nonzero step-rate series, both tenants' SLO windows with beta in
+# deadline breach, at least one TNI with traffic, and the breach
+# transition as a structured event; the rendered dashboard must show the
+# breach tag, and the server's final stats table must count the breach.
+run_telemetry_smoke() {
+  local build_dir="$1"
+  echo "--- telemetry smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  mkdir -p "${work}/wd"
+  cat > "${work}/in.fabric.lj" <<EOF
+units lj
+lattice fcc 0.8442
+region box block 0 6 0 6 0 6
+create_box 1 box
+create_atoms 1 box
+mass 1 1.0
+velocity all create 1.44 87287
+pair_style lj/cut 2.5
+pair_coeff 1 1 1.0 1.0
+neighbor 0.3 bin
+neigh_modify every 5 check no
+fix 1 all nve
+timestep 0.005
+thermo 10
+processors 2 2 1
+comm_variant utofu_3stage
+run 100
+EOF
+  cat > "${work}/in.quick.lj" <<EOF
+units lj
+lattice fcc 0.8442
+region box block 0 4 0 4 0 4
+create_box 1 box
+create_atoms 1 box
+mass 1 1.0
+velocity all create 1.44 87287
+pair_style lj/cut 2.5
+pair_coeff 1 1 1.0 1.0
+neighbor 0.3 bin
+neigh_modify every 5 check no
+fix 1 all nve
+timestep 0.005
+thermo 10
+comm_variant ref
+run 200
+EOF
+  cat > "${work}/jobs.txt" <<EOF
+acme fabric ${work}/in.fabric.lj        # drives the TNI byte series
+beta late ${work}/in.quick.lj 1         # 1 ms deadline: must breach SLO
+EOF
+  "${build_dir}/examples/lmp_serve" --journal "${work}/journal.bin" \
+      --workdir "${work}/wd" --jobs "${work}/jobs.txt" --workers 2 \
+      --slice 20 --listen "${work}/lmp.sock" --telemetry-ms 50 \
+      --linger-ms 20000 > "${work}/serve.log" 2>&1 &
+  local pid=$!
+  # The workload drained once the server announces its linger window.
+  local waited=0
+  while ! grep -q '^lingering' "${work}/serve.log" 2>/dev/null; do
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "telemetry smoke: server exited before the workload drained"
+      cat "${work}/serve.log"
+      return 1
+    fi
+    sleep 0.05
+    waited=$((waited + 1))
+    if [[ ${waited} -gt 1200 ]]; then
+      echo "telemetry smoke: workload never drained"
+      kill -9 "${pid}" 2>/dev/null || true
+      return 1
+    fi
+  done
+  "${build_dir}/examples/lmp_top" --connect "${work}/lmp.sock" --once --json \
+      > "${work}/snap.json" \
+      || { echo "telemetry smoke: lmp_top --once --json failed"
+           kill -9 "${pid}" 2>/dev/null || true; return 1; }
+  "${build_dir}/examples/lmp_top" --connect "${work}/lmp.sock" --once \
+      > "${work}/dash.txt" \
+      || { echo "telemetry smoke: lmp_top dashboard render failed"
+           kill -9 "${pid}" 2>/dev/null || true; return 1; }
+  kill "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+  python3 - "${work}/snap.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["schema"] == "lmp-telemetry-snapshot" and snap["version"] == 1
+assert snap["ticks"] > 0
+srv = snap["server"]
+assert srv["steps_in_window"] > 0, srv["steps_in_window"]
+assert len(srv["step_series"]) > 0 and any(v > 0 for _, v in srv["step_series"])
+tenants = {t["tenant"]: t for t in snap["tenants"]}
+assert set(tenants) == {"acme", "beta"}, sorted(tenants)
+assert not tenants["acme"]["breached"], tenants["acme"]
+beta = tenants["beta"]
+assert beta["breached"] and beta["breach_deadline"], beta
+assert beta["deadline_misses"] >= 1 and "deadline-hit-rate" in beta["detail"]
+busy = [t for t in snap["tnis"] if t["bytes_total"] > 0]
+assert busy, "utofu_3stage job charged no TNI bytes"
+assert any(len(t["bytes_series"]) > 0 for t in busy), "no TNI byte series"
+entered = [e for e in snap["slo_events"] if e["entered"]]
+assert entered and entered[0]["tenant"] == "beta", snap["slo_events"]
+states = {j["name"]: j["state"] for j in snap["jobs"]}
+assert states.get("fabric") == "done" and states.get("late") == "failed", states
+print(f"telemetry smoke: snapshot valid — {srv['steps_in_window']:.0f} steps "
+      f"in window, {len(busy)} busy TNI(s), beta in deadline breach")
+EOF
+  grep -q 'BREACH' "${work}/dash.txt" \
+      || { echo "telemetry smoke: dashboard lacks the breach tag"
+           cat "${work}/dash.txt"; return 1; }
+  grep -Eq 'slo_breaches *\| *[1-9]' "${work}/serve.log" \
+      || { echo "telemetry smoke: final stats table did not count the breach"
+           cat "${work}/serve.log"; return 1; }
+  echo "telemetry smoke: dashboard rendered breach; server counted it"
+}
+
 # Bench-compare smoke: regenerate the fig13 and overlap records in quick
 # mode and gate them against the committed baselines. A missing baseline
 # only warns (that is how a new bench seeds its first record); a
@@ -307,6 +428,14 @@ run_bench_compare_smoke() {
   "${build_dir}/bench/bench_compare" \
       bench/baselines/BENCH_overlap.json \
       "${work}/BENCH_overlap.json" --tol 50
+  # Same wide-open gate for the telemetry overhead ratio: it compares
+  # two wall-clock runs on a shared host, only a sampler that lands on
+  # the step path would move it past 50%.
+  LMP_BENCH_QUICK=1 LMP_BENCH_DIR="${work}" \
+      "${build_dir}/bench/bench_telemetry" > /dev/null
+  "${build_dir}/bench/bench_compare" \
+      bench/baselines/BENCH_telemetry.json \
+      "${work}/BENCH_telemetry.json" --tol 50
 }
 
 echo "=== pass 1: -Werror build + ctest ==="
@@ -318,6 +447,7 @@ run_trace_smoke build-ci
 run_integrity_smoke build-ci
 run_executor_smoke build-ci
 run_serve_smoke build-ci
+run_telemetry_smoke build-ci
 run_bench_compare_smoke build-ci
 
 if [[ "${1:-}" == "--fast" ]]; then
@@ -334,16 +464,19 @@ run_trace_smoke build-ci-asan
 run_integrity_smoke build-ci-asan
 run_executor_smoke build-ci-asan
 run_serve_smoke build-ci-asan
+run_telemetry_smoke build-ci-asan
 
 echo "=== pass 2b: TSan build + concurrency test slice ==="
 # TSan cannot share a process with ASan, so it gets its own tree; the
 # slice covers the code that actually shares memory across threads —
-# the spin/fork-join pools, the task-graph scheduler, and the notice
-# dispatcher (the async executor's moving parts).
+# the spin/fork-join pools, the task-graph scheduler, the notice
+# dispatcher (the async executor's moving parts), and the telemetry
+# plane's sampler/series/SLO/stream machinery (admission-only servers,
+# so the slice never races a real simulation under TSan).
 cmake -B build-ci-tsan -S . -DLMP_WERROR=ON -DLMP_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}" --target lmp_tests
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" \
-    -R 'TaskGraph|SpinThreadPool|ForkJoin|NoticeDispatcher'
+    -R 'TaskGraph|SpinThreadPool|ForkJoin|NoticeDispatcher|TimeSeries|SloAccountant|TelemetrySampler|StreamWatch'
 
 echo "=== pass 3: LMP_TRACE=OFF build (instrumentation compiles out) ==="
 cmake -B build-ci-notrace -S . -DLMP_WERROR=ON -DLMP_TRACE=OFF

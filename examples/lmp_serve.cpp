@@ -14,15 +14,19 @@
 // after a crash re-attaches to the existing jobs instead of duplicating
 // them.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/job_server.h"
+#include "serve/stream_endpoint.h"
 #include "util/stats.h"
 
 namespace {
@@ -49,7 +53,21 @@ int usage(const char* argv0) {
       "  --max-attempts N    default attempt budget (default 3)\n"
       "  --dumps             write job-<id>.dump final atoms\n"
       "  --chunks            print streamed thermo chunks for each job\n"
-      "  --wait-ms N         drain timeout (default 600000)\n",
+      "  --wait-ms N         drain timeout (default 600000)\n"
+      "  --listen PATH       serve the wire protocol (and `watch` snapshot\n"
+      "                      streams for lmp_top) on a Unix socket\n"
+      "  --linger-ms N       keep serving N ms after the workload drains\n"
+      "                      (so dashboards can attach; default 0)\n"
+      "  --telemetry-ms N    telemetry sampling cadence (default 100)\n"
+      "  --telemetry-window-ms N\n"
+      "                      rolling aggregation/SLO window (default 10000)\n"
+      "  --no-telemetry      disable the background sampler entirely\n"
+      "  --slo-hit-rate X    per-tenant deadline hit-rate floor (default\n"
+      "                      0.99; one miss in a small window breaches)\n"
+      "  --slo-steps-min X   per-tenant steps/sec floor while running\n"
+      "                      (default 0 = off)\n"
+      "  --slo-queue-p99-ms N\n"
+      "                      per-tenant queue-wait p99 ceiling (0 = off)\n",
       argv0);
   return 1;
 }
@@ -115,8 +133,10 @@ bool parse_quota(const std::string& spec, std::string* tenant,
 int main(int argc, char** argv) {
   serve::ServerConfig cfg;
   std::string jobs_path;
+  std::string listen_path;
   bool print_chunks = false;
   std::uint64_t wait_ms = 600000;
+  std::uint64_t linger_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -159,6 +179,22 @@ int main(int argc, char** argv) {
       print_chunks = true;
     } else if (a == "--wait-ms" && (v = next())) {
       wait_ms = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--listen" && (v = next())) {
+      listen_path = v;
+    } else if (a == "--linger-ms" && (v = next())) {
+      linger_ms = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--telemetry-ms" && (v = next())) {
+      cfg.telemetry.interval_ms = static_cast<std::uint32_t>(std::atol(v));
+    } else if (a == "--telemetry-window-ms" && (v = next())) {
+      cfg.telemetry.window_ms = std::atoll(v);
+    } else if (a == "--no-telemetry") {
+      cfg.telemetry.enabled = false;
+    } else if (a == "--slo-hit-rate" && (v = next())) {
+      cfg.telemetry.default_slo.deadline_hit_rate_min = std::atof(v);
+    } else if (a == "--slo-steps-min" && (v = next())) {
+      cfg.telemetry.default_slo.steps_per_sec_min = std::atof(v);
+    } else if (a == "--slo-queue-p99-ms" && (v = next())) {
+      cfg.telemetry.default_slo.queue_wait_p99_ms = std::atof(v);
     } else {
       return usage(argv[0]);
     }
@@ -183,6 +219,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rec.requeued),
               static_cast<unsigned long long>(rec.torn_bytes),
               rec.compacted ? " (compacted)" : "");
+
+  std::unique_ptr<serve::StreamEndpoint> endpoint;
+  if (!listen_path.empty()) {
+    endpoint = std::make_unique<serve::StreamEndpoint>(server, listen_path);
+    try {
+      endpoint->start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      server.stop(serve::StopMode::kDrain);
+      return 1;
+    }
+    std::printf("listening on %s\n", listen_path.c_str());
+    std::fflush(stdout);
+  }
 
   // Submit through the wire: the exact bytes a remote client would send.
   std::vector<char> frames;
@@ -239,7 +289,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // One forced sampling pass so the final table reflects the present
+  // (terminal SLO outcomes land between sampler ticks otherwise).
+  if (server.telemetry() != nullptr) server.telemetry()->tick();
   std::fputs(util::format_server_table(server.stats()).c_str(), stdout);
+
+  // Give dashboards a window to attach (or finish streaming) before the
+  // server and its telemetry socket go away.
+  if (linger_ms > 0) {
+    std::printf("lingering %llu ms for telemetry clients\n",
+                static_cast<unsigned long long>(linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  if (endpoint) endpoint->stop();
   server.stop(serve::StopMode::kDrain);
   return drained ? 0 : 1;
 }

@@ -1,0 +1,319 @@
+// lmp_top — live terminal dashboard over a job server's telemetry socket.
+//
+// Connects to the Unix socket an lmp_serve --listen PATH publishes, asks
+// for telemetry snapshots ("lmp-telemetry-snapshot" JSON), and renders a
+// refreshing dashboard: jobs table, per-tenant SLO windows, per-TNI link
+// utilization with sparklines, and the rolling server step rate.
+//
+//   lmp_top --connect /tmp/lmp.sock                # live, 1s refresh
+//   lmp_top --connect /tmp/lmp.sock --interval-ms 250
+//   lmp_top --connect /tmp/lmp.sock --once         # one dashboard, exit
+//   lmp_top --connect /tmp/lmp.sock --once --json  # one raw snapshot, exit
+//
+// Live mode uses the `watch` verb (server pushes a frame every interval);
+// --once uses the one-shot `stats` verb. --count N bounds a live session
+// to N frames (scripts use it to capture a deterministic stream).
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/msg_codec.h"
+#include "serve/serve_protocol.h"
+#include "util/json_mini.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace lmp;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --connect PATH [options]\n"
+      "  --connect PATH    telemetry socket (lmp_serve --listen PATH)\n"
+      "  --once            one snapshot, then exit (stats verb)\n"
+      "  --json            print raw JSON snapshots instead of the dashboard\n"
+      "  --interval-ms N   refresh cadence in live mode (default 1000)\n"
+      "  --count N         stop after N frames in live mode (default: until\n"
+      "                    the server closes or this process is interrupted)\n",
+      argv0);
+  return 1;
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Eight-level unicode sparkline of a [[t, v], ...] series, newest at
+/// the right, scaled to the window's max. At most `width` samples.
+std::string sparkline(const util::JsonValue* series, std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series == nullptr || !series->is_array() || series->items.empty()) {
+    return "-";
+  }
+  const std::size_t n = series->items.size();
+  const std::size_t first = n > width ? n - width : 0;
+  double vmax = 0.0;
+  for (std::size_t i = first; i < n; ++i) {
+    const util::JsonValue& pt = series->items[i];
+    if (pt.is_array() && pt.items.size() == 2) {
+      vmax = std::max(vmax, pt.items[1].num_or(0.0));
+    }
+  }
+  std::string out;
+  for (std::size_t i = first; i < n; ++i) {
+    const util::JsonValue& pt = series->items[i];
+    const double v =
+        (pt.is_array() && pt.items.size() == 2) ? pt.items[1].num_or(0.0) : 0.0;
+    const int level =
+        vmax > 0.0 ? std::min(7, static_cast<int>(v / vmax * 7.999)) : 0;
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+void render(const util::JsonValue& snap) {
+  using util::TablePrinter;
+
+  std::printf("lmp_top — telemetry snapshot (tick %lld, window %lld ms, "
+              "interval %lld ms)\n",
+              static_cast<long long>(snap.get_int("ticks")),
+              static_cast<long long>(snap.get_int("window_ms")),
+              static_cast<long long>(snap.get_int("interval_ms")));
+
+  const util::JsonValue* server = snap.find("server");
+  if (server != nullptr) {
+    std::printf(
+        "server: queue=%lld running=%lld fabrics=%lld  steps/s=%s  %s\n",
+        static_cast<long long>(server->get_int("queue_depth")),
+        static_cast<long long>(server->get_int("running")),
+        static_cast<long long>(server->get_int("live_fabrics")),
+        TablePrinter::fmt_si(server->get_num("step_rate_per_s")).c_str(),
+        sparkline(server->find("step_series"), 48).c_str());
+  }
+
+  const util::JsonValue* jobs = snap.find("jobs");
+  if (jobs != nullptr && jobs->is_array() && !jobs->items.empty()) {
+    TablePrinter t({"job", "tenant", "name", "state", "steps", "total",
+                    "steps/s"});
+    for (const util::JsonValue& j : jobs->items) {
+      t.add_row({std::to_string(j.get_int("id")), j.get_str("tenant"),
+                 j.get_str("name"), j.get_str("state"),
+                 std::to_string(j.get_int("steps")),
+                 std::to_string(j.get_int("total_steps")),
+                 TablePrinter::fmt(j.get_num("rate_per_s"), 1)});
+    }
+    std::printf("\njobs:\n%s", t.to_string().c_str());
+  }
+
+  const util::JsonValue* tenants = snap.find("tenants");
+  if (tenants != nullptr && tenants->is_array() && !tenants->items.empty()) {
+    TablePrinter t({"tenant", "slo", "wait p99(ms)", "deadline", "hit-rate",
+                    "steps/s", "rollbacks", "detail"});
+    for (const util::JsonValue& x : tenants->items) {
+      const bool breached = x.get_bool("breached");
+      char deadline[32];
+      std::snprintf(deadline, sizeof deadline, "%lld/%lld",
+                    static_cast<long long>(x.get_int("deadline_hits")),
+                    static_cast<long long>(x.get_int("deadline_hits") +
+                                           x.get_int("deadline_misses")));
+      t.add_row({x.get_str("tenant"), breached ? "[BREACH]" : "[OK]",
+                 TablePrinter::fmt(x.get_num("queue_wait_p99_ms"), 1),
+                 deadline, TablePrinter::fmt(x.get_num("deadline_hit_rate"), 3),
+                 TablePrinter::fmt(x.get_num("steps_per_sec"), 1),
+                 std::to_string(x.get_int("integrity_rollbacks")),
+                 x.get_str("detail", "-")});
+    }
+    std::printf("\ntenants:\n%s", t.to_string().c_str());
+  }
+
+  const util::JsonValue* tnis = snap.find("tnis");
+  if (tnis != nullptr && tnis->is_array() && !tnis->items.empty()) {
+    TablePrinter t({"tni", "bytes", "MB/s", "pkts/s", "utilization"});
+    for (const util::JsonValue& x : tnis->items) {
+      t.add_row({std::to_string(x.get_int("tni")),
+                 TablePrinter::fmt_si(x.get_num("bytes_total")),
+                 TablePrinter::fmt(x.get_num("bytes_per_s") / 1e6, 2),
+                 TablePrinter::fmt_si(x.get_num("packets_per_s"), 1),
+                 sparkline(x.find("bytes_series"), 32)});
+    }
+    std::printf("\nlinks:\n%s", t.to_string().c_str());
+  }
+
+  const util::JsonValue* events = snap.find("slo_events");
+  if (events != nullptr && events->is_array() && !events->items.empty()) {
+    std::printf("\nslo events (newest last):\n");
+    const std::size_t n = events->items.size();
+    for (std::size_t i = n > 5 ? n - 5 : 0; i < n; ++i) {
+      const util::JsonValue& e = events->items[i];
+      std::printf("  [%lld ms] %s %s: %s\n",
+                  static_cast<long long>(e.get_int("t_ms")),
+                  e.get_str("tenant").c_str(),
+                  e.get_bool("entered") ? "BREACH" : "recovered",
+                  e.get_str("detail", "-").c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool once = false;
+  bool raw_json = false;
+  std::uint32_t interval_ms = 1000;
+  std::uint32_t count = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--connect" && (v = next())) {
+      path = v;
+    } else if (a == "--once") {
+      once = true;
+    } else if (a == "--json") {
+      raw_json = true;
+    } else if (a == "--interval-ms" && (v = next())) {
+      interval_ms = static_cast<std::uint32_t>(std::atol(v));
+      if (interval_ms == 0) interval_ms = 1;
+    } else if (a == "--count" && (v = next())) {
+      count = static_cast<std::uint32_t>(std::atol(v));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  // One request up front: `stats` for --once, `watch` for live mode (the
+  // server then pushes a kStatsJsonReply every interval until we close).
+  std::vector<char> req;
+  if (once) {
+    serve::encode_stats_json(req);
+  } else {
+    serve::WatchRequest w;
+    w.interval_ms = interval_ms;
+    w.max_frames = count;
+    serve::encode_watch(req, w);
+  }
+  if (!write_all(fd, req.data(), req.size())) {
+    std::fprintf(stderr, "error: write to %s failed: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  std::vector<char> buf;
+  std::uint64_t frames = 0;
+  int rc = 0;
+  bool done = false;
+  while (!done) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (frames == 0) {
+        std::fprintf(stderr, "error: server closed before first snapshot\n");
+        rc = 1;
+      }
+      break;
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const comm::FrameView f =
+          comm::decode_frame(buf.data() + off, buf.size() - off);
+      if (f.status == comm::FrameStatus::kNeedMore) break;
+      if (!f.ok()) {
+        std::fprintf(stderr, "error: bad frame from server (%s)\n",
+                     comm::frame_status_name(f.status));
+        rc = 1;
+        done = true;
+        break;
+      }
+      off += f.consumed;
+      if (static_cast<serve::MsgType>(f.type) != serve::MsgType::kStatsJsonReply) {
+        continue;  // ignore anything that is not a snapshot
+      }
+      std::string json;
+      try {
+        json = serve::decode_stats_json_reply(f.payload, f.payload_len);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        rc = 1;
+        done = true;
+        break;
+      }
+      ++frames;
+      if (raw_json) {
+        std::printf("%s\n", json.c_str());
+        std::fflush(stdout);
+      } else {
+        try {
+          const util::JsonValue snap = util::parse_json(json);
+          if (!once) std::fputs("\x1b[H\x1b[2J", stdout);  // clear + home
+          render(snap);
+        } catch (const util::JsonParseError& e) {
+          std::fprintf(stderr, "error: snapshot does not parse: %s\n",
+                       e.what());
+          rc = 1;
+          done = true;
+          break;
+        }
+      }
+      if (once || (count > 0 && frames >= count)) {
+        done = true;
+        break;
+      }
+    }
+    if (off > 0) buf.erase(buf.begin(), buf.begin() + static_cast<long>(off));
+  }
+
+  ::close(fd);
+  return rc;
+}

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lmp::obs {
+
+/// One timestamped sample. Timestamps are milliseconds on the tracer's
+/// process-wide steady epoch (`now_ns() / 1e6`) so series, spans, and
+/// SLO windows all live on the same clock.
+struct Sample {
+  std::int64_t t_ms = 0;
+  double value = 0.0;
+};
+
+/// Rolling-window summary of one series: what the `stats` snapshot and
+/// the SLO evaluator consume. `rate_per_s` is sum / window-span — the
+/// natural reading for delta series (counter increments per tick); for
+/// gauge-like series it is just sum-over-window and callers ignore it.
+struct WindowAggregate {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double rate_per_s = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Fixed-capacity ring buffer of timestamped samples.
+///
+/// The telemetry plane's memory contract: a series can never grow past
+/// its capacity, whatever the sampling cadence — old samples are
+/// overwritten, exactly like the tracer's event rings. One writer (the
+/// sampler thread) appends; any thread may snapshot or aggregate
+/// concurrently. The internal mutex is uncontended in steady state
+/// (sampler ticks every ~100 ms, snapshots are client-driven), so this
+/// is nowhere near any hot path — the hot path only ever touches the
+/// lock-free counters the sampler delta-reads.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 512);
+
+  void append(std::int64_t t_ms, double value);
+
+  std::size_t capacity() const { return cap_; }
+  /// Samples currently held (<= capacity).
+  std::size_t size() const;
+  /// Samples ever appended (>= size(); the difference was overwritten).
+  std::uint64_t total_appended() const;
+
+  /// Surviving samples, oldest first.
+  std::vector<Sample> samples() const;
+  /// Surviving samples with t_ms >= since_ms, oldest first.
+  std::vector<Sample> samples_since(std::int64_t since_ms) const;
+
+  /// Aggregate the window [now_ms - window_ms, now_ms]. An empty window
+  /// returns a zero aggregate (count == 0) — never throws.
+  WindowAggregate aggregate(std::int64_t now_ms, std::int64_t window_ms) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  std::vector<Sample> ring_;
+  std::size_t head_ = 0;      ///< next write slot once the ring is full
+  std::uint64_t count_ = 0;   ///< total appended
+};
+
+/// Aggregate an explicit sample set (oldest first) over `window_ms`.
+/// The free-function core of TimeSeries::aggregate, exposed so tests can
+/// pin the math without building a ring.
+WindowAggregate aggregate_samples(const std::vector<Sample>& samples,
+                                  std::int64_t window_ms);
+
+/// Delta tracker against a monotonic counter: each `advance(current)`
+/// returns how much the counter grew since the last call. The first
+/// observation primes the tracker and returns 0 (no interval yet). A
+/// counter that went *backwards* — the metrics registry was reset
+/// mid-flight — is treated Prometheus-style as a restart from zero: the
+/// delta is the current value, never an underflowed wrap.
+class CounterDelta {
+ public:
+  std::uint64_t advance(std::uint64_t current) {
+    const std::uint64_t prev = last_;
+    last_ = current;
+    if (!primed_) {
+      primed_ = true;
+      return 0;
+    }
+    return current >= prev ? current - prev : current;
+  }
+
+ private:
+  std::uint64_t last_ = 0;
+  bool primed_ = false;
+};
+
+/// Named TimeSeries collection. Unlike the MetricsRegistry this is NOT a
+/// process singleton: each job server owns one, so back-to-back servers
+/// in one test process never see each other's history. Series references
+/// are stable for the registry's lifetime (find-or-create behind a
+/// mutex, like the metrics registry).
+class SeriesRegistry {
+ public:
+  explicit SeriesRegistry(std::size_t default_capacity = 512)
+      : default_capacity_(default_capacity) {}
+
+  SeriesRegistry(const SeriesRegistry&) = delete;
+  SeriesRegistry& operator=(const SeriesRegistry&) = delete;
+
+  /// Find-or-create.
+  TimeSeries& series(const std::string& name);
+  /// Null when the name was never created.
+  const TimeSeries* find(const std::string& name) const;
+  /// Sorted names (map order).
+  std::vector<std::string> names() const;
+
+ private:
+  std::size_t default_capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+}  // namespace lmp::obs

@@ -35,6 +35,8 @@ const char* trace_cat_name(TraceCat c) {
       return "pool";
     case TraceCat::kCkpt:
       return "ckpt";
+    case TraceCat::kServe:
+      return "serve";
   }
   return "?";
 }
@@ -295,6 +297,13 @@ std::string Tracer::export_chrome_json() const {
                     "\"args\":{\"name\":\"%s\"}}",
                     t.pid, name.c_str());
       emit(buf);
+      // Ranks in rank order first, the driver process (server/telemetry
+      // threads, pid -1) pinned to the bottom of the Perfetto timeline.
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_sort_index\","
+                    "\"args\":{\"sort_index\":%d}}",
+                    t.pid, t.pid >= 0 ? t.pid : 1000000);
+      emit(buf);
     }
     std::string label;
     json_escape_into(label, t.label);
@@ -302,6 +311,11 @@ std::string Tracer::export_chrome_json() const {
                   "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
                   "\"thread_name\",\"args\":{\"name\":\"%s %d\"}}",
                   t.pid, t.tid, label.c_str(), t.tid);
+    emit(buf);
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+                  "\"thread_sort_index\",\"args\":{\"sort_index\":%d}}",
+                  t.pid, t.tid, t.tid);
     emit(buf);
   }
 

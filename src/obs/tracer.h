@@ -16,9 +16,10 @@ enum class TraceCat : std::uint32_t {
   kTofu = 1u << 2,  ///< fabric puts and queue depths (tofu/)
   kPool = 1u << 3,  ///< thread-pool dispatch/run (threadpool/)
   kCkpt = 1u << 4,  ///< checkpoint and failover lifecycle (sim/)
+  kServe = 1u << 5, ///< job-server lifecycle, sampler ticks, SLO edges
 };
 
-inline constexpr std::uint32_t kAllTraceCats = 0x1Fu;
+inline constexpr std::uint32_t kAllTraceCats = 0x3Fu;
 
 const char* trace_cat_name(TraceCat c);
 

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/tracer.h"
 #include "sim/input_script.h"
 #include "sim/simulation.h"
 
@@ -82,6 +83,12 @@ JobServer::JobServer(ServerConfig config) : cfg_(std::move(config)) {
   if (cfg_.workers < 0) cfg_.workers = 0;
   if (cfg_.queue_capacity < 1) cfg_.queue_capacity = 1;
   if (cfg_.default_max_attempts < 1) cfg_.default_max_attempts = 1;
+  if (cfg_.telemetry.interval_ms == 0) cfg_.telemetry.interval_ms = 100;
+  if (cfg_.telemetry.window_ms <= 0) cfg_.telemetry.window_ms = 10000;
+  if (cfg_.telemetry.series_capacity == 0) cfg_.telemetry.series_capacity = 512;
+  if (cfg_.telemetry.enabled) {
+    sampler_ = std::make_unique<TelemetrySampler>(*this, cfg_.telemetry);
+  }
 }
 
 JobServer::~JobServer() { stop(StopMode::kDrain); }
@@ -104,6 +111,8 @@ void JobServer::start() {
       job.deadline_at = now + std::chrono::milliseconds(jj.deadline_ms);
     }
     job.total_steps = jj.completed_steps;
+    job.live_step = std::make_shared<std::atomic<std::int64_t>>(
+        static_cast<std::int64_t>(jj.completed_steps));
     if (!jj.script.empty()) {
       try {
         job.total_steps = sim::parse_input_script(jj.script).run_steps;
@@ -135,6 +144,12 @@ void JobServer::start() {
   for (int i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (sampler_) {
+    // The per-TNI utilization series rides the fabric link telemetry,
+    // which only charges puts while metrics collection is on.
+    obs::set_metrics_enabled(true);
+    sampler_->start();
+  }
 }
 
 bool JobServer::running() const {
@@ -154,6 +169,9 @@ void JobServer::stop(StopMode mode) {
   }
   cv_.notify_all();
   for (std::thread& t : workers) t.join();
+  // Sampler stops after the workers: the final tick still observes the
+  // terminal transitions the drain produced.
+  if (sampler_) sampler_->stop();
   std::lock_guard<std::mutex> lk(mu_);
   journal_.close();
   started_ = false;
@@ -269,6 +287,7 @@ SubmitReply JobServer::submit(const SubmitRequest& req) {
   Job job;
   job.j = journal_.jobs().at(jj.id);
   job.total_steps = run_steps;
+  job.live_step = std::make_shared<std::atomic<std::int64_t>>(0);
   job.admitted_at = Clock::now();
   job.ready_at = job.admitted_at;
   if (jj.deadline_ms > 0) {
@@ -370,6 +389,7 @@ util::ServeStats JobServer::stats() const {
     if (job.j.state == JobState::kRunning) ++running;
   }
   s.running = running;
+  if (sampler_) s.slo_breaches = sampler_->slo().breaches_entered();
   return s;
 }
 
@@ -442,6 +462,15 @@ void JobServer::finish_terminal(std::unique_lock<std::mutex>&, Job& job,
                       .count();
   obs::MetricsRegistry::instance().histogram("serve.job_latency_ns")
       .record(static_cast<std::uint64_t>(ns));
+  // Deadline SLO outcome: a deadline-carrying job that completes is a
+  // hit; one that fails — by the deadline scanner or any other way — is
+  // a miss the tenant's hit-rate window sees. Cancellations are the
+  // client's own doing and count as neither.
+  if (sampler_ && job.has_deadline &&
+      (state == JobState::kDone || state == JobState::kFailed)) {
+    sampler_->slo().record_deadline(job.j.tenant, obs::now_ns() / 1000000,
+                                    state == JobState::kDone);
+  }
   cv_.notify_all();
 }
 
@@ -474,6 +503,16 @@ std::uint64_t JobServer::pick_and_mark_running(std::unique_lock<std::mutex>& lk,
     ++job.j.attempts;
     ++tenant_running_[job.j.tenant];
     record_state_locked(job);
+    if (sampler_) {
+      // Queue-wait SLO sample: admission -> first dispatch of this
+      // attempt (a retry's wait restarts at its backoff gate, which is
+      // exactly the wait the tenant experiences).
+      const double wait_ms =
+          std::chrono::duration<double, std::milli>(now - job.admitted_at)
+              .count();
+      sampler_->slo().record_queue_wait(job.j.tenant, obs::now_ns() / 1000000,
+                                        wait_ms);
+    }
     stats_.queue_depth = queue_depth_locked();
     obs::MetricsRegistry::instance().gauge("serve.queue_depth")
         .set(stats_.queue_depth);
@@ -504,6 +543,7 @@ void JobServer::run_one(std::uint64_t id) {
   std::string script, tenant;
   std::uint16_t attempt = 0, max_attempts = 1;
   int total = 0;
+  std::shared_ptr<std::atomic<std::int64_t>> live_step;
   {
     std::lock_guard<std::mutex> lk(mu_);
     const Job& job = jobs_.at(id);
@@ -512,6 +552,7 @@ void JobServer::run_one(std::uint64_t id) {
     attempt = job.j.attempts;
     max_attempts = job.j.max_attempts;
     total = job.total_steps;
+    live_step = job.live_step;
   }
   const std::string prefix =
       cfg_.work_dir + "/job-" + std::to_string(id) + ".ck";
@@ -591,6 +632,7 @@ void JobServer::run_one(std::uint64_t id) {
         opts.integrity.cadence = cfg_.integrity_cadence;
       }
       if (cfg_.fault_plan.any_faults()) opts.faults = cfg_.fault_plan;
+      opts.progress = live_step.get();
       sim::JobResult result = sim::run_simulation(opts, target);
 
       std::unique_lock<std::mutex> lk(mu_);
@@ -696,6 +738,42 @@ void JobServer::release_lane_locked(const std::string& tenant) {
   cv_.notify_all();
 }
 
+ServerProbe JobServer::probe_telemetry() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerProbe p;
+  p.queue_depth = queue_depth_locked();
+  p.jobs.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    if (job.j.state == JobState::kRunning) {
+      ++p.running;
+      p.running_tenants.insert(job.j.tenant);
+    }
+    JobProgress jp;
+    jp.id = id;
+    jp.tenant = job.j.tenant;
+    jp.name = job.j.name;
+    jp.state = job.j.state;
+    jp.total_steps = job.total_steps;
+    jp.rollbacks = job.j.integrity_rollbacks;
+    const std::int64_t live =
+        job.live_step ? job.live_step->load(std::memory_order_relaxed) : 0;
+    jp.steps = std::max<std::int64_t>(live, job.j.completed_steps);
+    p.jobs.push_back(std::move(jp));
+  }
+  return p;
+}
+
+std::string JobServer::telemetry_snapshot_json() {
+  if (sampler_) return sampler_->snapshot_json();
+  obs::JsonWriter j;
+  j.begin_object();
+  j.kv("schema", "lmp-telemetry-snapshot");
+  j.kv("version", 1);
+  j.kv("enabled", false);
+  j.end_object();
+  return j.str();
+}
+
 std::vector<char> JobServer::handle_frames(const char* data, std::size_t len,
                                            std::size_t* consumed) {
   std::vector<char> out;
@@ -745,6 +823,21 @@ std::vector<char> JobServer::handle_frames(const char* data, std::size_t len,
           WireReader r(f.payload, f.payload_len, "stats request");
           r.expect_done();
           encode_stats_reply(out, stats());
+          break;
+        }
+        case MsgType::kStatsJson: {
+          WireReader r(f.payload, f.payload_len, "stats-json request");
+          r.expect_done();
+          encode_stats_json_reply(out, telemetry_snapshot_json());
+          break;
+        }
+        case MsgType::kWatch: {
+          // Transportless degenerate: one snapshot per watch frame. The
+          // streaming loop lives in StreamEndpoint, which owns a
+          // connection it can pace and tear down; a raw byte endpoint
+          // has no connection to stream over.
+          decode_watch(f.payload, f.payload_len);
+          encode_stats_json_reply(out, telemetry_snapshot_json());
           break;
         }
         default:

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -13,6 +15,7 @@
 
 #include "serve/job_journal.h"
 #include "serve/serve_protocol.h"
+#include "serve/telemetry.h"
 #include "tofu/fault.h"
 #include "util/stats.h"
 
@@ -82,6 +85,10 @@ struct ServerConfig {
   /// simulates a journal I/O failure (disk full, fsync error) and
   /// exercises the degraded mode described on JobServer.
   std::function<void()> journal_fault_hook;
+  /// Live telemetry plane: background sampler cadence, rolling windows,
+  /// and per-tenant SLO policies. Enabled by default; disable for
+  /// byte-deterministic tests that count metrics exactly.
+  TelemetryConfig telemetry{};
 };
 
 /// Long-lived in-process simulation job server.
@@ -151,6 +158,18 @@ class JobServer {
 
   const RecoveryInfo& recovery() const { return journal_.recovery(); }
 
+  // --- live telemetry ---------------------------------------------------
+  /// Point-in-time progress probe for the telemetry sampler: queue
+  /// depth, running lanes/tenants, and per-job live step counts (the
+  /// rank-0 progress atomics, which may run ahead of the journaled
+  /// completed_steps). One brief lock acquisition.
+  ServerProbe probe_telemetry() const;
+  /// Fresh "lmp-telemetry-snapshot" JSON (the `stats`/`watch` payload).
+  /// A minimal `{"enabled": false}` document when telemetry is off.
+  std::string telemetry_snapshot_json();
+  /// Null when cfg.telemetry.enabled is false.
+  TelemetrySampler* telemetry() { return sampler_.get(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -175,6 +194,11 @@ class JobServer {
     /// journaled in `j`; these two only feed the report and ServeStats).
     std::uint64_t integrity_checks = 0;
     std::uint64_t mem_flips_injected = 0;
+    /// Live step progress: rank 0 of a running attempt stores the
+    /// just-completed step here (SimOptions::progress); the telemetry
+    /// sampler delta-reads it between slice boundaries. shared_ptr so
+    /// the attempt keeps it alive independent of map operations.
+    std::shared_ptr<std::atomic<std::int64_t>> live_step;
   };
 
   void worker_loop();
@@ -215,6 +239,7 @@ class JobServer {
   bool journal_failed_ = false;   ///< degraded: appends lost, nothing admitted
   std::string journal_error_;     ///< first append failure (for rejections)
   std::vector<std::thread> workers_;
+  std::unique_ptr<TelemetrySampler> sampler_;  ///< null when telemetry off
 };
 
 }  // namespace lmp::serve

@@ -225,6 +225,7 @@ void encode_stats_reply(std::vector<char>& out, const util::ServeStats& m) {
   w.i64(m.queue_depth);
   w.i64(m.queue_depth_peak);
   w.i64(m.running);
+  w.u64(m.slo_breaches);
   finish(out, MsgType::kStatsReply, w);
 }
 
@@ -248,6 +249,41 @@ util::ServeStats decode_stats_reply(const char* payload, std::size_t len) {
   m.queue_depth = r.i64();
   m.queue_depth_peak = r.i64();
   m.running = r.i64();
+  m.slo_breaches = r.u64();
+  r.expect_done();
+  return m;
+}
+
+void encode_stats_json(std::vector<char>& out) {
+  WireWriter w;
+  finish(out, MsgType::kStatsJson, w);
+}
+
+void encode_stats_json_reply(std::vector<char>& out, const std::string& json) {
+  WireWriter w;
+  w.str(json);
+  finish(out, MsgType::kStatsJsonReply, w);
+}
+
+std::string decode_stats_json_reply(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "stats-json reply");
+  std::string json = r.str();
+  r.expect_done();
+  return json;
+}
+
+void encode_watch(std::vector<char>& out, const WatchRequest& m) {
+  WireWriter w;
+  w.u32(m.interval_ms);
+  w.u32(m.max_frames);
+  finish(out, MsgType::kWatch, w);
+}
+
+WatchRequest decode_watch(const char* payload, std::size_t len) {
+  WireReader r(payload, len, "watch request");
+  WatchRequest m;
+  m.interval_ms = r.u32();
+  m.max_frames = r.u32();
   r.expect_done();
   return m;
 }

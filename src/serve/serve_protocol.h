@@ -178,6 +178,9 @@ enum class MsgType : std::uint16_t {
   kCancelReply = 0x0108,
   kStats = 0x0109,
   kStatsReply = 0x010A,
+  kStatsJson = 0x010B,       ///< one live-telemetry snapshot (JSON)
+  kStatsJsonReply = 0x010C,
+  kWatch = 0x010D,           ///< stream snapshots every interval_ms
   kError = 0x01FF,
 };
 
@@ -238,6 +241,16 @@ struct CancelReply {
   JobState state = JobState::kPending;  ///< state after the cancel attempt
 };
 
+/// Start a snapshot stream: the endpoint sends one kStatsJsonReply every
+/// `interval_ms` until the client closes (or `max_frames`, when nonzero,
+/// have been sent — scripting and tests use it to bound the stream).
+/// Against the raw byte endpoint (no connection to stream over) a watch
+/// degrades to a single snapshot reply.
+struct WatchRequest {
+  std::uint32_t interval_ms = 500;
+  std::uint32_t max_frames = 0;  ///< 0 = until the client closes
+};
+
 struct ErrorReply {
   std::string detail;
 };
@@ -273,6 +286,13 @@ CancelReply decode_cancel_reply(const char* payload, std::size_t len);
 void encode_stats(std::vector<char>& out);
 void encode_stats_reply(std::vector<char>& out, const util::ServeStats& m);
 util::ServeStats decode_stats_reply(const char* payload, std::size_t len);
+
+void encode_stats_json(std::vector<char>& out);
+void encode_stats_json_reply(std::vector<char>& out, const std::string& json);
+std::string decode_stats_json_reply(const char* payload, std::size_t len);
+
+void encode_watch(std::vector<char>& out, const WatchRequest& m);
+WatchRequest decode_watch(const char* payload, std::size_t len);
 
 void encode_error(std::vector<char>& out, const ErrorReply& m);
 ErrorReply decode_error(const char* payload, std::size_t len);

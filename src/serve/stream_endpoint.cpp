@@ -1,0 +1,206 @@
+#include "serve/stream_endpoint.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "comm/msg_codec.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "serve/job_server.h"
+#include "serve/serve_protocol.h"
+
+namespace lmp::serve {
+
+namespace {
+
+/// Write all of [data, data+len) to fd; false on any error (EPIPE when
+/// the client went away — normal for a dashboard that got ^C'd).
+bool write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamEndpoint::StreamEndpoint(JobServer& server, std::string socket_path)
+    : server_(server), path_(std::move(socket_path)) {
+  if (path_.empty()) {
+    throw std::invalid_argument("StreamEndpoint: socket path required");
+  }
+  sockaddr_un addr{};
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("StreamEndpoint: socket path too long: " +
+                                path_);
+  }
+}
+
+StreamEndpoint::~StreamEndpoint() { stop(); }
+
+void StreamEndpoint::start() {
+  if (listen_fd_.load(std::memory_order_acquire) >= 0) return;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("StreamEndpoint: socket(): ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path_.c_str());  // stale socket from a crashed predecessor
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("StreamEndpoint: bind/listen on '" + path_ +
+                             "': " + err);
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void StreamEndpoint::stop() {
+  if (listen_fd_.load(std::memory_order_acquire) < 0 &&
+      !accept_thread_.joinable()) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    // shutdown() wakes the blocked accept(); close alone does not on
+    // every platform.
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  ::unlink(path_.c_str());
+}
+
+void StreamEndpoint::accept_loop() {
+  LMP_TRACE_THREAD(-1, 91, "serve-accept");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // stop() already retired the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::instance().counter("serve.connections").add();
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void StreamEndpoint::serve_connection(int fd) {
+  LMP_TRACE_THREAD(-1, 92, "serve-conn");
+  std::vector<char> buf;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed (or endpoint shutdown)
+    buf.insert(buf.end(), chunk, chunk + n);
+    // Drain complete frames; partial tails wait for more bytes.
+    std::size_t off = 0;
+    bool closed = false;
+    while (off < buf.size()) {
+      const comm::FrameView f = comm::decode_frame(buf.data() + off,
+                                                   buf.size() - off);
+      if (f.status == comm::FrameStatus::kNeedMore) break;
+      if (!f.ok()) {
+        // Undecodable stream: answer with a structured error via the
+        // server path (it emits the same kError) and drop the link —
+        // there is no way to resync.
+        std::size_t consumed = 0;
+        const std::vector<char> reply = server_.handle_frames(
+            buf.data() + off, buf.size() - off, &consumed);
+        write_all(fd, reply.data(), reply.size());
+        closed = true;
+        break;
+      }
+      if (static_cast<MsgType>(f.type) == MsgType::kWatch) {
+        WatchRequest req;
+        try {
+          req = decode_watch(f.payload, f.payload_len);
+        } catch (const std::exception& e) {
+          std::vector<char> reply;
+          encode_error(reply, ErrorReply{e.what()});
+          write_all(fd, reply.data(), reply.size());
+          closed = true;
+          break;
+        }
+        stream_watch(fd, req.interval_ms, req.max_frames);
+        closed = true;  // a watch owns the rest of the connection
+        break;
+      }
+      const std::vector<char> reply =
+          server_.handle_frames(buf.data() + off, f.consumed);
+      if (!write_all(fd, reply.data(), reply.size())) {
+        closed = true;
+        break;
+      }
+      off += f.consumed;
+    }
+    if (closed) break;
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  ::close(fd);
+}
+
+void StreamEndpoint::stream_watch(int fd, std::uint32_t interval_ms,
+                                  std::uint32_t max_frames) {
+  if (interval_ms == 0) interval_ms = 100;
+  interval_ms = std::min<std::uint32_t>(interval_ms, 60000);
+  std::uint32_t sent = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::vector<char> frame;
+    encode_stats_json_reply(frame, server_.telemetry_snapshot_json());
+    if (!write_all(fd, frame.data(), frame.size())) return;
+    ++sent;
+    if (max_frames != 0 && sent >= max_frames) return;
+    // Pace AND watch for the client going away: any readable event
+    // (bytes or EOF) ends the stream — the watch protocol has no
+    // mid-stream requests. stop() shutdown()s the fd, which also makes
+    // it readable, so shutdown never waits out an interval.
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, static_cast<int>(interval_ms));
+    if (r < 0 && errno != EINTR) return;
+    if (r > 0) return;  // client spoke or hung up
+  }
+}
+
+}  // namespace lmp::serve

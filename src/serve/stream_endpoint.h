@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lmp::serve {
+
+class JobServer;
+
+/// Unix-domain-socket transport for the serve protocol.
+///
+/// Listens on a filesystem socket path and serves each connection on its
+/// own thread: request frames are fed to JobServer::handle_frames and
+/// the reply bytes written back — except `watch`, which this endpoint
+/// owns: it streams one kStatsJsonReply every `interval_ms` until the
+/// client closes (or the requested max_frames have been sent). The raw
+/// in-process byte endpoint cannot stream (it has no connection with a
+/// lifetime); this class is where the connection lives.
+///
+/// Scope: a local observability socket for lmp_top and scripts, not an
+/// internet-facing server — connections are trusted to the extent the
+/// socket file's permissions are.
+class StreamEndpoint {
+ public:
+  StreamEndpoint(JobServer& server, std::string socket_path);
+  ~StreamEndpoint();
+
+  StreamEndpoint(const StreamEndpoint&) = delete;
+  StreamEndpoint& operator=(const StreamEndpoint&) = delete;
+
+  /// Binds + listens (unlinking a stale socket file first) and spawns
+  /// the accept loop. Throws std::runtime_error on socket errors.
+  void start();
+  /// Stops accepting, shuts every live connection down, joins all
+  /// threads, unlinks the socket file. Idempotent.
+  void stop();
+
+  const std::string& path() const { return path_; }
+  /// Connections accepted over this endpoint's lifetime.
+  std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// The watch stream; returns when the client closes, max_frames are
+  /// sent, or the endpoint stops.
+  void stream_watch(int fd, std::uint32_t interval_ms,
+                    std::uint32_t max_frames);
+
+  JobServer& server_;
+  std::string path_;
+  /// Atomic: stop() retires it from the driver thread while accept_loop
+  /// reads it to accept (TSan-clean handoff; exchange makes stop
+  /// idempotent under concurrent callers too).
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace lmp::serve

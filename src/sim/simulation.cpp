@@ -400,6 +400,13 @@ class RankSim {
         stage_checkpoint(step_);
         check_health(step_);
       }
+
+      // Live-telemetry progress: one relaxed store per step on rank 0
+      // only. The sampler thread delta-reads this to derive steps/sec;
+      // the clean path without a hook pays one predictable branch.
+      if (rank_ == 0 && job_.opt.progress != nullptr) {
+        job_.opt.progress->store(step_, std::memory_order_relaxed);
+      }
     }
 
     RankResult& out = job_.results[static_cast<std::size_t>(rank_)];

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -83,6 +84,14 @@ struct SimOptions {
   /// verdict; a tripped guard rolls back to the last good checkpoint and
   /// recomputes. See IntegrityOptions.
   IntegrityOptions integrity;
+
+  // --- live telemetry ---------------------------------------------------
+  /// Step-progress hook for the telemetry sampler: when set, rank 0
+  /// stores the just-completed step number here (relaxed) at the end of
+  /// every step. One atomic store per step on one rank — the sampler
+  /// thread delta-reads it; nothing on the hot path ever locks. The
+  /// pointee must outlive the run.
+  std::atomic<std::int64_t>* progress = nullptr;
 };
 
 /// One thermo sample (identical on every rank after the reduction).

@@ -239,4 +239,65 @@ std::string format_fabric_table(const Topology& topo, const FabricSnapshot& s,
   return out;
 }
 
+LiveFabricRegistry& LiveFabricRegistry::instance() {
+  static LiveFabricRegistry r;
+  return r;
+}
+
+void LiveFabricRegistry::attach(const LinkTelemetry* t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  live_.push_back(t);
+}
+
+void LiveFabricRegistry::detach(const LinkTelemetry* t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = std::find(live_.begin(), live_.end(), t);
+  if (it == live_.end()) return;
+  live_.erase(it);
+  fold_locked(t->snapshot());
+}
+
+void LiveFabricRegistry::fold_locked(const FabricSnapshot& s) {
+  if (s.tnis.size() > retired_tnis_.size()) retired_tnis_.resize(s.tnis.size());
+  for (std::size_t i = 0; i < s.tnis.size(); ++i) {
+    retired_tnis_[i].bytes += s.tnis[i].bytes;
+    retired_tnis_[i].packets += s.tnis[i].packets;
+  }
+  retired_bytes_ += s.total_bytes;
+  retired_packets_ += s.total_packets;
+}
+
+std::vector<FabricTniStat> LiveFabricRegistry::tni_totals() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<FabricTniStat> out = retired_tnis_;
+  for (const LinkTelemetry* t : live_) {
+    const FabricSnapshot s = t->snapshot();
+    if (s.tnis.size() > out.size()) out.resize(s.tnis.size());
+    for (std::size_t i = 0; i < s.tnis.size(); ++i) {
+      out[i].bytes += s.tnis[i].bytes;
+      out[i].packets += s.tnis[i].packets;
+    }
+  }
+  return out;
+}
+
+std::uint64_t LiveFabricRegistry::total_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t out = retired_bytes_;
+  for (const LinkTelemetry* t : live_) out += t->snapshot().total_bytes;
+  return out;
+}
+
+std::uint64_t LiveFabricRegistry::total_packets() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t out = retired_packets_;
+  for (const LinkTelemetry* t : live_) out += t->snapshot().total_packets;
+  return out;
+}
+
+std::size_t LiveFabricRegistry::live_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.size();
+}
+
 }  // namespace lmp::tofu

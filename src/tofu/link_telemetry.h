@@ -103,6 +103,48 @@ class LinkTelemetry {
   std::uint64_t puts_charged_ = 0;
 };
 
+/// Process-wide roll-up of fabric traffic across fabric lifetimes.
+///
+/// Fabrics are per-attempt: each job (and each failover attempt within a
+/// job) builds a fresh `Network`, so any single `LinkTelemetry` only
+/// covers one attempt's traffic. The telemetry sampler instead needs one
+/// *monotonic* per-TNI byte/packet total it can delta against. Networks
+/// register their telemetry here on construction and detach on
+/// destruction; detaching folds the final snapshot into the retired
+/// totals, so `tni_totals()` (retired + currently-live sums) never goes
+/// backwards as fabrics come and go.
+///
+/// Like the metrics registry this is a process singleton — acceptable
+/// because the sampler's CounterDelta tolerates resets, and per-server
+/// attribution happens at the job level, not the fabric level.
+class LiveFabricRegistry {
+ public:
+  static LiveFabricRegistry& instance();
+
+  void attach(const LinkTelemetry* t);
+  /// Folds `t`'s final snapshot into the retired totals and forgets it.
+  /// Safe to call with a pointer that was never attached (no-op).
+  void detach(const LinkTelemetry* t);
+
+  /// Monotonic per-TNI injection totals (index = TNI), sized to the
+  /// widest fabric seen so far. Empty until any fabric carried traffic.
+  std::vector<FabricTniStat> tni_totals() const;
+  /// Monotonic totals across all links of all fabrics, ever.
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_packets() const;
+  /// Fabrics currently alive (attached and not yet detached).
+  std::size_t live_count() const;
+
+ private:
+  void fold_locked(const FabricSnapshot& s);
+
+  mutable std::mutex mu_;
+  std::vector<const LinkTelemetry*> live_;
+  std::vector<FabricTniStat> retired_tnis_;
+  std::uint64_t retired_bytes_ = 0;
+  std::uint64_t retired_packets_ = 0;
+};
+
 /// Render the link-utilization summary as the standard table layout:
 /// totals, max/mean link load, and the top-k hottest links with their
 /// 6D endpoint coordinates. Empty string when nothing was charged.

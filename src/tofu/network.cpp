@@ -72,6 +72,14 @@ Network::Network(int nprocs, int tnis, int cqs)
     throw std::invalid_argument("network shape must be >= 1 everywhere");
   }
   regions_.resize(static_cast<std::size_t>(nprocs));
+  LiveFabricRegistry::instance().attach(&links_);
+}
+
+Network::~Network() {
+  // Folds this fabric's traffic into the process-wide retired totals so
+  // the telemetry sampler's per-TNI series stay monotonic across
+  // per-attempt fabric lifetimes. Runs before members are destroyed.
+  LiveFabricRegistry::instance().detach(&links_);
 }
 
 void Network::set_fault_injector(std::shared_ptr<FaultInjector> injector) {

@@ -122,6 +122,9 @@ class Network {
   /// `nprocs` communication endpoints ("ranks"). Each endpoint owns
   /// `tnis` TNIs with `cqs` control queues each (TofuD: 6 x 9).
   explicit Network(int nprocs, int tnis = 6, int cqs = 9);
+  /// Detaches this fabric's LinkTelemetry from the LiveFabricRegistry,
+  /// folding its traffic into the process-wide retired totals.
+  ~Network();
 
   int nprocs() const { return nprocs_; }
   int tnis() const { return tnis_; }

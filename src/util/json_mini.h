@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lmp::util {
+
+/// The input is not valid JSON; the message carries a byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Minimal owning JSON document tree — the reading counterpart of
+/// obs::JsonWriter (still zero external dependencies). Built for the
+/// telemetry snapshot consumers (lmp_top, tests): strict parsing,
+/// convenient typed lookups, no mutation API. Objects preserve key
+/// order; duplicate keys are kept (find returns the first).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;  ///< kArray elements
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// First member with this key, or nullptr (also for non-objects).
+  const JsonValue* find(const std::string& key) const;
+
+  /// Typed accessors with a fallback — the lenient reads a dashboard
+  /// wants (a missing field renders as 0/""/false, not a crash).
+  double num_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  std::int64_t int_or(std::int64_t fallback) const;
+  bool bool_or(bool fallback) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+  const std::string& str_or(const std::string& fallback) const {
+    return kind == Kind::kString ? string : fallback;
+  }
+
+  /// find + typed access in one step; the fallback also covers "no such
+  /// key" and "not an object".
+  double get_num(const std::string& key, double fallback = 0.0) const;
+  std::int64_t get_int(const std::string& key,
+                       std::int64_t fallback = 0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+  std::string get_str(const std::string& key,
+                      const std::string& fallback = {}) const;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing junk
+/// rejected). Throws JsonParseError. Depth-limited so hostile inputs
+/// cannot blow the stack.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace lmp::util

@@ -106,6 +106,7 @@ std::string format_server_table(const ServeStats& s) {
   t.add_row({"queue_depth", std::to_string(s.queue_depth)});
   t.add_row({"queue_depth_peak", std::to_string(s.queue_depth_peak)});
   t.add_row({"running", std::to_string(s.running)});
+  row("slo_breaches", s.slo_breaches);
   return t.to_string();
 }
 
@@ -114,12 +115,16 @@ std::string format_latency_table() {
   bool any = false;
   for (const auto& [name, s] : hists) any = any || s.count > 0;
   if (!any) return "";
-  TablePrinter t({"latency (us)", "count", "mean", "p50", "p95", "p99", "max"});
+  // Full Summary exposure: count and min/max alongside the percentiles,
+  // so the curated view no longer hides the extremes behind raw JSON.
+  TablePrinter t({"latency (us)", "count", "mean", "p50", "p95", "p99", "min",
+                  "max"});
   const auto us = [](double ns) { return TablePrinter::fmt(ns / 1000.0, 3); };
   for (const auto& [name, s] : hists) {
     if (s.count == 0) continue;
     t.add_row({name, std::to_string(s.count), us(s.mean), us(s.p50), us(s.p95),
-               us(s.p99), us(static_cast<double>(s.max))});
+               us(s.p99), us(static_cast<double>(s.min)),
+               us(static_cast<double>(s.max))});
   }
   return t.to_string();
 }

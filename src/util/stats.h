@@ -151,6 +151,9 @@ struct ServeStats {
   std::int64_t queue_depth = 0;
   std::int64_t queue_depth_peak = 0;
   std::int64_t running = 0;
+  /// Tenant SLO windows that crossed into breach (enter-edges, from the
+  /// telemetry plane's rolling-window evaluation).
+  std::uint64_t slo_breaches = 0;
 
   std::uint64_t rejected_total() const {
     return rejected_queue_full + rejected_quota + rejected_bad_script +
