@@ -1,0 +1,131 @@
+// Allocation-tracking overhead bench + steady-state allocation ratchet.
+//
+// Two questions about the memory observability plane, answered on the
+// same small 6tni_p2p LJ melt:
+//
+//  1. What does the interposed operator new/delete cost? The hooks are
+//     one relaxed load when tracking is off and a handful of relaxed
+//     adds when on, so the tracking-on / tracking-off wall ratio should
+//     sit at ~1.0. Both runs use the SAME binary — the runtime kill
+//     switch (set_alloc_tracking_enabled) flips the hooks, which is the
+//     honest measurement: an LMP_ALLOC_TRACE=OFF rebuild would also
+//     remove the scopes we want costed.
+//
+//  2. How many heap allocations does a steady-state step make? The
+//     armed AllocGuard counts post-warmup allocations per step. This is
+//     the ratchet metric: the committed baseline records today's number,
+//     the `_allocs` suffix makes lower-is-better, and once the step loop
+//     reaches zero the gate keeps it there.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "md/config.h"
+#include "obs/alloc_tracker.h"
+#include "sim/simulation.h"
+
+using namespace lmp;
+
+namespace {
+
+/// One full run; returns wall seconds. `track` flips the runtime kill
+/// switch around the run (restored after), `guard` arms the zero-alloc
+/// guard and copies its report out.
+double run_s(const sim::SimOptions& opt, int steps, bool track,
+             obs::AllocGuardReport* guard_out) {
+  sim::SimOptions o = opt;
+  if (guard_out != nullptr) o.alloc_guard = true;
+  obs::set_alloc_tracking_enabled(track);
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::JobResult r = sim::run_simulation(o, steps);
+  const auto t1 = std::chrono::steady_clock::now();
+  obs::set_alloc_tracking_enabled(true);
+  if (guard_out != nullptr) *guard_out = r.alloc_guard;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "alloc — tracking overhead and steady-state allocations per step",
+      "per-stage allocation tracking rides the existing stage scopes at "
+      "relaxed-atomic cost, and the post-warmup step loop's allocation "
+      "count is a ratchet toward the zero-alloc steady state strong "
+      "scaling needs");
+
+  if (!obs::alloc_trace_compiled_in()) {
+    std::printf("built with LMP_ALLOC_TRACE=OFF — nothing to measure, "
+                "skipping\n");
+    return 0;
+  }
+
+  const bool quick = [] {
+    const char* q = std::getenv("LMP_BENCH_QUICK");
+    return q != nullptr && q[0] != '\0' && q[0] != '0';
+  }();
+  const int steps = quick ? 30 : 100;
+  const int repeats = quick ? 3 : 5;
+
+  sim::SimOptions opt;
+  opt.config = md::SimConfig::lj_melt();
+  opt.cells = {6, 6, 6};
+  opt.rank_grid = {2, 2, 1};
+  opt.comm = "6tni_p2p";
+  opt.thermo_every = steps;
+
+  // Warm-up pass (thread pools, page faults, slot registration), then
+  // best-of-N per mode, interleaved so slow host phases hit both alike.
+  (void)run_s(opt, steps, true, nullptr);
+  double on_s = 0.0;
+  double off_s = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    const double off = run_s(opt, steps, false, nullptr);
+    if (i == 0 || off < off_s) off_s = off;
+    const double on = run_s(opt, steps, true, nullptr);
+    if (i == 0 || on < on_s) on_s = on;
+  }
+  const double ratio = off_s > 0.0 ? on_s / off_s : 0.0;
+
+  // Steady-state allocations per step, from the armed guard's
+  // post-warmup window (default warmup: steps/2).
+  obs::AllocGuardReport guard;
+  (void)run_s(opt, steps, true, &guard);
+  const double per_step =
+      guard.steps_checked > 0
+          ? static_cast<double>(guard.post_warmup_allocs) / guard.steps_checked
+          : 0.0;
+
+  bench::TablePrinter t({"tracking", "run wall s", "steps/s"});
+  t.add_row({"off", bench::TablePrinter::fmt(off_s, 3),
+             bench::TablePrinter::fmt(steps / off_s, 1)});
+  t.add_row({"on", bench::TablePrinter::fmt(on_s, 3),
+             bench::TablePrinter::fmt(steps / on_s, 1)});
+  t.print();
+  std::printf("\ntracking-on / tracking-off wall ratio: %.3f (1.0 = free)\n",
+              ratio);
+  std::printf("steady-state allocations: %.1f/step over %d post-warmup "
+              "steps (%llu allocs, %llu bytes)\n",
+              per_step, guard.steps_checked,
+              static_cast<unsigned long long>(guard.post_warmup_allocs),
+              static_cast<unsigned long long>(guard.post_warmup_bytes));
+
+  obs::BenchRecord rec;
+  rec.name = "alloc";
+  rec.labels = {{"workload", "lj-melt 6^3 cells, 2x2x1 ranks, 6tni_p2p"},
+                {"steps", std::to_string(steps)},
+                {"off_wall_s", bench::TablePrinter::fmt(off_s, 3)},
+                {"on_wall_s", bench::TablePrinter::fmt(on_s, 3)},
+                {"post_warmup_bytes",
+                 std::to_string(guard.post_warmup_bytes)}};
+  // The ratio gates two-sided (raw wall times are shared-host noise, the
+  // ratio divides it out); the `_allocs` suffix makes the per-step count
+  // a lower-is-better ratchet against the committed baseline.
+  rec.metrics = {{"alloc_on_off_ratio", ratio},
+                 {"steady_state_step_allocs", per_step}};
+  bench::emit_record(rec);
+  return 0;
+}

@@ -4,8 +4,12 @@
 //
 //   ./bench_compare <baseline.json> <fresh.json> [--tol <percent>]
 //
-// Direction is inferred from the metric-key suffix:
+// Direction is inferred from the metric-key suffix (the shared rules in
+// util/compare_rules.h — unit-tested there so every consumer agrees):
 //   *us_step   lower is better  — regression when fresh > base * (1+tol)
+//   *_bytes    lower is better  — memory footprints
+//   *_allocs   lower is better  — allocation counts (a zero baseline is
+//                                 the steady-state zero-alloc ratchet)
 //   *speedup   higher is better — regression when fresh < base * (1-tol)
 //   otherwise  two-sided        — regression when |fresh-base| > tol*|base|
 //
@@ -32,6 +36,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/compare_rules.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -179,18 +184,7 @@ class Parser {
   const char* p_;
 };
 
-bool ends_with(const std::string& s, const char* suffix) {
-  const std::size_t n = std::strlen(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-enum class Direction { kLowerBetter, kHigherBetter, kTwoSided };
-
-Direction direction_of(const std::string& key) {
-  if (ends_with(key, "us_step")) return Direction::kLowerBetter;
-  if (ends_with(key, "speedup")) return Direction::kHigherBetter;
-  return Direction::kTwoSided;
-}
+using lmp::util::MetricDirection;
 
 int usage(const char* prog) {
   std::fprintf(stderr,
@@ -278,19 +272,19 @@ int main(int argc, char** argv) {
     const double fv = it->second;
     const double scale = std::max(std::fabs(bv), 1e-300);
     const double rel = (fv - bv) / scale;  // signed: + means fresh larger
-    const Direction dir = direction_of(key);
+    const MetricDirection dir = lmp::util::metric_direction(key);
     bool regress = false;
     bool improve = false;
     switch (dir) {
-      case Direction::kLowerBetter:
+      case MetricDirection::kLowerBetter:
         regress = rel > tol;
         improve = rel < -tol;
         break;
-      case Direction::kHigherBetter:
+      case MetricDirection::kHigherBetter:
         regress = rel < -tol;
         improve = rel > tol;
         break;
-      case Direction::kTwoSided:
+      case MetricDirection::kTwoSided:
         regress = std::fabs(rel) > tol;
         break;
     }

@@ -32,7 +32,9 @@ struct Measured {
 
 Measured run_traced(const sim::SimOptions& opt, int steps) {
   obs::Tracer::instance().reset();
-  obs::set_trace_categories(obs::kAllTraceCats);
+  // Default cats (no kAlloc): alloc instants would evict the spans the
+  // critical-path analysis reads.
+  obs::set_trace_categories(obs::kDefaultTraceCats);
   const sim::JobResult r = sim::run_simulation(opt, steps);
   (void)r;
   const obs::CriticalPathReport cp =

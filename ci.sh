@@ -68,7 +68,7 @@ assert starts, "no flow events in a 6tni_p2p trace"
 assert start_ids <= finish_ids, f"flows started but never finished: {sorted(start_ids - finish_ids)[:5]}"
 keyed = [(e["ts"], e.get("pid", 0), e.get("tid", 0)) for e in trace["traceEvents"] if e.get("ph") != "M"]
 assert keyed == sorted(keyed), "trace events not sorted by (ts, pid, tid)"
-assert report["schema"] == "lmp-run-report" and report["version"] == 3
+assert report["schema"] == "lmp-run-report" and report["version"] == 4
 total = report["stages"]["total_seconds"]
 sum_s = sum(v["seconds"] for k, v in report["stages"].items() if k != "total_seconds")
 assert abs(sum_s - total) < 1e-9, (sum_s, total)
@@ -78,7 +78,7 @@ assert lu["links_used"] >= len(lu["top_links"]) > 0, lu
 integ = report["integrity"]
 assert integ["detections"] == 0 and integ["rollbacks"] == 0, integ
 print(f"trace smoke: {len(spans)} spans, {len(starts)} flows (all finished) "
-      f"across ranks {ranks}; report v3 consistent")
+      f"across ranks {ranks}; report v4 consistent")
 EOF
 }
 
@@ -173,10 +173,14 @@ EOF
 import json, sys
 for path in sys.argv[1:]:
     r = json.load(open(path))
-    assert r["schema"] == "lmp-run-report" and r["version"] == 3, path
+    assert r["schema"] == "lmp-run-report" and r["version"] == 4, path
     total = r["stages"]["total_seconds"]
     sum_s = sum(v["seconds"] for k, v in r["stages"].items() if k != "total_seconds")
     assert abs(sum_s - total) < 1e-9, (path, sum_s, total)
+    mem = r["memory"]
+    assert mem["rss_bytes"] > 0, (path, mem)
+    if mem["tracked"]:
+        assert mem["heap_high_water_bytes"] > 0, (path, mem)
 print(f"serve smoke: survived kill -9; {len(sys.argv) - 1} job reports valid")
 EOF
   # Bitwise proof: the resumed job's streamed thermo (which restarts
@@ -377,8 +381,14 @@ EOF
   python3 - "${work}/snap.json" <<'EOF'
 import json, sys
 snap = json.load(open(sys.argv[1]))
-assert snap["schema"] == "lmp-telemetry-snapshot" and snap["version"] == 1
+assert snap["schema"] == "lmp-telemetry-snapshot" and snap["version"] == 2
 assert snap["ticks"] > 0
+mem = snap["memory"]
+assert mem["rss_bytes"] > 0, mem
+assert len(mem["rss_series"]) > 0 and any(v > 0 for _, v in mem["rss_series"])
+if mem["tracked"]:
+    assert mem["heap_high_water_bytes"] > 0, mem
+    assert any(v > 0 for _, v in mem["heap_live_series"]), mem
 srv = snap["server"]
 assert srv["steps_in_window"] > 0, srv["steps_in_window"]
 assert len(srv["step_series"]) > 0 and any(v > 0 for _, v in srv["step_series"])
@@ -405,6 +415,63 @@ EOF
       || { echo "telemetry smoke: final stats table did not count the breach"
            cat "${work}/serve.log"; return 1; }
   echo "telemetry smoke: dashboard rendered breach; server counted it"
+}
+
+# Alloc smoke: the memory observability plane end to end. A traced run
+# of the golden melt must emit a v4 report whose memory section carries
+# nonzero per-stage allocation counts that sum exactly to the global
+# counter (the "(unattributed)" slot guarantees the identity). Then the
+# same workload under --alloc-guard must FAIL today — the step loop
+# still allocates — with exit code 3 and a per-scope attribution table;
+# the guard passing silently would mean it stopped watching.
+run_alloc_smoke() {
+  local build_dir="$1"
+  echo "--- alloc smoke (${build_dir}) ---"
+  local work
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' RETURN
+  "${build_dir}/examples/lmp_cli" examples/in.melt.lj 6tni_p2p \
+      --report "${work}/melt.report.json" \
+      --trace "${work}/melt.trace.json" --trace-alloc > /dev/null
+  python3 - "${work}/melt.report.json" "${work}/melt.trace.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[2]))
+insts = [e for e in trace["traceEvents"]
+         if e.get("ph") == "i" and e.get("name") == "alloc"]
+assert insts, "--trace-alloc recorded no allocation instants"
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "lmp-run-report" and r["version"] == 4
+mem = r["memory"]
+assert mem["tracked"], "build should carry LMP_ALLOC_TRACE=ON"
+assert mem["total_allocs"] > 0 and mem["total_bytes"] > 0, mem
+assert mem["heap_high_water_bytes"] > 0 and mem["rss_bytes"] > 0, mem
+scopes = mem["scopes"]
+staged = [k for k in scopes if k.startswith("stage:")]
+assert staged, f"no per-stage attribution in {sorted(scopes)}"
+assert all(scopes[k]["allocs"] > 0 for k in staged), scopes
+sum_allocs = sum(s["allocs"] for s in scopes.values())
+assert sum_allocs == mem["total_allocs"], (sum_allocs, mem["total_allocs"])
+print(f"alloc smoke: report v4 memory consistent — {mem['total_allocs']} "
+      f"allocs across {len(scopes)} scopes ({len(staged)} stages), "
+      f"{len(insts)} trace instants, heap high water "
+      f"{mem['heap_high_water_bytes']} bytes")
+EOF
+  local rc=0
+  "${build_dir}/examples/lmp_cli" examples/in.melt.lj 6tni_p2p \
+      --alloc-guard > "${work}/guard.log" 2>&1 || rc=$?
+  if [[ ${rc} -ne 3 ]]; then
+    echo "alloc smoke: --alloc-guard exited ${rc}, want 3 (steady state"
+    echo "still allocates today; a pass means the guard went blind)"
+    cat "${work}/guard.log"
+    return 1
+  fi
+  grep -q 'alloc guard:.*FAIL' "${work}/guard.log" \
+      || { echo "alloc smoke: guard verdict line missing"
+           cat "${work}/guard.log"; return 1; }
+  grep -Eq 'stage:[A-Za-z]+' "${work}/guard.log" \
+      || { echo "alloc smoke: guard failure lacks per-stage attribution"
+           cat "${work}/guard.log"; return 1; }
+  echo "alloc smoke: guard failed with attribution, exit 3 as expected"
 }
 
 # Bench-compare smoke: regenerate the fig13 and overlap records in quick
@@ -436,6 +503,15 @@ run_bench_compare_smoke() {
   "${build_dir}/bench/bench_compare" \
       bench/baselines/BENCH_telemetry.json \
       "${work}/BENCH_telemetry.json" --tol 50
+  # Alloc bench: the on/off wall ratio gets the same wide shared-host
+  # gate; steady_state_step_allocs is the ratchet — deterministic
+  # per-step counting, so the tolerance only absorbs small step-count
+  # phase effects, and driving it to zero can only tighten the baseline.
+  LMP_BENCH_QUICK=1 LMP_BENCH_DIR="${work}" \
+      "${build_dir}/bench/bench_alloc" > /dev/null
+  "${build_dir}/bench/bench_compare" \
+      bench/baselines/BENCH_alloc.json \
+      "${work}/BENCH_alloc.json" --tol 50
 }
 
 echo "=== pass 1: -Werror build + ctest ==="
@@ -448,6 +524,7 @@ run_integrity_smoke build-ci
 run_executor_smoke build-ci
 run_serve_smoke build-ci
 run_telemetry_smoke build-ci
+run_alloc_smoke build-ci
 run_bench_compare_smoke build-ci
 
 if [[ "${1:-}" == "--fast" ]]; then
@@ -465,6 +542,7 @@ run_integrity_smoke build-ci-asan
 run_executor_smoke build-ci-asan
 run_serve_smoke build-ci-asan
 run_telemetry_smoke build-ci-asan
+run_alloc_smoke build-ci-asan
 
 echo "=== pass 2b: TSan build + concurrency test slice ==="
 # TSan cannot share a process with ASan, so it gets its own tree; the
@@ -476,11 +554,23 @@ echo "=== pass 2b: TSan build + concurrency test slice ==="
 cmake -B build-ci-tsan -S . -DLMP_WERROR=ON -DLMP_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}" --target lmp_tests
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" \
-    -R 'TaskGraph|SpinThreadPool|ForkJoin|NoticeDispatcher|TimeSeries|SloAccountant|TelemetrySampler|StreamWatch'
+    -R 'TaskGraph|SpinThreadPool|ForkJoin|NoticeDispatcher|TimeSeries|SloAccountant|TelemetrySampler|StreamWatch|AllocTracker'
 
-echo "=== pass 3: LMP_TRACE=OFF build (instrumentation compiles out) ==="
-cmake -B build-ci-notrace -S . -DLMP_WERROR=ON -DLMP_TRACE=OFF
+echo "=== pass 3: LMP_TRACE=OFF LMP_ALLOC_TRACE=OFF build (instrumentation compiles out) ==="
+cmake -B build-ci-notrace -S . -DLMP_WERROR=ON -DLMP_TRACE=OFF \
+    -DLMP_ALLOC_TRACE=OFF
 cmake --build build-ci-notrace -j "${JOBS}"
 ctest --test-dir build-ci-notrace --output-on-failure -j "${JOBS}"
+# Observability must be free AND inert: the stripped build's golden melt
+# trajectory must be bitwise-identical to the fully instrumented one.
+golden_dir=$(mktemp -d)
+trap 'rm -rf "${golden_dir}"' EXIT
+build-ci/examples/lmp_cli examples/in.melt.lj 6tni_p2p \
+    --dump-final "${golden_dir}/instrumented.dump" > /dev/null
+build-ci-notrace/examples/lmp_cli examples/in.melt.lj 6tni_p2p \
+    --dump-final "${golden_dir}/stripped.dump" > /dev/null
+diff "${golden_dir}/instrumented.dump" "${golden_dir}/stripped.dump" \
+    || { echo "pass 3: stripped build's trajectory diverged"; exit 1; }
+echo "pass 3: stripped-build trajectory bitwise-identical to instrumented"
 
 echo "ci.sh: all passes green"

@@ -20,9 +20,17 @@
 //   --dump-final <file>       write final per-atom state (tag x y z vx vy vz)
 //   --trace <file>            write a Chrome/Perfetto trace JSON
 //                             (load in chrome://tracing or ui.perfetto.dev)
+//   --trace-alloc             also record one instant per heap allocation
+//                             in the trace (high volume: floods the ring
+//                             on long runs, so off by default)
 //   --report <file>           write the machine-readable run report JSON
 //   --metrics                 dump the full metrics registry + fabric
 //                             link-utilization tables at end of run
+//   --alloc-guard             steady-state zero-alloc guard: any step
+//                             past the warmup window (default run/2)
+//                             that heap-allocates fails the run (exit 3)
+//                             with a per-scope attribution table
+//   --alloc-warmup <N>        override the guard's warmup step count
 
 #include <algorithm>
 #include <cstddef>
@@ -54,7 +62,8 @@ int usage(const char* prog) {
                "[--integrity <N>] "
                "[--flip step:rank:target:word:bit[:persistent]] "
                "[--dump-final <file>] "
-               "[--trace <file>] [--report <file>] [--metrics]\n",
+               "[--trace <file>] [--trace-alloc] [--report <file>] "
+               "[--metrics] [--alloc-guard] [--alloc-warmup <N>]\n",
                prog);
   std::fprintf(stderr, "  comm-variant: %s\n",
                comm::CommFactory::instance().catalog().c_str());
@@ -136,6 +145,7 @@ int main(int argc, char** argv) {
   }
 
   std::string dump_path;
+  bool trace_alloc = false;
   for (int i = 2; i < argc; ++i) {
     const auto flag_value = [&](const char* name) -> const char* {
       if (i + 1 >= argc) {
@@ -195,12 +205,25 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--trace");
       if (!v) return 1;
       script.trace_path = v;
+    } else if (std::strcmp(argv[i], "--trace-alloc") == 0) {
+      trace_alloc = true;
     } else if (std::strcmp(argv[i], "--report") == 0) {
       const char* v = flag_value("--report");
       if (!v) return 1;
       script.report_path = v;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       script.dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--alloc-guard") == 0) {
+      script.options.alloc_guard = true;
+    } else if (std::strcmp(argv[i], "--alloc-warmup") == 0) {
+      const char* v = flag_value("--alloc-warmup");
+      if (!v) return 1;
+      script.options.alloc_guard = true;
+      script.options.alloc_guard_warmup = std::atoi(v);
+      if (script.options.alloc_guard_warmup < 0) {
+        std::fprintf(stderr, "error: --alloc-warmup wants N >= 0\n");
+        return 1;
+      }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return usage(argv[0]);
@@ -243,6 +266,15 @@ int main(int argc, char** argv) {
     std::printf("  memory fault plan: %zu deterministic flip(s), rate %.3g\n",
                 o.faults.mem_faults.size(), o.faults.mem_flip_rate);
   }
+  if (o.alloc_guard) {
+    if (o.alloc_guard_warmup >= 0) {
+      std::printf("  alloc guard armed (warmup %d steps)\n",
+                  o.alloc_guard_warmup);
+    } else {
+      std::printf("  alloc guard armed (warmup %d steps)\n",
+                  script.run_steps / 2);
+    }
+  }
   std::printf("\n");
 
   if (!script.trace_path.empty()) {
@@ -251,7 +283,11 @@ int main(int argc, char** argv) {
                    "error: --trace requires a build with LMP_TRACE=ON\n");
       return 1;
     }
-    obs::set_trace_categories(obs::kAllTraceCats);
+    // Alloc instants are opt-in: one event per heap allocation would
+    // flood the bounded rings and evict the flow/span events the
+    // critical-path and flow-matching consumers need.
+    obs::set_trace_categories(
+        trace_alloc ? obs::kAllTraceCats : obs::kDefaultTraceCats);
   }
   if (!script.trace_path.empty() || !script.report_path.empty() ||
       script.dump_metrics) {
@@ -350,5 +386,15 @@ int main(int argc, char** argv) {
   }
 
   if (!dump_path.empty() && !dump_final(dump_path, r)) return 1;
+
+  // The guard verdict goes last so a failing run still prints its full
+  // tables, trace, and dump — the attribution table below is the thing
+  // the zero-alloc arc debugs from. Exit 3 distinguishes "the physics
+  // ran fine but the step loop allocated" from hard errors (exit 1).
+  if (o.alloc_guard) {
+    const std::string guard = util::format_alloc_guard_table(r.alloc_guard);
+    if (!guard.empty()) std::printf("\n%s", guard.c_str());
+    if (!r.alloc_guard.passed()) return 3;
+  }
   return 0;
 }

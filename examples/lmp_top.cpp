@@ -3,7 +3,9 @@
 // Connects to the Unix socket an lmp_serve --listen PATH publishes, asks
 // for telemetry snapshots ("lmp-telemetry-snapshot" JSON), and renders a
 // refreshing dashboard: jobs table, per-tenant SLO windows, per-TNI link
-// utilization with sparklines, and the rolling server step rate.
+// utilization with sparklines, the rolling server step rate, and the
+// process memory row (heap live / high water / RSS with a sparkline of
+// the heap-live series; heap numbers need LMP_ALLOC_TRACE).
 //
 //   lmp_top --connect /tmp/lmp.sock                # live, 1s refresh
 //   lmp_top --connect /tmp/lmp.sock --interval-ms 250
@@ -108,6 +110,17 @@ void render(const util::JsonValue& snap) {
         static_cast<long long>(server->get_int("live_fabrics")),
         TablePrinter::fmt_si(server->get_num("step_rate_per_s")).c_str(),
         sparkline(server->find("step_series"), 48).c_str());
+  }
+
+  const util::JsonValue* memory = snap.find("memory");
+  if (memory != nullptr) {
+    std::printf(
+        "memory: heap=%s hw=%s rss=%s  allocs/s=%s  %s\n",
+        TablePrinter::fmt_si(memory->get_num("heap_live_bytes")).c_str(),
+        TablePrinter::fmt_si(memory->get_num("heap_high_water_bytes")).c_str(),
+        TablePrinter::fmt_si(memory->get_num("rss_bytes")).c_str(),
+        TablePrinter::fmt_si(memory->get_num("allocs_per_s")).c_str(),
+        sparkline(memory->find("heap_live_series"), 48).c_str());
   }
 
   const util::JsonValue* jobs = snap.find("jobs");

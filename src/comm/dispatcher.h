@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "comm/msg_codec.h"
+#include "obs/alloc_tracker.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "tofu/network.h"
@@ -137,9 +138,12 @@ class NoticeDispatcher {
   /// JobAbortedError as soon as the fabric is aborted by a failing rank.
   Edata wait(MsgKind kind, int dir) {
     // The notice-wait span: what the sender's flow-start visually binds
-    // to once the flow-finish below lands inside it.
+    // to once the flow-finish below lands inside it. The matching alloc
+    // scope pins any heap traffic during the wait (stash bookkeeping,
+    // late registrations) on the same per-channel label.
     const obs::TraceSpan wait_span(obs::TraceCat::kComm,
                                    detail::wait_span_name(kind));
+    LMP_ALLOC_SCOPE(detail::wait_span_name(kind));
     auto& slot = stash_[static_cast<int>(kind)][dir];
     if (slot) {
       const Edata e = slot->e;

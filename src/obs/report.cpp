@@ -253,6 +253,25 @@ std::string RunReport::to_json() const {
   w.kv("total_seconds", critical_path_total_seconds);
   w.end_object();
 
+  w.key("memory").begin_object();
+  w.kv("tracked", mem_tracked);
+  w.kv("total_allocs", mem_total_allocs);
+  w.kv("total_frees", mem_total_frees);
+  w.kv("total_bytes", mem_total_bytes);
+  w.kv("live_bytes", mem_live_bytes);
+  w.kv("heap_high_water_bytes", mem_high_water_bytes);
+  w.kv("rss_bytes", mem_rss_bytes);
+  w.key("scopes").begin_object();
+  for (const ReportMemoryScope& s : mem_scopes) {
+    w.key(s.scope).begin_object();
+    w.kv("allocs", s.allocs);
+    w.kv("frees", s.frees);
+    w.kv("bytes", s.bytes);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
   w.key("thermo_first").begin_object();
   for (const auto& [k, v] : thermo_first) w.kv(k, v);
   w.end_object();

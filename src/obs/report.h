@@ -51,8 +51,10 @@ bool write_text_file(const std::string& path, const std::string& text);
 
 inline constexpr const char* kRunReportSchema = "lmp-run-report";
 /// v2 added the "link_utilization" and "critical_path" sections;
-/// v3 added the "integrity" section (silent-corruption guards).
-inline constexpr int kRunReportVersion = 3;
+/// v3 added the "integrity" section (silent-corruption guards);
+/// v4 added the "memory" section (per-scope allocation totals, heap
+/// high-water, RSS — all zero/absent-scopes when LMP_ALLOC_TRACE=OFF).
+inline constexpr int kRunReportVersion = 4;
 
 struct ReportStage {
   std::string name;
@@ -74,6 +76,14 @@ struct ReportIntegrityEvent {
   int resume_step = 0;
   std::string reason;
   std::string verdict;  ///< "transient" — persistent faults abort the run
+};
+
+/// One attribution scope in the v4 memory section.
+struct ReportMemoryScope {
+  std::string scope;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// One hot fabric link in the v2 link-utilization section, endpoints
@@ -125,6 +135,15 @@ struct RunReport {
   // --- v2: critical-path breakdown (empty when tracing was off) -------
   std::vector<ReportStage> critical_path;
   double critical_path_total_seconds = 0.0;
+  // --- v4: memory (alloc tracker totals; scopes empty when untracked) -
+  bool mem_tracked = false;  ///< LMP_ALLOC_TRACE compiled in
+  std::vector<ReportMemoryScope> mem_scopes;
+  std::uint64_t mem_total_allocs = 0;
+  std::uint64_t mem_total_frees = 0;
+  std::uint64_t mem_total_bytes = 0;
+  std::int64_t mem_live_bytes = 0;
+  std::int64_t mem_high_water_bytes = 0;
+  std::int64_t mem_rss_bytes = 0;  ///< from /proc at report-build time
   /// First/last thermo samples: (step, temperature, total energy).
   std::vector<std::pair<std::string, double>> thermo_first;
   std::vector<std::pair<std::string, double>> thermo_last;

@@ -37,6 +37,8 @@ const char* trace_cat_name(TraceCat c) {
       return "ckpt";
     case TraceCat::kServe:
       return "serve";
+    case TraceCat::kAlloc:
+      return "alloc";
   }
   return "?";
 }

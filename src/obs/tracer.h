@@ -17,9 +17,18 @@ enum class TraceCat : std::uint32_t {
   kPool = 1u << 3,  ///< thread-pool dispatch/run (threadpool/)
   kCkpt = 1u << 4,  ///< checkpoint and failover lifecycle (sim/)
   kServe = 1u << 5, ///< job-server lifecycle, sampler ticks, SLO edges
+  kAlloc = 1u << 6, ///< heap allocation instants (obs/alloc_tracker)
 };
 
-inline constexpr std::uint32_t kAllTraceCats = 0x3Fu;
+inline constexpr std::uint32_t kAllTraceCats = 0x7Fu;
+
+/// The mask drivers enable for "--trace": everything except kAlloc.
+/// Alloc instants fire once per heap allocation — tens of thousands per
+/// short run — and a ring flooded with them evicts the flow/span events
+/// every downstream consumer (critical path, flow matching) needs, so
+/// the allocation timeline is strictly opt-in (lmp_cli --trace-alloc).
+inline constexpr std::uint32_t kDefaultTraceCats =
+    kAllTraceCats & ~static_cast<std::uint32_t>(TraceCat::kAlloc);
 
 const char* trace_cat_name(TraceCat c);
 

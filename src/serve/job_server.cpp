@@ -5,11 +5,13 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/alloc_tracker.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 #include "sim/input_script.h"
 #include "sim/simulation.h"
+#include "tofu/hardware.h"
 
 namespace lmp::serve {
 
@@ -390,6 +392,13 @@ util::ServeStats JobServer::stats() const {
   }
   s.running = running;
   if (sampler_) s.slo_breaches = sampler_->slo().breaches_entered();
+  // Memory footprint for the billing/summary tables: heap numbers from
+  // the alloc tracker (zero when compiled out), RSS live from /proc.
+  const obs::AllocTotals mem = obs::AllocTracker::instance().totals();
+  s.heap_live_bytes = mem.live_bytes;
+  s.heap_high_water_bytes = mem.high_water_bytes;
+  s.total_allocs = mem.allocs;
+  s.rss_bytes = tofu::probe_rss_bytes();
   return s;
 }
 
@@ -633,6 +642,10 @@ void JobServer::run_one(std::uint64_t id) {
       }
       if (cfg_.fault_plan.any_faults()) opts.faults = cfg_.fault_plan;
       opts.progress = live_step.get();
+      // Attribute heap traffic from serving-side slice execution (script
+      // re-parse, checkpoint resume, result marshalling) separately from
+      // the sim stages, which carry their own scopes.
+      LMP_ALLOC_SCOPE("serve:slice");
       sim::JobResult result = sim::run_simulation(opts, target);
 
       std::unique_lock<std::mutex> lk(mu_);
@@ -768,7 +781,7 @@ std::string JobServer::telemetry_snapshot_json() {
   obs::JsonWriter j;
   j.begin_object();
   j.kv("schema", "lmp-telemetry-snapshot");
-  j.kv("version", 1);
+  j.kv("version", 2);
   j.kv("enabled", false);
   j.end_object();
   return j.str();

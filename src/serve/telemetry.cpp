@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/alloc_tracker.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 #include "serve/job_server.h"
+#include "tofu/hardware.h"
 #include "tofu/link_telemetry.h"
 
 namespace lmp::serve {
@@ -152,6 +154,21 @@ void TelemetrySampler::tick_locked(std::int64_t t_ms) {
         .append(t_ms, static_cast<double>(dp));
   }
 
+  // (4b) Process memory: heap-live / RSS gauges and the allocation rate
+  // (delta of the tracker's global counter). Reading the tracker is a
+  // handful of relaxed loads; the /proc read is one tiny file. Heap
+  // series sit at zero when LMP_ALLOC_TRACE is compiled out — RSS is
+  // real either way.
+  {
+    const obs::AllocTotals mem = obs::AllocTracker::instance().totals();
+    series_.series("mem.heap_live_bytes")
+        .append(t_ms, static_cast<double>(mem.live_bytes));
+    series_.series("mem.rss_bytes")
+        .append(t_ms, static_cast<double>(tofu::probe_rss_bytes()));
+    const std::uint64_t da = counter_deltas_["mem.allocs"].advance(mem.allocs);
+    series_.series("mem.alloc_rate").append(t_ms, static_cast<double>(da));
+  }
+
   // (5) SLO windows: evaluate every tenant, emit breach transitions.
   last_slo_ = slo_.evaluate(t_ms, probe.running_tenants);
 
@@ -171,7 +188,8 @@ std::string TelemetrySampler::build_json_locked(std::int64_t t_ms) {
   obs::JsonWriter j;
   j.begin_object();
   j.kv("schema", "lmp-telemetry-snapshot");
-  j.kv("version", 1);
+  // v2 added the "memory" block (heap-live/RSS/alloc-rate series).
+  j.kv("version", 2);
   j.kv("now_ms", t_ms);
   j.kv("interval_ms", static_cast<std::uint64_t>(cfg_.interval_ms));
   j.kv("window_ms", window);
@@ -296,6 +314,29 @@ std::string TelemetrySampler::build_json_locked(std::int64_t t_ms) {
     }
   }
   j.end_array();
+
+  // --- process memory (v2) ------------------------------------------------
+  j.key("memory");
+  j.begin_object();
+  {
+    const obs::AllocTotals mem = obs::AllocTracker::instance().totals();
+    j.kv("tracked", obs::alloc_trace_compiled_in());
+    j.kv("heap_live_bytes", mem.live_bytes);
+    j.kv("heap_high_water_bytes", mem.high_water_bytes);
+    j.kv("rss_bytes", tofu::probe_rss_bytes());
+    j.kv("total_allocs", mem.allocs);
+    j.kv("total_bytes", mem.bytes);
+    const obs::TimeSeries* rate = series_.find("mem.alloc_rate");
+    j.kv("allocs_per_s",
+         rate != nullptr ? rate->aggregate(t_ms, window).rate_per_s : 0.0);
+    j.key("heap_live_series");
+    write_series(j, series_.find("mem.heap_live_bytes"), t_ms, window);
+    j.key("rss_series");
+    write_series(j, series_.find("mem.rss_bytes"), t_ms, window);
+    j.key("alloc_rate_series");
+    write_series(j, series_.find("mem.alloc_rate"), t_ms, window);
+  }
+  j.end_object();
 
   // --- SLO transition events ----------------------------------------------
   j.key("slo_events");

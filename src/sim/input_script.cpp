@@ -263,6 +263,14 @@ ParsedScript parse_input_script(const std::string& text) {
       out.report_path = w[1];
     } else if (cmd == "metrics") {
       out.dump_metrics = true;
+    } else if (cmd == "alloc_guard") {
+      out.options.alloc_guard = true;
+      if (w.size() > 1) {
+        out.options.alloc_guard_warmup = to_int(w[1], lineno);
+        if (out.options.alloc_guard_warmup < 0) {
+          fail(lineno, "alloc_guard warmup must be >= 0");
+        }
+      }
     } else if (cmd == "run") {
       need(1);
       out.run_steps = to_int(w[1], lineno);

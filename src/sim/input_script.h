@@ -69,6 +69,11 @@ struct ParsedScript {
 ///                                 report JSON after the run)        [ext]
 ///   metrics                      (dump the full metrics registry as a
 ///                                 plain-text table after the run)   [ext]
+///   alloc_guard     [<warmup>]   (steady-state zero-alloc guard: after
+///                                 `warmup` steps — default run/2 — any
+///                                 step that heap-allocates fails the
+///                                 run with a per-scope attribution
+///                                 table; needs LMP_ALLOC_TRACE)      [ext]
 ///   run             <steps>
 ///
 /// Lines starting with `#` and blank lines are ignored; `#` also starts

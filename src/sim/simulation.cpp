@@ -23,8 +23,10 @@
 #include "md/neighbor.h"
 #include "md/velocity.h"
 #include "minimpi/runtime.h"
+#include "obs/alloc_tracker.h"
 #include "obs/tracer.h"
 #include "sim/checkpoint.h"
+#include "tofu/hardware.h"
 #include "threadpool/spin_pool.h"
 #include "threadpool/task_graph.h"
 
@@ -100,6 +102,12 @@ struct JobShared {
   /// rollback/recompute attempts; null when no memory faults are planned.
   tofu::MemFaultInjector* mem = nullptr;
   std::atomic<std::uint64_t> integrity_checks{0};  ///< rank 0 counts guards
+
+  // --- steady-state zero-alloc guard ------------------------------------
+  /// Driven by rank 0's step loop when opt.alloc_guard is set. The
+  /// counters it reads are process-wide, so the verdict covers every
+  /// rank thread of the attempt, not just the sampler's.
+  obs::AllocGuard alloc_guard;
 
   // --- failure rendezvous ---------------------------------------------
   std::atomic<bool> abort_requested{false};
@@ -336,6 +344,13 @@ class RankSim {
       have_energy_ref_ = true;
     }
 
+    // Arm the zero-alloc guard after setup: lattice build, comm setup,
+    // and the startup rebuild are allowed to allocate freely — only the
+    // steady-state step loop is on trial.
+    if (rank_ == 0 && job_.opt.alloc_guard) {
+      job_.alloc_guard.arm(job_.opt.alloc_guard_warmup, nsteps);
+    }
+
     for (step_ = job_.start_step + 1; step_ <= nsteps; ++step_) {
       LMP_TRACE_SPAN(obs::TraceCat::kSim, "step");
       {
@@ -406,6 +421,13 @@ class RankSim {
       // the clean path without a hook pays one predictable branch.
       if (rank_ == 0 && job_.opt.progress != nullptr) {
         job_.opt.progress->store(step_, std::memory_order_relaxed);
+      }
+
+      // Zero-alloc guard sample: two relaxed counter reads on rank 0,
+      // nothing allocated — the probe cannot trip itself. 0-based step
+      // index so `warmup` counts steps, not step labels.
+      if (rank_ == 0 && job_.opt.alloc_guard) {
+        job_.alloc_guard.on_step(step_ - 1);
       }
     }
 
@@ -999,6 +1021,7 @@ AttemptOutcome run_attempt(const SimOptions& options,
   std::sort(res.atoms.begin(), res.atoms.end(),
             [](const AtomState& a, const AtomState& b) { return a.tag < b.tag; });
   for (const auto& r : res.ranks) res.health += r.health;
+  if (job.opt.alloc_guard) res.alloc_guard = job.alloc_guard.report();
   harvest_fabric_stats(job, out.fabric);
   out.links = job.net.link_telemetry().snapshot();
   res.health += out.fabric;
@@ -1279,6 +1302,22 @@ obs::RunReport build_run_report(const SimOptions& options, int nsteps,
                                    (l.negative ? "-" : "+"),
                                l.bytes, l.packets});
     }
+  }
+
+  // v4: memory. Process-wide alloc-tracker totals at report-build time —
+  // the per-scope rows come from the same slot table the hooks bump, so
+  // their sum always reconciles with the global counters (CI asserts
+  // this on every traced run). RSS is sampled live from /proc.
+  rep.mem_tracked = obs::alloc_trace_compiled_in();
+  const obs::AllocTotals mem = obs::AllocTracker::instance().totals();
+  rep.mem_total_allocs = mem.allocs;
+  rep.mem_total_frees = mem.frees;
+  rep.mem_total_bytes = mem.bytes;
+  rep.mem_live_bytes = mem.live_bytes;
+  rep.mem_high_water_bytes = mem.high_water_bytes;
+  rep.mem_rss_bytes = tofu::probe_rss_bytes();
+  for (const obs::AllocSlotStats& s : obs::AllocTracker::instance().by_scope()) {
+    rep.mem_scopes.push_back({s.name, s.allocs, s.frees, s.bytes});
   }
 
   const auto thermo_kv = [](const ThermoSample& t) {

@@ -12,6 +12,7 @@
 #include "md/config.h"
 #include "md/thermo.h"
 #include "minimpi/world.h"
+#include "obs/alloc_tracker.h"
 #include "obs/report.h"
 #include "sim/integrity.h"
 #include "tofu/fault.h"
@@ -92,6 +93,18 @@ struct SimOptions {
   /// thread delta-reads it; nothing on the hot path ever locks. The
   /// pointee must outlive the run.
   std::atomic<std::int64_t>* progress = nullptr;
+
+  // --- steady-state zero-alloc guard ------------------------------------
+  /// When set, rank 0 delta-reads the process-wide alloc counter after
+  /// every step (two relaxed loads — the sample itself allocates
+  /// nothing) and the run fails the guard if any step past the warmup
+  /// window allocated. The per-scope attribution of the post-warmup
+  /// window lands in JobResult::alloc_guard. Requires LMP_ALLOC_TRACE;
+  /// without it the guard reports tracker_available=false and passes.
+  bool alloc_guard = false;
+  /// Steps to ignore before the zero-alloc window opens; negative picks
+  /// the default of nsteps / 2.
+  int alloc_guard_warmup = -1;
 };
 
 /// One thermo sample (identical on every rank after the reduction).
@@ -138,6 +151,9 @@ struct JobResult {
   /// Fabric link-utilization totals, accumulated over every attempt's
   /// network (empty when metrics collection was off).
   tofu::FabricSnapshot fabric;
+  /// Steady-state zero-alloc verdict for the final attempt (enabled
+  /// only when SimOptions::alloc_guard was set).
+  obs::AllocGuardReport alloc_guard;
 
   util::StageTimer total_stages() const;
 };

@@ -1,0 +1,28 @@
+#include "tofu/hardware.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace lmp::tofu {
+
+std::int64_t probe_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long total_pages = 0;
+  long long rss_pages = 0;
+  const int n = std::fscanf(f, "%lld %lld", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<std::int64_t>(rss_pages) *
+         static_cast<std::int64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace lmp::tofu

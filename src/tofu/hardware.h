@@ -42,4 +42,11 @@ struct Hardware {
   static constexpr int kThreadsPerRank = 12;
 };
 
+/// Resident-set size of this process in bytes (Linux: /proc/self/statm
+/// page count x page size), or 0 where the probe is unavailable. The
+/// node-memory probe for the observability plane: HBM per CMG is 8 GB
+/// (kHbmCapacityPerCmg), so one rank-per-CMG process watching its RSS
+/// against that budget is the real Fugaku memory headroom question.
+std::int64_t probe_rss_bytes();
+
 }  // namespace lmp::tofu

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+namespace lmp::util {
+
+/// Which way a benchmark metric is allowed to drift before the
+/// regression gate (bench_compare) calls it a regression.
+enum class MetricDirection {
+  kLowerBetter,   ///< times, bytes, allocation counts
+  kHigherBetter,  ///< speedups, rates
+  kTwoSided,      ///< ratios pinned near a target (either drift is bad)
+};
+
+/// Infer the gate direction from a metric-key suffix. The suffix IS the
+/// contract: benches name their metrics so the gate needs no per-metric
+/// configuration, and a new bench gets correct gating for free.
+///
+///   *us_step   lower is better  — per-step wall time
+///   *_bytes    lower is better  — memory footprints (heap high water, RSS)
+///   *_allocs   lower is better  — allocation counts (steady-state ratchet:
+///                                 a zero baseline means any new allocation
+///                                 trips the gate)
+///   *speedup   higher is better
+///   otherwise  two-sided        — regression when |fresh-base| > tol*|base|
+inline MetricDirection metric_direction(const std::string& key) {
+  const auto ends_with = [&key](const char* suffix) {
+    const std::string s(suffix);
+    return key.size() >= s.size() &&
+           key.compare(key.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with("us_step")) return MetricDirection::kLowerBetter;
+  if (ends_with("_bytes")) return MetricDirection::kLowerBetter;
+  if (ends_with("_allocs")) return MetricDirection::kLowerBetter;
+  if (ends_with("speedup")) return MetricDirection::kHigherBetter;
+  return MetricDirection::kTwoSided;
+}
+
+}  // namespace lmp::util

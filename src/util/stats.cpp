@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/alloc_tracker.h"
 #include "obs/metrics.h"
 #include "util/table_printer.h"
 
@@ -107,6 +108,10 @@ std::string format_server_table(const ServeStats& s) {
   t.add_row({"queue_depth_peak", std::to_string(s.queue_depth_peak)});
   t.add_row({"running", std::to_string(s.running)});
   row("slo_breaches", s.slo_breaches);
+  t.add_row({"heap_live_bytes", std::to_string(s.heap_live_bytes)});
+  t.add_row({"heap_high_water_bytes", std::to_string(s.heap_high_water_bytes)});
+  t.add_row({"rss_bytes", std::to_string(s.rss_bytes)});
+  row("total_allocs", s.total_allocs);
   return t.to_string();
 }
 
@@ -114,19 +119,67 @@ std::string format_latency_table() {
   const auto hists = obs::MetricsRegistry::instance().histograms();
   bool any = false;
   for (const auto& [name, s] : hists) any = any || s.count > 0;
-  if (!any) return "";
-  // Full Summary exposure: count and min/max alongside the percentiles,
-  // so the curated view no longer hides the extremes behind raw JSON.
-  TablePrinter t({"latency (us)", "count", "mean", "p50", "p95", "p99", "min",
-                  "max"});
-  const auto us = [](double ns) { return TablePrinter::fmt(ns / 1000.0, 3); };
-  for (const auto& [name, s] : hists) {
-    if (s.count == 0) continue;
-    t.add_row({name, std::to_string(s.count), us(s.mean), us(s.p50), us(s.p95),
-               us(s.p99), us(static_cast<double>(s.min)),
-               us(static_cast<double>(s.max))});
+  std::string out;
+  if (any) {
+    // Full Summary exposure: count and min/max alongside the percentiles,
+    // so the curated view no longer hides the extremes behind raw JSON.
+    TablePrinter t({"latency (us)", "count", "mean", "p50", "p95", "p99",
+                    "min", "max"});
+    const auto us = [](double ns) {
+      return TablePrinter::fmt(ns / 1000.0, 3);
+    };
+    for (const auto& [name, s] : hists) {
+      if (s.count == 0) continue;
+      t.add_row({name, std::to_string(s.count), us(s.mean), us(s.p50),
+                 us(s.p95), us(s.p99), us(static_cast<double>(s.min)),
+                 us(static_cast<double>(s.max))});
+    }
+    out = t.to_string();
   }
-  return t.to_string();
+  // Heap traffic per attribution scope (alloc tracker): the same stage /
+  // wait / slice labels as the spans above, plus whatever ran outside
+  // any scope. Absent entirely when LMP_ALLOC_TRACE is compiled out.
+  const auto scopes = obs::AllocTracker::instance().by_scope();
+  if (!scopes.empty()) {
+    const obs::AllocTotals tot = obs::AllocTracker::instance().totals();
+    TablePrinter a({"alloc scope", "allocs", "frees", "bytes", "freed bytes"});
+    for (const obs::AllocSlotStats& s : scopes) {
+      a.add_row({s.name, std::to_string(s.allocs), std::to_string(s.frees),
+                 std::to_string(s.bytes), std::to_string(s.freed_bytes)});
+    }
+    a.add_row({"(total)", std::to_string(tot.allocs), std::to_string(tot.frees),
+               std::to_string(tot.bytes), std::to_string(tot.freed_bytes)});
+    out += a.to_string();
+  }
+  return out;
+}
+
+std::string format_alloc_guard_table(const obs::AllocGuardReport& r) {
+  std::string out;
+  if (!r.enabled) return out;
+  if (!r.tracker_available) {
+    return "alloc guard: tracker not compiled in (build with "
+           "-DLMP_ALLOC_TRACE=ON) — nothing checked\n";
+  }
+  out += "alloc guard: warmup " + std::to_string(r.warmup_steps) +
+         " steps, checked " + std::to_string(r.steps_checked) + " steps: " +
+         (r.passed()
+              ? "PASS — zero steady-state allocations\n"
+              : "FAIL — " + std::to_string(r.steps_with_allocs) +
+                    " steps allocated (first at step " +
+                    std::to_string(r.first_alloc_step) + "; " +
+                    std::to_string(r.post_warmup_allocs) + " allocs, " +
+                    std::to_string(r.post_warmup_bytes) +
+                    " bytes past warmup)\n");
+  if (!r.rows.empty()) {
+    TablePrinter t({"post-warmup scope", "allocs", "frees", "bytes"});
+    for (const obs::AllocSlotStats& s : r.rows) {
+      t.add_row({s.name, std::to_string(s.allocs), std::to_string(s.frees),
+                 std::to_string(s.bytes)});
+    }
+    out += t.to_string();
+  }
+  return out;
 }
 
 std::string format_metrics_table() {

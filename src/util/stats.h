@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/alloc_tracker.h"
+
 namespace lmp::util {
 
 /// One comm-variant escalation: the health monitor (or a hard comm
@@ -154,6 +156,13 @@ struct ServeStats {
   /// Tenant SLO windows that crossed into breach (enter-edges, from the
   /// telemetry plane's rolling-window evaluation).
   std::uint64_t slo_breaches = 0;
+  // Memory footprint of the serving process (alloc tracker + /proc RSS;
+  // heap numbers are zero when LMP_ALLOC_TRACE is compiled out). What
+  // tenant billing records cite alongside step counts.
+  std::int64_t heap_live_bytes = 0;
+  std::int64_t heap_high_water_bytes = 0;
+  std::int64_t rss_bytes = 0;
+  std::uint64_t total_allocs = 0;
 
   std::uint64_t rejected_total() const {
     return rejected_queue_full + rejected_quota + rejected_bad_script +
@@ -168,9 +177,17 @@ std::string format_server_table(const ServeStats& s);
 
 /// Render the latency histograms the metrics registry collected this run
 /// (put latency per TNI, notice waits, pool dispatch/run, ...) as a
-/// table in microseconds, three decimals. Empty string when no histogram
-/// recorded anything (metrics off or clean idle run).
+/// table in microseconds, three decimals — followed, when the alloc
+/// tracker saw traffic, by the per-scope allocation table (allocs /
+/// frees / bytes per attribution scope). Empty string when no histogram
+/// recorded anything and no allocation was tracked.
 std::string format_latency_table();
+
+/// Render an alloc-guard verdict: one summary line (PASS / FAIL with
+/// the post-warmup totals) plus the per-scope attribution table of the
+/// post-warmup window when anything allocated. Empty string when the
+/// guard never ran.
+std::string format_alloc_guard_table(const obs::AllocGuardReport& r);
 
 /// Render the FULL metrics registry — every counter, gauge (value and
 /// high-water mark), and histogram in its raw units — as plain-text

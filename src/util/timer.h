@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/alloc_tracker.h"
 #include "obs/tracer.h"
 
 namespace lmp::util {
@@ -88,11 +89,18 @@ class StageTimer {
 /// RAII helper: measures a scope's wall time into a StageTimer stage.
 /// Doubles as a trace span: when the sim trace category is enabled the
 /// same scope appears as a "stage:*" span on the owning thread's track,
-/// so every existing timing site is a tracing site with no edits.
+/// so every existing timing site is a tracing site with no edits. It is
+/// also an allocation-attribution scope — with LMP_ALLOC_TRACE on, heap
+/// traffic inside the stage lands on the same "stage:*" label in the
+/// alloc tracker, which is how the per-stage memory columns and the
+/// zero-alloc guard's attribution table get their data for free.
 class ScopedStage {
  public:
   ScopedStage(StageTimer& t, Stage s)
-      : timer_(t), stage_(s), span_(obs::TraceCat::kSim, stage_trace_name(s)) {}
+      : timer_(t),
+        stage_(s),
+        span_(obs::TraceCat::kSim, stage_trace_name(s)),
+        alloc_scope_(stage_trace_name(s)) {}
   ~ScopedStage() { timer_.add(stage_, watch_.seconds()); }
   ScopedStage(const ScopedStage&) = delete;
   ScopedStage& operator=(const ScopedStage&) = delete;
@@ -101,6 +109,7 @@ class ScopedStage {
   StageTimer& timer_;
   Stage stage_;
   obs::TraceSpan span_;
+  obs::AllocScope alloc_scope_;
   WallTimer watch_;
 };
 

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "util/compare_rules.h"
+
+namespace lmp::util {
+namespace {
+
+TEST(CompareRules, TimeSuffixIsLowerBetter) {
+  EXPECT_EQ(metric_direction("ref_us_step"), MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("us_step"), MetricDirection::kLowerBetter);
+}
+
+TEST(CompareRules, MemorySuffixesAreLowerBetter) {
+  EXPECT_EQ(metric_direction("heap_high_water_bytes"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("rss_bytes"), MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("steady_state_step_allocs"),
+            MetricDirection::kLowerBetter);
+}
+
+TEST(CompareRules, SpeedupSuffixIsHigherBetter) {
+  EXPECT_EQ(metric_direction("overlap_step_speedup"),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(metric_direction("speedup"), MetricDirection::kHigherBetter);
+}
+
+TEST(CompareRules, EverythingElseIsTwoSided) {
+  EXPECT_EQ(metric_direction("telemetry_on_off_ratio"),
+            MetricDirection::kTwoSided);
+  EXPECT_EQ(metric_direction("alloc_on_off_ratio"),
+            MetricDirection::kTwoSided);
+  EXPECT_EQ(metric_direction(""), MetricDirection::kTwoSided);
+}
+
+TEST(CompareRules, SuffixMustMatchWhole) {
+  // Shorter than the suffix itself: no match, falls back to two-sided.
+  EXPECT_EQ(metric_direction("bytes"), MetricDirection::kTwoSided);
+  EXPECT_EQ(metric_direction("allocs"), MetricDirection::kTwoSided);
+  // The underscore is part of the contract: "Xbytes" is not a footprint.
+  EXPECT_EQ(metric_direction("kilobytes"), MetricDirection::kTwoSided);
+}
+
+}  // namespace
+}  // namespace lmp::util

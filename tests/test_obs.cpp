@@ -49,7 +49,12 @@ std::string g17(double v) {
 TEST(Tracer, ExportsSpansInstantsCountersWithIdentity) {
   if (!trace_compiled_in()) GTEST_SKIP() << "built with LMP_TRACE=OFF";
   const TracerSandbox guard;
-  set_trace_categories(kAllTraceCats);
+  // Not kAllTraceCats: that now includes kAlloc, which would turn this
+  // test's own heap traffic (export's string building) into events and
+  // break the exact counts below.
+  set_trace_categories(static_cast<std::uint32_t>(TraceCat::kSim) |
+                       static_cast<std::uint32_t>(TraceCat::kComm) |
+                       static_cast<std::uint32_t>(TraceCat::kTofu));
   Tracer::instance().set_thread_identity(3, 7, "worker");
   Tracer::instance().record_span(TraceCat::kSim, "obs.test.span", 1000, 2000);
   Tracer::instance().record_instant(TraceCat::kComm, "obs.test.instant");
@@ -88,7 +93,8 @@ TEST(Tracer, RingOverwritesOldestKeepsNewest) {
   if (!trace_compiled_in()) GTEST_SKIP() << "built with LMP_TRACE=OFF";
   const TracerSandbox guard;
   Tracer::instance().set_buffer_capacity(8);
-  set_trace_categories(kAllTraceCats);
+  // kSim only: kAlloc would add instants for the test's own heap use.
+  set_trace_categories(static_cast<std::uint32_t>(TraceCat::kSim));
   for (int i = 0; i < 12; ++i) {
     Tracer::instance().record_instant(TraceCat::kSim, "obs.test.old");
   }
@@ -105,7 +111,8 @@ TEST(Tracer, RingOverwritesOldestKeepsNewest) {
 TEST(Tracer, ExportIsSortedByTimestampRegardlessOfRecordOrder) {
   if (!trace_compiled_in()) GTEST_SKIP() << "built with LMP_TRACE=OFF";
   const TracerSandbox guard;
-  set_trace_categories(kAllTraceCats);
+  // kSim only: kAlloc would add instants for the test's own heap use.
+  set_trace_categories(static_cast<std::uint32_t>(TraceCat::kSim));
   // Record out of timestamp order — export must still be time-sorted so
   // equal-seed runs produce byte-diffable traces.
   Tracer::instance().record_span(TraceCat::kSim, "obs.test.late", 5000, 10);
@@ -341,12 +348,13 @@ TEST(RunReport, StagesMatchTimerAndSerializeExactly) {
             std::string::npos);
   EXPECT_NE(json.find(g17(total)), std::string::npos);
   EXPECT_NE(json.find("\"schema\":\"lmp-run-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\":3"), std::string::npos);
-  // v2/v3 sections serialize even when empty (metrics were off here), so
-  // downstream parsers can rely on the keys existing.
+  EXPECT_NE(json.find("\"version\":4"), std::string::npos);
+  // v2/v3/v4 sections serialize even when empty (metrics were off here),
+  // so downstream parsers can rely on the keys existing.
   EXPECT_NE(json.find("\"link_utilization\""), std::string::npos);
   EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
   EXPECT_NE(json.find("\"integrity\""), std::string::npos);
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
   EXPECT_EQ(rep.nranks, 2);
   EXPECT_EQ(rep.natoms, r.natoms);
   EXPECT_EQ(rep.comm_final, r.final_comm);

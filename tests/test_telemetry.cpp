@@ -334,7 +334,7 @@ TEST(TelemetrySampler, SnapshotJsonIsParsableAndCurrent) {
   const std::string json = server.telemetry_snapshot_json();
   const util::JsonValue snap = util::parse_json(json);
   EXPECT_EQ(snap.get_str("schema"), "lmp-telemetry-snapshot");
-  EXPECT_EQ(snap.get_int("version"), 1);
+  EXPECT_EQ(snap.get_int("version"), 2);
   // snapshot_json ticks first: even with no background tick yet, the
   // snapshot reflects the submit that just happened.
   EXPECT_GE(snap.get_int("ticks"), 1);
